@@ -1,0 +1,127 @@
+//! Micro-benchmarks of every Damgård-Jurik operation the protocol issues —
+//! the Criterion counterpart of experiment E4's measured tables.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_bigint::rng::random_below;
+use cs_bigint::BigUint;
+use cs_crypto::{KeyGenOptions, ThresholdKeyPair, ThresholdParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(bits: usize, s: u32) -> (ThresholdKeyPair, StdRng) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let tkp = ThresholdKeyPair::generate(
+        &KeyGenOptions {
+            modulus_bits: bits,
+            s,
+            safe_primes: false,
+        },
+        ThresholdParams {
+            threshold: 3,
+            parties: 5,
+        },
+        &mut rng,
+    )
+    .expect("valid params");
+    (tkp, rng)
+}
+
+fn bench_encrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/encrypt");
+    group.sample_size(20);
+    for bits in [512usize, 1024] {
+        let (tkp, mut rng) = setup(bits, 1);
+        let pk = tkp.public().clone();
+        let m = random_below(&mut rng, pk.n_s());
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| pk.encrypt(black_box(&m), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_homomorphic_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/add");
+    for bits in [512usize, 1024, 2048] {
+        let (tkp, mut rng) = setup(bits, 1);
+        let pk = tkp.public().clone();
+        let c1 = pk.encrypt(&BigUint::from(1u64), &mut rng);
+        let c2 = pk.encrypt(&BigUint::from(2u64), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| pk.add(black_box(&c1), black_box(&c2)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalar_pow2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/scalar_mul_pow2_j16");
+    for bits in [512usize, 1024] {
+        let (tkp, mut rng) = setup(bits, 1);
+        let pk = tkp.public().clone();
+        let ct = pk.encrypt(&BigUint::from(7u64), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| pk.scalar_mul_pow2(black_box(&ct), 16));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partial_decrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/partial_decrypt");
+    group.sample_size(20);
+    for bits in [512usize, 1024] {
+        let (tkp, mut rng) = setup(bits, 1);
+        let pk = tkp.public().clone();
+        let ct = pk.encrypt(&BigUint::from(5u64), &mut rng);
+        let share = &tkp.shares()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| share.partial_decrypt(black_box(&ct)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/combine_t3");
+    group.sample_size(20);
+    for bits in [512usize, 1024] {
+        let (tkp, mut rng) = setup(bits, 1);
+        let pk = tkp.public().clone();
+        let ct = pk.encrypt(&BigUint::from(5u64), &mut rng);
+        let partials: Vec<_> = tkp.shares()[..3]
+            .iter()
+            .map(|sh| sh.partial_decrypt(&ct))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| tkp.combine(black_box(&partials)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_sweep(c: &mut Criterion) {
+    // Degree s trades message space for cost: encrypt at fixed n, varying s.
+    let mut group = c.benchmark_group("crypto/encrypt_degree");
+    group.sample_size(20);
+    for s in [1u32, 2, 3] {
+        let (tkp, mut rng) = setup(512, s);
+        let pk = tkp.public().clone();
+        let m = random_below(&mut rng, pk.n_s());
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |bench, _| {
+            bench.iter(|| pk.encrypt(black_box(&m), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encrypt,
+    bench_homomorphic_add,
+    bench_scalar_pow2,
+    bench_partial_decrypt,
+    bench_combine,
+    bench_degree_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! End-to-end cost of one full Chiaroscuro run — real crypto at a small
+//! population vs simulated crypto at demo scale. The ratio between the two
+//! is the demo's justification for disabling homomorphic operations in large
+//! simulations.
+
+use chiaroscuro::{ChiaroscuroConfig, Engine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+use cs_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series(count: usize, len: usize) -> Vec<TimeSeries> {
+    generate(
+        &BlobsConfig {
+            count,
+            len,
+            clusters: 2,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(4),
+    )
+    .series
+}
+
+fn bench_real_crypto_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e/real_crypto");
+    group.sample_size(10);
+    let data = series(12, 6);
+    group.bench_function("n12_len6_k2_2iters", |bench| {
+        let mut cfg = ChiaroscuroConfig::test_real();
+        cfg.k = 2;
+        cfg.max_iterations = 2;
+        cfg.gossip_cycles = 8;
+        cfg.epsilon = 100.0;
+        let engine = Engine::new(cfg).unwrap();
+        bench.iter(|| engine.run(&data).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_simulated_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e/simulated_crypto");
+    group.sample_size(10);
+    for n in [200usize, 1000] {
+        let data = series(n, 24);
+        group.bench_function(format!("n{n}_len24_k5_3iters"), |bench| {
+            let mut cfg = ChiaroscuroConfig::demo_simulated();
+            cfg.k = 5;
+            cfg.max_iterations = 3;
+            cfg.epsilon = 300.0;
+            cfg.value_bound = 8.0;
+            let engine = Engine::new(cfg).unwrap();
+            bench.iter(|| engine.run(&data).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_crypto_run, bench_simulated_run);
+criterion_main!(benches);

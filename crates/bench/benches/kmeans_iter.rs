@@ -1,0 +1,111 @@
+//! Centralized-baseline benchmarks: one Lloyd iteration's assignment and
+//! update cost at demo scales, plus distance-function comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_kmeans::assign::{assign_all, cluster_means, cluster_sums};
+use cs_kmeans::{InitMethod, KMeans, KMeansConfig};
+use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+use cs_timeseries::{Distance, TimeSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(count: usize, len: usize) -> Vec<TimeSeries> {
+    generate(
+        &BlobsConfig {
+            count,
+            len,
+            clusters: 5,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(3),
+    )
+    .series
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans/assignment_step");
+    for n in [1000usize, 5000] {
+        let series = dataset(n, 24);
+        let centroids = series[..5].to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                assign_all(
+                    black_box(&series),
+                    black_box(&centroids),
+                    Distance::SquaredEuclidean,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans/update_step");
+    let series = dataset(2000, 24);
+    let centroids = series[..5].to_vec();
+    let assignment = assign_all(&series, &centroids, Distance::SquaredEuclidean);
+    group.bench_function("n2000_k5", |bench| {
+        bench.iter(|| {
+            let (sums, counts) = cluster_sums(black_box(&series), &assignment, 5, 24);
+            cluster_means(&sums, &counts)
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans/full_fit");
+    group.sample_size(10);
+    let series = dataset(1000, 24);
+    for init in [InitMethod::RandomPoints, InitMethod::PlusPlus] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{init:?}")),
+            &init,
+            |bench, &init| {
+                let runner = KMeans::new(KMeansConfig {
+                    k: 5,
+                    init,
+                    ..Default::default()
+                });
+                bench.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    runner.fit(black_box(&series), &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans/distance_len24");
+    let a = TimeSeries::from_fn(24, |i| i as f64);
+    let b = TimeSeries::from_fn(24, |i| (i as f64).sin());
+    for d in [
+        Distance::SquaredEuclidean,
+        Distance::Euclidean,
+        Distance::Manhattan,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d:?}")),
+            &d,
+            |bench, &d| {
+                bench.iter(|| d.compute(black_box(&a), black_box(&b)));
+            },
+        );
+    }
+    group.bench_function("Dtw", |bench| {
+        bench.iter(|| cs_timeseries::dtw::dtw(black_box(&a), black_box(&b), None));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assignment,
+    bench_update,
+    bench_full_fit,
+    bench_distances
+);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! E5 — §II-A: "The approximation error depends on the number of gossip
+//! exchanges per participant and is guaranteed to converge to zero
+//! exponentially fast".
+//!
+//! Three tables: (1) push-sum max relative error vs cycles for several
+//! population sizes; (2) the same under message loss and churn; (3) the
+//! coalescence ablation (exactly-once merging) showing its slow tail —
+//! the reason push-sum is the primary aggregation (DESIGN.md §3.1).
+
+use cs_bench::{f, ExpArgs, Table};
+use cs_gossip::coalescence::{bucket_count, total_contributors, CoalescenceNode};
+use cs_gossip::pushsum::{max_relative_error, PushSumNode};
+use cs_gossip::{FailureModel, Network, Overlay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn pushsum_network(n: usize, seed: u64, failure: FailureModel) -> (Network<PushSumNode>, Vec<f64>) {
+    let nodes: Vec<PushSumNode> = (0..n)
+        .map(|i| PushSumNode::new(vec![(i % 97) as f64], 1.0))
+        .collect();
+    let truth: f64 = (0..n).map(|i| (i % 97) as f64).sum::<f64>() / n as f64;
+    (
+        Network::new(nodes, Overlay::Full, failure, seed),
+        vec![truth],
+    )
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let populations: &[usize] = if args.quick {
+        &[128, 512]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let max_cycles = if args.quick { 25 } else { 40 };
+    let checkpoints: Vec<usize> = (0..=max_cycles).step_by(5).skip(1).collect();
+
+    // ---- Table 1: error vs cycles, per population --------------------------
+    let mut headers: Vec<String> = vec!["cycles".into()];
+    for &n in populations {
+        headers.push(format!("err@n={n}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t1 = Table::new(
+        "E5.1 push-sum max relative error vs exchanges",
+        &header_refs,
+    );
+
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for &n in populations {
+        let (mut net, truth) = pushsum_network(n, 5, FailureModel::none());
+        let mut errors = Vec::new();
+        let mut last = 0usize;
+        for &cp in &checkpoints {
+            net.run_cycles(cp - last);
+            last = cp;
+            errors.push(max_relative_error(net.nodes(), &truth));
+        }
+        series.push(errors);
+    }
+    for (row_idx, &cp) in checkpoints.iter().enumerate() {
+        let mut row = vec![cp.to_string()];
+        for s in &series {
+            row.push(format!("{:.2e}", s[row_idx]));
+        }
+        t1.row(row);
+    }
+    t1.emit(&args, "e5_error_vs_cycles");
+
+    // ---- Table 2: failures --------------------------------------------------
+    let n = if args.quick { 256 } else { 1024 };
+    let mut t2 = Table::new(
+        "E5.2 error vs cycles under failures (n = population above)",
+        &["cycles", "no_failure", "drop5%", "drop10%", "churn1%/30%"],
+    );
+    let models = [
+        FailureModel::none(),
+        FailureModel::lossy(0.05),
+        FailureModel::lossy(0.10),
+        FailureModel::churn(0.01, 0.30),
+    ];
+    let mut failure_series: Vec<Vec<f64>> = Vec::new();
+    for model in models {
+        let (mut net, truth) = pushsum_network(n, 6, model);
+        let mut errors = Vec::new();
+        let mut last = 0usize;
+        for &cp in &checkpoints {
+            net.run_cycles(cp - last);
+            last = cp;
+            errors.push(max_relative_error(net.nodes(), &truth));
+        }
+        failure_series.push(errors);
+    }
+    for (row_idx, &cp) in checkpoints.iter().enumerate() {
+        let mut row = vec![cp.to_string()];
+        for s in &failure_series {
+            row.push(format!("{:.2e}", s[row_idx]));
+        }
+        t2.row(row);
+    }
+    t2.emit(&args, "e5_error_under_failures");
+
+    // ---- Table 2b: overlay ablation -----------------------------------------
+    // The idealized full view vs a Newscast-style partial view: uniform-ish
+    // sampling from a small refreshed view costs a little convergence speed.
+    let mut t2b = Table::new(
+        "E5.2b overlay ablation (n = population above)",
+        &["cycles", "full_view", "partial_view_8", "partial_view_3"],
+    );
+    let overlays = [
+        Overlay::Full,
+        Overlay::PartialView { view_size: 8 },
+        Overlay::PartialView { view_size: 3 },
+    ];
+    let mut overlay_series: Vec<Vec<f64>> = Vec::new();
+    for overlay in overlays {
+        let nodes: Vec<PushSumNode> = (0..n)
+            .map(|i| PushSumNode::new(vec![(i % 97) as f64], 1.0))
+            .collect();
+        let truth = vec![(0..n).map(|i| (i % 97) as f64).sum::<f64>() / n as f64];
+        let mut net = Network::new(nodes, overlay, FailureModel::none(), 66);
+        let mut errors = Vec::new();
+        let mut last = 0usize;
+        for &cp in &checkpoints {
+            net.run_cycles(cp - last);
+            last = cp;
+            errors.push(max_relative_error(net.nodes(), &truth));
+        }
+        overlay_series.push(errors);
+    }
+    for (row_idx, &cp) in checkpoints.iter().enumerate() {
+        let mut row = vec![cp.to_string()];
+        for s in &overlay_series {
+            row.push(format!("{:.2e}", s[row_idx]));
+        }
+        t2b.row(row);
+    }
+    t2b.emit(&args, "e5_overlay_ablation");
+
+    // ---- Table 3: coalescence ablation --------------------------------------
+    let n = if args.quick { 128 } else { 512 };
+    let mut rng = StdRng::seed_from_u64(7);
+    let kp =
+        cs_crypto::KeyPair::generate(&cs_crypto::KeyGenOptions::insecure_test_size(), &mut rng);
+    let pk = Arc::new(kp.public().clone());
+    let nodes: Vec<CoalescenceNode> = (0..n)
+        .map(|i| {
+            let c = pk.encrypt(&cs_bigint::BigUint::from(i as u64), &mut rng);
+            CoalescenceNode::new(pk.clone(), vec![c])
+        })
+        .collect();
+    let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 8);
+    let mut t3 = Table::new(
+        "E5.3 coalescence ablation: buckets remaining vs cycles (slow tail)",
+        &[
+            "cycles",
+            "buckets",
+            "fraction_merged",
+            "contributors_conserved",
+        ],
+    );
+    let mut last = 0usize;
+    for &cp in &checkpoints {
+        net.run_cycles(cp - last);
+        last = cp;
+        let buckets = bucket_count(net.nodes());
+        t3.row(vec![
+            cp.to_string(),
+            buckets.to_string(),
+            f(1.0 - buckets as f64 / n as f64, 3),
+            (total_contributors(net.nodes()) == n as u64).to_string(),
+        ]);
+    }
+    t3.emit(&args, "e5_coalescence_ablation");
+
+    println!(
+        "expected shape: E5.1 errors drop exponentially (straight line on a\n\
+         log axis), nearly independent of n; E5.2 failures slow but do not\n\
+         break convergence; E5.3 coalescence stalls with a long tail of\n\
+         unmerged buckets — push-sum wins."
+    );
+}

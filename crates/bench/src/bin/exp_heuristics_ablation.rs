@@ -1,0 +1,84 @@
+//! E8 — §II-B quality-enhancing heuristics ablation.
+//!
+//! Chiaroscuro "embeds quality-enhancing heuristics … (1) … smart privacy
+//! budget distribution strategies and … (2) … smoothing the perturbed
+//! means". This experiment crosses budget strategies with smoothing settings
+//! at two privacy levels to expose where each heuristic pays and where it
+//! hurts (smoothing's shape bias dominates once noise is small).
+
+use chiaroscuro::{compare_with_baseline, ChiaroscuroConfig, Engine};
+use cs_bench::datasets::UseCase;
+use cs_bench::{f, ExpArgs, Table};
+use cs_dp::BudgetStrategy;
+use cs_timeseries::smooth::Smoothing;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let population = if args.quick { 200 } else { 1000 };
+    let use_case = UseCase::Electricity;
+    let ds = use_case.build(population, 88);
+    // Simulated-scale ε values chosen so noise matters without drowning
+    // the signal (≈ 0.03 and 0.15 at the 10⁶-device target).
+    let epsilons: &[f64] = if args.quick { &[30.0] } else { &[30.0, 150.0] };
+
+    let strategies: Vec<(&str, BudgetStrategy)> = vec![
+        ("uniform", BudgetStrategy::Uniform),
+        ("increasing", BudgetStrategy::increasing_default()),
+        ("adaptive", BudgetStrategy::adaptive_default()),
+    ];
+    let smoothings: Vec<(&str, Smoothing)> = vec![
+        ("none", Smoothing::None),
+        ("ma3", Smoothing::MovingAverage { window: 3 }),
+        ("ma5", Smoothing::MovingAverage { window: 5 }),
+        ("exp0.3", Smoothing::Exponential { alpha: 0.3 }),
+    ];
+
+    let mut table = Table::new(
+        "E8 heuristics ablation (inertia ratio vs centralized baseline; lower is better)",
+        &[
+            "epsilon",
+            "budget",
+            "smoothing",
+            "inertia_ratio",
+            "ari",
+            "iterations",
+        ],
+    );
+    for &eps in epsilons {
+        for (sname, strategy) in &strategies {
+            for (mname, smoothing) in &smoothings {
+                let mut cfg = ChiaroscuroConfig::demo_simulated();
+                cfg.k = use_case.default_k();
+                cfg.epsilon = eps;
+                cfg.value_bound = use_case.value_bound();
+                cfg.budget_strategy = *strategy;
+                cfg.smoothing = *smoothing;
+                cfg.max_iterations = if args.quick { 5 } else { 8 };
+                cfg.gossip_cycles = if args.quick { 20 } else { 30 };
+                cfg.seed = 2016;
+                let out = Engine::new(cfg).unwrap().run(&ds.series).unwrap();
+                let report = compare_with_baseline(
+                    &ds.series,
+                    &out.centroids,
+                    cs_timeseries::Distance::SquaredEuclidean,
+                    7,
+                );
+                table.row(vec![
+                    f(eps, 0),
+                    sname.to_string(),
+                    mname.to_string(),
+                    f(report.inertia_ratio, 3),
+                    f(report.ari_vs_baseline, 3),
+                    out.iterations.to_string(),
+                ]);
+            }
+        }
+    }
+    table.emit(&args, "e8_heuristics_ablation");
+
+    println!(
+        "expected shape: at the lower ε smoothing + non-uniform budgets\n\
+         improve the ratio; at the higher ε aggressive smoothing (ma5)\n\
+         starts to hurt — its bias outweighs the small remaining noise."
+    );
+}

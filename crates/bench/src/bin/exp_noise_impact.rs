@@ -1,0 +1,100 @@
+//! E2 — Fig. 3(5): "an illustration of the impact of the noise on four
+//! random centroids along the iterations".
+//!
+//! For each iteration we report the mean absolute gap between the disclosed
+//! perturbed centroids and the omniscient-observer clean means, across
+//! privacy levels and budget strategies — the quantity the GUI visualizes by
+//! overlaying noisy and clean curves.
+
+use chiaroscuro::{ChiaroscuroConfig, Engine};
+use cs_bench::datasets::{rescale_epsilon, UseCase};
+use cs_bench::{f, ExpArgs, Table};
+use cs_dp::BudgetStrategy;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let population = if args.quick { 200 } else { 1000 };
+    let use_case = UseCase::Electricity;
+    let ds = use_case.build(population, 22);
+    let max_iterations = if args.quick { 5 } else { 10 };
+
+    println!(
+        "E2: noise impact — {} households, {} readings, k={}",
+        ds.len(),
+        ds.series_len(),
+        use_case.default_k()
+    );
+
+    // Deployment privacy levels (ε at 10⁶ devices), rescaled to the
+    // simulated population per the demo's rule (§III-B).
+    let variants: Vec<(String, f64, BudgetStrategy)> = vec![
+        ("eps0.02/uniform".into(), 0.02, BudgetStrategy::Uniform),
+        ("eps0.10/uniform".into(), 0.10, BudgetStrategy::Uniform),
+        (
+            "eps0.02/increasing".into(),
+            0.02,
+            BudgetStrategy::increasing_default(),
+        ),
+        (
+            "eps0.10/increasing".into(),
+            0.10,
+            BudgetStrategy::increasing_default(),
+        ),
+    ];
+
+    let mut columns: Vec<String> = vec!["iteration".into()];
+    for (name, _, _) in &variants {
+        columns.push(format!("{name}:impact"));
+        columns.push(format!("{name}:b"));
+    }
+    let header_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "E2 |perturbed − clean| per centroid coordinate, per iteration",
+        &header_refs,
+    );
+
+    let mut logs = Vec::new();
+    for (name, eps, strategy) in &variants {
+        let mut cfg = ChiaroscuroConfig::demo_simulated();
+        cfg.k = use_case.default_k();
+        cfg.epsilon = rescale_epsilon(*eps, population);
+        cfg.budget_strategy = *strategy;
+        cfg.value_bound = use_case.value_bound();
+        cfg.max_iterations = max_iterations;
+        cfg.gossip_cycles = if args.quick { 20 } else { 30 };
+        cfg.seed = 2016;
+        let out = Engine::new(cfg).unwrap().run(&ds.series).unwrap();
+        println!(
+            "  {name}: {} iterations, mean impact {:.4}",
+            out.iterations,
+            out.log.records.iter().map(|r| r.noise_impact).sum::<f64>()
+                / out.log.records.len().max(1) as f64
+        );
+        logs.push(out.log);
+    }
+
+    let rows = logs.iter().map(|l| l.records.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let mut row = vec![i.to_string()];
+        for log in &logs {
+            match log.records.get(i) {
+                Some(r) => {
+                    row.push(f(r.noise_impact, 4));
+                    row.push(f(r.noise_scale, 1));
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        table.row(row);
+    }
+    table.emit(&args, "e2_noise_impact");
+
+    println!(
+        "expected shape: impact shrinks as ε grows; the increasing strategy\n\
+         starts noisier and ends cleaner than uniform (late iterations get\n\
+         more budget), which is why it helps convergence."
+    );
+}

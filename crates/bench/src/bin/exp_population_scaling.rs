@@ -1,0 +1,107 @@
+//! E7 — §III-B: the demo simulates "a tiny population (e.g., on the order
+//! of 10³ participants rather than 10⁶)" and keeps "the impact of the
+//! perturbation … similar by scaling the differential privacy level to
+//! obtain the same 'noise magnitude / population size' ratio".
+//!
+//! Two sweeps over the population size: (a) fixed ε — quality degrades as
+//! the population shrinks because the same noise is spread over fewer
+//! contributions; (b) the demo's ε-rescaling rule `ε_n = ε_ref · n_ref / n`
+//! — the noise/population ratio stays constant and quality stays flat,
+//! validating that small simulations predict large deployments.
+
+use chiaroscuro::{compare_with_baseline, ChiaroscuroConfig, Engine};
+use cs_bench::datasets::UseCase;
+use cs_bench::{f, human_bytes, ExpArgs, Table};
+
+fn run_once(population: usize, epsilon: f64, quick: bool) -> (f64, f64, f64, f64) {
+    let use_case = UseCase::Electricity;
+    let ds = use_case.build(population, 77);
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = use_case.default_k();
+    cfg.epsilon = epsilon;
+    cfg.value_bound = use_case.value_bound();
+    cfg.max_iterations = if quick { 5 } else { 8 };
+    cfg.gossip_cycles = if quick { 20 } else { 30 };
+    cfg.seed = 2016;
+    let out = Engine::new(cfg).unwrap().run(&ds.series).unwrap();
+    let report = compare_with_baseline(
+        &ds.series,
+        &out.centroids,
+        cs_timeseries::Distance::SquaredEuclidean,
+        7,
+    );
+    let last_impact = out
+        .log
+        .records
+        .last()
+        .map(|r| r.noise_impact)
+        .unwrap_or(f64::NAN);
+    let bytes = out.log.total_bytes_per_participant();
+    (
+        report.inertia_ratio,
+        report.ari_vs_baseline,
+        last_impact,
+        bytes,
+    )
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let populations: &[usize] = if args.quick {
+        &[100, 300]
+    } else {
+        &[100, 300, 1000, 3000]
+    };
+    let (eps_ref, n_ref) = (30.0, 1000.0);
+
+    let mut t1 = Table::new(
+        "E7.1 fixed ε_sim = 30: quality vs population",
+        &[
+            "population",
+            "inertia_ratio",
+            "ari",
+            "noise_impact",
+            "bytes/participant",
+        ],
+    );
+    for &n in populations {
+        let (ratio, ari, impact, bytes) = run_once(n, eps_ref, args.quick);
+        t1.row(vec![
+            n.to_string(),
+            f(ratio, 3),
+            f(ari, 3),
+            f(impact, 4),
+            human_bytes(bytes),
+        ]);
+    }
+    t1.emit(&args, "e7_fixed_epsilon");
+
+    let mut t2 = Table::new(
+        "E7.2 demo rescaling rule ε_n = ε_ref·n_ref/n (constant noise/population ratio)",
+        &[
+            "population",
+            "epsilon",
+            "inertia_ratio",
+            "ari",
+            "noise_impact",
+        ],
+    );
+    for &n in populations {
+        let eps = eps_ref * n_ref / n as f64;
+        let (ratio, ari, impact, _) = run_once(n, eps, args.quick);
+        t2.row(vec![
+            n.to_string(),
+            f(eps, 2),
+            f(ratio, 3),
+            f(ari, 3),
+            f(impact, 4),
+        ]);
+    }
+    t2.emit(&args, "e7_rescaled_epsilon");
+
+    println!(
+        "expected shape: E7.1 quality improves with population at fixed ε;\n\
+         E7.2 quality and noise impact stay roughly flat — the demo's\n\
+         justification for extrapolating 10³-node simulations to 10⁶."
+    );
+}

@@ -1,0 +1,71 @@
+//! Ordering for [`BigUint`].
+
+use crate::BigUint;
+use std::cmp::Ordering;
+
+impl BigUint {
+    /// Compares magnitudes limb-wise (most significant first).
+    pub(crate) fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        BigUint::cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for BigUint {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+impl PartialOrd<u64> for BigUint {
+    fn partial_cmp(&self, other: &u64) -> Option<Ordering> {
+        match self.limbs.len() {
+            0 => 0u64.partial_cmp(other),
+            1 => self.limbs[0].partial_cmp(other),
+            _ => Some(Ordering::Greater),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn ordering_by_length_then_limbs() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::from(u64::MAX as u128 + 1);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(small.cmp(&small), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn compare_with_u64() {
+        let five = BigUint::from(5u64);
+        assert!(five == 5u64);
+        assert!(five < 6u64);
+        assert!(BigUint::from(1u128 << 80) > 6u64);
+        assert!(BigUint::zero() < 1u64);
+    }
+}

@@ -1,0 +1,225 @@
+//! Byte and string conversion for [`BigUint`].
+
+use crate::BigUint;
+use std::str::FromStr;
+
+/// Error produced when parsing a [`BigUint`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl std::fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl BigUint {
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = limb << 8 | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Builds a value from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut limb = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                limb |= (b as u64) << (8 * i);
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = self.to_bytes_le();
+        out.reverse();
+        out
+    }
+
+    /// Serializes to little-endian bytes with no trailing zeros (empty for
+    /// zero).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &limb in &self.limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Number of bytes in the minimal big-endian encoding.
+    pub fn byte_len(&self) -> usize {
+        self.bit_len().div_ceil(8)
+    }
+
+    /// Parses a decimal string (ASCII digits only, no sign, no separators).
+    pub fn parse_decimal(s: &str) -> Result<BigUint, ParseBigUintError> {
+        Self::parse_radix(s, 10)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix).
+    pub fn parse_hex(s: &str) -> Result<BigUint, ParseBigUintError> {
+        Self::parse_radix(s, 16)
+    }
+
+    fn parse_radix(s: &str, radix: u32) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(radix).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = acc.mul_u64(radix as u64).add_u64(d as u64);
+        }
+        Ok(acc)
+    }
+
+    /// Renders the value in the given radix (2..=36), lowercase digits.
+    pub fn to_str_radix(&self, radix: u64) -> String {
+        assert!((2..=36).contains(&radix), "radix out of range");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        // Extract several digits per division to cut the number of big
+        // divisions: the largest power of `radix` fitting in u64.
+        let mut chunk = radix;
+        let mut chunk_digits = 1usize;
+        while let Some(next) = chunk.checked_mul(radix) {
+            chunk = next;
+            chunk_digits += 1;
+        }
+        while !cur.is_zero() {
+            let (q, mut r) = cur.div_rem_u64(chunk);
+            cur = q;
+            let emit = if cur.is_zero() {
+                // Last chunk: no left padding.
+                usize::MAX
+            } else {
+                chunk_digits
+            };
+            let mut produced = 0;
+            while (r > 0 || produced < emit.min(chunk_digits)) && produced < chunk_digits {
+                digits.push(DIGITS[(r % radix) as usize]);
+                r /= radix;
+                produced += 1;
+            }
+            if cur.is_zero() {
+                // Strip the zero-padding we may have produced for the top chunk.
+                while digits.last() == Some(&b'0') && digits.len() > 1 {
+                    digits.pop();
+                }
+            }
+        }
+        digits.reverse();
+        String::from_utf8(digits).expect("ASCII digits")
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::parse_decimal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let v = BigUint::parse_hex("0123456789abcdef00ff").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        assert_eq!(bytes[0], 0x01, "no leading zeros");
+    }
+
+    #[test]
+    fn bytes_le_roundtrip() {
+        let v = BigUint::from(0xdead_beef_cafeu64);
+        assert_eq!(BigUint::from_bytes_le(&v.to_bytes_le()), v);
+    }
+
+    #[test]
+    fn zero_encodes_empty() {
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+        assert_eq!(BigUint::from_bytes_be(&[]), BigUint::zero());
+        assert_eq!(BigUint::from_bytes_be(&[0, 0]), BigUint::zero());
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        let v = BigUint::parse_decimal(s).unwrap();
+        assert_eq!(v.to_str_radix(10), s);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let s = "ffeeddccbbaa99887766554433221100f";
+        let v = BigUint::parse_hex(s).unwrap();
+        assert_eq!(v.to_str_radix(16), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigUint::parse_decimal("").is_err());
+        assert!(BigUint::parse_decimal("12a3").is_err());
+        assert!(BigUint::parse_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn to_str_radix_zero_and_powers() {
+        assert_eq!(BigUint::zero().to_str_radix(10), "0");
+        assert_eq!(
+            BigUint::from(1u128 << 64).to_str_radix(16),
+            "10000000000000000"
+        );
+        assert_eq!(
+            BigUint::from(10_000_000_000_000_000_000u64)
+                .mul_u64(10)
+                .to_str_radix(10),
+            "100000000000000000000"
+        );
+    }
+
+    #[test]
+    fn byte_len_matches_bit_len() {
+        assert_eq!(BigUint::from(255u64).byte_len(), 1);
+        assert_eq!(BigUint::from(256u64).byte_len(), 2);
+        assert_eq!(BigUint::zero().byte_len(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! `Display`, `Debug`, and hex formatting for [`BigUint`].
+
+use crate::BigUint;
+use std::fmt;
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_str_radix(10))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Keep debug output short for huge values: decimal when small,
+        // truncated hex with bit length otherwise.
+        if self.bit_len() <= 128 {
+            write!(f, "BigUint({})", self.to_str_radix(10))
+        } else {
+            let hex = self.to_str_radix(16);
+            write!(
+                f,
+                "BigUint({} bits, 0x{}…{})",
+                self.bit_len(),
+                &hex[..8.min(hex.len())],
+                &hex[hex.len().saturating_sub(8)..]
+            )
+        }
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_str_radix(16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(format!("{}", BigUint::from(98765u64)), "98765");
+        assert_eq!(format!("{}", BigUint::zero()), "0");
+    }
+
+    #[test]
+    fn lower_hex() {
+        assert_eq!(format!("{:x}", BigUint::from(0xabcdu64)), "abcd");
+    }
+
+    #[test]
+    fn debug_truncates_huge_values() {
+        let big = BigUint::one() << 300;
+        let s = format!("{:?}", big);
+        assert!(s.contains("301 bits"), "{s}");
+    }
+}

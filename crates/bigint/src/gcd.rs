@@ -1,0 +1,156 @@
+//! Greatest common divisor, extended Euclid, and modular inverse.
+
+use crate::{BigInt, BigUint};
+
+impl BigUint {
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple. Panics only if both arguments are zero? No —
+    /// `lcm(0, x) = 0` by convention.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        &(self / &g) * other
+    }
+
+    /// Modular inverse: the unique `x` in `[0, m)` with
+    /// `self * x ≡ 1 (mod m)`, or `None` when `gcd(self, m) != 1`.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() {
+            return None;
+        }
+        let (g, x, _) = extended_gcd(
+            &BigInt::from_biguint(self % m),
+            &BigInt::from_biguint(m.clone()),
+        );
+        if g != BigInt::one() {
+            return None;
+        }
+        Some(x.mod_floor(m))
+    }
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with
+/// `a*x + b*y = g = gcd(a, b)` (`g >= 0`).
+pub fn extended_gcd(a: &BigInt, b: &BigInt) -> (BigInt, BigInt, BigInt) {
+    let (mut old_r, mut r) = (a.clone(), b.clone());
+    let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+    let (mut old_t, mut t) = (BigInt::zero(), BigInt::one());
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        let new_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    if old_r.is_negative() {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// Solves a two-congruence CRT system: the unique `x mod (m1*m2)` with
+/// `x ≡ r1 (mod m1)` and `x ≡ r2 (mod m2)`, for coprime `m1, m2`.
+///
+/// Returns `None` if the moduli are not coprime.
+pub fn crt_pair(r1: &BigUint, m1: &BigUint, r2: &BigUint, m2: &BigUint) -> Option<BigUint> {
+    // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
+    let m1_inv = m1.mod_inverse(m2)?;
+    let r1m = r1 % m1;
+    let diff = BigInt::from_biguint(r2 % m2) - BigInt::from_biguint(&r1m % m2);
+    let k = (&BigInt::from_biguint(m1_inv) * &diff).mod_floor(m2);
+    Some(&r1m + &(m1 * &k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_known_values() {
+        let a = BigUint::from(48u64);
+        let b = BigUint::from(36u64);
+        assert_eq!(a.gcd(&b), BigUint::from(12u64));
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+        assert_eq!(BigUint::zero().gcd(&b), b);
+    }
+
+    #[test]
+    fn lcm_known_values() {
+        assert_eq!(
+            BigUint::from(4u64).lcm(&BigUint::from(6u64)),
+            BigUint::from(12u64)
+        );
+        assert!(BigUint::zero().lcm(&BigUint::from(5u64)).is_zero());
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let a = BigInt::from(240i64);
+        let b = BigInt::from(46i64);
+        let (g, x, y) = extended_gcd(&a, &b);
+        assert_eq!(g, BigInt::from(2i64));
+        assert_eq!(&(&a * &x) + &(&b * &y), g);
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        let m = BigUint::from(1_000_000_007u64);
+        let a = BigUint::from(123_456_789u64);
+        let inv = a.mod_inverse(&m).unwrap();
+        assert_eq!((&a * &inv) % &m, BigUint::one());
+    }
+
+    #[test]
+    fn mod_inverse_of_non_coprime_is_none() {
+        let m = BigUint::from(12u64);
+        assert!(BigUint::from(4u64).mod_inverse(&m).is_none());
+        assert!(BigUint::from(5u64).mod_inverse(&m).is_some());
+    }
+
+    #[test]
+    fn mod_inverse_large_value_reduced_first() {
+        let m = BigUint::from(97u64);
+        let a = BigUint::from(97u64 * 5 + 3);
+        let inv = a.mod_inverse(&m).unwrap();
+        assert_eq!((&a % &m * &inv) % &m, BigUint::one());
+    }
+
+    #[test]
+    fn crt_pair_reconstructs() {
+        // x ≡ 2 mod 3, x ≡ 3 mod 5 → x = 8 mod 15
+        let x = crt_pair(
+            &BigUint::from(2u64),
+            &BigUint::from(3u64),
+            &BigUint::from(3u64),
+            &BigUint::from(5u64),
+        )
+        .unwrap();
+        assert_eq!(x, BigUint::from(8u64));
+    }
+
+    #[test]
+    fn crt_pair_non_coprime_fails() {
+        assert!(crt_pair(
+            &BigUint::from(1u64),
+            &BigUint::from(4u64),
+            &BigUint::from(2u64),
+            &BigUint::from(6u64),
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+//!
+//! [`BigInt`] exists for the places where intermediate values can go
+//! negative: the extended Euclidean algorithm and the integer Lagrange
+//! coefficients of threshold Damgård-Jurik decryption.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero is always [`Sign::Zero`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+/// A signed arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt::from_biguint(BigUint::one())
+    }
+
+    /// Builds a non-negative value from a magnitude.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Plus
+        };
+        BigInt { sign, mag }
+    }
+
+    /// Builds a value from an explicit sign and magnitude (sign is corrected
+    /// to [`Sign::Zero`] if the magnitude is zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Converts to [`BigUint`] if non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => Some(self.mag.clone()),
+        }
+    }
+
+    /// The canonical representative of `self mod m` in `[0, m)`.
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_floor(&self, m: &BigUint) -> BigUint {
+        let r = &self.mag % m;
+        match self.sign {
+            Sign::Minus if !r.is_zero() => m - &r,
+            _ => r,
+        }
+    }
+
+    /// Truncated division: quotient and remainder with
+    /// `self = q * d + r`, `|r| < |d|`, and `r` having the sign of `self`.
+    pub fn div_rem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        assert!(!d.is_zero(), "division by zero");
+        let (q_mag, r_mag) = self.mag.div_rem(&d.mag);
+        let q_sign = match (self.sign, d.sign) {
+            (Sign::Zero, _) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        (
+            BigInt::from_sign_mag(q_sign, q_mag),
+            BigInt::from_sign_mag(self.sign, r_mag),
+        )
+    }
+
+    /// `|self|` as a `BigInt`.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Plus
+            },
+            self.mag.clone(),
+        )
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        BigInt::from_biguint(v)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(BigUint::from(v as u64)),
+            Ordering::Less => BigInt::from_sign_mag(Sign::Minus, BigUint::from(v.unsigned_abs())),
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_biguint(BigUint::from(v))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        };
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, &self.mag + &rhs.mag),
+            _ => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+            },
+        }
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt::from_sign_mag(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+            (Sign::Minus, _) => Ordering::Less,
+            (Sign::Zero, Sign::Minus) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Plus, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        assert_eq!(&bi(5) + &bi(3), bi(8));
+        assert_eq!(&bi(5) + &bi(-3), bi(2));
+        assert_eq!(&bi(-5) + &bi(3), bi(-2));
+        assert_eq!(&bi(-5) + &bi(-3), bi(-8));
+        assert_eq!(&bi(5) + &bi(-5), bi(0));
+    }
+
+    #[test]
+    fn signed_subtraction() {
+        assert_eq!(&bi(3) - &bi(5), bi(-2));
+        assert_eq!(&bi(-3) - &bi(-5), bi(2));
+        assert_eq!(&bi(0) - &bi(7), bi(-7));
+    }
+
+    #[test]
+    fn signed_multiplication() {
+        assert_eq!(&bi(4) * &bi(-6), bi(-24));
+        assert_eq!(&bi(-4) * &bi(-6), bi(24));
+        assert_eq!(&bi(0) * &bi(-6), bi(0));
+    }
+
+    #[test]
+    fn mod_floor_negative_values() {
+        let m = BigUint::from(7u64);
+        assert_eq!(bi(-1).mod_floor(&m), BigUint::from(6u64));
+        assert_eq!(bi(-7).mod_floor(&m), BigUint::zero());
+        assert_eq!(bi(-15).mod_floor(&m), BigUint::from(6u64));
+        assert_eq!(bi(15).mod_floor(&m), BigUint::from(1u64));
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        let (q, r) = bi(-7).div_rem(&bi(2));
+        assert_eq!((q, r), (bi(-3), bi(-1)));
+        let (q, r) = bi(7).div_rem(&bi(-2));
+        assert_eq!((q, r), (bi(-3), bi(1)));
+    }
+
+    #[test]
+    fn ordering_spans_signs() {
+        assert!(bi(-10) < bi(-2));
+        assert!(bi(-2) < bi(0));
+        assert!(bi(0) < bi(3));
+        assert!(bi(3) < bi(10));
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(format!("{}", bi(-42)), "-42");
+    }
+}

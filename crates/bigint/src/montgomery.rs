@@ -1,0 +1,287 @@
+//! Montgomery modular multiplication and exponentiation for odd moduli.
+//!
+//! All Damgård-Jurik moduli (`n`, `n^s`, `n^(s+1)`) are odd, so modular
+//! exponentiation — the dominant cost of encryption, decryption shares, and
+//! push-sum rescaling — always takes this fast path. The implementation is
+//! the word-level CIOS (Coarsely Integrated Operand Scanning) algorithm with
+//! a 4-bit fixed window for exponentiation.
+
+use crate::BigUint;
+
+/// Reusable Montgomery context for a fixed odd modulus.
+///
+/// ```
+/// use cs_bigint::{BigUint, MontgomeryCtx};
+///
+/// let p = BigUint::from(1_000_000_007u64); // odd prime
+/// let ctx = MontgomeryCtx::new(&p);
+/// // Fermat: a^(p-1) ≡ 1 (mod p)
+/// let a = BigUint::from(42u64);
+/// assert!(ctx.pow_mod(&a, &p.sub_u64(1)).is_one());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// The modulus `n` (odd, > 1).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R² mod n` where `R = 2^(64·limbs)`; converts into Montgomery form.
+    rr: Vec<u64>,
+    /// `R mod n`: the Montgomery representation of 1.
+    one: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus `> 1`.
+    ///
+    /// Panics if `n` is even or `<= 1`.
+    pub fn new(n: &BigUint) -> Self {
+        assert!(
+            n.is_odd() && !n.is_one(),
+            "Montgomery requires an odd modulus > 1"
+        );
+        let limbs = n.limbs().to_vec();
+        let k = limbs.len();
+
+        // n0_inv = -n^{-1} mod 2^64 via Newton-Hensel lifting:
+        // x_{i+1} = x_i * (2 - n*x_i) doubles correct low bits each step.
+        let n0 = limbs[0];
+        let mut x = n0; // correct to 3 bits for odd n0? Start: x ≡ n0^{-1} mod 2^3.
+        for _ in 0..5 {
+            x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(x), 1);
+        let n0_inv = x.wrapping_neg();
+
+        // R mod n and R² mod n via plain division (setup cost only).
+        let r = BigUint::one() << (64 * k);
+        let one = (&r % n).limbs().to_vec();
+        let rr = (&(&r * &r) % n).limbs().to_vec();
+
+        MontgomeryCtx {
+            n: limbs,
+            n0_inv,
+            rr: pad(rr, k),
+            one: pad(one, k),
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// Number of limbs of the modulus.
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n` for
+    /// `a, b < n` given as padded limb slices of length `k`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        debug_assert!(a.len() == k && b.len() == k);
+        // t has k+2 limbs: accumulator for the running sum.
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64; then t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+            debug_assert_eq!(s as u64, 0);
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            let s2 = t[k + 1] as u128 + (s >> 64);
+            t[k] = s2 as u64;
+            t[k + 1] = 0;
+            debug_assert_eq!(s2 >> 64, 0);
+        }
+        // Final conditional subtraction: t may be in [0, 2n).
+        let needs_sub =
+            t[k] != 0 || BigUint::cmp_limbs(&t[..k], &self.n) != std::cmp::Ordering::Less;
+        let mut out = t;
+        if needs_sub {
+            let mut borrow = 0u64;
+            #[allow(clippy::needless_range_loop)] // lockstep over out and self.n
+            for j in 0..k {
+                let (d1, b1) = out[j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            out[k] = out[k].wrapping_sub(borrow);
+            debug_assert_eq!(out[k], 0);
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// Converts `a < n` into Montgomery form (`a·R mod n`).
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        debug_assert!(*a < self.modulus());
+        self.mont_mul(&pad(a.limbs().to_vec(), self.k()), &self.rr)
+    }
+
+    /// Converts out of Montgomery form (`a·R^{-1} mod n`).
+    #[allow(clippy::wrong_self_convention)] // "from Montgomery domain", not a constructor
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let k = self.k();
+        let one = pad(vec![1], k);
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// `a · b mod n` for `a, b < n`.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` with a fixed 4-bit window.
+    ///
+    /// `base` is reduced mod `n` first; `exp` may be any size.
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one() % self.modulus();
+        }
+        let base = base % &self.modulus();
+        let base_m = if base.is_zero() {
+            return BigUint::zero();
+        } else {
+            self.to_mont(&base)
+        };
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        // Process the exponent in 4-bit windows, most significant first:
+        // acc = acc^16 · base^window per window, starting from acc = 1.
+        let bits = exp.bit_len();
+        let top_window = bits.div_ceil(4);
+        let mut acc = self.one.clone();
+        for w in (0..top_window).rev() {
+            if w + 1 != top_window {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut window = 0usize;
+            for b in (0..4).rev() {
+                let bit_idx = w * 4 + b;
+                window <<= 1;
+                if bit_idx < bits && exp.bit(bit_idx) {
+                    window |= 1;
+                }
+            }
+            if window != 0 {
+                acc = self.mont_mul(&acc, &table[window]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn pad(mut v: Vec<u64>, k: usize) -> Vec<u64> {
+    v.resize(k.max(v.len()), 0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mul_mod(a: u128, b: u128, m: u128) -> u128 {
+        // Only valid when operands fit in u64 so the product fits u128.
+        (a * b) % m
+    }
+
+    #[test]
+    fn mul_mod_matches_naive_u64() {
+        let m = BigUint::from(0xffff_ffff_ffff_ffc5u64); // odd
+        let ctx = MontgomeryCtx::new(&m);
+        let a = BigUint::from(0x1234_5678_9abc_def1u64);
+        let b = BigUint::from(0x0fed_cba9_8765_4321u64);
+        let got = ctx.mul_mod(&a, &b);
+        let want = naive_mul_mod(
+            0x1234_5678_9abc_def1u128,
+            0x0fed_cba9_8765_4321u128,
+            0xffff_ffff_ffff_ffc5u128,
+        );
+        assert_eq!(got.to_u128(), Some(want));
+    }
+
+    #[test]
+    fn pow_mod_matches_fermat() {
+        // p prime → a^(p-1) ≡ 1 (mod p)
+        let p = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&p);
+        let a = BigUint::from(123_456u64);
+        assert_eq!(ctx.pow_mod(&a, &p.sub_u64(1)), BigUint::one());
+    }
+
+    #[test]
+    fn pow_mod_edge_exponents() {
+        let m = BigUint::from(101u64);
+        let ctx = MontgomeryCtx::new(&m);
+        let a = BigUint::from(7u64);
+        assert_eq!(ctx.pow_mod(&a, &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow_mod(&a, &BigUint::one()), a);
+        assert_eq!(
+            ctx.pow_mod(&BigUint::zero(), &BigUint::from(5u64)),
+            BigUint::zero()
+        );
+    }
+
+    #[test]
+    fn pow_mod_multi_limb_modulus() {
+        // Compare against repeated mul_mod for a 192-bit modulus.
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_fff1, 0xabcd, 0x1]);
+        let m = if m.is_even() { m.add_u64(1) } else { m };
+        let ctx = MontgomeryCtx::new(&m);
+        let a = BigUint::from_limbs(vec![0xdead_beef, 0xcafe]);
+        let mut expect = BigUint::one();
+        for _ in 0..37 {
+            expect = ctx.mul_mod(&expect, &a);
+        }
+        assert_eq!(ctx.pow_mod(&a, &BigUint::from(37u64)), expect);
+    }
+
+    #[test]
+    fn base_reduced_before_exponentiation() {
+        let m = BigUint::from(97u64);
+        let ctx = MontgomeryCtx::new(&m);
+        let big_base = BigUint::from(97u64 * 3 + 5);
+        assert_eq!(
+            ctx.pow_mod(&big_base, &BigUint::from(10u64)),
+            ctx.pow_mod(&BigUint::from(5u64), &BigUint::from(10u64))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(&BigUint::from(100u64));
+    }
+}

@@ -1,0 +1,241 @@
+//! Multiplication for [`BigUint`]: schoolbook with a Karatsuba fast path.
+
+use crate::add_sub::{add_assign_limbs, sub_assign_limbs};
+use crate::BigUint;
+use std::ops::{Mul, MulAssign};
+
+/// Below this limb count the O(n²) schoolbook loop beats Karatsuba's
+/// bookkeeping. 2048-bit operands are 32 limbs, so Damgård-Jurik squarings at
+/// `n^2` (64 limbs) already benefit from the recursive path.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+/// Schoolbook product `a * b` into a fresh limb vector of len `a+b`.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &av) in a.iter().enumerate() {
+        if av == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bv) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + av as u128 * bv as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba product. Splits at half the shorter operand and recurses:
+/// `a·b = z2·B² + (z0 + z2 + (a1-a0)(b0-b1))·B + z0` (subtractive variant,
+/// avoiding intermediate negative values by tracking comparison signs).
+fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len() < KARATSUBA_THRESHOLD || b.len() < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+
+    let z0 = mul_karatsuba(a0, b0);
+    let z2 = mul_karatsuba(a1, b1);
+
+    // |a1 - a0| and |b0 - b1| with signs.
+    let (da, da_neg) = abs_sub(a1, a0);
+    let (db, db_neg) = abs_sub(b0, b1);
+    let dz = mul_karatsuba(&da, &db);
+    let dz_neg = da_neg ^ db_neg;
+
+    // mid = z0 + z2 (+/-) dz
+    let mut mid = z0.clone();
+    add_assign_limbs(&mut mid, &z2);
+    if dz_neg {
+        // mid >= dz always holds: mid = a1·b0 + a0·b1 when dz subtracted.
+        sub_assign_limbs(&mut mid, &dz);
+    } else {
+        add_assign_limbs(&mut mid, &dz);
+    }
+
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, &mid, half);
+    add_into(&mut out, &z2, 2 * half);
+    out
+}
+
+/// `|x - y|` over raw limb slices plus a flag telling whether `x < y`.
+fn abs_sub(x: &[u64], y: &[u64]) -> (Vec<u64>, bool) {
+    let xt = trim(x);
+    let yt = trim(y);
+    match BigUint::cmp_limbs(xt, yt) {
+        std::cmp::Ordering::Less => {
+            let mut v = yt.to_vec();
+            sub_assign_limbs(&mut v, xt);
+            (v, true)
+        }
+        _ => {
+            let mut v = xt.to_vec();
+            sub_assign_limbs(&mut v, yt);
+            (v, false)
+        }
+    }
+}
+
+fn trim(x: &[u64]) -> &[u64] {
+    let mut n = x.len();
+    while n > 0 && x[n - 1] == 0 {
+        n -= 1;
+    }
+    &x[..n]
+}
+
+/// `out[shift..] += v` with carry propagation; `out` must be long enough.
+fn add_into(out: &mut [u64], v: &[u64], shift: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < v.len() {
+        let t = out[shift + i] as u128 + v[i] as u128 + carry as u128;
+        out[shift + i] = t as u64;
+        carry = (t >> 64) as u64;
+        i += 1;
+    }
+    while carry != 0 {
+        let t = out[shift + i] as u128 + carry as u128;
+        out[shift + i] = t as u64;
+        carry = (t >> 64) as u64;
+        i += 1;
+    }
+}
+
+impl BigUint {
+    /// `self * rhs` where `rhs` is a single limb.
+    pub fn mul_u64(&self, rhs: u64) -> BigUint {
+        if rhs == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let t = limb as u128 * rhs as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self²` (currently delegates to multiplication; kept as an explicit
+    /// entry point so callers express intent and future squaring-specific
+    /// optimizations land in one place).
+    pub fn square(&self) -> BigUint {
+        self * self
+    }
+
+    /// `self^exp` by binary exponentiation (no modulus — beware growth).
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.square();
+            }
+        }
+        acc
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        BigUint::from_limbs(mul_karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        &self * rhs
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    #[test]
+    fn mul_u128_cross_check() {
+        let a = 0xdead_beef_1234_5678u64;
+        let b = 0xcafe_babe_8765_4321u64;
+        let p = BigUint::from(a).mul_u64(b);
+        assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn mul_zero_and_one() {
+        let a = BigUint::from(12345u64);
+        assert!((&a * &BigUint::zero()).is_zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build two operands well above the threshold with a deterministic
+        // pattern and compare the two multiplication routines directly.
+        let a: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let b: Vec<u64> = (0..80u64)
+            .map(|i| (i + 7).wrapping_mul(0xBF58476D1CE4E5B9))
+            .collect();
+        let k = mul_karatsuba(&a, &b);
+        let s = mul_schoolbook(&a, &b);
+        assert_eq!(trim(&k), trim(&s));
+    }
+
+    #[test]
+    fn pow_small_values() {
+        assert_eq!(BigUint::from(3u64).pow(0), BigUint::one());
+        assert_eq!(BigUint::from(3u64).pow(5), BigUint::from(243u64));
+        assert_eq!(
+            BigUint::from(2u64).pow(130).bit_len(),
+            131,
+            "2^130 has 131 bits"
+        );
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = BigUint::from(0xffff_ffff_ffff_fff1u64);
+        assert_eq!(a.square(), &a * &a);
+    }
+}

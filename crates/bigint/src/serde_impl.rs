@@ -1,0 +1,82 @@
+//! Serde support: [`BigUint`] serializes as little-endian bytes, [`BigInt`]
+//! as a `(sign, bytes)` pair. Compact and endian-stable across platforms.
+
+use crate::{BigInt, BigUint, Sign};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for BigUint {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(&self.to_bytes_le(), serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for BigUint {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let bytes = Vec::<u8>::deserialize(deserializer)?;
+        Ok(BigUint::from_bytes_le(&bytes))
+    }
+}
+
+impl Serialize for BigInt {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let sign: i8 = match self.sign() {
+            Sign::Minus => -1,
+            Sign::Zero => 0,
+            Sign::Plus => 1,
+        };
+        (sign, self.magnitude().to_bytes_le()).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for BigInt {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (sign, bytes): (i8, Vec<u8>) = Deserialize::deserialize(deserializer)?;
+        let mag = BigUint::from_bytes_le(&bytes);
+        let sign = match sign {
+            -1 => Sign::Minus,
+            0 => Sign::Zero,
+            1 => Sign::Plus,
+            other => return Err(D::Error::custom(format!("invalid sign {other}"))),
+        };
+        if (sign == Sign::Zero) != mag.is_zero() {
+            return Err(D::Error::custom("sign/magnitude mismatch"));
+        }
+        Ok(BigInt::from_sign_mag(sign, mag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BigInt, BigUint};
+
+    #[test]
+    fn biguint_json_roundtrip() {
+        let v = BigUint::parse_decimal("123456789012345678901234567890").unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: BigUint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bigint_json_roundtrip_negative() {
+        let v = BigInt::from(-987654321i64);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: BigInt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn zero_roundtrip() {
+        let json = serde_json::to_string(&BigUint::zero()).unwrap();
+        let back: BigUint = serde_json::from_str(&json).unwrap();
+        assert!(back.is_zero());
+    }
+
+    #[test]
+    fn inconsistent_sign_rejected() {
+        // sign says negative but magnitude is zero
+        let bad = r#"[-1, []]"#;
+        assert!(serde_json::from_str::<BigInt>(bad).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Bit-shift operators for [`BigUint`].
+
+use crate::BigUint;
+use std::ops::{Shl, Shr};
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push(limb << bit_shift | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        &self << shift
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        let limb_shift = shift / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = shift % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = vec![0u64; src.len()];
+        if bit_shift == 0 {
+            out.copy_from_slice(src);
+        } else {
+            let mut carry = 0u64;
+            for (i, &limb) in src.iter().enumerate().rev() {
+                out[i] = limb >> bit_shift | carry;
+                carry = limb << (64 - bit_shift);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        &self >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn shl_shr_roundtrip() {
+        let a = BigUint::from(0xdead_beefu64);
+        for s in [0usize, 1, 7, 63, 64, 65, 128, 200] {
+            let shifted = &a << s;
+            assert_eq!(&shifted >> s, a, "shift by {s}");
+            assert_eq!(shifted.bit_len(), a.bit_len() + s);
+        }
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        assert!((BigUint::from(u64::MAX) >> 64).is_zero());
+        assert!((BigUint::from(u64::MAX) >> 1000).is_zero());
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let a = BigUint::from(12345u64);
+        assert_eq!(&a << 5, a.mul_u64(32));
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`BigUint`] type: representation, constructors, and basic accessors.
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with the invariant that the most
+/// significant limb (the last element) is non-zero; zero is represented by an
+/// empty limb vector. All public constructors and operations maintain this
+/// invariant.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    #[inline]
+    pub fn two() -> Self {
+        BigUint { limbs: vec![2] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut v = BigUint { limbs };
+        v.normalize();
+        v
+    }
+
+    /// Read-only view of the little-endian limbs (empty slice for zero).
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Strips high zero limbs so the invariant holds.
+    #[inline]
+    pub(crate) fn normalize(&mut self) {
+        while let Some(&0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+    }
+
+    /// Returns `true` iff the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff the value is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Number of significant limbs.
+    #[inline]
+    pub fn limb_len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64`, saturating to `f64::INFINITY` for huge values.
+    ///
+    /// Used only for diagnostics (cost model extrapolation, logging) — never
+    /// inside cryptographic code paths.
+    pub fn to_f64_lossy(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::from(0u64), BigUint::zero());
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        assert_eq!(BigUint::from(v).to_u128(), Some(v));
+    }
+
+    #[test]
+    fn normalization_strips_zero_limbs() {
+        let v = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(v.limb_len(), 1);
+        assert_eq!(v.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn bit_len_examples() {
+        assert_eq!(BigUint::from(1u64).bit_len(), 1);
+        assert_eq!(BigUint::from(255u64).bit_len(), 8);
+        assert_eq!(BigUint::from(256u64).bit_len(), 9);
+        assert_eq!(BigUint::from(u64::MAX).bit_len(), 64);
+        assert_eq!(BigUint::from(u64::MAX as u128 + 1).bit_len(), 65);
+    }
+
+    #[test]
+    fn to_f64_lossy_small() {
+        assert_eq!(BigUint::from(42u64).to_f64_lossy(), 42.0);
+        let big = BigUint::from(1u128 << 100);
+        let expected = 2f64.powi(100);
+        assert!((big.to_f64_lossy() - expected).abs() / expected < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Cost accounting — the demo's "privacy vs performance" axis.
+//!
+//! The demo displays encryption and network costs per participant, with the
+//! crypto time "based on actual average measures performed beforehand". The
+//! [`CostModel`] turns operation counts (measured in real mode, synthesized
+//! in simulated mode) into per-participant wall-clock using a
+//! [`CryptoCostProfile`], and extrapolates to the paper's target population
+//! (10⁶): per-participant gossip work is population-independent, which is
+//! precisely why the paper's approach scales.
+
+use cs_crypto::CryptoCostProfile;
+use cs_gossip::homomorphic_pushsum::HomomorphicOpCounts;
+use cs_gossip::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+/// Operation counts for one iteration's collaborative decryptions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecryptionOps {
+    /// Partial decryptions computed (across the committee).
+    pub partial_decryptions: u64,
+    /// Share combinations performed.
+    pub combinations: u64,
+    /// Request/response messages exchanged.
+    pub messages: u64,
+    /// Bytes moved by decryption traffic.
+    pub bytes: u64,
+}
+
+impl DecryptionOps {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &DecryptionOps) {
+        self.partial_decryptions += other.partial_decryptions;
+        self.combinations += other.combinations;
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Cost summary of one protocol iteration.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// Gossip messages delivered.
+    pub gossip_messages: u64,
+    /// Gossip payload bytes.
+    pub gossip_bytes: u64,
+    /// Decryption messages.
+    pub decrypt_messages: u64,
+    /// Decryption bytes.
+    pub decrypt_bytes: u64,
+    /// Homomorphic op counts (gossip side).
+    pub ops: HomomorphicOpCounts,
+    /// Decryption op counts.
+    pub decrypt_ops: DecryptionOps,
+    /// Estimated crypto seconds per participant for this iteration.
+    pub crypto_seconds_per_participant: f64,
+    /// Network bytes per participant.
+    pub bytes_per_participant: f64,
+}
+
+/// Converts op counts into time using a measured profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    profile: CryptoCostProfile,
+}
+
+impl CostModel {
+    /// Creates a model from a (measured or nominal) profile.
+    pub fn new(profile: CryptoCostProfile) -> Self {
+        CostModel { profile }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &CryptoCostProfile {
+        &self.profile
+    }
+
+    /// Assembles an [`IterationCost`] from raw counters.
+    pub fn iteration_cost(
+        &self,
+        ops: HomomorphicOpCounts,
+        decrypt_ops: DecryptionOps,
+        gossip_traffic: &TrafficStats,
+        participants: usize,
+    ) -> IterationCost {
+        let p = &self.profile;
+        let total_us = ops.encryptions as f64 * p.encrypt_us
+            + ops.additions as f64 * p.add_us
+            + ops.pow2_scalings as f64 * p.scalar_pow2_us
+            + ops.rerandomizations as f64 * p.rerandomize_us
+            + decrypt_ops.partial_decryptions as f64 * p.partial_decrypt_us
+            + decrypt_ops.combinations as f64 * p.combine_us;
+        let n = participants.max(1) as f64;
+        IterationCost {
+            gossip_messages: gossip_traffic.messages,
+            gossip_bytes: gossip_traffic.bytes,
+            decrypt_messages: decrypt_ops.messages,
+            decrypt_bytes: decrypt_ops.bytes,
+            ops,
+            decrypt_ops,
+            crypto_seconds_per_participant: total_us / n / 1e6,
+            bytes_per_participant: (gossip_traffic.bytes + decrypt_ops.bytes) as f64 / n,
+        }
+    }
+
+    /// Extrapolates one iteration's per-participant cost to a larger
+    /// population.
+    ///
+    /// Gossip work per participant is O(cycles × slots) regardless of `n`,
+    /// so per-participant numbers carry over unchanged; only the aggregate
+    /// network volume scales linearly. Returns
+    /// `(seconds_per_participant, total_network_bytes)`.
+    pub fn extrapolate(&self, cost: &IterationCost, population: usize) -> (f64, f64) {
+        (
+            cost.crypto_seconds_per_participant,
+            cost.bytes_per_participant * population as f64,
+        )
+    }
+}
+
+/// Synthesizes the homomorphic op counts the *real* backend would have
+/// produced, for simulated-mode accounting:
+///
+/// * every participant encrypts its own series slots plus all noise slots
+///   (`(k+1)·(series_len+1)` real encryptions; zero slots ship as free
+///   trivial encryptions);
+/// * every delivered gossip message carries `slots` additions, up to
+///   `slots` pow2-rescalings, and — when enabled — `slots`
+///   re-randomizations;
+/// * step 2c's local noise addition adds `slots/2` additions per
+///   participant.
+pub fn synthesize_ops(
+    k: usize,
+    series_len: usize,
+    participants: usize,
+    delivered_messages: u64,
+    rerandomize: bool,
+) -> HomomorphicOpCounts {
+    let per_cluster = (series_len + 1) as u64;
+    let slots = 2 * k as u64 * per_cluster;
+    let combine_adds = k as u64 * per_cluster * participants as u64;
+    HomomorphicOpCounts {
+        encryptions: participants as u64 * (k as u64 + 1) * per_cluster,
+        additions: delivered_messages * slots + combine_adds,
+        pow2_scalings: delivered_messages * slots,
+        rerandomizations: if rerandomize {
+            delivered_messages * slots
+        } else {
+            0
+        },
+    }
+}
+
+/// Decryption ops for one iteration: each of `decryptors` participants has
+/// `slots` combined ciphertexts threshold-decrypted with `t` partials each.
+pub fn synthesize_decrypt_ops(
+    decryptors: usize,
+    slots: usize,
+    threshold: usize,
+    ciphertext_bytes: usize,
+) -> DecryptionOps {
+    let d = decryptors as u64;
+    let s = slots as u64;
+    let t = threshold as u64;
+    DecryptionOps {
+        partial_decryptions: d * s * t,
+        combinations: d * s,
+        // One request to each of t committee members + t responses.
+        messages: d * 2 * t,
+        bytes: d * 2 * t * s * ciphertext_bytes as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_cost_aggregates_time() {
+        let model = CostModel::new(CryptoCostProfile {
+            key_bits: 2048,
+            s: 1,
+            threshold: 3,
+            encrypt_us: 100.0,
+            add_us: 1.0,
+            scalar_pow2_us: 10.0,
+            rerandomize_us: 100.0,
+            partial_decrypt_us: 200.0,
+            combine_us: 1000.0,
+            ciphertext_bytes: 512,
+        });
+        let ops = HomomorphicOpCounts {
+            encryptions: 10,
+            additions: 100,
+            pow2_scalings: 50,
+            rerandomizations: 0,
+        };
+        let dec = DecryptionOps {
+            partial_decryptions: 30,
+            combinations: 10,
+            messages: 20,
+            bytes: 1000,
+        };
+        let mut traffic = TrafficStats::new();
+        traffic.record_message(5000);
+        let cost = model.iteration_cost(ops, dec, &traffic, 10);
+        // (10*100 + 100*1 + 50*10 + 30*200 + 10*1000) µs / 10 / 1e6
+        let want = (1000.0 + 100.0 + 500.0 + 6000.0 + 10_000.0) / 10.0 / 1e6;
+        assert!((cost.crypto_seconds_per_participant - want).abs() < 1e-12);
+        assert_eq!(cost.gossip_bytes, 5000);
+        assert!((cost.bytes_per_participant - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_scales_bytes_not_time() {
+        let model = CostModel::new(CryptoCostProfile::nominal_2048());
+        let cost = IterationCost {
+            crypto_seconds_per_participant: 2.5,
+            bytes_per_participant: 1000.0,
+            ..Default::default()
+        };
+        let (secs, bytes) = model.extrapolate(&cost, 1_000_000);
+        assert_eq!(secs, 2.5);
+        assert_eq!(bytes, 1e9);
+    }
+
+    #[test]
+    fn synthesized_ops_formulas() {
+        let ops = synthesize_ops(2, 3, 10, 100, true);
+        // per_cluster = 4; slots = 16; encryptions = 10 * 3 * 4 = 120
+        assert_eq!(ops.encryptions, 120);
+        // additions = 100*16 + combine 2*4*10 = 1680
+        assert_eq!(ops.additions, 1680);
+        assert_eq!(ops.pow2_scalings, 1600);
+        assert_eq!(ops.rerandomizations, 1600);
+        let ops = synthesize_ops(2, 3, 10, 100, false);
+        assert_eq!(ops.rerandomizations, 0);
+    }
+
+    #[test]
+    fn synthesized_decrypt_ops_formulas() {
+        let d = synthesize_decrypt_ops(10, 8, 3, 512);
+        assert_eq!(d.partial_decryptions, 240);
+        assert_eq!(d.combinations, 80);
+        assert_eq!(d.messages, 60);
+        assert_eq!(d.bytes, 10 * 2 * 3 * 8 * 512);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Diptych data structure.
+//!
+//! "The resulting data structure consists thus of the perturbed centroids on
+//! one side and of the encrypted means on the other side; it is called
+//! Diptych and is key to the execution sequence" (paper §II-B).
+//!
+//! The *cleartext side* ([`Diptych`]) is what a participant may look at:
+//! differentially-private centroids plus the iteration tag that lets late
+//! participants synchronize. The *encrypted side* is transient — it lives in
+//! the gossip layer during the computation step (`cs_gossip::
+//! homomorphic_pushsum`) and never reaches cleartext until noise has been
+//! added and the threshold decryption has run.
+
+use cs_timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// The cleartext side of a participant's Diptych.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Diptych {
+    /// Iteration these centroids belong to (the synchronization tag:
+    /// exchanges carry it so "the late participants simply synchronize on
+    /// the latest iteration").
+    pub iteration: u64,
+    /// The k perturbed centroids.
+    pub centroids: Vec<TimeSeries>,
+}
+
+impl Diptych {
+    /// Creates the iteration-0 diptych from initial centroids.
+    pub fn initial(centroids: Vec<TimeSeries>) -> Self {
+        assert!(!centroids.is_empty(), "need at least one centroid");
+        Diptych {
+            iteration: 0,
+            centroids,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Advances to the next iteration with new perturbed centroids.
+    ///
+    /// Panics if the cluster count changes — the Diptych's shape is fixed
+    /// for a run.
+    pub fn advance(&mut self, new_centroids: Vec<TimeSeries>) {
+        assert_eq!(new_centroids.len(), self.k(), "cluster count is fixed");
+        self.centroids = new_centroids;
+        self.iteration += 1;
+    }
+
+    /// Late-participant synchronization: adopt `other` if it is ahead.
+    /// Returns `true` if this diptych changed.
+    pub fn sync_with(&mut self, other: &Diptych) -> bool {
+        if other.iteration > self.iteration {
+            self.iteration = other.iteration;
+            self.centroids = other.centroids.clone();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Summed Euclidean displacement to another centroid set (the
+    /// convergence-step measure).
+    pub fn movement_to(&self, new_centroids: &[TimeSeries]) -> f64 {
+        assert_eq!(new_centroids.len(), self.k());
+        self.centroids
+            .iter()
+            .zip(new_centroids)
+            .map(|(a, b)| cs_timeseries::Distance::Euclidean.compute(a, b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec())
+    }
+
+    #[test]
+    fn advance_increments_iteration() {
+        let mut d = Diptych::initial(vec![ts(&[0.0]), ts(&[1.0])]);
+        assert_eq!(d.iteration, 0);
+        d.advance(vec![ts(&[0.5]), ts(&[1.5])]);
+        assert_eq!(d.iteration, 1);
+        assert_eq!(d.k(), 2);
+    }
+
+    #[test]
+    fn sync_adopts_only_newer() {
+        let mut behind = Diptych::initial(vec![ts(&[0.0])]);
+        let mut ahead = Diptych::initial(vec![ts(&[9.0])]);
+        ahead.advance(vec![ts(&[10.0])]);
+        assert!(behind.sync_with(&ahead));
+        assert_eq!(behind.iteration, 1);
+        assert_eq!(behind.centroids[0], ts(&[10.0]));
+        // Re-sync with an older diptych is a no-op.
+        let old = Diptych::initial(vec![ts(&[0.0])]);
+        assert!(!behind.sync_with(&old));
+        assert_eq!(behind.centroids[0], ts(&[10.0]));
+    }
+
+    #[test]
+    fn movement_measure() {
+        let d = Diptych::initial(vec![ts(&[0.0, 0.0])]);
+        assert_eq!(d.movement_to(&[ts(&[3.0, 4.0])]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster count is fixed")]
+    fn shape_change_panics() {
+        let mut d = Diptych::initial(vec![ts(&[0.0])]);
+        d.advance(vec![ts(&[0.0]), ts(&[1.0])]);
+    }
+}

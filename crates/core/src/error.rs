@@ -1,0 +1,51 @@
+//! Error type for protocol runs.
+
+use cs_crypto::CryptoError;
+use cs_dp::AccountantError;
+use std::fmt;
+
+/// Errors surfaced by the Chiaroscuro engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChiaroscuroError {
+    /// Configuration failed validation.
+    InvalidConfig(String),
+    /// Fewer series than clusters, or an empty dataset.
+    NotEnoughData {
+        /// Series supplied.
+        series: usize,
+        /// Clusters requested.
+        k: usize,
+    },
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The privacy budget was exhausted before convergence *and* before the
+    /// iteration cap (should not happen with a consistent budget plan).
+    BudgetExhausted(AccountantError),
+}
+
+impl fmt::Display for ChiaroscuroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChiaroscuroError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ChiaroscuroError::NotEnoughData { series, k } => {
+                write!(f, "need at least k={k} series, got {series}")
+            }
+            ChiaroscuroError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ChiaroscuroError::BudgetExhausted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChiaroscuroError {}
+
+impl From<CryptoError> for ChiaroscuroError {
+    fn from(e: CryptoError) -> Self {
+        ChiaroscuroError::Crypto(e)
+    }
+}
+
+impl From<AccountantError> for ChiaroscuroError {
+    fn from(e: AccountantError) -> Self {
+        ChiaroscuroError::BudgetExhausted(e)
+    }
+}

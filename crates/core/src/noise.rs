@@ -1,0 +1,186 @@
+//! Per-participant noise share vectors for one computation step.
+//!
+//! Implements paper step 2b's payload: each participant generates, for every
+//! disclosed slot (k clusters × (series_len + 1) coordinates), one additive
+//! noise share such that the *sum over the population* of shares is a
+//! Laplace variable calibrated to the iteration's ε slice.
+
+use cs_dp::NoiseShareGenerator;
+use rand::Rng;
+
+/// Slot layout of one computation step's aggregate vector.
+///
+/// The first half holds the data aggregates, cluster by cluster (series sums
+/// then the member count); the second half holds the matching noise
+/// aggregates — mirroring the paper's separate "gossip computation of the
+/// encrypted means" (2a) and "of the encrypted noises" (2b), merged slotwise
+/// in step 2c.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Number of clusters.
+    pub k: usize,
+    /// Series length.
+    pub series_len: usize,
+}
+
+impl SlotLayout {
+    /// Slots per cluster: the series coordinates plus the count.
+    pub fn per_cluster(&self) -> usize {
+        self.series_len + 1
+    }
+
+    /// Data slot of coordinate `d` of cluster `j`.
+    pub fn data_slot(&self, j: usize, d: usize) -> usize {
+        debug_assert!(j < self.k && d < self.series_len);
+        j * self.per_cluster() + d
+    }
+
+    /// Count slot of cluster `j`.
+    pub fn count_slot(&self, j: usize) -> usize {
+        debug_assert!(j < self.k);
+        j * self.per_cluster() + self.series_len
+    }
+
+    /// Offset of the noise block.
+    pub fn noise_offset(&self) -> usize {
+        self.k * self.per_cluster()
+    }
+
+    /// Noise slot matching data slot `i`.
+    pub fn noise_slot(&self, i: usize) -> usize {
+        debug_assert!(i < self.noise_offset());
+        self.noise_offset() + i
+    }
+
+    /// Total slots (data + noise blocks).
+    pub fn total(&self) -> usize {
+        2 * self.k * self.per_cluster()
+    }
+}
+
+/// Builds one participant's full contribution vector (data block + noise
+/// block) in cleartext. The caller encrypts it (real mode) or feeds it to
+/// the plaintext push-sum (simulated mode).
+///
+/// * `series` — the participant's clamped series values;
+/// * `cluster` — the cluster this participant assigned itself to;
+/// * `shares` — generator calibrated to (population, iteration noise scale).
+pub fn contribution_vector<R: Rng + ?Sized>(
+    layout: &SlotLayout,
+    series: &[f64],
+    cluster: usize,
+    shares: &NoiseShareGenerator,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert_eq!(series.len(), layout.series_len, "series length mismatch");
+    assert!(cluster < layout.k, "cluster out of range");
+    let mut v = vec![0.0; layout.total()];
+    for (d, &x) in series.iter().enumerate() {
+        v[layout.data_slot(cluster, d)] = x;
+    }
+    v[layout.count_slot(cluster)] = 1.0;
+    for i in 0..layout.noise_offset() {
+        v[layout.noise_slot(i)] = shares.sample_share(rng);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layout_indexing_is_disjoint_and_complete() {
+        let layout = SlotLayout {
+            k: 3,
+            series_len: 4,
+        };
+        assert_eq!(layout.total(), 30);
+        let mut seen = vec![false; layout.total()];
+        for j in 0..3 {
+            for d in 0..4 {
+                let i = layout.data_slot(j, d);
+                assert!(!seen[i]);
+                seen[i] = true;
+                let ni = layout.noise_slot(i);
+                assert!(!seen[ni]);
+                seen[ni] = true;
+            }
+            let c = layout.count_slot(j);
+            assert!(!seen[c]);
+            seen[c] = true;
+            let nc = layout.noise_slot(c);
+            assert!(!seen[nc]);
+            seen[nc] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every slot is addressed");
+    }
+
+    #[test]
+    fn contribution_places_series_and_count() {
+        let layout = SlotLayout {
+            k: 2,
+            series_len: 3,
+        };
+        let shares = NoiseShareGenerator::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = contribution_vector(&layout, &[1.0, 2.0, 3.0], 1, &shares, &mut rng);
+        // Cluster 0 data block all zero:
+        assert_eq!(v[layout.data_slot(0, 0)], 0.0);
+        assert_eq!(v[layout.count_slot(0)], 0.0);
+        // Cluster 1 holds the series and the indicator:
+        assert_eq!(v[layout.data_slot(1, 0)], 1.0);
+        assert_eq!(v[layout.data_slot(1, 2)], 3.0);
+        assert_eq!(v[layout.count_slot(1)], 1.0);
+    }
+
+    #[test]
+    fn noise_block_filled_everywhere() {
+        let layout = SlotLayout {
+            k: 2,
+            series_len: 3,
+        };
+        let shares = NoiseShareGenerator::new(10, 5.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = contribution_vector(&layout, &[0.0; 3], 0, &shares, &mut rng);
+        let nonzero_noise = (0..layout.noise_offset())
+            .filter(|&i| v[layout.noise_slot(i)] != 0.0)
+            .count();
+        assert_eq!(nonzero_noise, 8, "every noise slot gets a share");
+    }
+
+    #[test]
+    fn summed_contributions_reconstruct_cluster_sums() {
+        // Three participants, two clusters: the slot-wise sum of their
+        // contributions must be (cluster sums, counts, total noise).
+        let layout = SlotLayout {
+            k: 2,
+            series_len: 2,
+        };
+        let shares = NoiseShareGenerator::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = contribution_vector(&layout, &[1.0, 2.0], 0, &shares, &mut rng);
+        let b = contribution_vector(&layout, &[3.0, 4.0], 0, &shares, &mut rng);
+        let c = contribution_vector(&layout, &[5.0, 6.0], 1, &shares, &mut rng);
+        let sum: Vec<f64> = (0..layout.total()).map(|i| a[i] + b[i] + c[i]).collect();
+        assert_eq!(sum[layout.data_slot(0, 0)], 4.0);
+        assert_eq!(sum[layout.data_slot(0, 1)], 6.0);
+        assert_eq!(sum[layout.count_slot(0)], 2.0);
+        assert_eq!(sum[layout.data_slot(1, 1)], 6.0);
+        assert_eq!(sum[layout.count_slot(1)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster out of range")]
+    fn bad_cluster_panics() {
+        let layout = SlotLayout {
+            k: 2,
+            series_len: 1,
+        };
+        let shares = NoiseShareGenerator::new(2, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        contribution_vector(&layout, &[0.0], 5, &shares, &mut rng);
+    }
+}

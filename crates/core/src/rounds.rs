@@ -1,0 +1,499 @@
+//! The distributed computation step (paper §II-B, step 2).
+//!
+//! Given every live participant's contribution vector (data block + noise
+//! block, see [`crate::noise::SlotLayout`]), this module:
+//!
+//! 2a/2b. gossips the encrypted means and noises (one homomorphic push-sum
+//!        over the concatenated vector — both blocks travel together and
+//!        therefore experience the *same* mixing weights);
+//! 2c.    adds the noise block onto the data block homomorphically at each
+//!        participant;
+//! 2d.    collaboratively decrypts each participant's perturbed estimate via
+//!        threshold partial decryptions.
+//!
+//! In simulated-crypto mode the identical dataflow runs on plaintext
+//! (`cs_gossip::pushsum`) and the homomorphic work is synthesized into the
+//! cost counters — the demo's own trick.
+
+use crate::config::{ChiaroscuroConfig, CryptoMode};
+use crate::cost::{synthesize_decrypt_ops, synthesize_ops, DecryptionOps};
+use crate::error::ChiaroscuroError;
+use crate::noise::SlotLayout;
+use cs_crypto::threshold::ThresholdKeyPair;
+use cs_crypto::{Ciphertext, FixedPointCodec, PublicKey};
+use cs_gossip::homomorphic_pushsum::{HePushSumNode, HomomorphicOpCounts};
+use cs_gossip::pushsum::PushSumNode;
+use cs_gossip::{Network, TrafficStats};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::sync::Arc;
+
+/// Crypto state shared by all iterations of a run.
+pub enum CryptoContext {
+    /// Real Damgård-Jurik pipeline.
+    Real {
+        /// Dealer output: public key + committee key shares.
+        tkp: Box<ThresholdKeyPair>,
+        /// Shared public key handle.
+        pk: Arc<PublicKey>,
+        /// Fixed-point codec.
+        codec: FixedPointCodec,
+    },
+    /// Plaintext pipeline with synthesized cost accounting.
+    Simulated {
+        /// Ciphertext size used for byte accounting.
+        ciphertext_bytes: usize,
+    },
+}
+
+impl CryptoContext {
+    /// Builds the context from the configuration (runs the dealer in real
+    /// mode).
+    pub fn from_config(
+        config: &ChiaroscuroConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, ChiaroscuroError> {
+        match &config.crypto {
+            CryptoMode::Real { keygen } => {
+                let tkp = ThresholdKeyPair::generate(keygen, config.threshold, rng)?;
+                let pk = Arc::new(tkp.public().clone());
+                Ok(CryptoContext::Real {
+                    tkp: Box::new(tkp),
+                    pk,
+                    codec: FixedPointCodec::new(config.codec_scale_bits),
+                })
+            }
+            CryptoMode::Simulated { cost_profile } => Ok(CryptoContext::Simulated {
+                ciphertext_bytes: cost_profile.ciphertext_bytes.max(1),
+            }),
+        }
+    }
+}
+
+/// One participant's decrypted, perturbed aggregate estimates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerturbedAggregates {
+    /// Per-cluster perturbed sums (`k × series_len`), noise already folded
+    /// in.
+    pub sums: Vec<Vec<f64>>,
+    /// Per-cluster perturbed counts.
+    pub counts: Vec<f64>,
+}
+
+/// Result of one computation step.
+pub struct ComputationOutcome {
+    /// Per-participant estimates (`None` for participants that were down or
+    /// whose push-sum weight vanished).
+    pub estimates: Vec<Option<PerturbedAggregates>>,
+    /// Homomorphic work performed (or synthesized).
+    pub ops: HomomorphicOpCounts,
+    /// Decryption work performed (or synthesized).
+    pub decrypt_ops: DecryptionOps,
+    /// Gossip traffic of this step.
+    pub traffic: TrafficStats,
+    /// Live participants when the step ended.
+    pub alive_after: Vec<bool>,
+}
+
+/// Runs the computation step.
+///
+/// `contributions[i]` is `Some(vector)` for participants alive at the start
+/// of the iteration and `None` for crashed ones (they hold zero weight and
+/// contribute nothing, but still occupy a network slot so they can recover
+/// mid-step).
+pub fn run_computation_step(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    crypto: &CryptoContext,
+    step_seed: u64,
+    rng: &mut StdRng,
+) -> Result<ComputationOutcome, ChiaroscuroError> {
+    match crypto {
+        CryptoContext::Real { tkp, pk, codec } => run_real(
+            config,
+            layout,
+            contributions,
+            tkp,
+            pk.clone(),
+            codec,
+            step_seed,
+            rng,
+        ),
+        CryptoContext::Simulated { ciphertext_bytes } => Ok(run_simulated(
+            config,
+            layout,
+            contributions,
+            *ciphertext_bytes,
+            step_seed,
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_real(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    tkp: &ThresholdKeyPair,
+    pk: Arc<PublicKey>,
+    codec: &FixedPointCodec,
+    step_seed: u64,
+    rng: &mut StdRng,
+) -> Result<ComputationOutcome, ChiaroscuroError> {
+    let mut encryptions = 0u64;
+    let nodes: Vec<HePushSumNode> = contributions
+        .iter()
+        .map(|c| match c {
+            Some(values) => {
+                let cipher: Vec<Ciphertext> = values
+                    .iter()
+                    .map(|&v| {
+                        if v == 0.0 {
+                            // Paper step 1: non-selected clusters start as
+                            // "encryptions of zero-valued time-series" — the
+                            // trivial encryption is free; re-randomization on
+                            // the first forward blinds it.
+                            pk.trivial_zero()
+                        } else {
+                            encryptions += 1;
+                            let m = codec.encode(v, pk.n_s()).expect("clamped value fits");
+                            pk.encrypt(&m, rng)
+                        }
+                    })
+                    .collect();
+                HePushSumNode::from_ciphertexts(pk.clone(), cipher, 1.0, config.rerandomize)
+            }
+            None => {
+                let cipher = vec![pk.trivial_zero(); layout.total()];
+                HePushSumNode::from_ciphertexts(pk.clone(), cipher, 0.0, config.rerandomize)
+            }
+        })
+        .collect();
+
+    let mut net = Network::new(nodes, config.overlay.clone(), config.failure, step_seed);
+    // Crashed participants stay down at step start.
+    for (i, c) in contributions.iter().enumerate() {
+        if c.is_none() {
+            net.set_alive(i, false);
+        }
+    }
+    net.run_cycles(config.gossip_cycles);
+
+    let alive_after: Vec<bool> = (0..net.len()).map(|i| net.is_alive(i)).collect();
+    let traffic = net.traffic().clone();
+    let (nodes, _) = net.into_parts();
+
+    let mut ops = HomomorphicOpCounts {
+        encryptions,
+        ..Default::default()
+    };
+    for n in &nodes {
+        ops.merge(&n.op_counts());
+    }
+
+    // Steps 2c + 2d per participant: fold noise into data homomorphically,
+    // then threshold-decrypt the combined slots.
+    let data_slots = layout.noise_offset();
+    let mut decrypt_ops = DecryptionOps::default();
+    let mut estimates = Vec::with_capacity(nodes.len());
+    let t = config.threshold.threshold;
+    let share_pool: Vec<usize> = (0..tkp.shares().len()).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        if !alive_after[i] || node.weight() <= f64::MIN_POSITIVE {
+            estimates.push(None);
+            continue;
+        }
+        let weight = node.weight();
+        let denom = node.denominator_exp();
+        let cipher = node.ciphertexts();
+        // Random committee subset for this participant's decryption.
+        let mut committee = share_pool.clone();
+        committee.shuffle(rng);
+        let committee = &committee[..t];
+
+        let mut sums = vec![vec![0.0; layout.series_len]; layout.k];
+        let mut counts = vec![0.0; layout.k];
+        for slot in 0..data_slots {
+            // 2c: local addition of the encrypted noise to the encrypted mean.
+            let combined = pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]);
+            ops.additions += 1;
+            // 2d: collaborative decryption.
+            let partials: Vec<_> = committee
+                .iter()
+                .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
+                .collect();
+            decrypt_ops.partial_decryptions += t as u64;
+            let raw = tkp.combine(&partials)?;
+            decrypt_ops.combinations += 1;
+            let value = codec.decode(&raw, pk.n_s(), denom) / weight;
+            let j = slot / layout.per_cluster();
+            let d = slot % layout.per_cluster();
+            if d == layout.series_len {
+                counts[j] = value;
+            } else {
+                sums[j][d] = value;
+            }
+        }
+        decrypt_ops.messages += 2 * t as u64;
+        decrypt_ops.bytes += 2 * (t * data_slots * pk.ciphertext_bytes()) as u64;
+        estimates.push(Some(PerturbedAggregates { sums, counts }));
+    }
+
+    Ok(ComputationOutcome {
+        estimates,
+        ops,
+        decrypt_ops,
+        traffic,
+        alive_after,
+    })
+}
+
+fn run_simulated(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    ciphertext_bytes: usize,
+    step_seed: u64,
+) -> ComputationOutcome {
+    let nodes: Vec<PushSumNode> = contributions
+        .iter()
+        .map(|c| match c {
+            Some(values) => PushSumNode::new(values.clone(), 1.0),
+            None => PushSumNode::new(vec![0.0; layout.total()], 0.0),
+        })
+        .collect();
+    let mut net = Network::new(nodes, config.overlay.clone(), config.failure, step_seed);
+    for (i, c) in contributions.iter().enumerate() {
+        if c.is_none() {
+            net.set_alive(i, false);
+        }
+    }
+    net.run_cycles(config.gossip_cycles);
+
+    let alive_after: Vec<bool> = (0..net.len()).map(|i| net.is_alive(i)).collect();
+    // Bytes on the wire are ciphertext-sized even though we simulate — the
+    // plaintext push-sum already recorded 8-byte-per-slot messages, so the
+    // traffic is rescaled to ciphertext size.
+    let mut traffic = net.traffic().clone();
+    let scale = ciphertext_bytes as f64 / 8.0;
+    traffic.bytes = (traffic.bytes as f64 * scale) as u64;
+    let (nodes, _) = net.into_parts();
+
+    let data_slots = layout.noise_offset();
+    let mut estimates = Vec::with_capacity(nodes.len());
+    let mut decryptors = 0usize;
+    for (i, node) in nodes.iter().enumerate() {
+        if !alive_after[i] {
+            estimates.push(None);
+            continue;
+        }
+        match node.estimate() {
+            Some(est) => {
+                decryptors += 1;
+                let mut sums = vec![vec![0.0; layout.series_len]; layout.k];
+                let mut counts = vec![0.0; layout.k];
+                for slot in 0..data_slots {
+                    let value = est[slot] + est[layout.noise_slot(slot)];
+                    let j = slot / layout.per_cluster();
+                    let d = slot % layout.per_cluster();
+                    if d == layout.series_len {
+                        counts[j] = value;
+                    } else {
+                        sums[j][d] = value;
+                    }
+                }
+                estimates.push(Some(PerturbedAggregates { sums, counts }));
+            }
+            None => estimates.push(None),
+        }
+    }
+
+    let participants = contributions.iter().filter(|c| c.is_some()).count();
+    let ops = synthesize_ops(
+        layout.k,
+        layout.series_len,
+        participants,
+        traffic.messages,
+        config.rerandomize,
+    );
+    let decrypt_ops = synthesize_decrypt_ops(
+        decryptors,
+        data_slots,
+        config.threshold.threshold,
+        ciphertext_bytes,
+    );
+
+    ComputationOutcome {
+        estimates,
+        ops,
+        decrypt_ops,
+        traffic,
+        alive_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::contribution_vector;
+    use cs_dp::NoiseShareGenerator;
+    use rand::SeedableRng;
+
+    fn layout() -> SlotLayout {
+        SlotLayout {
+            k: 2,
+            series_len: 3,
+        }
+    }
+
+    /// Builds contributions for a tiny 2-cluster population with negligible
+    /// noise so estimates are checkable.
+    fn tiny_contributions(n: usize, rng: &mut StdRng) -> Vec<Option<Vec<f64>>> {
+        let layout = layout();
+        let shares = NoiseShareGenerator::new(n, 1e-9);
+        (0..n)
+            .map(|i| {
+                let series = if i % 2 == 0 {
+                    [1.0, 2.0, 3.0]
+                } else {
+                    [10.0, 10.0, 10.0]
+                };
+                Some(contribution_vector(&layout, &series, i % 2, &shares, rng))
+            })
+            .collect()
+    }
+
+    fn check_estimates(outcome: &ComputationOutcome, n: usize) {
+        let produced = outcome.estimates.iter().flatten().count();
+        assert!(produced > n / 2, "most nodes should produce estimates");
+        for est in outcome.estimates.iter().flatten() {
+            // Ratio sums/counts recovers the cluster means: cluster 0 →
+            // [1,2,3], cluster 1 → [10,10,10]. Gossip error tolerance wide.
+            for d in 0..3 {
+                let mean0 = est.sums[0][d] / est.counts[0];
+                let mean1 = est.sums[1][d] / est.counts[1];
+                let want0 = [1.0, 2.0, 3.0][d];
+                assert!(
+                    (mean0 - want0).abs() < 0.3,
+                    "cluster0 dim{d}: {mean0} vs {want0}"
+                );
+                assert!((mean1 - 10.0).abs() < 0.5, "cluster1 dim{d}: {mean1}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_step_recovers_means() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let contributions = tiny_contributions(16, &mut rng);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let outcome =
+            run_computation_step(&config, &layout(), &contributions, &crypto, 7, &mut rng).unwrap();
+        check_estimates(&outcome, 16);
+        assert!(outcome.ops.encryptions > 0, "synthesized encryption counts");
+        assert!(outcome.traffic.messages > 0);
+    }
+
+    #[test]
+    fn real_step_recovers_means() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 15,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let contributions = tiny_contributions(8, &mut rng);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let outcome =
+            run_computation_step(&config, &layout(), &contributions, &crypto, 8, &mut rng).unwrap();
+        check_estimates(&outcome, 8);
+        assert!(outcome.decrypt_ops.partial_decryptions > 0);
+        assert!(outcome.ops.additions > 0);
+    }
+
+    #[test]
+    fn real_and_simulated_agree() {
+        // Same contributions, same topology seeds: the two modes must give
+        // near-identical estimates (fixed-point granularity apart).
+        let mut rng = StdRng::seed_from_u64(3);
+        let contributions = tiny_contributions(8, &mut rng);
+
+        // Re-randomization draws from the shared simulation RNG, which would
+        // desynchronize the real and simulated gossip schedules — turn it
+        // off so both runs see identical pairings.
+        let mut cfg_real = ChiaroscuroConfig::test_real();
+        cfg_real.k = 2;
+        cfg_real.gossip_cycles = 10;
+        cfg_real.rerandomize = false;
+        let mut rng_real = StdRng::seed_from_u64(4);
+        let crypto_real = CryptoContext::from_config(&cfg_real, &mut rng_real).unwrap();
+        let real = run_computation_step(
+            &cfg_real,
+            &layout(),
+            &contributions,
+            &crypto_real,
+            99,
+            &mut rng_real,
+        )
+        .unwrap();
+
+        let mut cfg_sim = ChiaroscuroConfig::demo_simulated();
+        cfg_sim.k = 2;
+        cfg_sim.gossip_cycles = 10;
+        let mut rng_sim = StdRng::seed_from_u64(5);
+        let crypto_sim = CryptoContext::from_config(&cfg_sim, &mut rng_sim).unwrap();
+        let sim = run_computation_step(
+            &cfg_sim,
+            &layout(),
+            &contributions,
+            &crypto_sim,
+            99,
+            &mut rng_sim,
+        )
+        .unwrap();
+
+        for (r, s) in real.estimates.iter().zip(&sim.estimates) {
+            let (Some(r), Some(s)) = (r, s) else { continue };
+            for j in 0..2 {
+                assert!((r.counts[j] - s.counts[j]).abs() < 1e-3);
+                for d in 0..3 {
+                    assert!(
+                        (r.sums[j][d] - s.sums[j][d]).abs() < 1e-3,
+                        "cluster {j} dim {d}: {} vs {}",
+                        r.sums[j][d],
+                        s.sums[j][d]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_participants_get_no_estimates_and_contribute_nothing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 25,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut contributions = tiny_contributions(12, &mut rng);
+        contributions[3] = None;
+        contributions[7] = None;
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let outcome =
+            run_computation_step(&config, &layout(), &contributions, &crypto, 11, &mut rng)
+                .unwrap();
+        assert!(outcome.estimates[3].is_none());
+        assert!(outcome.estimates[7].is_none());
+        // Counts must reflect 10 contributors, not 12.
+        let est = outcome.estimates[0].as_ref().unwrap();
+        let total: f64 = est.counts.iter().sum();
+        assert!((total - 1.0).abs() < 0.1, "normalized count sum {total}");
+    }
+}

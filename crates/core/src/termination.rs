@@ -1,0 +1,140 @@
+//! Termination criteria beyond the plain movement threshold.
+//!
+//! Paper footnote 2: "Chiaroscuro supports the addition of other termination
+//! criteria for coping with the impact of the differentially-private
+//! perturbation on the convergence of centroids (e.g., monitoring centroids
+//! quality)." With DP noise, centroid movement never drops below the noise
+//! floor, so a fixed threshold may never fire even though the clustering
+//! stopped improving iterations ago — burning privacy budget for nothing.
+//! The plateau monitor detects exactly that.
+
+use serde::{Deserialize, Serialize};
+
+/// When to stop iterating (besides the iteration cap / budget horizon).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Termination {
+    /// Classic k-means: stop when the summed centroid movement falls below
+    /// the configured threshold.
+    MovementThreshold,
+    /// Noise-aware: additionally stop when movement has not improved its
+    /// best value by at least `min_improvement` (relative) for `patience`
+    /// consecutive iterations — the perturbation floor has been reached.
+    MovementPlateau {
+        /// Iterations without relative improvement before stopping.
+        patience: usize,
+        /// Minimum relative improvement that resets the patience counter.
+        min_improvement: f64,
+    },
+}
+
+impl Termination {
+    /// A reasonable plateau default (2 stale iterations, 5% improvement).
+    pub fn plateau_default() -> Self {
+        Termination::MovementPlateau {
+            patience: 2,
+            min_improvement: 0.05,
+        }
+    }
+}
+
+/// Tracks the movement series of a run and decides when to stop.
+#[derive(Clone, Debug)]
+pub struct TerminationMonitor {
+    criterion: Termination,
+    threshold: f64,
+    best_movement: f64,
+    stale_iterations: usize,
+}
+
+impl TerminationMonitor {
+    /// Creates a monitor for the criterion and the movement threshold.
+    pub fn new(criterion: Termination, threshold: f64) -> Self {
+        TerminationMonitor {
+            criterion,
+            threshold,
+            best_movement: f64::INFINITY,
+            stale_iterations: 0,
+        }
+    }
+
+    /// Feeds one iteration's movement; returns `true` if the run should
+    /// stop.
+    pub fn observe(&mut self, movement: f64) -> bool {
+        if movement <= self.threshold {
+            return true;
+        }
+        match self.criterion {
+            Termination::MovementThreshold => false,
+            Termination::MovementPlateau {
+                patience,
+                min_improvement,
+            } => {
+                if movement < self.best_movement * (1.0 - min_improvement) {
+                    self.best_movement = movement;
+                    self.stale_iterations = 0;
+                } else {
+                    self.stale_iterations += 1;
+                }
+                self.stale_iterations >= patience
+            }
+        }
+    }
+
+    /// Best movement seen so far.
+    pub fn best_movement(&self) -> f64 {
+        self.best_movement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_fires_for_both_criteria() {
+        for criterion in [
+            Termination::MovementThreshold,
+            Termination::plateau_default(),
+        ] {
+            let mut m = TerminationMonitor::new(criterion, 0.1);
+            assert!(!m.observe(5.0));
+            assert!(m.observe(0.05), "below threshold must stop ({criterion:?})");
+        }
+    }
+
+    #[test]
+    fn plain_threshold_never_stops_at_noise_floor() {
+        let mut m = TerminationMonitor::new(Termination::MovementThreshold, 0.01);
+        // Movement stuck at the noise floor ≈ 1.0 forever.
+        for _ in 0..50 {
+            assert!(!m.observe(1.0 + 0.001));
+        }
+    }
+
+    #[test]
+    fn plateau_detects_noise_floor() {
+        let mut m = TerminationMonitor::new(Termination::plateau_default(), 0.01);
+        assert!(!m.observe(10.0));
+        assert!(!m.observe(5.0)); // improving
+        assert!(!m.observe(2.0)); // improving
+        assert!(!m.observe(1.95)); // stale 1 (< 5% improvement)
+        assert!(m.observe(2.05), "second stale iteration must stop");
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut m = TerminationMonitor::new(
+            Termination::MovementPlateau {
+                patience: 2,
+                min_improvement: 0.05,
+            },
+            1e-9,
+        );
+        assert!(!m.observe(10.0));
+        assert!(!m.observe(9.9)); // stale 1
+        assert!(!m.observe(5.0)); // big improvement: reset
+        assert!(!m.observe(4.9)); // stale 1
+        assert!(m.observe(4.9)); // stale 2 → stop
+        assert!((m.best_movement() - 5.0).abs() < 1e-12);
+    }
+}

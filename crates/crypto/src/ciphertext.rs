@@ -1,0 +1,58 @@
+//! The [`Ciphertext`] wrapper type.
+
+use cs_bigint::BigUint;
+use serde::{Deserialize, Serialize};
+
+/// A Damgård-Jurik ciphertext: an element of `Z*_{n^(s+1)}`.
+///
+/// The wrapper is deliberately opaque — homomorphic operations go through
+/// [`crate::PublicKey`] so the modulus and Montgomery context are always the
+/// right ones.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ciphertext(pub(crate) BigUint);
+
+impl Ciphertext {
+    /// The raw group element (for serialization and size accounting).
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Rebuilds a ciphertext from a raw group element.
+    ///
+    /// The caller is responsible for the value being a valid element of
+    /// `Z*_{n^(s+1)}` for the intended key (deserialization path).
+    pub fn from_biguint(v: BigUint) -> Self {
+        Ciphertext(v)
+    }
+
+    /// Serialized size in bytes (minimal big-endian encoding).
+    pub fn byte_len(&self) -> usize {
+        self.0.byte_len()
+    }
+}
+
+impl std::fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ciphertext({} bits)", self.0.bit_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_does_not_leak_value() {
+        let c = Ciphertext::from_biguint(BigUint::from(123456789u64));
+        let s = format!("{c:?}");
+        assert!(!s.contains("123456789"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Ciphertext::from_biguint(BigUint::from(987654321u64));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Ciphertext = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

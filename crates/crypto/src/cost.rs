@@ -1,0 +1,186 @@
+//! Measured per-operation crypto costs.
+//!
+//! The ICDE demo disables homomorphic operations during large simulations and
+//! reports costs "based on actual average measures performed beforehand".
+//! [`CryptoCostProfile::measure`] is that calibration pass: it times every
+//! operation the protocol issues at the requested key size, so the simulator
+//! can account realistic crypto cost without paying it on every simulated
+//! message.
+
+use crate::{KeyGenOptions, ThresholdKeyPair, ThresholdParams};
+use cs_bigint::rng::random_below;
+use cs_bigint::BigUint;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Average wall-clock cost of each Damgård-Jurik operation, in microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CryptoCostProfile {
+    /// Modulus size the profile was measured at.
+    pub key_bits: usize,
+    /// Damgård-Jurik degree.
+    pub s: u32,
+    /// Threshold used for the combine measurement.
+    pub threshold: usize,
+    /// Encryption of one plaintext.
+    pub encrypt_us: f64,
+    /// Homomorphic addition of two ciphertexts.
+    pub add_us: f64,
+    /// Scalar multiplication by a small power of two (push-sum rescale).
+    pub scalar_pow2_us: f64,
+    /// Re-randomization of one ciphertext.
+    pub rerandomize_us: f64,
+    /// One partial decryption.
+    pub partial_decrypt_us: f64,
+    /// Combination of `threshold` partial decryptions.
+    pub combine_us: f64,
+    /// Size of one serialized ciphertext in bytes.
+    pub ciphertext_bytes: usize,
+}
+
+impl CryptoCostProfile {
+    /// Measures a profile by running `reps` of each operation at the given
+    /// parameters. Key generation time is excluded (one-time setup).
+    pub fn measure<R: Rng + ?Sized>(
+        opts: &KeyGenOptions,
+        threshold: ThresholdParams,
+        reps: usize,
+        rng: &mut R,
+    ) -> CryptoCostProfile {
+        assert!(reps >= 1);
+        let tkp =
+            ThresholdKeyPair::generate(opts, threshold, rng).expect("valid threshold parameters");
+        let pk = tkp.public();
+
+        let plaintexts: Vec<BigUint> = (0..reps).map(|_| random_below(rng, pk.n_s())).collect();
+
+        let t0 = Instant::now();
+        let cts: Vec<_> = plaintexts.iter().map(|m| pk.encrypt(m, rng)).collect();
+        let encrypt_us = per_op_us(t0, reps);
+
+        let t0 = Instant::now();
+        for w in cts.windows(2) {
+            let _ = pk.add(&w[0], &w[1]);
+        }
+        let add_us = per_op_us(t0, reps.saturating_sub(1).max(1));
+
+        let t0 = Instant::now();
+        for c in &cts {
+            let _ = pk.scalar_mul_pow2(c, 16);
+        }
+        let scalar_pow2_us = per_op_us(t0, reps);
+
+        let t0 = Instant::now();
+        for c in &cts {
+            let _ = pk.rerandomize(c, rng);
+        }
+        let rerandomize_us = per_op_us(t0, reps);
+
+        let share = &tkp.shares()[0];
+        let t0 = Instant::now();
+        for c in &cts {
+            let _ = share.partial_decrypt(c);
+        }
+        let partial_decrypt_us = per_op_us(t0, reps);
+
+        let c = &cts[0];
+        let partials: Vec<_> = tkp.shares()[..threshold.threshold]
+            .iter()
+            .map(|sh| sh.partial_decrypt(c))
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = tkp.combine(&partials).expect("combine");
+        }
+        let combine_us = per_op_us(t0, reps);
+
+        CryptoCostProfile {
+            key_bits: opts.modulus_bits,
+            s: opts.s,
+            threshold: threshold.threshold,
+            encrypt_us,
+            add_us,
+            scalar_pow2_us,
+            rerandomize_us,
+            partial_decrypt_us,
+            combine_us,
+            ciphertext_bytes: pk.ciphertext_bytes(),
+        }
+    }
+
+    /// A zero-cost profile (used when crypto accounting is disabled).
+    pub fn zero() -> CryptoCostProfile {
+        CryptoCostProfile {
+            key_bits: 0,
+            s: 1,
+            threshold: 0,
+            encrypt_us: 0.0,
+            add_us: 0.0,
+            scalar_pow2_us: 0.0,
+            rerandomize_us: 0.0,
+            partial_decrypt_us: 0.0,
+            combine_us: 0.0,
+            ciphertext_bytes: 0,
+        }
+    }
+
+    /// A static profile with plausible 2048-bit laptop numbers, for when
+    /// measuring is too slow (documentation examples, smoke tests). Derived
+    /// from a one-off `measure` run on commodity hardware; real experiments
+    /// should call [`CryptoCostProfile::measure`].
+    pub fn nominal_2048() -> CryptoCostProfile {
+        CryptoCostProfile {
+            key_bits: 2048,
+            s: 1,
+            threshold: 5,
+            encrypt_us: 9_000.0,
+            add_us: 14.0,
+            scalar_pow2_us: 260.0,
+            rerandomize_us: 8_800.0,
+            partial_decrypt_us: 31_000.0,
+            combine_us: 160_000.0,
+            ciphertext_bytes: 512,
+        }
+    }
+}
+
+fn per_op_us(start: Instant, ops: usize) -> f64 {
+    start.elapsed().as_secs_f64() * 1e6 / ops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measured_profile_is_positive_and_ordered() {
+        let mut rng = StdRng::seed_from_u64(300);
+        let profile = CryptoCostProfile::measure(
+            &KeyGenOptions::insecure_test_size(),
+            ThresholdParams {
+                threshold: 2,
+                parties: 3,
+            },
+            3,
+            &mut rng,
+        );
+        assert!(profile.encrypt_us > 0.0);
+        assert!(profile.add_us > 0.0);
+        assert!(
+            profile.add_us < profile.encrypt_us,
+            "one modular multiplication must beat a full encryption"
+        );
+        assert!(profile.ciphertext_bytes >= 64, "256-bit n ⇒ 512-bit n²");
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let p = CryptoCostProfile::nominal_2048();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CryptoCostProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,403 @@
+//! Threshold Damgård-Jurik decryption.
+//!
+//! Chiaroscuro requires that "the decryption is performed collaboratively by
+//! any subset of participants provided it is sufficiently large". This module
+//! implements the Damgård-Jurik threshold construction:
+//!
+//! 1. a dealer generates the key pair and Shamir-shares the decryption
+//!    exponent `d` over `Z_{n^s·λ(n)}` among `l` parties with threshold `t`
+//!    (the paper assumes an initialized population — the dealer models the
+//!    setup phase);
+//! 2. each party computes a partial decryption `c_i = c^(2Δ·s_i)` with
+//!    `Δ = l!`;
+//! 3. any `t` partials combine to `c' = Π c_i^(2·λ^S_{0,i}) = c^(4Δ²·d)`,
+//!    from which the plaintext is extracted with the discrete-log algorithm
+//!    and a final multiplication by `(4Δ²)^{-1} mod n^s`.
+
+use crate::shamir::{self, Share};
+use crate::{Ciphertext, CryptoError, KeyGenOptions, KeyPair, PublicKey};
+use cs_bigint::{BigInt, BigUint};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Threshold configuration: `threshold` out of `parties`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdParams {
+    /// Minimum number of partial decryptions needed.
+    pub threshold: usize,
+    /// Total number of key shares dealt.
+    pub parties: usize,
+}
+
+impl ThresholdParams {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CryptoError> {
+        if self.threshold == 0 {
+            return Err(CryptoError::InvalidParameters("threshold must be >= 1"));
+        }
+        if self.threshold > self.parties {
+            return Err(CryptoError::InvalidParameters(
+                "threshold cannot exceed parties",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One party's share of the decryption key.
+#[derive(Clone, Debug)]
+pub struct KeyShare {
+    index: u64,
+    value: BigUint,
+    /// `2Δ·s_i`, precomputed — the exponent of every partial decryption.
+    exponent: BigUint,
+    pk: PublicKey,
+}
+
+impl KeyShare {
+    /// The 1-based share index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The public key this share belongs to.
+    pub fn public(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// Computes this party's partial decryption `c^(2Δ·s_i) mod n^(s+1)`.
+    pub fn partial_decrypt(&self, c: &Ciphertext) -> PartialDecryption {
+        PartialDecryption {
+            index: self.index,
+            value: self.pk.mont().pow_mod(c.as_biguint(), &self.exponent),
+        }
+    }
+
+    /// Raw share value (used by tests asserting secrecy properties).
+    pub fn share_value(&self) -> &BigUint {
+        &self.value
+    }
+}
+
+/// A partial decryption contributed by one party.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialDecryption {
+    index: u64,
+    value: BigUint,
+}
+
+impl PartialDecryption {
+    /// The contributing party's 1-based index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.value.byte_len() + 8
+    }
+}
+
+/// The dealer's output: public key, all key shares, and parameters.
+///
+/// ```
+/// use cs_bigint::BigUint;
+/// use cs_crypto::{KeyGenOptions, ThresholdKeyPair, ThresholdParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let tkp = ThresholdKeyPair::generate(
+///     &KeyGenOptions::insecure_test_size(),
+///     ThresholdParams { threshold: 2, parties: 3 },
+///     &mut rng,
+/// ).unwrap();
+/// let c = tkp.public().encrypt(&BigUint::from(7u64), &mut rng);
+/// let partials: Vec<_> = tkp.shares()[..2].iter().map(|s| s.partial_decrypt(&c)).collect();
+/// assert_eq!(tkp.combine(&partials).unwrap(), BigUint::from(7u64));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThresholdKeyPair {
+    keypair: KeyPair,
+    shares: Vec<KeyShare>,
+    params: ThresholdParams,
+    delta: BigUint,
+}
+
+impl ThresholdKeyPair {
+    /// Runs the dealer: generates a key pair and Shamir-shares `d`.
+    pub fn generate<R: Rng + ?Sized>(
+        opts: &KeyGenOptions,
+        params: ThresholdParams,
+        rng: &mut R,
+    ) -> Result<ThresholdKeyPair, CryptoError> {
+        params.validate()?;
+        let keypair = KeyPair::generate(opts, rng);
+        Ok(Self::deal_from_keypair(keypair, params, rng))
+    }
+
+    /// Shares an existing key pair (lets tests reuse expensive keygen).
+    pub fn deal_from_keypair<R: Rng + ?Sized>(
+        keypair: KeyPair,
+        params: ThresholdParams,
+        rng: &mut R,
+    ) -> ThresholdKeyPair {
+        let pk = keypair.public().clone();
+        let sharing_modulus = pk.n_s() * keypair.private().lambda();
+        let raw_shares: Vec<Share> = shamir::split(
+            keypair.private().d(),
+            params.threshold,
+            params.parties,
+            &sharing_modulus,
+            rng,
+        );
+        let delta = shamir::delta(params.parties);
+        let two_delta = delta.mul_u64(2);
+        let shares = raw_shares
+            .into_iter()
+            .map(|s| KeyShare {
+                index: s.index,
+                exponent: &two_delta * &s.value,
+                value: s.value,
+                pk: pk.clone(),
+            })
+            .collect();
+        ThresholdKeyPair {
+            keypair,
+            shares,
+            params,
+            delta,
+        }
+    }
+
+    /// The public key.
+    pub fn public(&self) -> &PublicKey {
+        self.keypair.public()
+    }
+
+    /// All dealt key shares (the simulator hands one to each participant).
+    pub fn shares(&self) -> &[KeyShare] {
+        &self.shares
+    }
+
+    /// Threshold parameters.
+    pub fn params(&self) -> ThresholdParams {
+        self.params
+    }
+
+    /// The underlying non-threshold key pair — test/baseline use only; a
+    /// real deployment's dealer erases it after dealing.
+    pub fn as_keypair(&self) -> &KeyPair {
+        &self.keypair
+    }
+
+    /// Combines at least `threshold` partial decryptions into the plaintext.
+    pub fn combine(&self, partials: &[PartialDecryption]) -> Result<BigUint, CryptoError> {
+        combine_partials(self.public(), self.params, &self.delta, partials)
+    }
+}
+
+/// Combines partial decryptions without needing the dealer object (the
+/// protocol layer only has the public key and parameters).
+pub fn combine_partials(
+    pk: &PublicKey,
+    params: ThresholdParams,
+    delta: &BigUint,
+    partials: &[PartialDecryption],
+) -> Result<BigUint, CryptoError> {
+    if partials.len() < params.threshold {
+        return Err(CryptoError::NotEnoughShares {
+            got: partials.len(),
+            need: params.threshold,
+        });
+    }
+    let subset = &partials[..params.threshold];
+    let mut indices = Vec::with_capacity(subset.len());
+    for p in subset {
+        if p.index == 0 || p.index > params.parties as u64 {
+            return Err(CryptoError::ShareIndexOutOfRange(p.index));
+        }
+        if indices.contains(&p.index) {
+            return Err(CryptoError::DuplicateShareIndex(p.index));
+        }
+        indices.push(p.index);
+    }
+
+    // c' = Π c_i^(2·λ_{0,i}); negative coefficients exponentiate the group
+    // inverse.
+    let n_s1 = pk.n_s1();
+    let mut acc = BigUint::one();
+    for p in subset {
+        let lambda = shamir::lagrange_at_zero(&indices, p.index, delta);
+        let two_lambda = &lambda * &BigInt::from(2u64);
+        let exp_mag = two_lambda.magnitude().clone();
+        let base = if two_lambda.is_negative() {
+            p.value.mod_inverse(n_s1).ok_or(CryptoError::NotAUnit)?
+        } else {
+            p.value.clone()
+        };
+        let factor = pk.mont().pow_mod(&base, &exp_mag);
+        acc = pk.mont().mul_mod(&acc, &factor);
+    }
+
+    // acc = (1+n)^(4Δ²·m); recover m.
+    let four_delta_sq = delta.square().mul_u64(4);
+    let scaled = pk.dlog_one_plus_n(&acc);
+    let inv = four_delta_sq
+        .mod_inverse(pk.n_s())
+        .expect("4Δ² is a unit mod n^s");
+    Ok(scaled.mod_mul(&inv, pk.n_s()))
+}
+
+/// `Δ = parties!`, re-exported for callers that combine without a dealer.
+pub fn delta_for(parties: usize) -> BigUint {
+    shamir::delta(parties)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_bigint::rng::random_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64, t: usize, l: usize, s: u32) -> (ThresholdKeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tkp = ThresholdKeyPair::generate(
+            &KeyGenOptions::insecure_test_size_s(s),
+            ThresholdParams {
+                threshold: t,
+                parties: l,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        (tkp, rng)
+    }
+
+    #[test]
+    fn threshold_decryption_roundtrip() {
+        let (tkp, mut rng) = setup(200, 3, 5, 1);
+        let m = BigUint::from(123_456_789u64);
+        let c = tkp.public().encrypt(&m, &mut rng);
+        let partials: Vec<_> = tkp.shares()[..3]
+            .iter()
+            .map(|sh| sh.partial_decrypt(&c))
+            .collect();
+        assert_eq!(tkp.combine(&partials).unwrap(), m);
+    }
+
+    #[test]
+    fn any_subset_of_shares_works() {
+        let (tkp, mut rng) = setup(201, 2, 4, 1);
+        let m = BigUint::from(42u64);
+        let c = tkp.public().encrypt(&m, &mut rng);
+        let all: Vec<_> = tkp
+            .shares()
+            .iter()
+            .map(|sh| sh.partial_decrypt(&c))
+            .collect();
+        for a in 0..4 {
+            for b in 0..4 {
+                if a == b {
+                    continue;
+                }
+                let subset = vec![all[a].clone(), all[b].clone()];
+                assert_eq!(tkp.combine(&subset).unwrap(), m, "subset ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn extra_shares_are_ignored_beyond_threshold() {
+        let (tkp, mut rng) = setup(202, 2, 5, 1);
+        let m = BigUint::from(7u64);
+        let c = tkp.public().encrypt(&m, &mut rng);
+        let all: Vec<_> = tkp
+            .shares()
+            .iter()
+            .map(|sh| sh.partial_decrypt(&c))
+            .collect();
+        assert_eq!(tkp.combine(&all).unwrap(), m);
+    }
+
+    #[test]
+    fn threshold_matches_plain_decryption() {
+        let (tkp, mut rng) = setup(203, 3, 4, 1);
+        let m = random_below(&mut rng, tkp.public().n_s());
+        let c = tkp.public().encrypt(&m, &mut rng);
+        let partials: Vec<_> = tkp.shares()[1..4]
+            .iter()
+            .map(|sh| sh.partial_decrypt(&c))
+            .collect();
+        assert_eq!(tkp.combine(&partials).unwrap(), m);
+        assert_eq!(tkp.as_keypair().private().decrypt(&c), m);
+    }
+
+    #[test]
+    fn degree_two_threshold() {
+        let (tkp, mut rng) = setup(204, 2, 3, 2);
+        let m = tkp.public().n().add_u64(999); // exceeds n, needs s=2
+        let c = tkp.public().encrypt(&m, &mut rng);
+        let partials: Vec<_> = tkp.shares()[..2]
+            .iter()
+            .map(|sh| sh.partial_decrypt(&c))
+            .collect();
+        assert_eq!(tkp.combine(&partials).unwrap(), m);
+    }
+
+    #[test]
+    fn too_few_shares_error() {
+        let (tkp, mut rng) = setup(205, 3, 5, 1);
+        let c = tkp.public().encrypt(&BigUint::one(), &mut rng);
+        let partials: Vec<_> = tkp.shares()[..2]
+            .iter()
+            .map(|sh| sh.partial_decrypt(&c))
+            .collect();
+        assert!(matches!(
+            tkp.combine(&partials),
+            Err(CryptoError::NotEnoughShares { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_share_error() {
+        let (tkp, mut rng) = setup(206, 2, 3, 1);
+        let c = tkp.public().encrypt(&BigUint::one(), &mut rng);
+        let p = tkp.shares()[0].partial_decrypt(&c);
+        assert!(matches!(
+            tkp.combine(&[p.clone(), p]),
+            Err(CryptoError::DuplicateShareIndex(1))
+        ));
+    }
+
+    #[test]
+    fn homomorphic_sum_then_threshold_decrypt() {
+        // The Chiaroscuro shape: gossip-summed ciphertext, then collaborative
+        // decryption.
+        let (tkp, mut rng) = setup(207, 3, 6, 1);
+        let pk = tkp.public();
+        let mut acc = pk.trivial_zero();
+        for v in [10u64, 20, 30, 40] {
+            acc = pk.add(&acc, &pk.encrypt(&BigUint::from(v), &mut rng));
+        }
+        let partials: Vec<_> = tkp.shares()[2..5]
+            .iter()
+            .map(|sh| sh.partial_decrypt(&acc))
+            .collect();
+        assert_eq!(tkp.combine(&partials).unwrap(), BigUint::from(100u64));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(208);
+        let r = ThresholdKeyPair::generate(
+            &KeyGenOptions::insecure_test_size(),
+            ThresholdParams {
+                threshold: 4,
+                parties: 3,
+            },
+            &mut rng,
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Sequential-composition privacy accounting.
+//!
+//! "When several aggregates related to the same individuals are perturbed and
+//! disclosed, differential privacy is still satisfied (self-composition
+//! property) and the global privacy level, seen as a privacy budget, must be
+//! divided among the perturbations" (paper §II-A). The accountant enforces
+//! exactly that: every disclosure charges its ε, and charges beyond the
+//! budget are refused.
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a charge would exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccountantError {
+    /// The ε that was requested.
+    pub requested: f64,
+    /// The ε still available.
+    pub remaining: f64,
+}
+
+impl std::fmt::Display for AccountantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: requested ε={}, remaining ε={}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for AccountantError {}
+
+/// One recorded disclosure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Disclosure {
+    /// Iteration the disclosure belongs to.
+    pub iteration: usize,
+    /// Human-readable label (e.g. `"cluster sums"`, `"cluster counts"`).
+    pub label: String,
+    /// ε charged.
+    pub epsilon: f64,
+}
+
+/// Tracks ε spending under sequential composition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrivacyAccountant {
+    budget: f64,
+    spent: f64,
+    disclosures: Vec<Disclosure>,
+}
+
+impl PrivacyAccountant {
+    /// Creates an accountant with the given total budget.
+    ///
+    /// Panics if `budget <= 0`.
+    pub fn new(budget: f64) -> Self {
+        assert!(
+            budget > 0.0 && budget.is_finite(),
+            "budget must be positive"
+        );
+        PrivacyAccountant {
+            budget,
+            spent: 0.0,
+            disclosures: Vec::new(),
+        }
+    }
+
+    /// The total budget ε.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent).max(0.0)
+    }
+
+    /// Records a disclosure, or refuses it if the budget cannot cover it.
+    ///
+    /// A tiny relative tolerance absorbs floating-point drift from summing
+    /// many per-iteration slices.
+    pub fn charge(
+        &mut self,
+        iteration: usize,
+        label: impl Into<String>,
+        epsilon: f64,
+    ) -> Result<(), AccountantError> {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
+        let tolerance = self.budget * 1e-9;
+        if self.spent + epsilon > self.budget + tolerance {
+            return Err(AccountantError {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        self.disclosures.push(Disclosure {
+            iteration,
+            label: label.into(),
+            epsilon,
+        });
+        Ok(())
+    }
+
+    /// All recorded disclosures, in order.
+    pub fn disclosures(&self) -> &[Disclosure] {
+        &self.disclosures
+    }
+
+    /// Total ε charged in a given iteration.
+    pub fn spent_in_iteration(&self, iteration: usize) -> f64 {
+        self.disclosures
+            .iter()
+            .filter(|d| d.iteration == iteration)
+            .map(|d| d.epsilon)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut acc = PrivacyAccountant::new(1.0);
+        acc.charge(0, "sums", 0.3).unwrap();
+        acc.charge(0, "counts", 0.2).unwrap();
+        assert!((acc.spent() - 0.5).abs() < 1e-12);
+        assert!((acc.remaining() - 0.5).abs() < 1e-12);
+        assert_eq!(acc.disclosures().len(), 2);
+    }
+
+    #[test]
+    fn refuses_over_budget() {
+        let mut acc = PrivacyAccountant::new(1.0);
+        acc.charge(0, "a", 0.9).unwrap();
+        let err = acc.charge(1, "b", 0.2).unwrap_err();
+        assert!((err.remaining - 0.1).abs() < 1e-9);
+        // Failed charge must not mutate state.
+        assert!((acc.spent() - 0.9).abs() < 1e-12);
+        assert_eq!(acc.disclosures().len(), 1);
+    }
+
+    #[test]
+    fn exact_exhaustion_allowed() {
+        let mut acc = PrivacyAccountant::new(1.0);
+        for i in 0..10 {
+            acc.charge(i, "slice", 0.1).unwrap();
+        }
+        assert!(acc.remaining() < 1e-9);
+        assert!(acc.charge(10, "extra", 0.01).is_err());
+    }
+
+    #[test]
+    fn float_drift_tolerated() {
+        // 1/3 three times does not sum to exactly 1.0; tolerance must absorb
+        // the drift either way.
+        let mut acc = PrivacyAccountant::new(1.0);
+        for i in 0..3 {
+            acc.charge(i, "third", 1.0 / 3.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn per_iteration_breakdown() {
+        let mut acc = PrivacyAccountant::new(2.0);
+        acc.charge(0, "sums", 0.25).unwrap();
+        acc.charge(0, "counts", 0.25).unwrap();
+        acc.charge(1, "sums", 0.5).unwrap();
+        assert!((acc.spent_in_iteration(0) - 0.5).abs() < 1e-12);
+        assert!((acc.spent_in_iteration(1) - 0.5).abs() < 1e-12);
+        assert_eq!(acc.spent_in_iteration(2), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut acc = PrivacyAccountant::new(1.0);
+        acc.charge(0, "x", 0.4).unwrap();
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: PrivacyAccountant = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.spent(), acc.spent());
+        assert_eq!(back.disclosures(), acc.disclosures());
+    }
+}

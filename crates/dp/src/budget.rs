@@ -1,0 +1,262 @@
+//! Privacy-budget distribution across k-means iterations.
+//!
+//! The total budget ε must be split over the `T` iterations' disclosures
+//! (sequential composition). How it is split is one of the paper's two
+//! "quality-enhancing heuristics": a flat split wastes budget on early,
+//! coarse iterations whose centroids move a lot anyway, while later
+//! iterations — where centroids settle and noise dominates the residual
+//! movement — benefit from more budget.
+
+use serde::{Deserialize, Serialize};
+
+/// Strategy for splitting a total ε across at most `T` iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BudgetStrategy {
+    /// `ε_t = ε / T` for every iteration.
+    Uniform,
+    /// Geometric increase: iteration `t` (0-based) receives
+    /// `ε_t ∝ ratio^t` with `ratio > 1`, normalized to sum to ε. Later
+    /// iterations get geometrically more budget.
+    Increasing {
+        /// Per-iteration growth factor (`> 1`; 1 degenerates to uniform).
+        ratio: f64,
+    },
+    /// Adaptive: start from the uniform split, then transfer unspent budget
+    /// forward. Iteration `t` receives the uniform slice scaled by how much
+    /// the centroids still moved in the previous iteration (movement below
+    /// `settle_threshold` releases budget to later iterations; a floor keeps
+    /// every iteration above `floor_fraction` of the uniform slice).
+    Adaptive {
+        /// Relative centroid movement under which an iteration is considered
+        /// "settling" and donates budget forward.
+        settle_threshold: f64,
+        /// Minimum fraction of the uniform slice any iteration receives.
+        floor_fraction: f64,
+    },
+}
+
+impl BudgetStrategy {
+    /// A reasonable increasing default (×1.3 per iteration).
+    pub fn increasing_default() -> Self {
+        BudgetStrategy::Increasing { ratio: 1.3 }
+    }
+
+    /// A reasonable adaptive default.
+    pub fn adaptive_default() -> Self {
+        BudgetStrategy::Adaptive {
+            settle_threshold: 0.05,
+            floor_fraction: 0.5,
+        }
+    }
+}
+
+/// A concrete per-iteration allocation produced by a [`BudgetStrategy`].
+///
+/// ```
+/// use cs_dp::{BudgetPlan, BudgetStrategy};
+///
+/// let mut plan = BudgetPlan::new(BudgetStrategy::Uniform, 1.0, 4);
+/// let mut total = 0.0;
+/// while let Some(eps) = plan.next_epsilon(None) {
+///     total += eps;
+/// }
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BudgetPlan {
+    strategy: BudgetStrategy,
+    total_epsilon: f64,
+    max_iterations: usize,
+    /// Precomputed slices for non-adaptive strategies; adaptive recomputes.
+    slices: Vec<f64>,
+    /// Adaptive state: budget released by settling iterations.
+    carried: f64,
+    next_iteration: usize,
+}
+
+impl BudgetPlan {
+    /// Builds a plan for `total_epsilon` over at most `max_iterations`.
+    ///
+    /// Panics if `total_epsilon <= 0` or `max_iterations == 0`.
+    pub fn new(strategy: BudgetStrategy, total_epsilon: f64, max_iterations: usize) -> Self {
+        assert!(
+            total_epsilon > 0.0 && total_epsilon.is_finite(),
+            "epsilon must be positive"
+        );
+        assert!(max_iterations > 0, "need at least one iteration");
+        let slices = match strategy {
+            BudgetStrategy::Uniform | BudgetStrategy::Adaptive { .. } => {
+                vec![total_epsilon / max_iterations as f64; max_iterations]
+            }
+            BudgetStrategy::Increasing { ratio } => {
+                assert!(ratio >= 1.0, "increasing ratio must be >= 1");
+                let weights: Vec<f64> = (0..max_iterations).map(|t| ratio.powi(t as i32)).collect();
+                let total_w: f64 = weights.iter().sum();
+                weights
+                    .iter()
+                    .map(|w| total_epsilon * w / total_w)
+                    .collect()
+            }
+        };
+        BudgetPlan {
+            strategy,
+            total_epsilon,
+            max_iterations,
+            slices,
+            carried: 0.0,
+            next_iteration: 0,
+        }
+    }
+
+    /// The strategy behind this plan.
+    pub fn strategy(&self) -> BudgetStrategy {
+        self.strategy
+    }
+
+    /// Total ε the plan distributes.
+    pub fn total_epsilon(&self) -> f64 {
+        self.total_epsilon
+    }
+
+    /// Maximum number of iterations the plan supports.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// The ε for the next iteration.
+    ///
+    /// `previous_movement` is the relative centroid displacement observed in
+    /// the previous iteration (ignored by non-adaptive strategies; pass
+    /// `None` for the first iteration). Returns `None` once the plan is
+    /// exhausted.
+    pub fn next_epsilon(&mut self, previous_movement: Option<f64>) -> Option<f64> {
+        if self.next_iteration >= self.max_iterations {
+            return None;
+        }
+        let t = self.next_iteration;
+        self.next_iteration += 1;
+        let base = self.slices[t];
+        match self.strategy {
+            BudgetStrategy::Uniform | BudgetStrategy::Increasing { .. } => Some(base),
+            BudgetStrategy::Adaptive {
+                settle_threshold,
+                floor_fraction,
+            } => {
+                let remaining_iters = (self.max_iterations - t) as f64;
+                // Spread carried budget over remaining iterations.
+                let bonus = self.carried / remaining_iters;
+                self.carried -= bonus;
+                let mut eps = base + bonus;
+                if let Some(movement) = previous_movement {
+                    if movement > settle_threshold {
+                        // Still moving fast: donate part of this slice
+                        // forward; noise now would be washed out anyway.
+                        let donated = (1.0 - floor_fraction) * base;
+                        eps -= donated;
+                        self.carried += donated;
+                    }
+                }
+                Some(eps.max(base * floor_fraction))
+            }
+        }
+    }
+
+    /// Full allocation for non-adaptive strategies (adaptive depends on the
+    /// run, so this returns the initial slices).
+    pub fn slices(&self) -> &[f64] {
+        &self.slices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &mut BudgetPlan, movements: &[Option<f64>]) -> Vec<f64> {
+        movements
+            .iter()
+            .map_while(|m| plan.next_epsilon(*m))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let mut plan = BudgetPlan::new(BudgetStrategy::Uniform, 1.0, 4);
+        let eps = drain(&mut plan, &[None; 5]);
+        assert_eq!(eps.len(), 4, "exhausts after max_iterations");
+        for e in &eps {
+            assert!((e - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn increasing_is_monotone_and_sums_to_total() {
+        let mut plan = BudgetPlan::new(BudgetStrategy::Increasing { ratio: 1.5 }, 2.0, 6);
+        let eps = drain(&mut plan, &[None; 6]);
+        assert_eq!(eps.len(), 6);
+        for w in eps.windows(2) {
+            assert!(w[1] > w[0], "must increase: {eps:?}");
+        }
+        let total: f64 = eps.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn increasing_ratio_one_equals_uniform() {
+        let mut plan = BudgetPlan::new(BudgetStrategy::Increasing { ratio: 1.0 }, 1.0, 5);
+        let eps = drain(&mut plan, &[None; 5]);
+        for e in &eps {
+            assert!((e - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adaptive_never_exceeds_total() {
+        let mut plan = BudgetPlan::new(BudgetStrategy::adaptive_default(), 1.0, 8);
+        // Alternating fast/slow movement pattern.
+        let movements: Vec<Option<f64>> = (0..8)
+            .map(|i| Some(if i % 2 == 0 { 0.5 } else { 0.01 }))
+            .collect();
+        let eps = drain(&mut plan, &movements);
+        let total: f64 = eps.iter().sum();
+        assert!(total <= 1.0 + 1e-9, "total {total} exceeds budget");
+        assert!(eps.iter().all(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn adaptive_floor_respected() {
+        let strategy = BudgetStrategy::Adaptive {
+            settle_threshold: 0.05,
+            floor_fraction: 0.5,
+        };
+        let mut plan = BudgetPlan::new(strategy, 1.0, 10);
+        let uniform_slice = 0.1;
+        // Always fast movement: every iteration donates, floor binds.
+        let movements: Vec<Option<f64>> = (0..10).map(|_| Some(1.0)).collect();
+        let eps = drain(&mut plan, &movements);
+        for e in &eps {
+            assert!(*e >= uniform_slice * 0.5 - 1e-12, "{e} below floor");
+        }
+    }
+
+    #[test]
+    fn adaptive_settling_boosts_later_iterations() {
+        let strategy = BudgetStrategy::adaptive_default();
+        let mut plan = BudgetPlan::new(strategy, 1.0, 4);
+        // Fast, fast, then settled: final iterations should get > uniform.
+        let e1 = plan.next_epsilon(None).unwrap();
+        let _e2 = plan.next_epsilon(Some(0.9)).unwrap();
+        let _e3 = plan.next_epsilon(Some(0.9)).unwrap();
+        let e4 = plan.next_epsilon(Some(0.01)).unwrap();
+        assert!(
+            e4 > e1,
+            "settled tail should receive donated budget: {e1} vs {e4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn non_positive_epsilon_panics() {
+        BudgetPlan::new(BudgetStrategy::Uniform, 0.0, 3);
+    }
+}

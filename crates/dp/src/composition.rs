@@ -1,0 +1,136 @@
+//! Composition theorems.
+//!
+//! The paper uses basic (sequential) self-composition: `k` disclosures at
+//! `ε₀` each cost `k·ε₀`. The advanced composition theorem (Dwork, Rothblum
+//! & Vadhan 2010) buys the same `k` disclosures for roughly `ε₀·√(2k·ln 1/δ)`
+//! at the price of a small failure probability `δ` — a drop-in upgrade for
+//! deployments that can tolerate (ε, δ)-DP, letting the clustering run more
+//! iterations on the same budget.
+
+/// Total ε of `k`-fold composition of ε₀-DP mechanisms under **basic**
+/// composition (δ = 0). The paper's accounting.
+pub fn basic_composition(eps_each: f64, k: usize) -> f64 {
+    assert!(eps_each >= 0.0 && eps_each.is_finite());
+    eps_each * k as f64
+}
+
+/// Total ε of `k`-fold composition of ε₀-DP mechanisms under **advanced**
+/// composition at slack `δ > 0`:
+///
+/// `ε' = ε₀·√(2k·ln(1/δ)) + k·ε₀·(e^{ε₀} − 1)`
+///
+/// Panics unless `0 < δ < 1`.
+pub fn advanced_composition(eps_each: f64, k: usize, delta: f64) -> f64 {
+    assert!(eps_each >= 0.0 && eps_each.is_finite());
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let k_f = k as f64;
+    eps_each * (2.0 * k_f * (1.0 / delta).ln()).sqrt()
+        + k_f * eps_each * (eps_each.exp() - 1.0)
+}
+
+/// The tightest of basic and advanced composition for the given slack —
+/// advanced only wins once `k` is large and `ε₀` small; this picks whichever
+/// bound is better (both are valid simultaneously).
+pub fn best_composition(eps_each: f64, k: usize, delta: f64) -> f64 {
+    basic_composition(eps_each, k).min(advanced_composition(eps_each, k, delta))
+}
+
+/// The largest per-disclosure ε₀ such that `k` disclosures stay within
+/// `eps_total` under [`best_composition`] at slack `δ` (binary search; the
+/// bound is monotone in ε₀).
+pub fn per_disclosure_epsilon(eps_total: f64, k: usize, delta: f64) -> f64 {
+    assert!(eps_total > 0.0 && eps_total.is_finite());
+    assert!(k >= 1);
+    let mut lo = 0.0f64;
+    let mut hi = eps_total; // basic composition admits at most eps_total at k=1
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if best_composition(mid, k, delta) <= eps_total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// How many extra iterations advanced composition buys: the ratio between
+/// the per-disclosure budgets under best and basic composition for the same
+/// `(eps_total, k, δ)` — equivalently, the factor by which the per-iteration
+/// noise scale shrinks.
+pub fn advanced_gain(eps_total: f64, k: usize, delta: f64) -> f64 {
+    let basic_each = eps_total / k as f64;
+    per_disclosure_epsilon(eps_total, k, delta) / basic_each
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_is_linear() {
+        assert!((basic_composition(0.1, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(basic_composition(0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_disclosures() {
+        // 100 disclosures at ε₀ = 0.01: basic → 1.0; advanced at δ=1e-6
+        // should land well below.
+        let basic = basic_composition(0.01, 100);
+        let advanced = advanced_composition(0.01, 100, 1e-6);
+        assert!(
+            advanced < basic,
+            "advanced {advanced} should beat basic {basic}"
+        );
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_disclosures() {
+        // Small k: the √(2k ln 1/δ) factor exceeds k.
+        let basic = basic_composition(0.5, 2);
+        let advanced = advanced_composition(0.5, 2, 1e-6);
+        assert!(basic < advanced);
+        assert_eq!(best_composition(0.5, 2, 1e-6), basic);
+    }
+
+    #[test]
+    fn per_disclosure_epsilon_inverts_best_composition() {
+        for &(total, k, delta) in &[(1.0, 10usize, 1e-6), (0.5, 50, 1e-9), (2.0, 200, 1e-5)] {
+            let eps0 = per_disclosure_epsilon(total, k, delta);
+            let realized = best_composition(eps0, k, delta);
+            assert!(
+                realized <= total + 1e-9,
+                "({total},{k},{delta}): realized {realized}"
+            );
+            // Tightness: 1% more per-disclosure budget must overshoot.
+            assert!(best_composition(eps0 * 1.01, k, delta) > total);
+        }
+    }
+
+    #[test]
+    fn gain_exceeds_one_for_long_runs() {
+        // With 100+ iterations the advanced accountant buys a materially
+        // larger per-iteration budget.
+        let gain = advanced_gain(1.0, 200, 1e-6);
+        assert!(gain > 1.5, "gain {gain}");
+        // And never falls below the basic baseline.
+        assert!(advanced_gain(1.0, 2, 1e-6) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let mut last = 0.0;
+        for k in [1usize, 5, 25, 125] {
+            let e = advanced_composition(0.05, k, 1e-6);
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn bad_delta_panics() {
+        advanced_composition(0.1, 10, 0.0);
+    }
+}

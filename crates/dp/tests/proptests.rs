@@ -1,0 +1,117 @@
+//! Property-based tests for the differential-privacy substrate.
+
+use cs_dp::gamma::gamma;
+use cs_dp::laplace::{Laplace, LaplaceMechanism};
+use cs_dp::{BudgetPlan, BudgetStrategy, NoiseShareGenerator, PrivacyAccountant};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn laplace_cdf_is_monotone_and_bounded(scale in 0.01f64..100.0, x in -500.0f64..500.0) {
+        let d = Laplace::new(scale);
+        let c = d.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(d.cdf(x + 1.0) >= c);
+        // pdf is the density of the cdf: finite difference sanity.
+        let h = 1e-5;
+        let numeric = (d.cdf(x + h) - d.cdf(x - h)) / (2.0 * h);
+        prop_assert!((numeric - d.pdf(x)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn laplace_samples_within_cdf_bounds(scale in 0.1f64..10.0, seed in any::<u64>()) {
+        let d = Laplace::new(scale);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Quantile check with a loose bound: P(|X| > 10b) = e^{-10} ≈ 4.5e-5.
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite());
+            prop_assert!(x.abs() < scale * 40.0);
+        }
+    }
+
+    #[test]
+    fn mechanism_noise_scale_formula(eps in 0.01f64..10.0, sens in 0.01f64..100.0) {
+        let m = LaplaceMechanism::new(eps, sens);
+        prop_assert!((m.noise_scale() - sens / eps).abs() < 1e-12);
+        prop_assert!((m.distribution().variance() - 2.0 * (sens / eps).powi(2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_always_non_negative(shape in 0.001f64..5.0, scale in 0.01f64..10.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let g = gamma(&mut rng, shape, scale);
+            prop_assert!(g >= 0.0 && g.is_finite());
+        }
+    }
+
+    #[test]
+    fn noise_share_effective_scale_monotone(n in 1usize..1000, b in 0.01f64..100.0) {
+        let g = NoiseShareGenerator::new(n, b);
+        let mut last = -1.0;
+        for m in [0, n / 4, n / 2, n] {
+            let s = g.effective_scale(m);
+            prop_assert!(s >= last);
+            prop_assert!(s <= b + 1e-12);
+            last = s;
+        }
+        prop_assert!((g.effective_scale(n) - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_budget_plan_sums_to_at_most_total(
+        total in 0.01f64..100.0,
+        iters in 1usize..30,
+        ratio in 1.0f64..3.0,
+        movements in proptest::collection::vec(0.0f64..1.0, 30),
+    ) {
+        for strategy in [
+            BudgetStrategy::Uniform,
+            BudgetStrategy::Increasing { ratio },
+            BudgetStrategy::adaptive_default(),
+        ] {
+            let mut plan = BudgetPlan::new(strategy, total, iters);
+            let mut spent = 0.0;
+            let mut i = 0;
+            while let Some(eps) = plan.next_epsilon(movements.get(i).copied()) {
+                prop_assert!(eps > 0.0, "{strategy:?} produced non-positive ε");
+                spent += eps;
+                i += 1;
+                prop_assert!(i <= iters, "{strategy:?} exceeded max iterations");
+            }
+            prop_assert!(
+                spent <= total * (1.0 + 1e-9),
+                "{strategy:?} overspent: {spent} > {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn accountant_never_exceeds_budget(
+        budget in 0.1f64..10.0,
+        charges in proptest::collection::vec(0.001f64..1.0, 1..50),
+    ) {
+        let mut acc = PrivacyAccountant::new(budget);
+        for (i, &eps) in charges.iter().enumerate() {
+            let _ = acc.charge(i, "q", eps);
+        }
+        prop_assert!(acc.spent() <= budget * (1.0 + 1e-6));
+        prop_assert!(acc.remaining() >= 0.0);
+        let recorded: f64 = acc.disclosures().iter().map(|d| d.epsilon).sum();
+        prop_assert!((recorded - acc.spent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_plan_slices_are_equal(total in 0.1f64..10.0, iters in 1usize..20) {
+        let plan = BudgetPlan::new(BudgetStrategy::Uniform, total, iters);
+        let want = total / iters as f64;
+        for &s in plan.slices() {
+            prop_assert!((s - want).abs() < 1e-12);
+        }
+    }
+}

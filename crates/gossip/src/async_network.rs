@@ -1,0 +1,331 @@
+//! Event-driven simulation: asynchronous initiations at heterogeneous rates.
+//!
+//! Peersim offers a cycle-driven and an event-driven engine; the demo uses
+//! the former, and so does [`crate::network::Network`]. This module is the
+//! event-driven counterpart: each node initiates exchanges at the jitters of
+//! its own Poisson clock (heterogeneous rates model slow phones next to fast
+//! laptops), with no global rounds at all — the strongest form of the
+//! paper's "proceeds without any global synchronization".
+//!
+//! Exchanges keep rendezvous semantics (an initiation atomically touches
+//! both endpoints, like an RPC), so any [`CycleProtocol`] runs unchanged on
+//! either engine.
+
+use crate::failure::FailureModel;
+use crate::network::{CycleProtocol, ExchangeCtx, NodeId};
+use crate::overlay::{Overlay, OverlayState};
+use crate::traffic::TrafficStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled initiation event (min-heap by time).
+struct Event {
+    time: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.node == other.node
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// An asynchronously scheduled population of `P` instances.
+pub struct AsyncNetwork<P: CycleProtocol> {
+    nodes: Vec<P>,
+    alive: Vec<bool>,
+    rates: Vec<f64>,
+    overlay: OverlayState,
+    failure: FailureModel,
+    traffic: TrafficStats,
+    rng: StdRng,
+    clock: f64,
+    queue: BinaryHeap<Event>,
+    initiations: u64,
+}
+
+impl<P: CycleProtocol> AsyncNetwork<P> {
+    /// Builds a network where node `i` initiates exchanges as a Poisson
+    /// process with rate `rates[i]` (exchanges per unit time).
+    ///
+    /// Panics on fewer than two nodes, a rate count mismatch, or
+    /// non-positive rates.
+    pub fn new(
+        nodes: Vec<P>,
+        overlay: Overlay,
+        failure: FailureModel,
+        rates: Vec<f64>,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes.len() >= 2, "need at least two nodes");
+        assert_eq!(nodes.len(), rates.len(), "one rate per node");
+        assert!(
+            rates.iter().all(|&r| r > 0.0 && r.is_finite()),
+            "rates must be positive"
+        );
+        failure.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let overlay = OverlayState::new(overlay, nodes.len(), &mut rng);
+        let mut queue = BinaryHeap::with_capacity(nodes.len());
+        for (i, &rate) in rates.iter().enumerate() {
+            let dt = exponential(&mut rng, rate);
+            queue.push(Event { time: dt, node: i });
+        }
+        let alive = vec![true; nodes.len()];
+        AsyncNetwork {
+            nodes,
+            alive,
+            rates,
+            overlay,
+            failure,
+            traffic: TrafficStats::new(),
+            rng,
+            clock: 0.0,
+            queue,
+            initiations: 0,
+        }
+    }
+
+    /// Uniform rate `1.0` for every node (the homogeneous baseline).
+    pub fn with_uniform_rates(
+        nodes: Vec<P>,
+        overlay: Overlay,
+        failure: FailureModel,
+        seed: u64,
+    ) -> Self {
+        let n = nodes.len();
+        Self::new(nodes, overlay, failure, vec![1.0; n], seed)
+    }
+
+    /// Current simulation time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total initiations processed so far.
+    pub fn initiations(&self) -> u64 {
+        self.initiations
+    }
+
+    /// Immutable view of the protocol instances.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Cumulative traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Liveness of node `i`.
+    pub fn is_alive(&self, i: NodeId) -> bool {
+        self.alive[i]
+    }
+
+    /// Forces the liveness of a node.
+    pub fn set_alive(&mut self, i: NodeId, alive: bool) {
+        self.alive[i] = alive;
+    }
+
+    /// Advances the simulation until the clock reaches `t`.
+    ///
+    /// At mean rate 1 this processes about `n` initiations per unit time —
+    /// one time unit corresponds to one cycle of the synchronous engine.
+    pub fn run_until(&mut self, t: f64) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            let Event { time, node } = self.queue.pop().expect("peeked");
+            self.clock = time;
+
+            // Crash/recovery is evaluated lazily at the node's own events.
+            if self.alive[node] {
+                if self.rng.gen::<f64>() < self.failure.crash_prob {
+                    self.alive[node] = false;
+                }
+            } else if self.rng.gen::<f64>() < self.failure.recovery_prob {
+                self.alive[node] = true;
+            }
+
+            if self.alive[node] {
+                self.initiations += 1;
+                let target = self.overlay.sample(node, &mut self.rng);
+                if !self.alive[target] || self.rng.gen::<f64>() < self.failure.drop_prob {
+                    self.traffic.record_drop();
+                } else {
+                    let (initiator, peer) = pair_mut(&mut self.nodes, node, target);
+                    let mut ctx = ExchangeCtx {
+                        cycle: self.clock as u64,
+                        initiator: node,
+                        target,
+                        rng: &mut self.rng,
+                        traffic: &mut self.traffic,
+                    };
+                    initiator.exchange(peer, &mut ctx);
+                }
+            } else {
+                self.traffic.record_initiator_down();
+            }
+
+            // Schedule this node's next initiation.
+            let dt = exponential(&mut self.rng, self.rates[node]);
+            self.queue.push(Event {
+                time: self.clock + dt,
+                node,
+            });
+        }
+        self.clock = t.max(self.clock);
+    }
+}
+
+/// Exponential inter-arrival sample with the given rate.
+fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+/// Mutable references to two distinct elements.
+fn pair_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "pair_mut requires distinct indices");
+    if i < j {
+        let (lo, hi) = v.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pushsum::{max_relative_error, PushSumNode};
+
+    fn pushsum_nodes(n: usize) -> (Vec<PushSumNode>, Vec<f64>) {
+        let nodes: Vec<PushSumNode> = (0..n)
+            .map(|i| PushSumNode::new(vec![i as f64], 1.0))
+            .collect();
+        let truth = vec![(n - 1) as f64 / 2.0];
+        (nodes, truth)
+    }
+
+    #[test]
+    fn event_count_tracks_rates() {
+        let (nodes, _) = pushsum_nodes(50);
+        let mut net =
+            AsyncNetwork::with_uniform_rates(nodes, Overlay::Full, FailureModel::none(), 1);
+        net.run_until(20.0);
+        // 50 nodes × rate 1 × 20 time units ≈ 1000 initiations.
+        let got = net.initiations();
+        assert!((800..1200).contains(&(got as usize)), "initiations {got}");
+    }
+
+    #[test]
+    fn converges_under_asynchrony() {
+        let (nodes, truth) = pushsum_nodes(64);
+        let mut net =
+            AsyncNetwork::with_uniform_rates(nodes, Overlay::Full, FailureModel::none(), 2);
+        net.run_until(40.0); // ≈ 40 synchronous cycles of mixing
+        let err = max_relative_error(net.nodes(), &truth);
+        assert!(err < 1e-4, "async push-sum error {err}");
+    }
+
+    #[test]
+    fn converges_with_heterogeneous_rates() {
+        // Slow phones (0.2) mixed with fast laptops (3.0): convergence must
+        // survive a 15× rate spread.
+        let (nodes, truth) = pushsum_nodes(60);
+        let rates: Vec<f64> = (0..60)
+            .map(|i| if i % 3 == 0 { 0.2 } else { 3.0 })
+            .collect();
+        let mut net = AsyncNetwork::new(nodes, Overlay::Full, FailureModel::none(), rates, 3);
+        net.run_until(120.0);
+        // Slow nodes initiate rarely and converge passively (they still
+        // receive pushes), so the straggler tolerance is looser than in the
+        // homogeneous test.
+        let err = max_relative_error(net.nodes(), &truth);
+        assert!(err < 0.01, "heterogeneous push-sum error {err}");
+    }
+
+    #[test]
+    fn mass_conserved_asynchronously() {
+        let (nodes, _) = pushsum_nodes(32);
+        let mass_before: f64 = nodes.iter().map(|n| n.mass().0[0]).sum();
+        let mut net =
+            AsyncNetwork::with_uniform_rates(nodes, Overlay::Full, FailureModel::none(), 4);
+        net.run_until(25.0);
+        let mass_after: f64 = net.nodes().iter().map(|n| n.mass().0[0]).sum();
+        assert!((mass_before - mass_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_advances_monotonically_to_target() {
+        let (nodes, _) = pushsum_nodes(8);
+        let mut net =
+            AsyncNetwork::with_uniform_rates(nodes, Overlay::Full, FailureModel::none(), 5);
+        net.run_until(3.0);
+        let t1 = net.clock();
+        assert!(t1 >= 3.0);
+        net.run_until(10.0);
+        assert!(net.clock() >= t1);
+    }
+
+    #[test]
+    fn crashed_nodes_do_not_initiate() {
+        let (nodes, _) = pushsum_nodes(4);
+        let mut net =
+            AsyncNetwork::with_uniform_rates(nodes, Overlay::Full, FailureModel::none(), 6);
+        net.set_alive(0, false);
+        net.run_until(10.0);
+        assert!(net.traffic().initiator_down > 0);
+        assert!(!net.is_alive(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let (nodes, _) = pushsum_nodes(20);
+            let mut net =
+                AsyncNetwork::with_uniform_rates(nodes, Overlay::Full, FailureModel::none(), seed);
+            net.run_until(15.0);
+            (
+                net.initiations(),
+                net.nodes()
+                    .iter()
+                    .map(|n| n.estimate().unwrap()[0])
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_rejected() {
+        let (nodes, _) = pushsum_nodes(4);
+        AsyncNetwork::new(
+            nodes,
+            Overlay::Full,
+            FailureModel::none(),
+            vec![1.0, 0.0, 1.0, 1.0],
+            7,
+        );
+    }
+}

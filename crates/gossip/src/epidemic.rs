@@ -1,0 +1,165 @@
+//! Epidemic (push-pull anti-entropy) dissemination of mergeable state.
+//!
+//! Once a perturbed aggregate is decrypted by some participants, everyone
+//! needs it; and "the late participants simply synchronize on the latest
+//! iteration during their gossip exchanges" (paper §II-B). Both are instances
+//! of spreading a join-semilattice value: exchanges merge the two sides'
+//! states, and the maximum/latest value floods the network in `O(log n)`
+//! cycles.
+
+use crate::network::{CycleProtocol, ExchangeCtx};
+
+/// A join-semilattice value: merging is commutative, associative,
+/// idempotent.
+pub trait Merge: Clone {
+    /// Merges `other` into `self`; returns `true` if `self` changed.
+    fn merge_from(&mut self, other: &Self) -> bool;
+    /// Serialized size in bytes (for traffic accounting).
+    fn payload_bytes(&self) -> usize;
+}
+
+/// Epidemic node wrapping a mergeable value.
+#[derive(Clone, Debug)]
+pub struct EpidemicNode<T: Merge> {
+    /// The node's current view of the disseminated value.
+    pub value: T,
+}
+
+impl<T: Merge> EpidemicNode<T> {
+    /// Creates a node with an initial value.
+    pub fn new(value: T) -> Self {
+        EpidemicNode { value }
+    }
+}
+
+impl<T: Merge> CycleProtocol for EpidemicNode<T> {
+    fn exchange(&mut self, peer: &mut Self, ctx: &mut ExchangeCtx<'_>) {
+        // Push-pull: both directions in one exchange.
+        ctx.record_message(self.value.payload_bytes());
+        let peer_changed = peer.value.merge_from(&self.value);
+        ctx.record_message(peer.value.payload_bytes());
+        let _ = self.value.merge_from(&peer.value);
+        let _ = peer_changed;
+    }
+}
+
+/// A versioned payload: the highest `version` wins (the "latest iteration"
+/// merge Chiaroscuro's synchronization needs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Versioned<T: Clone> {
+    /// Monotone version (Chiaroscuro: iteration number).
+    pub version: u64,
+    /// The payload at that version.
+    pub payload: T,
+    /// Approximate serialized size of the payload.
+    pub payload_size: usize,
+}
+
+impl<T: Clone> Versioned<T> {
+    /// Creates a versioned value.
+    pub fn new(version: u64, payload: T, payload_size: usize) -> Self {
+        Versioned {
+            version,
+            payload,
+            payload_size,
+        }
+    }
+}
+
+impl<T: Clone> Merge for Versioned<T> {
+    fn merge_from(&mut self, other: &Self) -> bool {
+        if other.version > self.version {
+            self.version = other.version;
+            self.payload = other.payload.clone();
+            self.payload_size = other.payload_size;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn payload_bytes(&self) -> usize {
+        8 + self.payload_size
+    }
+}
+
+/// Fraction of nodes whose value has at least the given version.
+pub fn coverage<T: Clone>(nodes: &[EpidemicNode<Versioned<T>>], version: u64) -> f64 {
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    nodes.iter().filter(|n| n.value.version >= version).count() as f64 / nodes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureModel, Network, Overlay};
+
+    fn fresh_network(n: usize, seed: u64) -> Network<EpidemicNode<Versioned<u64>>> {
+        let nodes: Vec<_> = (0..n)
+            .map(|_| EpidemicNode::new(Versioned::new(0, 0u64, 8)))
+            .collect();
+        Network::new(nodes, Overlay::Full, FailureModel::none(), seed)
+    }
+
+    #[test]
+    fn single_source_floods_logarithmically() {
+        let n = 256;
+        let mut net = fresh_network(n, 1);
+        net.nodes_mut()[17] = EpidemicNode::new(Versioned::new(1, 4242u64, 8));
+        // log2(256) = 8; push-pull needs ~log n + O(1) cycles.
+        net.run_cycles(12);
+        assert_eq!(coverage(net.nodes(), 1), 1.0, "everyone must have v1");
+        assert!(net.nodes().iter().all(|nd| nd.value.payload == 4242));
+    }
+
+    #[test]
+    fn highest_version_wins_everywhere() {
+        let mut net = fresh_network(64, 2);
+        net.nodes_mut()[3] = EpidemicNode::new(Versioned::new(5, 555u64, 8));
+        net.nodes_mut()[40] = EpidemicNode::new(Versioned::new(9, 999u64, 8));
+        net.run_cycles(15);
+        for nd in net.nodes() {
+            assert_eq!(nd.value.version, 9);
+            assert_eq!(nd.value.payload, 999);
+        }
+    }
+
+    #[test]
+    fn coverage_grows_monotonically() {
+        let mut net = fresh_network(128, 3);
+        net.nodes_mut()[0] = EpidemicNode::new(Versioned::new(1, 1u64, 8));
+        let mut last = coverage(net.nodes(), 1);
+        for _ in 0..10 {
+            net.run_cycle();
+            let now = coverage(net.nodes(), 1);
+            assert!(now >= last, "coverage must not shrink");
+            last = now;
+        }
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = Versioned::new(3, 30u64, 8);
+        let b = Versioned::new(3, 31u64, 8);
+        assert!(!a.merge_from(&b), "equal version must not overwrite");
+        assert_eq!(a.payload, 30);
+    }
+
+    #[test]
+    fn spreads_under_message_loss() {
+        let n = 128;
+        let nodes: Vec<_> = (0..n)
+            .map(|_| EpidemicNode::new(Versioned::new(0, 0u64, 8)))
+            .collect();
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::lossy(0.25), 4);
+        net.nodes_mut()[0] = EpidemicNode::new(Versioned::new(1, 7u64, 8));
+        net.run_cycles(25);
+        assert!(
+            coverage(net.nodes(), 1) > 0.99,
+            "epidemic must beat 25% loss"
+        );
+    }
+}

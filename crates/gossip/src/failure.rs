@@ -1,0 +1,85 @@
+//! Failure injection: crash-recovery churn and message loss.
+//!
+//! Chiaroscuro targets "possibly faulty computing nodes"; experiments probe
+//! how aggregation quality degrades under churn and lossy links.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-cycle failure probabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Probability that a live node crashes at the start of a cycle.
+    pub crash_prob: f64,
+    /// Probability that a crashed node recovers at the start of a cycle.
+    /// Recovered nodes rejoin with their pre-crash state (crash-recovery
+    /// model; Chiaroscuro's late-participant sync covers the catch-up).
+    pub recovery_prob: f64,
+    /// Probability that any individual message is lost in transit.
+    pub drop_prob: f64,
+}
+
+impl FailureModel {
+    /// No failures at all.
+    pub fn none() -> Self {
+        FailureModel {
+            crash_prob: 0.0,
+            recovery_prob: 0.0,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Message loss only.
+    pub fn lossy(drop_prob: f64) -> Self {
+        FailureModel {
+            crash_prob: 0.0,
+            recovery_prob: 0.0,
+            drop_prob,
+        }
+    }
+
+    /// Churn only (crash + recovery).
+    pub fn churn(crash_prob: f64, recovery_prob: f64) -> Self {
+        FailureModel {
+            crash_prob,
+            recovery_prob,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Validates all probabilities are in `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("crash_prob", self.crash_prob),
+            ("recovery_prob", self.recovery_prob),
+            ("drop_prob", self.drop_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of [0,1]: {p}");
+        }
+    }
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(FailureModel::none().drop_prob, 0.0);
+        assert_eq!(FailureModel::lossy(0.1).drop_prob, 0.1);
+        let c = FailureModel::churn(0.01, 0.5);
+        assert_eq!(c.crash_prob, 0.01);
+        assert_eq!(c.recovery_prob, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_probability_panics() {
+        FailureModel::lossy(1.5).validate();
+    }
+}

@@ -1,0 +1,382 @@
+//! Push-sum over additively-homomorphic ciphertexts.
+//!
+//! The paper's central building block: "a gossip sum algorithm working on
+//! additively-homomorphic encrypted data". Classic push-sum halves a node's
+//! value each exchange — impossible on a ciphertext, since multiplying the
+//! plaintext by the modular inverse of 2 wrecks fixed-point encodings.
+//!
+//! The reconstruction (DESIGN.md §3.1) keeps push-sum's exact semantics with
+//! a *denominator-exponent* representation. A node holds `(C⃗, k, w)` meaning
+//! the plaintext vector `Dec(C⃗)/2^k` with push-sum weight `w`:
+//!
+//! * **halving** increments `k` and halves `w` — the ciphertexts are
+//!   untouched;
+//! * **addition** aligns denominators homomorphically:
+//!   `k' = max(k₁,k₂)`, `C' = C₁^(2^(k'−k₁)) · C₂^(2^(k'−k₂))`;
+//! * the cleartext weight is protocol metadata, not private data — exactly
+//!   the weight any push-sum implementation must reveal to its peer.
+//!
+//! Plaintext magnitudes grow by at most `2^cycles`, absorbed by the huge
+//! plaintext space `Z_{n^s}`. Estimates converge to the same ratio as
+//! plaintext push-sum, but nobody can read them until the collaborative
+//! threshold decryption at the end of the computation step.
+
+use crate::network::{CycleProtocol, ExchangeCtx};
+use cs_crypto::{Ciphertext, FixedPointCodec, PrivateKey, PublicKey};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Counters for homomorphic operations (drives the demo-style cost model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomomorphicOpCounts {
+    /// Ciphertext additions performed.
+    pub additions: u64,
+    /// Power-of-two scalar multiplications (with non-zero exponent).
+    pub pow2_scalings: u64,
+    /// Re-randomizations before forwarding.
+    pub rerandomizations: u64,
+    /// Initial encryptions.
+    pub encryptions: u64,
+}
+
+impl HomomorphicOpCounts {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &HomomorphicOpCounts) {
+        self.additions += other.additions;
+        self.pow2_scalings += other.pow2_scalings;
+        self.rerandomizations += other.rerandomizations;
+        self.encryptions += other.encryptions;
+    }
+}
+
+/// One participant in the encrypted push-sum.
+#[derive(Clone)]
+pub struct HePushSumNode {
+    pk: Arc<PublicKey>,
+    cipher: Vec<Ciphertext>,
+    denom_exp: u32,
+    weight: f64,
+    rerandomize: bool,
+    ops: HomomorphicOpCounts,
+}
+
+impl HePushSumNode {
+    /// Creates a node by fixed-point-encoding and encrypting `values`.
+    pub fn from_values<R: Rng + ?Sized>(
+        pk: Arc<PublicKey>,
+        codec: &FixedPointCodec,
+        values: &[f64],
+        weight: f64,
+        rerandomize: bool,
+        rng: &mut R,
+    ) -> Self {
+        let cipher: Vec<Ciphertext> = values
+            .iter()
+            .map(|&v| {
+                let m = codec.encode(v, pk.n_s()).expect("value in range");
+                pk.encrypt(&m, rng)
+            })
+            .collect();
+        let ops = HomomorphicOpCounts {
+            encryptions: cipher.len() as u64,
+            ..Default::default()
+        };
+        HePushSumNode {
+            pk,
+            cipher,
+            denom_exp: 0,
+            weight,
+            rerandomize,
+            ops,
+        }
+    }
+
+    /// Creates a node from pre-encrypted slots (the Chiaroscuro engine
+    /// encrypts contributions itself so zero-slots can use the free trivial
+    /// encryption).
+    pub fn from_ciphertexts(
+        pk: Arc<PublicKey>,
+        cipher: Vec<Ciphertext>,
+        weight: f64,
+        rerandomize: bool,
+    ) -> Self {
+        HePushSumNode {
+            pk,
+            cipher,
+            denom_exp: 0,
+            weight,
+            rerandomize,
+            ops: HomomorphicOpCounts::default(),
+        }
+    }
+
+    /// The encrypted slots (for collaborative decryption).
+    pub fn ciphertexts(&self) -> &[Ciphertext] {
+        &self.cipher
+    }
+
+    /// The denominator exponent `k` (plaintext = `Dec(C)/2^k`).
+    pub fn denominator_exp(&self) -> u32 {
+        self.denom_exp
+    }
+
+    /// The push-sum weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Homomorphic operation counters accumulated by this node.
+    pub fn op_counts(&self) -> HomomorphicOpCounts {
+        self.ops
+    }
+
+    /// Number of encrypted slots.
+    pub fn dim(&self) -> usize {
+        self.cipher.len()
+    }
+
+    /// Decrypts this node's estimate with a full private key (tests and
+    /// invariant checks; the protocol itself uses threshold decryption).
+    ///
+    /// Returns `None` while the weight is numerically zero.
+    pub fn decrypt_estimate(&self, sk: &PrivateKey, codec: &FixedPointCodec) -> Option<Vec<f64>> {
+        if self.weight <= f64::MIN_POSITIVE {
+            return None;
+        }
+        Some(
+            self.cipher
+                .iter()
+                .map(|c| {
+                    let raw = sk.decrypt(c);
+                    codec.decode(&raw, self.pk.n_s(), self.denom_exp) / self.weight
+                })
+                .collect(),
+        )
+    }
+
+    /// The *mass* this node holds in value space: `Dec(C)/2^k` per slot
+    /// (conservation diagnostics).
+    pub fn decrypt_mass(&self, sk: &PrivateKey, codec: &FixedPointCodec) -> Vec<f64> {
+        self.cipher
+            .iter()
+            .map(|c| codec.decode(&sk.decrypt(c), self.pk.n_s(), self.denom_exp))
+            .collect()
+    }
+
+    /// Serialized payload size of one push message from this node.
+    pub fn message_bytes(&self) -> usize {
+        self.cipher.len() * self.pk.ciphertext_bytes() + 4 + 8
+    }
+}
+
+impl std::fmt::Debug for HePushSumNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HePushSumNode")
+            .field("slots", &self.cipher.len())
+            .field("denom_exp", &self.denom_exp)
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
+impl CycleProtocol for HePushSumNode {
+    fn exchange(&mut self, peer: &mut Self, ctx: &mut ExchangeCtx<'_>) {
+        debug_assert_eq!(self.dim(), peer.dim(), "dimension mismatch");
+        // Halve: k += 1, weight /= 2; ciphertexts untouched.
+        self.denom_exp += 1;
+        self.weight *= 0.5;
+
+        // Push a copy to the peer, re-randomized if configured so the wire
+        // ciphertext cannot be linked to this node's stored one.
+        let k_new = self.denom_exp.max(peer.denom_exp);
+        let self_shift = k_new - self.denom_exp;
+        let peer_shift = k_new - peer.denom_exp;
+        for i in 0..self.cipher.len() {
+            let mut outgoing = self.cipher[i].clone();
+            if self.rerandomize {
+                outgoing = self.pk.rerandomize(&outgoing, ctx.rng);
+                peer.ops.rerandomizations += 1;
+            }
+            if self_shift > 0 {
+                outgoing = self.pk.scalar_mul_pow2(&outgoing, self_shift);
+                peer.ops.pow2_scalings += 1;
+            }
+            let mut local = peer.cipher[i].clone();
+            if peer_shift > 0 {
+                local = self.pk.scalar_mul_pow2(&local, peer_shift);
+                peer.ops.pow2_scalings += 1;
+            }
+            peer.cipher[i] = self.pk.add(&local, &outgoing);
+            peer.ops.additions += 1;
+        }
+        peer.denom_exp = k_new;
+        peer.weight += self.weight;
+        ctx.record_message(self.message_bytes());
+    }
+}
+
+/// Maximum relative error of all estimates against the true aggregate,
+/// decrypting with the full key (test/diagnostic helper).
+pub fn max_relative_error(
+    nodes: &[HePushSumNode],
+    sk: &PrivateKey,
+    codec: &FixedPointCodec,
+    truth: &[f64],
+) -> f64 {
+    let scale = truth
+        .iter()
+        .map(|t| t.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    nodes
+        .iter()
+        .filter_map(|n| n.decrypt_estimate(sk, codec))
+        .map(|est| {
+            est.iter()
+                .zip(truth)
+                .map(|(e, t)| (e - t).abs() / scale)
+                .fold(0.0f64, f64::max)
+        })
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureModel, Network, Overlay};
+    use cs_crypto::{KeyGenOptions, KeyPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        n: usize,
+        seed: u64,
+    ) -> (Arc<PublicKey>, KeyPair, FixedPointCodec, Vec<HePushSumNode>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&KeyGenOptions::insecure_test_size(), &mut rng);
+        let pk = Arc::new(kp.public().clone());
+        let codec = FixedPointCodec::new(20);
+        let nodes: Vec<HePushSumNode> = (0..n)
+            .map(|i| {
+                HePushSumNode::from_values(
+                    pk.clone(),
+                    &codec,
+                    &[i as f64, -(i as f64) * 0.5],
+                    1.0,
+                    false,
+                    &mut rng,
+                )
+            })
+            .collect();
+        (pk, kp, codec, nodes)
+    }
+
+    #[test]
+    fn converges_to_average_under_encryption() {
+        let n = 16;
+        let (_pk, kp, codec, nodes) = setup(n, 1);
+        let truth = vec![(n - 1) as f64 / 2.0, -((n - 1) as f64) / 4.0];
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 2);
+        net.run_cycles(25);
+        let err = max_relative_error(net.nodes(), kp.private(), &codec, &truth);
+        assert!(err < 1e-3, "error {err}");
+    }
+
+    #[test]
+    fn mass_conserved_in_value_space() {
+        let (_pk, kp, codec, nodes) = setup(8, 3);
+        let before: f64 = nodes
+            .iter()
+            .map(|n| n.decrypt_mass(kp.private(), &codec)[0])
+            .sum();
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 4);
+        net.run_cycles(12);
+        let after: f64 = net
+            .nodes()
+            .iter()
+            .map(|n| n.decrypt_mass(kp.private(), &codec)[0])
+            .sum();
+        assert!(
+            (before - after).abs() < 1e-3,
+            "mass drifted: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn weight_conserved() {
+        let (_pk, _kp, _codec, nodes) = setup(8, 5);
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 6);
+        net.run_cycles(15);
+        let total_weight: f64 = net.nodes().iter().map(|n| n.weight()).sum();
+        assert!((total_weight - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_plaintext_pushsum_shape() {
+        // Same seeds, same topology: encrypted and plaintext push-sum must
+        // produce near-identical estimates (up to fixed-point granularity).
+        let n = 10;
+        let (_pk, kp, codec, he_nodes) = setup(n, 7);
+        let ps_nodes: Vec<crate::pushsum::PushSumNode> = (0..n)
+            .map(|i| crate::pushsum::PushSumNode::new(vec![i as f64, -(i as f64) * 0.5], 1.0))
+            .collect();
+        let mut he_net = Network::new(he_nodes, Overlay::Full, FailureModel::none(), 99);
+        let mut ps_net = Network::new(ps_nodes, Overlay::Full, FailureModel::none(), 99);
+        he_net.run_cycles(15);
+        ps_net.run_cycles(15);
+        for (he, ps) in he_net.nodes().iter().zip(ps_net.nodes()) {
+            let he_est = he.decrypt_estimate(kp.private(), &codec).unwrap();
+            let ps_est = ps.estimate().unwrap();
+            for (a, b) in he_est.iter().zip(&ps_est) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rerandomization_keeps_estimates_correct() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let kp = KeyPair::generate(&KeyGenOptions::insecure_test_size(), &mut rng);
+        let pk = Arc::new(kp.public().clone());
+        let codec = FixedPointCodec::new(20);
+        let nodes: Vec<HePushSumNode> = (0..8)
+            .map(|i| {
+                HePushSumNode::from_values(pk.clone(), &codec, &[i as f64], 1.0, true, &mut rng)
+            })
+            .collect();
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 9);
+        net.run_cycles(20);
+        let err = max_relative_error(net.nodes(), kp.private(), &codec, &[3.5]);
+        assert!(err < 1e-3, "error {err}");
+        let total_ops: u64 = net
+            .nodes()
+            .iter()
+            .map(|n| n.op_counts().rerandomizations)
+            .sum();
+        assert!(total_ops > 0, "re-randomizations must be counted");
+    }
+
+    #[test]
+    fn op_counting_tracks_work() {
+        let (_pk, _kp, _codec, nodes) = setup(6, 10);
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 11);
+        net.run_cycles(5);
+        let mut total = HomomorphicOpCounts::default();
+        for n in net.nodes() {
+            total.merge(&n.op_counts());
+        }
+        // 5 cycles × 6 initiations × 2 slots = 60 additions expected.
+        assert_eq!(total.additions, 60);
+        assert!(total.pow2_scalings > 0);
+        assert_eq!(total.encryptions, 12);
+    }
+
+    #[test]
+    fn message_bytes_scale_with_key_and_slots() {
+        let (_pk, _kp, _codec, nodes) = setup(2, 12);
+        // 256-bit n → 512-bit n² → 64-byte ciphertexts; 2 slots + k + weight.
+        let expected = 2 * 64 + 4 + 8;
+        assert_eq!(nodes[0].message_bytes(), expected);
+    }
+}

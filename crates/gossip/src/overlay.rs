@@ -1,0 +1,150 @@
+//! Peer sampling.
+//!
+//! Gossip correctness rests on (approximately) uniform peer sampling. The
+//! full-view overlay is Peersim's idealized setting; the partial view models
+//! a Newscast-style membership service where each node only knows a random
+//! subset refreshed over time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Overlay topology used to sample gossip targets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Overlay {
+    /// Every node can contact every other node (idealized uniform sampling).
+    Full,
+    /// Each node holds a `view_size`-entry random view; each cycle a random
+    /// entry of the view is replaced by a fresh uniform sample (a light
+    /// abstraction of Newscast's view exchange).
+    PartialView {
+        /// Number of known peers per node.
+        view_size: usize,
+    },
+}
+
+/// Runtime state of the overlay (views for the partial case).
+#[derive(Clone, Debug)]
+pub struct OverlayState {
+    overlay: Overlay,
+    views: Vec<Vec<usize>>,
+    n: usize,
+}
+
+impl OverlayState {
+    /// Initializes the overlay for `n` nodes.
+    ///
+    /// Panics if `n < 2` (gossip needs someone to talk to) or if a partial
+    /// view is configured with size 0.
+    pub fn new(overlay: Overlay, n: usize, rng: &mut StdRng) -> Self {
+        assert!(n >= 2, "gossip needs at least two nodes");
+        let views = match &overlay {
+            Overlay::Full => Vec::new(),
+            Overlay::PartialView { view_size } => {
+                assert!(*view_size >= 1, "view size must be positive");
+                (0..n)
+                    .map(|me| (0..*view_size).map(|_| sample_other(me, n, rng)).collect())
+                    .collect()
+            }
+        };
+        OverlayState { overlay, views, n }
+    }
+
+    /// Samples a gossip target for `me`.
+    pub fn sample(&mut self, me: usize, rng: &mut StdRng) -> usize {
+        match &self.overlay {
+            Overlay::Full => sample_other(me, self.n, rng),
+            Overlay::PartialView { .. } => {
+                let view = &mut self.views[me];
+                // Refresh one entry, then pick one.
+                let refresh_idx = rng.gen_range(0..view.len());
+                view[refresh_idx] = sample_other(me, self.n, rng);
+                view[rng.gen_range(0..view.len())]
+            }
+        }
+    }
+
+    /// The configured overlay.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+}
+
+fn sample_other(me: usize, n: usize, rng: &mut StdRng) -> usize {
+    // Uniform over the n-1 other nodes.
+    let raw = rng.gen_range(0..n - 1);
+    if raw >= me {
+        raw + 1
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_view_never_returns_self_and_covers_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = OverlayState::new(Overlay::Full, 10, &mut rng);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let t = state.sample(3, &mut rng);
+            assert_ne!(t, 3);
+            seen[t] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 9, "all other nodes reachable");
+    }
+
+    #[test]
+    fn full_view_approximately_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut state = OverlayState::new(Overlay::Full, 5, &mut rng);
+        let mut counts = [0usize; 5];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[state.sample(0, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.25).abs() < 0.02, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn partial_view_returns_known_peers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = OverlayState::new(Overlay::PartialView { view_size: 4 }, 50, &mut rng);
+        for me in 0..50 {
+            for _ in 0..20 {
+                let t = state.sample(me, &mut rng);
+                assert!(t < 50);
+                assert_ne!(t, me);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_view_refresh_expands_coverage() {
+        // With refresh, a node should eventually reach far more peers than
+        // its view size.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = OverlayState::new(Overlay::PartialView { view_size: 3 }, 40, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..600 {
+            seen.insert(state.sample(7, &mut rng));
+        }
+        assert!(seen.len() > 25, "coverage {} too small", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        OverlayState::new(Overlay::Full, 1, &mut rng);
+    }
+}

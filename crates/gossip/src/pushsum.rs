@@ -1,0 +1,202 @@
+//! Push-sum (Kempe, Dobra & Gehrke, FOCS 2003) over plaintext vectors.
+//!
+//! Every node holds a value vector and a weight; each exchange halves both
+//! and pushes one half to a random peer. All estimates `value/weight`
+//! converge to `Σ values / Σ weights` — the mass-conservation invariant makes
+//! the diffusion exact in the limit and the error decays exponentially with
+//! the number of cycles. With all weights 1 the estimate is the average; with
+//! a single unit weight it is the sum.
+//!
+//! This plaintext variant is the reference for experiment E5 (convergence
+//! speed, failure sensitivity) and the computational core of the simulated
+//! crypto mode.
+
+use crate::network::{CycleProtocol, ExchangeCtx};
+
+/// One push-sum participant.
+#[derive(Clone, Debug)]
+pub struct PushSumNode {
+    value: Vec<f64>,
+    weight: f64,
+}
+
+impl PushSumNode {
+    /// Creates a node holding `value` with the given initial `weight`.
+    pub fn new(value: Vec<f64>, weight: f64) -> Self {
+        assert!(weight >= 0.0 && weight.is_finite(), "invalid weight");
+        PushSumNode { value, weight }
+    }
+
+    /// The node's current estimate of `Σ values / Σ weights`, or `None`
+    /// while its weight is numerically zero.
+    pub fn estimate(&self) -> Option<Vec<f64>> {
+        if self.weight <= f64::MIN_POSITIVE {
+            return None;
+        }
+        Some(self.value.iter().map(|v| v / self.weight).collect())
+    }
+
+    /// Current mass held by this node (for conservation checks).
+    pub fn mass(&self) -> (&[f64], f64) {
+        (&self.value, self.weight)
+    }
+
+    /// Dimensionality of the aggregated vector.
+    pub fn dim(&self) -> usize {
+        self.value.len()
+    }
+}
+
+impl CycleProtocol for PushSumNode {
+    fn exchange(&mut self, peer: &mut Self, ctx: &mut ExchangeCtx<'_>) {
+        debug_assert_eq!(self.value.len(), peer.value.len(), "dimension mismatch");
+        // Halve locally, push the other half.
+        for v in &mut self.value {
+            *v *= 0.5;
+        }
+        self.weight *= 0.5;
+        for (pv, sv) in peer.value.iter_mut().zip(&self.value) {
+            *pv += sv;
+        }
+        peer.weight += self.weight;
+        // Payload: the vector + the weight, 8 bytes per f64.
+        ctx.record_message(8 * (self.value.len() + 1));
+    }
+}
+
+/// Maximum relative error of all live nodes' estimates against the true
+/// aggregate (diagnostic for convergence experiments).
+pub fn max_relative_error(nodes: &[PushSumNode], truth: &[f64]) -> f64 {
+    let scale = truth
+        .iter()
+        .map(|t| t.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    nodes
+        .iter()
+        .filter_map(|n| n.estimate())
+        .map(|est| {
+            est.iter()
+                .zip(truth)
+                .map(|(e, t)| (e - t).abs() / scale)
+                .fold(0.0f64, f64::max)
+        })
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureModel, Network, Overlay};
+
+    fn average_network(n: usize, seed: u64) -> (Network<PushSumNode>, Vec<f64>) {
+        // Node i holds the scalar value i.
+        let nodes: Vec<PushSumNode> = (0..n)
+            .map(|i| PushSumNode::new(vec![i as f64], 1.0))
+            .collect();
+        let truth = vec![(n - 1) as f64 / 2.0];
+        (
+            Network::new(nodes, Overlay::Full, FailureModel::none(), seed),
+            truth,
+        )
+    }
+
+    #[test]
+    fn converges_to_average() {
+        let (mut net, truth) = average_network(64, 1);
+        net.run_cycles(40);
+        let err = max_relative_error(net.nodes(), &truth);
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn error_decays_roughly_exponentially() {
+        let (mut net, truth) = average_network(128, 2);
+        let mut errors = Vec::new();
+        for _ in 0..30 {
+            net.run_cycles(1);
+            errors.push(max_relative_error(net.nodes(), &truth));
+        }
+        // Error after 30 cycles must be many orders below error after 5.
+        assert!(
+            errors[29] < errors[4] * 1e-3,
+            "late {} vs early {}",
+            errors[29],
+            errors[4]
+        );
+    }
+
+    #[test]
+    fn mass_conservation_without_failures() {
+        let (mut net, _) = average_network(32, 3);
+        let total_before: f64 = net.nodes().iter().map(|n| n.mass().0[0]).sum();
+        let weight_before: f64 = net.nodes().iter().map(|n| n.mass().1).sum();
+        net.run_cycles(25);
+        let total_after: f64 = net.nodes().iter().map(|n| n.mass().0[0]).sum();
+        let weight_after: f64 = net.nodes().iter().map(|n| n.mass().1).sum();
+        assert!((total_before - total_after).abs() < 1e-9);
+        assert!((weight_before - weight_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_mode_with_single_unit_weight() {
+        let n = 40;
+        let mut nodes: Vec<PushSumNode> = (0..n)
+            .map(|i| PushSumNode::new(vec![(i + 1) as f64], 0.0))
+            .collect();
+        nodes[0] = PushSumNode::new(vec![1.0], 1.0);
+        let truth = (2..=n).sum::<usize>() as f64 + 1.0;
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 4);
+        net.run_cycles(60);
+        let err = max_relative_error(net.nodes(), &[truth]);
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn vector_aggregation() {
+        let nodes: Vec<PushSumNode> = (0..16)
+            .map(|i| PushSumNode::new(vec![i as f64, 2.0 * i as f64, -1.0], 1.0))
+            .collect();
+        let truth = vec![7.5, 15.0, -1.0];
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 5);
+        net.run_cycles(40);
+        assert!(max_relative_error(net.nodes(), &truth) < 1e-6);
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_break_convergence_direction() {
+        // A dropped exchange is skipped atomically (the initiator does not
+        // halve), so no mass is lost — loss only removes mixing steps and
+        // convergence merely slows. Verify the error still shrinks.
+        let nodes: Vec<PushSumNode> = (0..64)
+            .map(|i| PushSumNode::new(vec![i as f64], 1.0))
+            .collect();
+        let truth = vec![31.5];
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::lossy(0.10), 6);
+        net.run_cycles(10);
+        let early = max_relative_error(net.nodes(), &truth);
+        net.run_cycles(40);
+        let late = max_relative_error(net.nodes(), &truth);
+        assert!(
+            late < early,
+            "error should keep shrinking: early {early}, late {late}"
+        );
+        assert!(late < 0.05, "late error {late}");
+    }
+
+    #[test]
+    fn partial_view_converges_too() {
+        let nodes: Vec<PushSumNode> = (0..64)
+            .map(|i| PushSumNode::new(vec![i as f64], 1.0))
+            .collect();
+        let truth = vec![31.5];
+        let mut net = Network::new(
+            nodes,
+            Overlay::PartialView { view_size: 5 },
+            FailureModel::none(),
+            7,
+        );
+        net.run_cycles(60);
+        assert!(max_relative_error(net.nodes(), &truth) < 1e-4);
+    }
+}

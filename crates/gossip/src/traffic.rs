@@ -1,0 +1,106 @@
+//! Message and byte accounting.
+//!
+//! The demo GUI displays per-participant network costs; every simulated
+//! exchange reports its payload here.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative traffic counters for one simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Messages successfully delivered.
+    pub messages: u64,
+    /// Payload bytes successfully delivered.
+    pub bytes: u64,
+    /// Messages lost to drops or dead targets.
+    pub dropped: u64,
+    /// Exchanges skipped because the initiator was crashed.
+    pub initiator_down: u64,
+}
+
+impl TrafficStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivered message of `bytes` payload.
+    pub fn record_message(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Records one lost message.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Records a skipped initiation.
+    pub fn record_initiator_down(&mut self) {
+        self.initiator_down += 1;
+    }
+
+    /// Average delivered bytes per message (0 when nothing was delivered).
+    pub fn avg_message_bytes(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+
+    /// Fraction of attempted messages that were lost.
+    pub fn loss_rate(&self) -> f64 {
+        let attempted = self.messages + self.dropped;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempted as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.dropped += other.dropped;
+        self.initiator_down += other.initiator_down;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = TrafficStats::new();
+        t.record_message(100);
+        t.record_message(300);
+        t.record_drop();
+        assert_eq!(t.messages, 2);
+        assert_eq!(t.bytes, 400);
+        assert_eq!(t.avg_message_bytes(), 200.0);
+        assert!((t.loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let t = TrafficStats::new();
+        assert_eq!(t.avg_message_bytes(), 0.0);
+        assert_eq!(t.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TrafficStats::new();
+        a.record_message(10);
+        let mut b = TrafficStats::new();
+        b.record_message(20);
+        b.record_drop();
+        a.merge(&b);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.bytes, 30);
+        assert_eq!(a.dropped, 1);
+    }
+}

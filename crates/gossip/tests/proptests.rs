@@ -1,0 +1,104 @@
+//! Property-based tests for the gossip layer: conservation and convergence
+//! invariants must hold for arbitrary populations, values, seeds, and
+//! failure settings.
+
+use cs_gossip::epidemic::{coverage, EpidemicNode, Versioned};
+use cs_gossip::pushsum::{max_relative_error, PushSumNode};
+use cs_gossip::{FailureModel, Network, Overlay};
+use proptest::prelude::*;
+
+fn network_from(values: &[f64], seed: u64, failure: FailureModel) -> Network<PushSumNode> {
+    let nodes: Vec<PushSumNode> = values
+        .iter()
+        .map(|&v| PushSumNode::new(vec![v], 1.0))
+        .collect();
+    Network::new(nodes, Overlay::Full, failure, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mass_conserved_for_any_population(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..40),
+        seed in any::<u64>(),
+        cycles in 1usize..20,
+    ) {
+        let mut net = network_from(&values, seed, FailureModel::none());
+        let mass_before: f64 = values.iter().sum();
+        net.run_cycles(cycles);
+        let mass_after: f64 = net.nodes().iter().map(|n| n.mass().0[0]).sum();
+        prop_assert!((mass_before - mass_after).abs() < 1e-6,
+            "mass drifted: {mass_before} → {mass_after}");
+        let weight_after: f64 = net.nodes().iter().map(|n| n.mass().1).sum();
+        prop_assert!((weight_after - values.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_converge_to_true_average(
+        values in proptest::collection::vec(-50.0f64..50.0, 8..32),
+        seed in any::<u64>(),
+    ) {
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut net = network_from(&values, seed, FailureModel::none());
+        net.run_cycles(40);
+        // The error is normalized by max(|truth|, 1e-12); when the average
+        // sits near zero relative to the value spread, the *relative*
+        // measure inflates — use an absolute tolerance on the value scale.
+        let err = max_relative_error(net.nodes(), &[truth]) * truth.abs().max(1e-12);
+        prop_assert!(err < 1e-2, "absolute error {err} after 40 cycles (values in ±50)");
+    }
+
+    #[test]
+    fn message_loss_never_corrupts_mass(
+        values in proptest::collection::vec(-10.0f64..10.0, 4..24),
+        seed in any::<u64>(),
+        drop in 0.0f64..0.9,
+    ) {
+        // Drops skip exchanges atomically, so mass stays exact regardless of
+        // the loss rate.
+        let mut net = network_from(&values, seed, FailureModel::lossy(drop));
+        net.run_cycles(15);
+        let mass_after: f64 = net.nodes().iter().map(|n| n.mass().0[0]).sum();
+        prop_assert!((values.iter().sum::<f64>() - mass_after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn epidemic_version_floods_any_population(
+        n in 4usize..128,
+        source in any::<usize>(),
+        seed in any::<u64>(),
+    ) {
+        let source = source % n;
+        let nodes: Vec<_> = (0..n)
+            .map(|i| {
+                let v = if i == source { 1 } else { 0 };
+                EpidemicNode::new(Versioned::new(v, v, 8))
+            })
+            .collect();
+        let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), seed);
+        // Push-pull epidemics cover n nodes in O(log n) cycles; 4·log2(n)+8
+        // is a very safe bound.
+        let cycles = 4 * (usize::BITS - n.leading_zeros()) as usize + 8;
+        net.run_cycles(cycles);
+        prop_assert_eq!(coverage(net.nodes(), 1), 1.0);
+    }
+
+    #[test]
+    fn estimates_invariant_under_value_permutation(
+        values in proptest::collection::vec(0.0f64..10.0, 6..16),
+        seed in any::<u64>(),
+    ) {
+        // The aggregate is symmetric: shuffling who holds which value must
+        // not change what the network converges to.
+        let mut reversed = values.clone();
+        reversed.reverse();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut net_a = network_from(&values, seed, FailureModel::none());
+        let mut net_b = network_from(&reversed, seed, FailureModel::none());
+        net_a.run_cycles(35);
+        net_b.run_cycles(35);
+        prop_assert!(max_relative_error(net_a.nodes(), &[truth]) < 1e-3);
+        prop_assert!(max_relative_error(net_b.nodes(), &[truth]) < 1e-3);
+    }
+}

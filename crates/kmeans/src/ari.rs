@@ -1,0 +1,92 @@
+//! Adjusted Rand index: chance-corrected agreement between two labelings.
+
+/// Adjusted Rand index between two labelings of the same items.
+///
+/// 1.0 = identical partitions (up to label permutation), ~0 = random
+/// agreement, negative = worse than chance. Panics on length mismatch.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().copied().max().unwrap_or(0) + 1;
+    let kb = b.iter().copied().max().unwrap_or(0) + 1;
+
+    // Contingency table.
+    let mut table = vec![vec![0u64; kb]; ka];
+    let mut rows = vec![0u64; ka];
+    let mut cols = vec![0u64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+        rows[x] += 1;
+        cols[y] += 1;
+    }
+
+    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_cells: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = rows.iter().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = cols.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(n as u64);
+
+    let expected = sum_rows * sum_cols / total;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < 1e-15 {
+        return 1.0; // both partitions trivial (all-in-one or all-singletons)
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_invariant() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn disagreement_scores_low() {
+        let ari = adjusted_rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert!(ari <= 0.0, "orthogonal split should be ≤ 0, got {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let truth = [0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let noisy = [0, 0, 1, 1, 1, 1, 2, 2, 0];
+        let ari = adjusted_rand_index(&truth, &noisy);
+        assert!(ari > 0.1 && ari < 0.9, "ari {ari}");
+    }
+
+    #[test]
+    fn known_sklearn_value() {
+        // Cross-checked with scikit-learn:
+        // adjusted_rand_score([0,0,1,2], [0,0,1,1]) = 0.5714285714285715
+        let ari = adjusted_rand_index(&[0, 0, 1, 2], &[0, 0, 1, 1]);
+        assert!((ari - 0.5714285714285715).abs() < 1e-12, "ari {ari}");
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 0, 0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        adjusted_rand_index(&[0, 1], &[0]);
+    }
+}

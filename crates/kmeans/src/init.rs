@@ -1,0 +1,147 @@
+//! Centroid initialization.
+
+use cs_timeseries::{Distance, TimeSeries};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the first k centroids are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitMethod {
+    /// k distinct series drawn uniformly (the paper's "e.g., at random").
+    RandomPoints,
+    /// k-means++ (D² weighting) — better seeds, fewer iterations.
+    PlusPlus,
+}
+
+impl InitMethod {
+    /// Picks `k` initial centroids from `series`.
+    ///
+    /// Panics if `series.len() < k` or `k == 0`.
+    pub fn choose<R: Rng + ?Sized>(
+        &self,
+        series: &[TimeSeries],
+        k: usize,
+        distance: Distance,
+        rng: &mut R,
+    ) -> Vec<TimeSeries> {
+        assert!(k > 0, "k must be positive");
+        assert!(series.len() >= k, "need at least k series");
+        match self {
+            InitMethod::RandomPoints => {
+                // Partial Fisher-Yates over indices for k distinct picks.
+                let mut indices: Vec<usize> = (0..series.len()).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..indices.len());
+                    indices.swap(i, j);
+                }
+                indices[..k].iter().map(|&i| series[i].clone()).collect()
+            }
+            InitMethod::PlusPlus => {
+                let mut centroids = Vec::with_capacity(k);
+                centroids.push(series[rng.gen_range(0..series.len())].clone());
+                let mut dist2: Vec<f64> = series
+                    .iter()
+                    .map(|s| distance.compute(s, &centroids[0]))
+                    .collect();
+                while centroids.len() < k {
+                    let total: f64 = dist2.iter().sum();
+                    let next = if total <= 0.0 {
+                        // All points coincide with a centroid: any pick works.
+                        rng.gen_range(0..series.len())
+                    } else {
+                        let mut target = rng.gen::<f64>() * total;
+                        let mut pick = series.len() - 1;
+                        for (i, &d) in dist2.iter().enumerate() {
+                            target -= d;
+                            if target <= 0.0 {
+                                pick = i;
+                                break;
+                            }
+                        }
+                        pick
+                    };
+                    let chosen = series[next].clone();
+                    for (i, s) in series.iter().enumerate() {
+                        dist2[i] = dist2[i].min(distance.compute(s, &chosen));
+                    }
+                    centroids.push(chosen);
+                }
+                centroids
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Vec<TimeSeries> {
+        (0..20)
+            .map(|i| TimeSeries::new(vec![i as f64, (i * i) as f64 % 7.0]))
+            .collect()
+    }
+
+    #[test]
+    fn random_points_are_distinct_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let series = dataset();
+        let centroids =
+            InitMethod::RandomPoints.choose(&series, 5, Distance::SquaredEuclidean, &mut rng);
+        assert_eq!(centroids.len(), 5);
+        for c in &centroids {
+            assert!(series.contains(c), "centroid must be a dataset member");
+        }
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert_ne!(centroids[i], centroids[j], "picks must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn plus_plus_spreads_centroids() {
+        // Two tight groups far apart: k-means++ must pick one seed in each
+        // (with overwhelming probability over many trials).
+        let mut series: Vec<TimeSeries> =
+            (0..50).map(|_| TimeSeries::new(vec![0.0, 0.0])).collect();
+        series.extend((0..50).map(|_| TimeSeries::new(vec![100.0, 100.0])));
+        let mut hits = 0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let centroids =
+                InitMethod::PlusPlus.choose(&series, 2, Distance::SquaredEuclidean, &mut rng);
+            let spread = Distance::SquaredEuclidean.compute(&centroids[0], &centroids[1]);
+            if spread > 10_000.0 {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits >= 19,
+            "k-means++ picked both groups only {hits}/20 times"
+        );
+    }
+
+    #[test]
+    fn degenerate_identical_points() {
+        let series: Vec<TimeSeries> = (0..5).map(|_| TimeSeries::new(vec![1.0, 2.0])).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let centroids =
+            InitMethod::PlusPlus.choose(&series, 3, Distance::SquaredEuclidean, &mut rng);
+        assert_eq!(centroids.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k series")]
+    fn too_few_series_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        InitMethod::RandomPoints.choose(
+            &[TimeSeries::zeros(2)],
+            2,
+            Distance::SquaredEuclidean,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # cs-kmeans — centralized k-means baseline and quality metrics
+//!
+//! The demo's yardstick: Chiaroscuro's clustering quality is "compared to a
+//! centralized k-means" (paper §III-C). This crate provides that baseline —
+//! Lloyd's algorithm [Lloyd, 1982] with k-means++ or random initialization,
+//! deterministic empty-cluster repair — plus the quality metrics the
+//! experiments report:
+//!
+//! * intra-cluster inertia (the k-means objective itself, paper §II-A);
+//! * silhouette score;
+//! * adjusted Rand index against generator ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use cs_kmeans::{KMeans, KMeansConfig};
+//! use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let ds = generate(&BlobsConfig { count: 120, clusters: 3, ..Default::default() }, &mut rng);
+//! let result = KMeans::new(KMeansConfig { k: 3, ..Default::default() })
+//!     .fit(&ds.series, &mut rng);
+//! assert_eq!(result.centroids.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ari;
+pub mod assign;
+pub mod init;
+pub mod lloyd;
+pub mod metrics;
+
+pub use ari::adjusted_rand_index;
+pub use assign::assign_all;
+pub use init::InitMethod;
+pub use lloyd::{KMeans, KMeansConfig, KMeansResult};
+pub use metrics::{inertia, silhouette};

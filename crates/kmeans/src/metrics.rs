@@ -1,0 +1,132 @@
+//! Clustering quality metrics.
+
+use cs_timeseries::{Distance, TimeSeries};
+
+/// Intra-cluster inertia: `Σᵢ d(xᵢ, c_{a(i)})` — "the intra-cluster inertia
+/// which measures the homogeneity of the set of time-series within clusters"
+/// (paper §II-A). With [`Distance::SquaredEuclidean`] this is the k-means
+/// objective.
+pub fn inertia(
+    series: &[TimeSeries],
+    centroids: &[TimeSeries],
+    assignment: &[usize],
+    distance: Distance,
+) -> f64 {
+    assert_eq!(series.len(), assignment.len(), "one assignment per series");
+    series
+        .iter()
+        .zip(assignment)
+        .map(|(s, &a)| distance.compute(s, &centroids[a]))
+        .sum()
+}
+
+/// Mean silhouette score over all series, in `[-1, 1]` (higher = better
+/// separated). O(n²) — intended for evaluation-sized samples.
+///
+/// Series in singleton clusters contribute 0 (the usual convention).
+pub fn silhouette(series: &[TimeSeries], assignment: &[usize], distance: Distance) -> f64 {
+    let n = series.len();
+    assert_eq!(n, assignment.len(), "one assignment per series");
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assignment.iter().copied().max().unwrap_or(0) + 1;
+    let counts = {
+        let mut c = vec![0usize; k];
+        for &a in assignment {
+            c[a] += 1;
+        }
+        c
+    };
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignment[i];
+        if counts[own] <= 1 {
+            continue; // contributes 0
+        }
+        // Mean distance to own cluster (a) and to the nearest other (b).
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignment[j]] += distance.compute(&series[i], &series[j]);
+        }
+        let a = sums[own] / (counts[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Ratio of distributed-run inertia to baseline inertia (≥ 1 in expectation;
+/// closer to 1 = quality matching the centralized run). The demo's central
+/// quality readout.
+pub fn inertia_ratio(distributed: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        if distributed <= 0.0 {
+            return 1.0;
+        }
+        return f64::INFINITY;
+    }
+    distributed / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec())
+    }
+
+    #[test]
+    fn inertia_known_value() {
+        let series = vec![ts(&[0.0]), ts(&[2.0]), ts(&[10.0])];
+        let centroids = vec![ts(&[1.0]), ts(&[10.0])];
+        let assignment = vec![0, 0, 1];
+        assert_eq!(
+            inertia(&series, &centroids, &assignment, Distance::SquaredEuclidean),
+            2.0
+        );
+    }
+
+    #[test]
+    fn inertia_zero_for_perfect_fit() {
+        let series = vec![ts(&[1.0]), ts(&[5.0])];
+        let centroids = vec![ts(&[1.0]), ts(&[5.0])];
+        assert_eq!(
+            inertia(&series, &centroids, &[0, 1], Distance::SquaredEuclidean),
+            0.0
+        );
+    }
+
+    #[test]
+    fn silhouette_prefers_separated_clusters() {
+        let tight: Vec<TimeSeries> = vec![ts(&[0.0]), ts(&[0.1]), ts(&[10.0]), ts(&[10.1])];
+        let good = silhouette(&tight, &[0, 0, 1, 1], Distance::Euclidean);
+        let bad = silhouette(&tight, &[0, 1, 0, 1], Distance::Euclidean);
+        assert!(good > 0.9, "good split score {good}");
+        assert!(bad < 0.0, "bad split score {bad}");
+    }
+
+    #[test]
+    fn silhouette_handles_singletons() {
+        let series = vec![ts(&[0.0]), ts(&[1.0]), ts(&[100.0])];
+        let s = silhouette(&series, &[0, 0, 1], Distance::Euclidean);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn inertia_ratio_edge_cases() {
+        assert_eq!(inertia_ratio(2.0, 1.0), 2.0);
+        assert_eq!(inertia_ratio(0.0, 0.0), 1.0);
+        assert_eq!(inertia_ratio(1.0, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the k-means baseline and its metrics.
+
+use cs_kmeans::assign::{cluster_means, cluster_sums, nearest_centroid};
+use cs_kmeans::{adjusted_rand_index, inertia, KMeans, KMeansConfig};
+use cs_timeseries::{Distance, TimeSeries};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series_strategy(
+    len: usize,
+    count: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<TimeSeries>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, len..=len).prop_map(TimeSeries::new),
+        count,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fit_invariants(series in series_strategy(6, 5..40), seed in any::<u64>(), k in 1usize..5) {
+        prop_assume!(series.len() >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = KMeans::new(KMeansConfig { k, ..Default::default() })
+            .fit(&series, &mut rng);
+        // Shape invariants.
+        prop_assert_eq!(result.centroids.len(), k);
+        prop_assert_eq!(result.assignment.len(), series.len());
+        prop_assert!(result.assignment.iter().all(|&a| a < k));
+        prop_assert!(result.inertia >= 0.0);
+        // The final assignment is optimal w.r.t. the final centroids.
+        for (s, &a) in series.iter().zip(&result.assignment) {
+            let (best, _) = nearest_centroid(s, &result.centroids, Distance::SquaredEuclidean);
+            let d_assigned = Distance::SquaredEuclidean.compute(s, &result.centroids[a]);
+            let d_best = Distance::SquaredEuclidean.compute(s, &result.centroids[best]);
+            prop_assert!(d_assigned <= d_best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn inertia_history_never_increases(series in series_strategy(4, 8..30), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = KMeans::new(KMeansConfig {
+            k: 3,
+            convergence_threshold: 0.0,
+            max_iterations: 12,
+            ..Default::default()
+        })
+        .fit(&series, &mut rng);
+        for w in result.inertia_history.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-6, "history {:?}", result.inertia_history);
+        }
+    }
+
+    #[test]
+    fn centroid_is_mean_of_members(series in series_strategy(5, 6..25), seed in any::<u64>()) {
+        // After convergence each non-empty cluster's centroid equals the
+        // mean of its members (definition of the Lloyd update).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = KMeans::new(KMeansConfig {
+            k: 2,
+            max_iterations: 60,
+            ..Default::default()
+        })
+        .fit(&series, &mut rng);
+        prop_assume!(result.converged);
+        let (sums, counts) = cluster_sums(&series, &result.assignment, 2, 5);
+        let means = cluster_means(&sums, &counts);
+        for j in 0..2 {
+            if counts[j] == 0 {
+                continue;
+            }
+            for (c, m) in result.centroids[j].values().iter().zip(means[j].values()) {
+                prop_assert!((c - m).abs() < 1e-3, "cluster {j}: {c} vs {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn ari_permutation_invariance(labels in proptest::collection::vec(0usize..4, 4..50), perm_seed in any::<u8>()) {
+        // Relabeling clusters must not change the ARI against any reference.
+        let k = labels.iter().max().unwrap() + 1;
+        let shift = (perm_seed as usize % k).max(1);
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l + shift) % k).collect();
+        let reference: Vec<usize> = (0..labels.len()).map(|i| i % 3).collect();
+        let a = adjusted_rand_index(&labels, &reference);
+        let b = adjusted_rand_index(&permuted, &reference);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_self_agreement_is_one(labels in proptest::collection::vec(0usize..5, 2..60)) {
+        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_additive_over_clusters(series in series_strategy(3, 6..20)) {
+        // Inertia with k=1 on the whole set equals the sum of per-point
+        // distances to the global mean — cross-checked by direct computation.
+        let mut mean = TimeSeries::zeros(3);
+        for s in &series {
+            mean = mean.add(s);
+        }
+        let mean = mean.scale(1.0 / series.len() as f64);
+        let assignment = vec![0usize; series.len()];
+        let got = inertia(&series, std::slice::from_ref(&mean), &assignment, Distance::SquaredEuclidean);
+        let want: f64 = series
+            .iter()
+            .map(|s| Distance::SquaredEuclidean.compute(s, &mean))
+            .sum();
+        prop_assert!((got - want).abs() < 1e-6);
+    }
+}

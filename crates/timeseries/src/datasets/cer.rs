@@ -1,0 +1,272 @@
+//! CER-like electricity-consumption generator.
+//!
+//! The CER Electricity Customer Behaviour Trial [ISSDA 2012] recorded
+//! half-hourly consumption of Irish homes and businesses. The license
+//! prevents shipping it; this generator produces the structure the demo
+//! exploits: distinct household archetypes (the "consumption groups" an
+//! individual discovers through clustering) with realistic daily shapes,
+//! weekday/weekend modulation, appliance spikes, and autocorrelated noise.
+
+use super::LabeledDataset;
+use crate::TimeSeries;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Household archetypes, each a recognizable load shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Two pronounced peaks (breakfast, dinner), low daytime usage.
+    CommuterCouple,
+    /// High, flat daytime usage (home office / retirees).
+    DaytimeHome,
+    /// Late-evening and night usage dominates.
+    NightOwl,
+    /// Business: high weekday 9-to-5 plateau, quiet weekends.
+    SmallBusiness,
+    /// Electric-heating home: high base load with cold-morning boost.
+    ElectricHeating,
+}
+
+impl Archetype {
+    /// All archetypes in a fixed order (label = index in this slice).
+    pub const ALL: [Archetype; 5] = [
+        Archetype::CommuterCouple,
+        Archetype::DaytimeHome,
+        Archetype::NightOwl,
+        Archetype::SmallBusiness,
+        Archetype::ElectricHeating,
+    ];
+
+    /// Expected consumption (kW) at `hour ∈ [0, 24)` on a weekday (`weekend`
+    /// toggles the weekend shape).
+    fn expected_load(&self, hour: f64, weekend: bool) -> f64 {
+        let bump = |center: f64, width: f64, height: f64| -> f64 {
+            // wrap-around Gaussian bump on the 24h circle
+            let mut d = (hour - center).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            height * (-d * d / (2.0 * width * width)).exp()
+        };
+        match self {
+            Archetype::CommuterCouple => {
+                let base = 0.25;
+                let morning = if weekend {
+                    bump(9.5, 1.5, 0.9)
+                } else {
+                    bump(7.0, 1.0, 1.1)
+                };
+                let evening = bump(19.0, 2.0, 1.6);
+                base + morning + evening
+            }
+            Archetype::DaytimeHome => {
+                0.4 + bump(8.0, 1.2, 0.6) + bump(13.0, 4.0, 1.0) + bump(19.5, 2.0, 1.0)
+            }
+            Archetype::NightOwl => {
+                0.3 + bump(23.0, 2.5, 1.4) + bump(2.0, 2.0, 1.0) + bump(13.0, 2.0, 0.3)
+            }
+            Archetype::SmallBusiness => {
+                let base = 0.35;
+                if weekend {
+                    base + bump(12.0, 4.0, 0.2)
+                } else {
+                    // plateau approximated by overlapping bumps
+                    base + bump(10.0, 2.5, 1.8) + bump(14.5, 2.5, 1.8)
+                }
+            }
+            Archetype::ElectricHeating => 1.1 + bump(6.5, 1.5, 1.5) + bump(21.0, 2.5, 1.2),
+        }
+    }
+}
+
+/// Configuration of the generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CerConfig {
+    /// Number of households (series).
+    pub households: usize,
+    /// Days covered by each series.
+    pub days: usize,
+    /// Readings per day (48 = half-hourly like CER; 24 = hourly).
+    pub readings_per_day: usize,
+    /// Multiplicative per-household size factor spread (log-uniform width).
+    pub size_spread: f64,
+    /// Std-dev of the AR(1) measurement noise, in kW.
+    pub noise_level: f64,
+    /// Probability per reading of an appliance spike.
+    pub spike_probability: f64,
+}
+
+impl Default for CerConfig {
+    fn default() -> Self {
+        CerConfig {
+            households: 1000,
+            days: 7,
+            readings_per_day: 24,
+            size_spread: 0.35,
+            noise_level: 0.08,
+            spike_probability: 0.01,
+        }
+    }
+}
+
+/// Generates a CER-like dataset; labels are archetype indices.
+pub fn generate<R: Rng + ?Sized>(config: &CerConfig, rng: &mut R) -> LabeledDataset {
+    assert!(config.households > 0 && config.days > 0 && config.readings_per_day > 0);
+    let len = config.days * config.readings_per_day;
+    let mut series = Vec::with_capacity(config.households);
+    let mut labels = Vec::with_capacity(config.households);
+    for _ in 0..config.households {
+        let label = rng.gen_range(0..Archetype::ALL.len());
+        let archetype = Archetype::ALL[label];
+        // Household size factor: log-uniform around 1.
+        let size = ((rng.gen::<f64>() * 2.0 - 1.0) * config.size_spread).exp();
+        // Personal phase shift: people's schedules differ by ±1h.
+        let phase = (rng.gen::<f64>() * 2.0 - 1.0) * 1.0;
+        let mut noise = 0.0f64;
+        let mut values = Vec::with_capacity(len);
+        for t in 0..len {
+            let day = t / config.readings_per_day;
+            let weekend = day % 7 >= 5;
+            let hour = (t % config.readings_per_day) as f64 * 24.0 / config.readings_per_day as f64
+                + phase;
+            let hour = hour.rem_euclid(24.0);
+            let mut load = size * archetype.expected_load(hour, weekend);
+            // AR(1) noise: consumption errors are autocorrelated.
+            noise = 0.7 * noise + config.noise_level * crate::datasets::cer::gauss(rng);
+            load += noise;
+            if rng.gen::<f64>() < config.spike_probability {
+                load += rng.gen::<f64>() * 1.5; // kettle/oven event
+            }
+            // Seasonal-ish slow modulation across days.
+            load *= 1.0 + 0.05 * (2.0 * PI * day as f64 / 30.0).sin();
+            values.push(load.max(0.0));
+        }
+        series.push(TimeSeries::new(values));
+        labels.push(label);
+    }
+    LabeledDataset::new("cer-like", series, labels)
+}
+
+/// One standard normal draw (polar method) — private helper so the crate does
+/// not depend on `cs-dp`.
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::Normalization;
+    use crate::Distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> CerConfig {
+        CerConfig {
+            households: 60,
+            days: 2,
+            readings_per_day: 24,
+            ..CerConfig::default()
+        }
+    }
+
+    #[test]
+    fn shape_and_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = generate(&small_config(), &mut rng);
+        assert_eq!(ds.len(), 60);
+        assert_eq!(ds.series_len(), 48);
+        assert!(ds.group_count() <= 5);
+        assert!(ds.labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    fn consumption_is_non_negative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = generate(&small_config(), &mut rng);
+        for s in &ds.series {
+            assert!(s.min().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = generate(&small_config(), &mut StdRng::seed_from_u64(3));
+        let b = generate(&small_config(), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.series[0], b.series[0]);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn same_archetype_closer_than_different() {
+        // Average intra-archetype distance must undercut inter-archetype
+        // distance on normalized shapes — otherwise clustering is hopeless.
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = CerConfig {
+            households: 120,
+            days: 3,
+            ..CerConfig::default()
+        };
+        let ds = generate(&config, &mut rng);
+        let normed = Normalization::ZScore.apply_all(&ds.series);
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..normed.len() {
+            for j in i + 1..normed.len() {
+                let d = Distance::SquaredEuclidean.compute(&normed[i], &normed[j]);
+                if ds.labels[i] == ds.labels[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra_avg = intra.0 / intra.1 as f64;
+        let inter_avg = inter.0 / inter.1 as f64;
+        assert!(
+            intra_avg < inter_avg * 0.9,
+            "intra {intra_avg} must be well below inter {inter_avg}"
+        );
+    }
+
+    #[test]
+    fn business_quieter_on_weekends() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = CerConfig {
+            households: 200,
+            days: 7,
+            noise_level: 0.0,
+            spike_probability: 0.0,
+            ..CerConfig::default()
+        };
+        let ds = generate(&config, &mut rng);
+        let rp = config.readings_per_day;
+        let business_label = 3; // SmallBusiness in Archetype::ALL
+        let mut weekday_sum = 0.0;
+        let mut weekend_sum = 0.0;
+        let mut count = 0;
+        for (s, &l) in ds.series.iter().zip(&ds.labels) {
+            if l != business_label {
+                continue;
+            }
+            count += 1;
+            weekday_sum += s.values()[..5 * rp].iter().sum::<f64>() / (5 * rp) as f64;
+            weekend_sum += s.values()[5 * rp..].iter().sum::<f64>() / (2 * rp) as f64;
+        }
+        assert!(count > 10, "need enough businesses in the sample");
+        let weekend_avg = weekend_sum / count as f64;
+        let weekday_avg = weekday_sum / count as f64;
+        assert!(
+            weekend_avg < weekday_avg * 0.8,
+            "weekend load must drop for businesses: {weekend_avg} vs {weekday_avg}"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Distance measures between equal-length series.
+
+use crate::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// The distance used by assignment and convergence steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distance {
+    /// `Σ (aᵢ−bᵢ)²` — the k-means objective's native measure (no square
+    /// root, monotone with Euclidean, cheapest).
+    SquaredEuclidean,
+    /// `√Σ (aᵢ−bᵢ)²`.
+    Euclidean,
+    /// `Σ |aᵢ−bᵢ|`.
+    Manhattan,
+}
+
+impl Distance {
+    /// Computes the distance. Panics on length mismatch.
+    pub fn compute(&self, a: &TimeSeries, b: &TimeSeries) -> f64 {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        self.compute_slices(a.values(), b.values())
+    }
+
+    /// Slice-level implementation (used by the sliding-window matcher).
+    pub fn compute_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Distance::SquaredEuclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum(),
+            Distance::Euclidean => Distance::SquaredEuclidean.compute_slices(a, b).sqrt(),
+            Distance::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec())
+    }
+
+    #[test]
+    fn known_values() {
+        let a = ts(&[0.0, 0.0]);
+        let b = ts(&[3.0, 4.0]);
+        assert_eq!(Distance::SquaredEuclidean.compute(&a, &b), 25.0);
+        assert_eq!(Distance::Euclidean.compute(&a, &b), 5.0);
+        assert_eq!(Distance::Manhattan.compute(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        let a = ts(&[1.0, -2.0, 3.5]);
+        for d in [
+            Distance::SquaredEuclidean,
+            Distance::Euclidean,
+            Distance::Manhattan,
+        ] {
+            assert_eq!(d.compute(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = ts(&[1.0, 2.0]);
+        let b = ts(&[-3.0, 0.5]);
+        for d in [
+            Distance::SquaredEuclidean,
+            Distance::Euclidean,
+            Distance::Manhattan,
+        ] {
+            assert_eq!(d.compute(&a, &b), d.compute(&b, &a));
+        }
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality() {
+        let a = ts(&[0.0, 0.0]);
+        let b = ts(&[1.0, 1.0]);
+        let c = ts(&[2.0, -1.0]);
+        let d = Distance::Euclidean;
+        assert!(d.compute(&a, &c) <= d.compute(&a, &b) + d.compute(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Distance::Euclidean.compute(&ts(&[1.0]), &ts(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Dynamic time warping.
+//!
+//! Used by the interactive use-case: Bob's selected sub-sequence need not be
+//! phase-aligned with the centroid profiles, so an elastic measure finds the
+//! intuitively closest profile where a lock-step distance would not.
+
+use crate::TimeSeries;
+
+/// DTW distance with an optional Sakoe-Chiba band of half-width `band`
+/// (`None` = unconstrained). Local cost is squared difference; the returned
+/// value is the square root of the accumulated cost, making it comparable to
+/// a Euclidean distance.
+pub fn dtw(a: &TimeSeries, b: &TimeSeries, band: Option<usize>) -> f64 {
+    dtw_slices(a.values(), b.values(), band)
+}
+
+/// Slice-level DTW (see [`dtw`]).
+pub fn dtw_slices(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == m { 0.0 } else { f64::INFINITY };
+    }
+    // Effective band must at least cover the diagonal slope difference.
+    let w = band.map(|w| w.max(n.abs_diff(m))).unwrap_or(n.max(m));
+
+    // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let d = a[i - 1] - b[j - 1];
+            let cost = d * d;
+            let best = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec())
+    }
+
+    #[test]
+    fn identical_series_distance_zero() {
+        let a = ts(&[1.0, 2.0, 3.0, 2.0, 1.0]);
+        assert_eq!(dtw(&a, &a, None), 0.0);
+    }
+
+    #[test]
+    fn phase_shift_cheaper_than_euclidean() {
+        // A one-step shifted bump: DTW should nearly vanish, Euclidean not.
+        let a = ts(&[0.0, 0.0, 5.0, 0.0, 0.0, 0.0]);
+        let b = ts(&[0.0, 0.0, 0.0, 5.0, 0.0, 0.0]);
+        let d_dtw = dtw(&a, &b, None);
+        let d_euc = crate::Distance::Euclidean.compute(&a, &b);
+        assert!(d_dtw < d_euc * 0.2, "dtw {d_dtw} vs euclidean {d_euc}");
+    }
+
+    #[test]
+    fn different_lengths_supported() {
+        let a = ts(&[1.0, 2.0, 3.0]);
+        let b = ts(&[1.0, 1.5, 2.0, 2.5, 3.0]);
+        let d = dtw(&a, &b, None);
+        assert!(d.is_finite());
+        assert!(d < 1.0, "warping should absorb the resampling: {d}");
+    }
+
+    #[test]
+    fn band_constrains_warping() {
+        let a = ts(&[0.0, 0.0, 0.0, 0.0, 5.0]);
+        let b = ts(&[5.0, 0.0, 0.0, 0.0, 0.0]);
+        let tight = dtw(&a, &b, Some(1));
+        let loose = dtw(&a, &b, None);
+        assert!(tight >= loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = ts(&[1.0, 3.0, 2.0]);
+        let b = ts(&[2.0, 2.0, 2.0, 1.0]);
+        assert!((dtw(&a, &b, None) - dtw(&b, &a, None)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = ts(&[]);
+        let a = ts(&[1.0]);
+        assert_eq!(dtw(&e, &e, None), 0.0);
+        assert_eq!(dtw(&e, &a, None), f64::INFINITY);
+    }
+}

@@ -1,0 +1,254 @@
+//! CSV import/export for datasets.
+//!
+//! The synthetic generators stand in for the license-gated CER data
+//! (DESIGN.md §4); license holders can load the real thing — or any
+//! aligned-series CSV — through this module and run every experiment
+//! unchanged.
+//!
+//! Format: one series per row, comma-separated values; an optional first
+//! column may carry an integer group label (`load_labeled`). Blank lines and
+//! `#` comments are skipped.
+
+use crate::datasets::LabeledDataset;
+use crate::TimeSeries;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from dataset parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number (row, column, content).
+    BadNumber {
+        /// 1-based row in the file.
+        row: usize,
+        /// 1-based column.
+        column: usize,
+        /// Offending cell content.
+        content: String,
+    },
+    /// Rows have differing lengths (row, expected, got).
+    RaggedRow {
+        /// 1-based row in the file.
+        row: usize,
+        /// Length of the first data row.
+        expected: usize,
+        /// Length of this row.
+        got: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::BadNumber {
+                row,
+                column,
+                content,
+            } => write!(f, "row {row}, column {column}: cannot parse {content:?}"),
+            CsvError::RaggedRow { row, expected, got } => {
+                write!(f, "row {row}: expected {expected} values, got {got}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses unlabeled series from CSV text.
+pub fn parse_series(text: &str) -> Result<Vec<TimeSeries>, CsvError> {
+    let mut out = Vec::new();
+    let mut expected = None;
+    for (row_idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut values = Vec::new();
+        for (col_idx, cell) in line.split(',').enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|_| CsvError::BadNumber {
+                row: row_idx + 1,
+                column: col_idx + 1,
+                content: cell.trim().to_string(),
+            })?;
+            values.push(v);
+        }
+        match expected {
+            None => expected = Some(values.len()),
+            Some(e) if e != values.len() => {
+                return Err(CsvError::RaggedRow {
+                    row: row_idx + 1,
+                    expected: e,
+                    got: values.len(),
+                })
+            }
+            _ => {}
+        }
+        out.push(TimeSeries::new(values));
+    }
+    if out.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(out)
+}
+
+/// Parses labeled series: first column is an integer group label.
+pub fn parse_labeled(text: &str, name: &str) -> Result<LabeledDataset, CsvError> {
+    let mut series = Vec::new();
+    let mut labels = Vec::new();
+    let mut expected = None;
+    for (row_idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cells = line.split(',');
+        let label_cell = cells.next().unwrap_or("").trim();
+        let label: usize = label_cell.parse().map_err(|_| CsvError::BadNumber {
+            row: row_idx + 1,
+            column: 1,
+            content: label_cell.to_string(),
+        })?;
+        let mut values = Vec::new();
+        for (col_idx, cell) in cells.enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|_| CsvError::BadNumber {
+                row: row_idx + 1,
+                column: col_idx + 2,
+                content: cell.trim().to_string(),
+            })?;
+            values.push(v);
+        }
+        match expected {
+            None => expected = Some(values.len()),
+            Some(e) if e != values.len() => {
+                return Err(CsvError::RaggedRow {
+                    row: row_idx + 1,
+                    expected: e,
+                    got: values.len(),
+                })
+            }
+            _ => {}
+        }
+        series.push(TimeSeries::new(values));
+        labels.push(label);
+    }
+    if series.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(LabeledDataset::new(name, series, labels))
+}
+
+/// Loads unlabeled series from a file.
+pub fn load_series(path: impl AsRef<Path>) -> Result<Vec<TimeSeries>, CsvError> {
+    parse_series(&std::fs::read_to_string(path)?)
+}
+
+/// Loads a labeled dataset from a file (first column = label).
+pub fn load_labeled(path: impl AsRef<Path>, name: &str) -> Result<LabeledDataset, CsvError> {
+    parse_labeled(&std::fs::read_to_string(path)?, name)
+}
+
+/// Renders series as CSV text (one row per series).
+pub fn to_csv(series: &[TimeSeries]) -> String {
+    let mut out = String::new();
+    for ts in series {
+        let row: Vec<String> = ts.values().iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "1.0,2.5,-3.0\n4.0,5.0,6.0\n";
+        let series = parse_series(text).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].values(), &[1.0, 2.5, -3.0]);
+        // Semantic roundtrip (rendering may drop trailing ".0").
+        assert_eq!(parse_series(&to_csv(&series)).unwrap(), series);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# household profiles\n\n1,2\n# mid comment\n3,4\n";
+        let series = parse_series(text).unwrap();
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn labeled_parsing() {
+        let text = "0,1.0,2.0\n1,3.0,4.0\n0,5.0,6.0\n";
+        let ds = parse_labeled(text, "test").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.labels, vec![0, 1, 0]);
+        assert_eq!(ds.series[1].values(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn bad_number_reports_position() {
+        let err = parse_series("1.0,abc\n").unwrap_err();
+        match err {
+            CsvError::BadNumber {
+                row,
+                column,
+                content,
+            } => {
+                assert_eq!((row, column), (1, 2));
+                assert_eq!(content, "abc");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = parse_series("1,2,3\n4,5\n").unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                expected: 3,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            parse_series("# only comments\n"),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cs_timeseries_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        let series = vec![
+            TimeSeries::new(vec![1.5, 2.5]),
+            TimeSeries::new(vec![3.5, 4.5]),
+        ];
+        std::fs::write(&path, to_csv(&series)).unwrap();
+        let back = load_series(&path).unwrap();
+        assert_eq!(back, series);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

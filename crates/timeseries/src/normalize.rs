@@ -1,0 +1,99 @@
+//! Per-series normalization.
+//!
+//! Clustering consumption profiles cares about *shape*, not absolute
+//! magnitude; the demo clusters normalized series so a villa and a studio
+//! with the same usage pattern land in the same cluster.
+
+use crate::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Normalization applied to each series independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Normalization {
+    /// Leave values unchanged.
+    None,
+    /// `(x − mean) / std` (constant series map to all-zeros).
+    ZScore,
+    /// `(x − min) / (max − min)` into `[0, 1]` (constant series map to 0.5).
+    MinMax,
+}
+
+impl Normalization {
+    /// Returns a normalized copy.
+    pub fn apply(&self, ts: &TimeSeries) -> TimeSeries {
+        match self {
+            Normalization::None => ts.clone(),
+            Normalization::ZScore => {
+                let mean = ts.mean();
+                let std = ts.std_dev();
+                if std == 0.0 {
+                    return TimeSeries::zeros(ts.len());
+                }
+                ts.values().iter().map(|v| (v - mean) / std).collect()
+            }
+            Normalization::MinMax => {
+                let (min, max) = match (ts.min(), ts.max()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return ts.clone(),
+                };
+                let range = max - min;
+                if range == 0.0 {
+                    return TimeSeries::new(vec![0.5; ts.len()]);
+                }
+                ts.values().iter().map(|v| (v - min) / range).collect()
+            }
+        }
+    }
+
+    /// Normalizes every series of a dataset.
+    pub fn apply_all(&self, series: &[TimeSeries]) -> Vec<TimeSeries> {
+        series.iter().map(|ts| self.apply(ts)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_moments() {
+        let ts = TimeSeries::new(vec![2.0, 4.0, 6.0, 8.0]);
+        let z = Normalization::ZScore.apply(&ts);
+        assert!(z.mean().abs() < 1e-12);
+        assert!((z.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_range() {
+        let ts = TimeSeries::new(vec![10.0, 20.0, 15.0]);
+        let m = Normalization::MinMax.apply(&ts);
+        assert_eq!(m.min(), Some(0.0));
+        assert_eq!(m.max(), Some(1.0));
+        assert_eq!(m.values()[2], 0.5);
+    }
+
+    #[test]
+    fn constant_series_degenerate_cases() {
+        let ts = TimeSeries::new(vec![5.0; 4]);
+        assert_eq!(Normalization::ZScore.apply(&ts).values(), &[0.0; 4]);
+        assert_eq!(Normalization::MinMax.apply(&ts).values(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let ts = TimeSeries::new(vec![1.0, -2.0]);
+        assert_eq!(Normalization::None.apply(&ts), ts);
+    }
+
+    #[test]
+    fn shape_preserved_across_scales() {
+        // Two proportional series must normalize identically under z-score.
+        let a = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        let b = a.scale(100.0);
+        let za = Normalization::ZScore.apply(&a);
+        let zb = Normalization::ZScore.apply(&b);
+        for (x, y) in za.values().iter().zip(zb.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`TimeSeries`] value type.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// A fixed-length sequence of real-valued observations.
+///
+/// All series in one clustering run share the same length (the paper's
+/// datasets are aligned: half-hourly electricity readings, weekly tumor
+/// measurements).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Wraps a vector of observations.
+    ///
+    /// Panics if any value is not finite — NaNs would silently poison every
+    /// downstream distance and aggregate.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "time series values must be finite"
+        );
+        TimeSeries { values }
+    }
+
+    /// A zero series of the given length.
+    pub fn zeros(len: usize) -> Self {
+        TimeSeries {
+            values: vec![0.0; len],
+        }
+    }
+
+    /// Builds a series by evaluating `f` at `0..len`.
+    pub fn from_fn(len: usize, f: impl Fn(usize) -> f64) -> Self {
+        TimeSeries::new((0..len).map(f).collect())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access (normalization, smoothing).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Arithmetic mean (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    /// Minimum value (`None` for empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum value (`None` for empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// L1 norm `Σ|xᵢ|` — the quantity that bounds a participant's
+    /// contribution to a cluster sum (DP sensitivity).
+    pub fn l1_norm(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Pointwise addition. Panics on length mismatch.
+    pub fn add(&self, other: &TimeSeries) -> TimeSeries {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        TimeSeries::new(
+            self.values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// Pointwise scaling.
+    pub fn scale(&self, factor: f64) -> TimeSeries {
+        TimeSeries::new(self.values.iter().map(|v| v * factor).collect())
+    }
+
+    /// A contiguous sub-sequence `[start, start+len)` as a new series.
+    ///
+    /// Panics if the window exceeds the series.
+    pub fn window(&self, start: usize, len: usize) -> TimeSeries {
+        TimeSeries {
+            values: self.values[start..start + len].to_vec(),
+        }
+    }
+}
+
+impl Index<usize> for TimeSeries {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(values: Vec<f64>) -> Self {
+        TimeSeries::new(values)
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        TimeSeries::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.mean(), 2.5);
+        assert_eq!(ts.min(), Some(1.0));
+        assert_eq!(ts.max(), Some(4.0));
+        assert!((ts.std_dev() - 1.118033988749895).abs() < 1e-12);
+        assert_eq!(ts.l1_norm(), 10.0);
+    }
+
+    #[test]
+    fn empty_series_statistics() {
+        let ts = TimeSeries::zeros(0);
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.min(), None);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = TimeSeries::new(vec![1.0, 2.0]);
+        let b = TimeSeries::new(vec![10.0, 20.0]);
+        assert_eq!(a.add(&b).values(), &[11.0, 22.0]);
+        assert_eq!(a.scale(3.0).values(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn from_fn_and_window() {
+        let ts = TimeSeries::from_fn(5, |i| i as f64);
+        assert_eq!(ts.window(1, 3).values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn l1_norm_with_negatives() {
+        let ts = TimeSeries::new(vec![-1.5, 2.5, -3.0]);
+        assert_eq!(ts.l1_norm(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        TimeSeries::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_length_mismatch_panics() {
+        TimeSeries::zeros(2).add(&TimeSeries::zeros(3));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ts = TimeSeries::new(vec![1.5, -2.5]);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+    }
+}

@@ -1,0 +1,157 @@
+//! Sub-sequence matching — the demo's interactive use-case.
+//!
+//! Fig. 3(6) of the paper: Bob selects a sub-sequence of his own series and
+//! the GUI finds "the centroids the closest to the sub-sequence chosen". The
+//! matcher slides the query over each profile and ranks profiles by their
+//! best window.
+
+use crate::dtw::dtw_slices;
+use crate::{Distance, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// How query windows are compared to profile windows.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MatchMeasure {
+    /// Lock-step distance.
+    Pointwise(Distance),
+    /// Elastic matching with an optional Sakoe-Chiba band.
+    Dtw {
+        /// Band half-width (`None` = unconstrained).
+        band: Option<usize>,
+    },
+}
+
+/// A ranked match of the query against one profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileMatch {
+    /// Index of the profile in the input list.
+    pub profile: usize,
+    /// Offset of the best-matching window within the profile.
+    pub offset: usize,
+    /// Distance of the best window.
+    pub distance: f64,
+}
+
+/// Finds, for each profile, the best-matching window for `query`, and
+/// returns profiles sorted by ascending best distance.
+///
+/// Profiles shorter than the query are skipped. Panics if the query is
+/// empty.
+pub fn closest_profiles(
+    query: &TimeSeries,
+    profiles: &[TimeSeries],
+    measure: MatchMeasure,
+) -> Vec<ProfileMatch> {
+    assert!(!query.is_empty(), "empty query");
+    let q = query.values();
+    let mut matches: Vec<ProfileMatch> = profiles
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.len() >= q.len())
+        .map(|(idx, p)| {
+            let (offset, distance) = best_window(q, p.values(), measure);
+            ProfileMatch {
+                profile: idx,
+                offset,
+                distance,
+            }
+        })
+        .collect();
+    matches.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("distances are finite")
+    });
+    matches
+}
+
+/// Best `(offset, distance)` of `query` slid along `profile`.
+fn best_window(query: &[f64], profile: &[f64], measure: MatchMeasure) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for offset in 0..=(profile.len() - query.len()) {
+        let window = &profile[offset..offset + query.len()];
+        let d = match measure {
+            MatchMeasure::Pointwise(dist) => dist.compute_slices(query, window),
+            MatchMeasure::Dtw { band } => dtw_slices(query, window, band),
+        };
+        if d < best.1 {
+            best = (offset, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec())
+    }
+
+    #[test]
+    fn finds_exact_subsequence() {
+        let profile = ts(&[0.0, 1.0, 4.0, 9.0, 4.0, 1.0, 0.0]);
+        let query = ts(&[4.0, 9.0, 4.0]);
+        let matches = closest_profiles(
+            &query,
+            &[profile],
+            MatchMeasure::Pointwise(Distance::SquaredEuclidean),
+        );
+        assert_eq!(matches[0].offset, 2);
+        assert_eq!(matches[0].distance, 0.0);
+    }
+
+    #[test]
+    fn ranks_profiles_by_best_window() {
+        let query = ts(&[1.0, 2.0, 1.0]);
+        let close = ts(&[0.0, 1.0, 2.0, 1.0, 0.0]);
+        let far = ts(&[10.0, 10.0, 10.0, 10.0, 10.0]);
+        let matches = closest_profiles(
+            &query,
+            &[far.clone(), close],
+            MatchMeasure::Pointwise(Distance::Euclidean),
+        );
+        assert_eq!(matches[0].profile, 1, "closest profile first");
+        assert!(matches[0].distance < matches[1].distance);
+    }
+
+    #[test]
+    fn short_profiles_skipped() {
+        let query = ts(&[1.0, 2.0, 3.0]);
+        let short = ts(&[1.0]);
+        let ok = ts(&[1.0, 2.0, 3.0]);
+        let matches = closest_profiles(
+            &query,
+            &[short, ok],
+            MatchMeasure::Pointwise(Distance::Euclidean),
+        );
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].profile, 1);
+    }
+
+    #[test]
+    fn dtw_matching_tolerates_phase() {
+        let query = ts(&[0.0, 5.0, 0.0]);
+        // The bump sits slightly differently in each profile; DTW should
+        // rank the one with a same-shape (if shifted) bump first.
+        let shifted_bump = ts(&[0.0, 0.0, 5.0, 0.0, 0.0]);
+        let flat = ts(&[2.0, 2.0, 2.0, 2.0, 2.0]);
+        let matches = closest_profiles(
+            &query,
+            &[flat, shifted_bump],
+            MatchMeasure::Dtw { band: None },
+        );
+        assert_eq!(matches[0].profile, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query")]
+    fn empty_query_panics() {
+        closest_profiles(
+            &ts(&[]),
+            &[ts(&[1.0])],
+            MatchMeasure::Pointwise(Distance::Euclidean),
+        );
+    }
+}

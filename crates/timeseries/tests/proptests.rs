@@ -1,0 +1,134 @@
+//! Property-based tests for the time-series toolkit.
+
+use cs_timeseries::dtw::dtw;
+use cs_timeseries::normalize::Normalization;
+use cs_timeseries::smooth::Smoothing;
+use cs_timeseries::subsequence::{closest_profiles, MatchMeasure};
+use cs_timeseries::{Distance, TimeSeries};
+use proptest::prelude::*;
+
+fn ts_strategy(len: std::ops::Range<usize>) -> impl Strategy<Value = TimeSeries> {
+    proptest::collection::vec(-1000.0f64..1000.0, len).prop_map(TimeSeries::new)
+}
+
+/// Two series of one shared random length.
+fn ts_pair(max_len: usize) -> impl Strategy<Value = (TimeSeries, TimeSeries)> {
+    (1..max_len).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(-1000.0f64..1000.0, len).prop_map(TimeSeries::new),
+            proptest::collection::vec(-1000.0f64..1000.0, len).prop_map(TimeSeries::new),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distances_are_symmetric_and_positive((a, b) in ts_pair(32)) {
+        for d in [Distance::SquaredEuclidean, Distance::Euclidean, Distance::Manhattan] {
+            let ab = d.compute(&a, &b);
+            let ba = d.compute(&b, &a);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+        prop_assert_eq!(Distance::Euclidean.compute(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        values in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0), 1..16),
+    ) {
+        let a: TimeSeries = values.iter().map(|v| v.0).collect();
+        let b: TimeSeries = values.iter().map(|v| v.1).collect();
+        let c: TimeSeries = values.iter().map(|v| v.2).collect();
+        let d = Distance::Euclidean;
+        prop_assert!(d.compute(&a, &c) <= d.compute(&a, &b) + d.compute(&b, &c) + 1e-6);
+    }
+
+    #[test]
+    fn dtw_bounded_by_euclidean((a, b) in ts_pair(20)) {
+        // Unconstrained DTW can always pick the diagonal path, so it is
+        // never worse than lock-step Euclidean.
+        let d_dtw = dtw(&a, &b, None);
+        let d_euc = Distance::Euclidean.compute(&a, &b);
+        prop_assert!(d_dtw <= d_euc + 1e-9, "dtw {d_dtw} > euclidean {d_euc}");
+        prop_assert!((dtw(&a, &b, None) - dtw(&b, &a, None)).abs() < 1e-9, "symmetry");
+    }
+
+    #[test]
+    fn zscore_standardizes(a in ts_strategy(2..64)) {
+        prop_assume!(a.std_dev() > 1e-9);
+        let z = Normalization::ZScore.apply(&a);
+        prop_assert!(z.mean().abs() < 1e-9);
+        prop_assert!((z.std_dev() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_bounded(a in ts_strategy(1..64)) {
+        let m = Normalization::MinMax.apply(&a);
+        prop_assert!(m.min().unwrap() >= -1e-12);
+        prop_assert!(m.max().unwrap() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn normalization_is_shape_invariant_to_affine(
+        a in ts_strategy(3..32),
+        scale in 0.1f64..100.0,
+        offset in -100.0f64..100.0,
+    ) {
+        prop_assume!(a.std_dev() > 1e-6);
+        let transformed: TimeSeries = a.values().iter().map(|v| v * scale + offset).collect();
+        let za = Normalization::ZScore.apply(&a);
+        let zt = Normalization::ZScore.apply(&transformed);
+        for (x, y) in za.values().iter().zip(zt.values()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_length_and_constants(
+        a in ts_strategy(1..40),
+        window in 1usize..9,
+        alpha in 0.05f64..1.0,
+    ) {
+        for s in [
+            Smoothing::MovingAverage { window },
+            Smoothing::Exponential { alpha },
+        ] {
+            let out = s.apply(&a);
+            prop_assert_eq!(out.len(), a.len());
+            // Smoothed values stay inside the input's range (convexity).
+            if let (Some(lo), Some(hi)) = (a.min(), a.max()) {
+                prop_assert!(out.min().unwrap() >= lo - 1e-9);
+                prop_assert!(out.max().unwrap() <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn best_window_is_really_the_best(
+        profile in ts_strategy(8..40),
+        qstart in 0usize..8,
+        qlen in 2usize..6,
+    ) {
+        prop_assume!(qstart + qlen <= profile.len());
+        // A query cut from the profile itself must match at distance 0.
+        let query = profile.window(qstart, qlen);
+        let matches = closest_profiles(
+            &query,
+            std::slice::from_ref(&profile),
+            MatchMeasure::Pointwise(Distance::SquaredEuclidean),
+        );
+        prop_assert_eq!(matches.len(), 1);
+        prop_assert!(matches[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn window_and_l1_consistency(a in ts_strategy(4..40)) {
+        let half = a.len() / 2;
+        let left = a.window(0, half);
+        let right = a.window(half, a.len() - half);
+        prop_assert!((left.l1_norm() + right.l1_norm() - a.l1_norm()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,68 @@
+//! The privacy dial: watch quality respond to ε, live.
+//!
+//! ```sh
+//! cargo run --release --example privacy_dial
+//! ```
+//!
+//! Mirrors the demo's mutable-parameter panel: the audience changes "the
+//! differential privacy level" and observes the quality/privacy trade-off.
+//! Runs the same dataset at several ε values and prints the trade-off curve.
+
+use chiaroscuro::{compare_with_baseline, ChiaroscuroConfig, Engine};
+use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let dataset = generate(
+        &BlobsConfig {
+            count: 400,
+            clusters: 4,
+            len: 16,
+            noise: 0.4,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    println!("privacy dial — population {}, k = 4", dataset.len());
+    println!(
+        "{:>10}  {:>13}  {:>8}  {:>13}  {:>10}",
+        "eps (sim)", "inertia_ratio", "ari", "noise_scale_b", "iterations"
+    );
+
+    for eps in [5.0, 20.0, 80.0, 320.0, 1280.0] {
+        let mut config = ChiaroscuroConfig::demo_simulated();
+        config.k = 4;
+        config.epsilon = eps;
+        config.value_bound = 8.0;
+        config.max_iterations = 8;
+        config.seed = 99;
+        // Isolate the ε effect: no smoothing bias in this sweep (the
+        // heuristics get their own ablation in exp_heuristics_ablation).
+        config.smoothing = cs_timeseries::smooth::Smoothing::None;
+        let engine = Engine::new(config).unwrap();
+        let sensitivity = engine.config().sensitivity(dataset.series_len());
+        let output = engine.run(&dataset.series).unwrap();
+        let report = compare_with_baseline(
+            &dataset.series,
+            &output.centroids,
+            cs_timeseries::Distance::SquaredEuclidean,
+            7,
+        );
+        // Noise scale of a uniform slice, for intuition.
+        let b = sensitivity / (eps / 8.0);
+        println!(
+            "{:>10.0}  {:>13.3}  {:>8.3}  {:>13.1}  {:>10}",
+            eps, report.inertia_ratio, report.ari_vs_baseline, b, output.iterations
+        );
+    }
+
+    println!(
+        "\nreading the dial: small ε = strong privacy = heavy noise = poor\n\
+         clustering; the knee of the curve is where collaborative privacy-\n\
+         preserving analytics becomes 'free'. At the paper's 10⁶ population\n\
+         the same knee sits at ε three orders of magnitude smaller."
+    );
+}

@@ -1,0 +1,38 @@
+//! # chiaroscuro-repro — workspace facade
+//!
+//! Re-exports every crate of the Chiaroscuro reproduction so examples and
+//! integration tests can use one coherent namespace. See the individual
+//! crates for the substance:
+//!
+//! * [`chiaroscuro`] — the protocol itself (Diptych, engine, participants);
+//! * [`cs_bigint`] / [`cs_crypto`] — arbitrary-precision arithmetic and the
+//!   Damgård-Jurik threshold cryptosystem;
+//! * [`cs_dp`] — Laplace/gamma differential-privacy machinery;
+//! * [`cs_gossip`] — the cycle- and event-driven gossip simulators and
+//!   push-sum (plaintext and homomorphic);
+//! * [`cs_timeseries`] — series types, distances, PAA, synthetic datasets;
+//! * [`cs_kmeans`] — the centralized baseline and quality metrics.
+//!
+//! ## End-to-end in eight lines
+//!
+//! ```
+//! use chiaroscuro::{ChiaroscuroConfig, Engine};
+//! use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let data = generate(&BlobsConfig { count: 60, clusters: 2, len: 6, ..Default::default() }, &mut rng);
+//! let mut config = ChiaroscuroConfig::demo_simulated();
+//! config.k = 2;
+//! config.max_iterations = 2;
+//! let output = Engine::new(config).unwrap().run(&data.series).unwrap();
+//! assert_eq!(output.centroids.len(), 2);
+//! ```
+
+pub use chiaroscuro;
+pub use cs_bigint;
+pub use cs_crypto;
+pub use cs_dp;
+pub use cs_gossip;
+pub use cs_kmeans;
+pub use cs_timeseries;

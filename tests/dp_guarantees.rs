@@ -1,0 +1,147 @@
+//! Differential-privacy guarantees exercised through the full stack:
+//! noise-share calibration, budget enforcement, and the realized
+//! perturbation of disclosed aggregates.
+
+use cs_dp::laplace::Laplace;
+use cs_dp::{BudgetPlan, BudgetStrategy, NoiseShareGenerator, PrivacyAccountant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn assembled_noise_matches_laplace_distribution() {
+    // The privacy claim rests on: sum of all participants' shares ~
+    // Laplace(b). Kolmogorov-Smirnov-style check at a few quantiles.
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 64;
+    let b = 3.0;
+    let gen = NoiseShareGenerator::new(n, b);
+    let totals: Vec<f64> = (0..4000)
+        .map(|_| (0..n).map(|_| gen.sample_share(&mut rng)).sum())
+        .collect();
+    let dist = Laplace::new(b);
+    for q in [-4.0, -1.0, 0.0, 1.0, 4.0] {
+        let empirical = totals.iter().filter(|&&t| t < q).count() as f64 / totals.len() as f64;
+        let expected = dist.cdf(q);
+        assert!(
+            (empirical - expected).abs() < 0.03,
+            "CDF mismatch at {q}: empirical {empirical}, expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn partial_participation_underdisperses_gracefully() {
+    // Probabilistic DP: when only m of n shares arrive, the realized noise is
+    // variance-equivalent to Laplace(b·√(m/n)) — never *more* revealing than
+    // calibrated, only differently distributed.
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 80;
+    let m = 40;
+    let b = 2.0;
+    let gen = NoiseShareGenerator::new(n, b);
+    let totals: Vec<f64> = (0..4000)
+        .map(|_| (0..m).map(|_| gen.sample_share(&mut rng)).sum())
+        .collect();
+    let var = totals.iter().map(|t| t * t).sum::<f64>() / totals.len() as f64;
+    let expected = 2.0 * b * b * (m as f64 / n as f64);
+    assert!(
+        (var - expected).abs() < expected * 0.2,
+        "var {var}, expected {expected}"
+    );
+    assert!((gen.effective_scale(m) - b * (0.5f64).sqrt()).abs() < 1e-12);
+}
+
+#[test]
+fn accountant_blocks_overdraw_across_iterations() {
+    let mut acc = PrivacyAccountant::new(1.0);
+    let mut plan = BudgetPlan::new(BudgetStrategy::Uniform, 1.0, 5);
+    let mut iterations = 0;
+    while let Some(eps) = plan.next_epsilon(None) {
+        acc.charge(iterations, "aggregates", eps).unwrap();
+        iterations += 1;
+    }
+    assert_eq!(iterations, 5);
+    assert!(acc.remaining() < 1e-9);
+    assert!(acc.charge(5, "extra", 0.01).is_err());
+}
+
+#[test]
+fn every_strategy_respects_the_total_budget() {
+    for strategy in [
+        BudgetStrategy::Uniform,
+        BudgetStrategy::increasing_default(),
+        BudgetStrategy::adaptive_default(),
+    ] {
+        let total = 2.0;
+        let mut plan = BudgetPlan::new(strategy, total, 12);
+        let mut spent = 0.0;
+        let mut i = 0;
+        while let Some(eps) = plan.next_epsilon(Some(if i % 3 == 0 { 0.5 } else { 0.01 })) {
+            assert!(eps > 0.0);
+            spent += eps;
+            i += 1;
+        }
+        assert!(
+            spent <= total + 1e-9,
+            "{strategy:?} overspent: {spent} > {total}"
+        );
+    }
+}
+
+#[test]
+fn engine_charges_exactly_its_iterations() {
+    use chiaroscuro::{ChiaroscuroConfig, Engine};
+    use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+
+    let ds = generate(
+        &BlobsConfig {
+            count: 100,
+            clusters: 2,
+            len: 8,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(3),
+    );
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.epsilon = 10.0;
+    cfg.max_iterations = 6;
+    let out = Engine::new(cfg).unwrap().run(&ds.series).unwrap();
+    // One disclosure family per iteration.
+    assert_eq!(out.accountant.disclosures().len(), out.iterations);
+    let per_iter: f64 = out.log.records.iter().map(|r| r.epsilon).sum();
+    assert!((per_iter - out.accountant.spent()).abs() < 1e-9);
+}
+
+#[test]
+fn noise_scale_in_log_matches_sensitivity_over_epsilon() {
+    use chiaroscuro::{ChiaroscuroConfig, Engine};
+    use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+
+    let ds = generate(
+        &BlobsConfig {
+            count: 80,
+            clusters: 2,
+            len: 10,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(4),
+    );
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.epsilon = 20.0;
+    cfg.max_iterations = 4;
+    cfg.budget_strategy = BudgetStrategy::Uniform;
+    let sensitivity = cfg.sensitivity(10);
+    let out = Engine::new(cfg).unwrap().run(&ds.series).unwrap();
+    for r in &out.log.records {
+        let expected = sensitivity / r.epsilon;
+        assert!(
+            (r.noise_scale - expected).abs() < 1e-9,
+            "iteration {}: b {} vs Δ/ε {}",
+            r.iteration,
+            r.noise_scale,
+            expected
+        );
+    }
+}

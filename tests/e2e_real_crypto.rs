@@ -1,0 +1,126 @@
+//! End-to-end runs with the *real* Damgård-Jurik pipeline: encryption,
+//! homomorphic push-sum, encrypted noise, threshold decryption — no
+//! simulation shortcuts. Population and key sizes are small so the suite
+//! stays fast; the code paths are exactly the production ones.
+
+use chiaroscuro::{ChiaroscuroConfig, Engine};
+use cs_timeseries::datasets::blobs::{generate_with_centers, BlobsConfig};
+use cs_timeseries::{Distance, TimeSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_dataset(seed: u64) -> (Vec<TimeSeries>, Vec<usize>) {
+    let (ds, _) = generate_with_centers(
+        &BlobsConfig {
+            count: 16,
+            clusters: 2,
+            len: 5,
+            noise: 0.2,
+            center_amplitude: 3.0,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    (ds.series, ds.labels)
+}
+
+fn real_config() -> ChiaroscuroConfig {
+    let mut cfg = ChiaroscuroConfig::test_real();
+    cfg.k = 2;
+    cfg.max_iterations = 3;
+    cfg.gossip_cycles = 10;
+    cfg.epsilon = 200.0; // small population → rescaled budget (demo rule)
+    cfg.value_bound = 8.0;
+    cfg
+}
+
+#[test]
+fn real_crypto_run_recovers_clusters() {
+    let (series, labels) = tiny_dataset(1);
+    let out = Engine::new(real_config()).unwrap().run(&series).unwrap();
+    assert_eq!(out.centroids.len(), 2);
+    let ari = cs_kmeans::adjusted_rand_index(&out.assignment, &labels);
+    assert!(
+        ari > 0.6,
+        "real-crypto run should broadly recover the two blobs: ARI {ari}"
+    );
+}
+
+#[test]
+fn real_crypto_budget_and_log_consistent() {
+    let (series, _) = tiny_dataset(2);
+    let cfg = real_config();
+    let eps = cfg.epsilon;
+    let out = Engine::new(cfg).unwrap().run(&series).unwrap();
+    assert!(out.accountant.spent() <= eps + 1e-6);
+    assert_eq!(out.log.records.len(), out.iterations);
+    for r in &out.log.records {
+        // Real mode must report *measured* homomorphic work.
+        assert!(
+            r.cost.ops.additions > 0,
+            "iteration {} had no adds",
+            r.iteration
+        );
+        assert!(
+            r.cost.decrypt_ops.partial_decryptions > 0,
+            "iteration {} had no partial decryptions",
+            r.iteration
+        );
+        assert!(r.cost.gossip_bytes > 0);
+    }
+}
+
+#[test]
+fn real_crypto_deterministic_given_seed() {
+    let (series, _) = tiny_dataset(3);
+    let run = || Engine::new(real_config()).unwrap().run(&series).unwrap();
+    let a = run();
+    let b = run();
+    assert_eq!(a.assignment, b.assignment);
+    for (x, y) in a.centroids.iter().zip(&b.centroids) {
+        assert_eq!(x.values(), y.values());
+    }
+}
+
+#[test]
+fn real_crypto_with_degree_two() {
+    // Damgård-Jurik with s = 2: larger message space, same protocol.
+    let (series, _) = tiny_dataset(4);
+    let mut cfg = real_config();
+    cfg.crypto = chiaroscuro::CryptoMode::Real {
+        keygen: cs_crypto::KeyGenOptions::insecure_test_size_s(2),
+    };
+    cfg.max_iterations = 2;
+    let out = Engine::new(cfg).unwrap().run(&series).unwrap();
+    assert_eq!(out.iterations, 2);
+    assert_eq!(out.centroids.len(), 2);
+}
+
+#[test]
+fn real_crypto_survives_message_loss() {
+    let (series, _) = tiny_dataset(5);
+    let mut cfg = real_config();
+    cfg.failure = cs_gossip::FailureModel::lossy(0.15);
+    let out = Engine::new(cfg).unwrap().run(&series).unwrap();
+    assert!(out.iterations >= 1);
+    // Some estimate must still have been produced every iteration.
+    for r in &out.log.records {
+        assert!(r.alive > 0);
+    }
+}
+
+#[test]
+fn final_centroids_are_usable_for_matching() {
+    // The E6 pipeline on real crypto output: subsequence matching over the
+    // decrypted perturbed profiles.
+    let (series, _) = tiny_dataset(6);
+    let out = Engine::new(real_config()).unwrap().run(&series).unwrap();
+    let query = series[0].window(1, 3);
+    let matches = cs_timeseries::subsequence::closest_profiles(
+        &query,
+        &out.centroids,
+        cs_timeseries::subsequence::MatchMeasure::Pointwise(Distance::Euclidean),
+    );
+    assert_eq!(matches.len(), 2);
+    assert!(matches[0].distance <= matches[1].distance);
+}

@@ -1,0 +1,178 @@
+//! Gossip aggregation against ground truth: the push-sum estimates feeding
+//! Chiaroscuro's convergence step must track exact aggregation, in both
+//! plaintext and encrypted forms, under benign and faulty networks.
+
+use cs_crypto::{FixedPointCodec, KeyGenOptions, KeyPair};
+use cs_gossip::homomorphic_pushsum::{self, HePushSumNode};
+use cs_gossip::pushsum::{max_relative_error, PushSumNode};
+use cs_gossip::{FailureModel, Network, Overlay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn pushsum_error_below_threshold_after_budgeted_cycles() {
+    // The engine defaults to ~30 cycles; at n=1000 that must give errors far
+    // below the DP noise floor.
+    let n = 1000;
+    let nodes: Vec<PushSumNode> = (0..n)
+        .map(|i| PushSumNode::new(vec![(i % 13) as f64, 1.0], 1.0))
+        .collect();
+    let truth = vec![(0..n).map(|i| (i % 13) as f64).sum::<f64>() / n as f64, 1.0];
+    let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 1);
+    net.run_cycles(30);
+    let err = max_relative_error(net.nodes(), &truth);
+    // The worst straggler of 1000 nodes after 30 cycles sits around 1e-5 —
+    // orders of magnitude below any realistic DP noise floor.
+    assert!(err < 1e-3, "30-cycle error too large: {err}");
+}
+
+#[test]
+fn error_shrinks_monotonically_in_expectation() {
+    let n = 512;
+    let nodes: Vec<PushSumNode> = (0..n)
+        .map(|i| PushSumNode::new(vec![i as f64], 1.0))
+        .collect();
+    let truth = vec![(n - 1) as f64 / 2.0];
+    let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 2);
+    let mut checkpoints = Vec::new();
+    for _ in 0..6 {
+        net.run_cycles(5);
+        checkpoints.push(max_relative_error(net.nodes(), &truth));
+    }
+    // Allow small non-monotonic wobble but demand a big overall drop.
+    assert!(checkpoints[5] < checkpoints[0] * 1e-3, "{checkpoints:?}");
+}
+
+#[test]
+fn encrypted_and_plaintext_pushsum_agree_exactly() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let kp = KeyPair::generate(&KeyGenOptions::insecure_test_size(), &mut rng);
+    let pk = Arc::new(kp.public().clone());
+    let codec = FixedPointCodec::new(20);
+    let n = 12;
+    let values: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![i as f64 * 1.5 - 3.0, (i % 4) as f64])
+        .collect();
+
+    let he_nodes: Vec<HePushSumNode> = values
+        .iter()
+        .map(|v| HePushSumNode::from_values(pk.clone(), &codec, v, 1.0, false, &mut rng))
+        .collect();
+    let ps_nodes: Vec<PushSumNode> = values
+        .iter()
+        .map(|v| PushSumNode::new(v.clone(), 1.0))
+        .collect();
+
+    let mut he_net = Network::new(he_nodes, Overlay::Full, FailureModel::none(), 77);
+    let mut ps_net = Network::new(ps_nodes, Overlay::Full, FailureModel::none(), 77);
+    he_net.run_cycles(18);
+    ps_net.run_cycles(18);
+
+    for (he, ps) in he_net.nodes().iter().zip(ps_net.nodes()) {
+        let he_est = he.decrypt_estimate(kp.private(), &codec).unwrap();
+        let ps_est = ps.estimate().unwrap();
+        for (a, b) in he_est.iter().zip(&ps_est) {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "encrypted {a} vs plaintext {b} must match to fixed-point precision"
+            );
+        }
+    }
+}
+
+#[test]
+fn encrypted_pushsum_mass_survives_churn() {
+    // Crash-stop nodes freeze their mass; the invariant "total mass in live
+    // + frozen nodes stays constant" must hold so recovering nodes rejoin
+    // consistently.
+    let mut rng = StdRng::seed_from_u64(4);
+    let kp = KeyPair::generate(&KeyGenOptions::insecure_test_size(), &mut rng);
+    let pk = Arc::new(kp.public().clone());
+    let codec = FixedPointCodec::new(20);
+    let nodes: Vec<HePushSumNode> = (0..10)
+        .map(|i| HePushSumNode::from_values(pk.clone(), &codec, &[i as f64], 1.0, false, &mut rng))
+        .collect();
+    let before: f64 = nodes
+        .iter()
+        .map(|n| n.decrypt_mass(kp.private(), &codec)[0])
+        .sum();
+    let mut net = Network::new(nodes, Overlay::Full, FailureModel::churn(0.05, 0.2), 5);
+    net.run_cycles(15);
+    let after: f64 = net
+        .nodes()
+        .iter()
+        .map(|n| n.decrypt_mass(kp.private(), &codec)[0])
+        .sum();
+    assert!(
+        (before - after).abs() < 1e-3,
+        "mass drifted under churn: {before} → {after}"
+    );
+}
+
+#[test]
+fn engine_estimates_match_observer_when_noise_is_negligible() {
+    // Full-stack check: with a huge ε, the engine's canonical perturbed
+    // centroids must sit on top of the omniscient observer's clean means.
+    use chiaroscuro::{ChiaroscuroConfig, Engine};
+    use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+
+    let ds = generate(
+        &BlobsConfig {
+            count: 150,
+            clusters: 3,
+            len: 8,
+            noise: 0.3,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(6),
+    );
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 3;
+    cfg.epsilon = 1e6;
+    cfg.value_bound = 8.0;
+    cfg.smoothing = cs_timeseries::smooth::Smoothing::None;
+    cfg.max_iterations = 5;
+    cfg.gossip_cycles = 35;
+    let out = Engine::new(cfg).unwrap().run(&ds.series).unwrap();
+    let last = out.log.records.last().unwrap();
+    assert!(
+        last.noise_impact < 0.02,
+        "with ε=10⁶ the perturbation must vanish: {}",
+        last.noise_impact
+    );
+}
+
+#[test]
+fn homomorphic_op_counters_match_network_activity() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let kp = KeyPair::generate(&KeyGenOptions::insecure_test_size(), &mut rng);
+    let pk = Arc::new(kp.public().clone());
+    let codec = FixedPointCodec::new(20);
+    let n = 8;
+    let dim = 3;
+    let nodes: Vec<HePushSumNode> = (0..n)
+        .map(|i| {
+            HePushSumNode::from_values(
+                pk.clone(),
+                &codec,
+                &vec![i as f64; dim],
+                1.0,
+                false,
+                &mut rng,
+            )
+        })
+        .collect();
+    let mut net = Network::new(nodes, Overlay::Full, FailureModel::none(), 8);
+    net.run_cycles(4);
+    let delivered = net.traffic().messages;
+    let mut total = homomorphic_pushsum::HomomorphicOpCounts::default();
+    for node in net.nodes() {
+        total.merge(&node.op_counts());
+    }
+    assert_eq!(
+        total.additions,
+        delivered * dim as u64,
+        "every message must add exactly `dim` ciphertexts"
+    );
+}
