@@ -24,8 +24,7 @@ pub fn advanced_composition(eps_each: f64, k: usize, delta: f64) -> f64 {
     assert!(eps_each >= 0.0 && eps_each.is_finite());
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
     let k_f = k as f64;
-    eps_each * (2.0 * k_f * (1.0 / delta).ln()).sqrt()
-        + k_f * eps_each * (eps_each.exp() - 1.0)
+    eps_each * (2.0 * k_f * (1.0 / delta).ln()).sqrt() + k_f * eps_each * (eps_each.exp() - 1.0)
 }
 
 /// The tightest of basic and advanced composition for the given slack —

@@ -1,0 +1,271 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with simple wall-clock
+//! median timing instead of criterion's statistical machinery. Good enough to
+//! keep benches compiling, runnable, and comparable run-over-run offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration batching granularity for [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: batch many per setup.
+    SmallInput,
+    /// Large inputs: few per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Times `routine`, called repeatedly until the time budget is spent.
+    ///
+    /// Fast routines are batched so each recorded sample covers ~1ms of
+    /// calls; otherwise the two `Instant::now()` reads would dominate the
+    /// measurement and the samples vector would grow into the millions.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        self.samples.push(first);
+        let target = Duration::from_millis(1);
+        let batch = if first < target {
+            (target.as_nanos() / first.as_nanos().max(1)).clamp(1, 10_000_000) as u32
+        } else {
+            1
+        };
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded.
+    /// Unbatched: each input is consumed by one timed call.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is time-budgeted, not
+    /// sample-count-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self._parent.budget);
+        f(&mut bencher);
+        self.report(&id, bencher.median());
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self._parent.budget);
+        f(&mut bencher, input);
+        self.report(&id, bencher.median());
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, median: Duration) {
+        let rate = match (self.throughput, median.as_secs_f64()) {
+            (Some(Throughput::Elements(n)), secs) if secs > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / secs)
+            }
+            (Some(Throughput::Bytes(n)), secs) if secs > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: median {:?}{}", self.name, id.id, median, rate);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Per-benchmark time budget; keep small so `cargo bench` terminates
+        // quickly even for the heavyweight end-to-end benches.
+        let millis = std::env::var("CRITERION_STUB_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion {
+            budget: Duration::from_millis(millis),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        let median = bencher.median();
+        println!("{}: median {:?}", id.id, median);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions as a single callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

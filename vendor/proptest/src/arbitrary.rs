@@ -1,0 +1,49 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite values spanning many magnitudes, not raw bit patterns:
+        // property tests here expect usable arithmetic inputs.
+        let mantissa: f64 = rng.gen_range(-1.0..1.0);
+        let exp: i32 = rng.gen_range(-60i32..60);
+        mantissa * (exp as f64).exp2()
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of proptest its property tests use: the [`proptest!`] macro
+//! (with optional `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`], the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! `any::<T>()` strategies, [`collection::vec`], and [`sample::subsequence`].
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking, and `prop_assert*!` panics do not carry the generated
+//! inputs — instead the runner prints the failing attempt number on the way
+//! out, and because case generation is seeded deterministically from the test
+//! name, re-running the test replays the identical input sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul(20).max(100);
+            while __accepted < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __max_attempts,
+                    "proptest `{}`: too many rejected cases ({} accepted of {} wanted)",
+                    stringify!($name), __accepted, __cfg.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                // On panic, report which deterministic attempt failed so the
+                // case can be replayed (generation is seeded from the test
+                // name; the attempt index pins the exact inputs).
+                let __guard = $crate::test_runner::FailureContext::new(
+                    stringify!($name),
+                    __attempts,
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                __guard.disarm();
+                if __outcome.is_ok() {
+                    __accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        ::std::assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        ::std::assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}

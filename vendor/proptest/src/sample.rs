@@ -1,0 +1,50 @@
+//! Sampling strategies over fixed collections.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A strategy producing order-preserving subsequences of fixed size from a
+/// source vector.
+pub fn subsequence<T: Clone>(source: Vec<T>, size: usize) -> Subsequence<T> {
+    assert!(
+        size <= source.len(),
+        "subsequence size {size} exceeds source length {}",
+        source.len()
+    );
+    Subsequence { source, size }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    source: Vec<T>,
+    size: usize,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+        let mut indices: Vec<usize> = (0..self.source.len()).collect();
+        indices.shuffle(rng);
+        let mut picked: Vec<usize> = indices.into_iter().take(self.size).collect();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.source[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat = subsequence(vec![0, 1, 2, 3, 4], 3);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Test-runner plumbing: configuration, case rejection, per-test seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the heavier crypto/bigint
+        // suites fast while still exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case is rejected.
+#[derive(Clone, Copy, Debug)]
+pub struct Rejected;
+
+/// Drop guard that reports the failing attempt when a test body panics.
+///
+/// There is no shrinking in this stand-in, so the replay recipe is the
+/// context: generation is seeded from the test name, and the printed attempt
+/// index identifies exactly which inputs failed.
+pub struct FailureContext {
+    name: &'static str,
+    attempt: u32,
+    armed: bool,
+}
+
+impl FailureContext {
+    /// Arms the guard for one test case.
+    pub fn new(name: &'static str, attempt: u32) -> Self {
+        FailureContext {
+            name,
+            attempt,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard: the case completed without panicking.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FailureContext {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest `{}`: failure on attempt {} (deterministic — rerun \
+                 replays the same inputs)",
+                self.name, self.attempt
+            );
+        }
+    }
+}
+
+/// Deterministic per-test generator: seeded from an FNV-1a hash of the test
+/// name so every test sees a distinct but reproducible stream.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}

@@ -1,0 +1,141 @@
+//! Deserialization half: the error trait and `Deserialize` impls for std
+//! types.
+
+use crate::{from_value, Deserialize, Deserializer, Value};
+use std::fmt::Display;
+
+pub use crate::DeserializeOwned;
+
+/// Errors produced during deserialization.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+fn unexpected<E: Error, T>(expected: &str, got: &Value) -> Result<T, E> {
+    Err(E::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_de_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::U64(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range"))),
+                    other => unexpected("unsigned integer", &other),
+                }
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let raw: i64 = match deserializer.into_value()? {
+                    Value::U64(v) => i64::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range")))?,
+                    Value::I64(v) => v,
+                    other => return unexpected("integer", &other),
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| D::Error::custom(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::F64(v) => Ok(v),
+            // Integral floats print without a decimal point and parse back as
+            // integers; accept them here so round-trips are lossless.
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            other => unexpected("number", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(v) => Ok(v),
+            other => unexpected("bool", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => unexpected("string", &other),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(D::Error::custom))
+                .collect(),
+            other => unexpected("array", &other),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal: $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.into_value()? {
+                    Value::Array(items) => {
+                        if items.len() != $len {
+                            return Err(De::Error::custom(format!(
+                                "expected array of length {}, got {}", $len, items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(iter.next().expect("length checked"))
+                                .map_err(De::Error::custom)?,
+                        )+))
+                    }
+                    other => unexpected("array", &other),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1: A)
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+}

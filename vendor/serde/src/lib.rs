@@ -1,0 +1,133 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serde: the [`Serialize`] / [`Deserialize`] traits (plus derive
+//! macros of the same names, re-exported from `serde_derive`), routed through
+//! an in-memory [`Value`] tree instead of serde's visitor machinery. The
+//! sibling `serde_json` stand-in renders that tree to and from JSON text.
+//!
+//! The public shapes match real serde closely enough that every call site in
+//! this workspace (derives, manual `impl Serialize`/`Deserialize` with
+//! `S::Ok`/`S::Error`/`D::Error::custom`, `serde_json::to_string`/`from_str`)
+//! compiles unchanged against the real crates if they are swapped back in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use value::Value;
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data. In this stand-in, a serializer consumes a
+/// fully built [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of serialized data. In this stand-in, a deserializer yields a
+/// fully parsed [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the parsed value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The error type used by the in-memory value serializer/deserializer.
+#[derive(Clone, Debug)]
+pub struct SimpleError(pub String);
+
+impl Display for SimpleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl ser::Error for SimpleError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+impl de::Error for SimpleError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SimpleError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SimpleError> {
+        Ok(value)
+    }
+}
+
+struct ValueDeserializer(Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SimpleError;
+
+    fn into_value(self) -> Result<Value, SimpleError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SimpleError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any owned type from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, SimpleError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Removes and deserializes the named field from a decoded object's field
+/// list. Used by derived `Deserialize` impls.
+pub fn take_field<T: DeserializeOwned>(
+    fields: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, SimpleError> {
+    match fields.iter().position(|(k, _)| k == name) {
+        Some(idx) => from_value(fields.remove(idx).1),
+        // A missing field is treated as `null`, so `Option<T>` fields absent
+        // from the document become `None` (matching real serde's
+        // missing-optional behavior) while required fields still error.
+        None => from_value(Value::Null).map_err(|_| SimpleError(format!("missing field `{name}`"))),
+    }
+}

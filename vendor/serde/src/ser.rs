@@ -1,0 +1,130 @@
+//! Serialization half: the error trait and `Serialize` impls for std types.
+
+use crate::{to_value, Serialize, Serializer, Value};
+use std::fmt::Display;
+
+/// Errors produced during serialization.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+macro_rules! impl_ser_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    serializer.serialize_value(Value::U64(v as u64))
+                } else {
+                    serializer.serialize_value(Value::I64(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_value<S: Serializer, T: Serialize>(
+    items: &[T],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(to_value(item).map_err(S::Error::custom)?);
+    }
+    serializer.serialize_value(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self, serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self, serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self, serializer)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let out = vec![
+                    $(to_value(&self.$idx).map_err(S::Error::custom)?),+
+                ];
+                serializer.serialize_value(Value::Array(out))
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

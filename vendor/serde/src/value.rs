@@ -1,0 +1,40 @@
+//! The in-memory data model every (de)serialization routes through.
+
+/// A JSON-shaped value tree.
+///
+/// Object fields keep insertion order (a `Vec`, not a map) so serialized
+/// output is deterministic and field order mirrors declaration order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered field list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

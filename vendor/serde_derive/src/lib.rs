@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually declares — non-generic structs (named,
+//! tuple, unit) and enums whose variants are unit, tuple, or struct-like —
+//! by parsing the item's token stream directly (the build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable).
+//!
+//! Wire format (realized by the sibling `serde`/`serde_json` stand-ins):
+//! named structs become objects, newtype structs are transparent, tuple
+//! structs become arrays; unit enum variants become `"Variant"` strings and
+//! data-carrying variants become `{"Variant": payload}` objects — the same
+//! externally-tagged layout real serde defaults to.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic types (type `{name}`)");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas, treating `<...>` spans as
+/// nested so commas inside generic arguments don't split.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("never empty").push(tree);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let shape = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => VariantShape::Unit,
+                other => panic!("unsupported variant body: {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// `("a".to_string(), to_value(expr)?)` pushes for a list of (key, expr).
+fn push_fields(out: &mut String, pairs: &[(String, String)]) {
+    for (key, expr) in pairs {
+        out.push_str(&format!(
+            "__out.push((\"{key}\".to_string(), ::serde::to_value({expr}).map_err({SER_ERR})?));\n"
+        ));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str(
+                "let mut __out: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), format!("&self.{f}")))
+                .collect();
+            push_fields(&mut body, &pairs);
+            body.push_str("__serializer.serialize_value(::serde::Value::Object(__out))\n");
+        }
+        Shape::TupleStruct(1) => {
+            body.push_str(&format!(
+                "__serializer.serialize_value(::serde::to_value(&self.0).map_err({SER_ERR})?)\n"
+            ));
+        }
+        Shape::TupleStruct(n) => {
+            body.push_str(
+                "let mut __out: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "__out.push(::serde::to_value(&self.{i}).map_err({SER_ERR})?);\n"
+                ));
+            }
+            body.push_str("__serializer.serialize_value(::serde::Value::Array(__out))\n");
+        }
+        Shape::UnitStruct => {
+            body.push_str("__serializer.serialize_value(::serde::Value::Null)\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => body.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         ::serde::Value::Str(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("::serde::to_value(__f0).map_err({SER_ERR})?")
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::to_value({b}).map_err({SER_ERR})?"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let __payload = {payload};\n\
+                             __serializer.serialize_value(::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), __payload)]))\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::new();
+                        inner.push_str(
+                            "let mut __out: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        let pairs: Vec<(String, String)> =
+                            fields.iter().map(|f| (f.clone(), f.clone())).collect();
+                        push_fields(&mut inner, &pairs);
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             __serializer.serialize_value(::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Value::Object(__out))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn take_named(fields: &[String], target: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::take_field(&mut __obj, \"{f}\").map_err({DE_ERR})?"))
+        .collect();
+    format!("{target} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    body.push_str("let __value = __deserializer.into_value()?;\n");
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let build = take_named(fields, name);
+            body.push_str(&format!(
+                "match __value {{\n\
+                 ::serde::Value::Object(mut __obj) => ::std::result::Result::Ok({build}),\n\
+                 __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"expected object for {name}, got {{}}\", __other.kind()))),\n}}\n"
+            ));
+        }
+        Shape::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::from_value(__value).map_err({DE_ERR})?))\n"
+            ));
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!(
+                        "::serde::from_value(__iter.next().ok_or_else(|| {DE_ERR}(\
+                         \"array too short\".to_string()))?).map_err({DE_ERR})?"
+                    )
+                })
+                .collect();
+            body.push_str(&format!(
+                "match __value {{\n\
+                 ::serde::Value::Array(__items) => {{\n\
+                 let mut __iter = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({}))\n}}\n\
+                 __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"expected array for {name}, got {{}}\", __other.kind()))),\n}}\n",
+                items.join(", ")
+            ));
+        }
+        Shape::UnitStruct => {
+            body.push_str(&format!("::std::result::Result::Ok({name})\n"));
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::from_value(__payload).map_err({DE_ERR})?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "::serde::from_value(__iter.next().ok_or_else(|| {DE_ERR}(\
+                                     \"array too short\".to_string()))?).map_err({DE_ERR})?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             ::serde::Value::Array(__items) => {{\n\
+                             let mut __iter = __items.into_iter();\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n\
+                             __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                             \"expected array payload, got {{}}\", __other.kind()))),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let build = take_named(fields, &format!("{name}::{vname}"));
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             ::serde::Value::Object(mut __obj) => \
+                             ::std::result::Result::Ok({build}),\n\
+                             __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                             \"expected object payload, got {{}}\", __other.kind()))),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __payload) = __obj.into_iter().next().expect(\"length checked\");\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}}\n\
+                 __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"expected enum value for {name}, got {{}}\", __other.kind()))),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
+}

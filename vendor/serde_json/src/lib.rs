@@ -1,0 +1,215 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Renders the vendored serde's [`serde::Value`] tree to JSON text and parses
+//! it back: [`to_string`], [`to_string_pretty`], [`from_str`]. Supports the
+//! full JSON grammar (nested arrays/objects, string escapes including
+//! `\uXXXX`, integer/float distinction) so every round-trip this workspace
+//! performs is lossless.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{DeserializeOwned, Serialize};
+use std::fmt::{self, Display, Write as _};
+
+mod parse;
+mod write;
+
+/// A serialization or parse error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The usual `serde_json` result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    let mut out = String::new();
+    write::compact(&tree, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    let mut out = String::new();
+    write::pretty(&tree, &mut out, 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any owned deserializable type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let tree = parse::parse(s)?;
+    serde::from_value(tree).map_err(|e| Error::msg(e.to_string()))
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(v: f64, out: &mut String) {
+    if v == 0.0 && v.is_sign_negative() {
+        // Plain `{}` prints `-0`, which would re-parse as the integer 0 and
+        // lose the sign bit.
+        out.push_str("-0.0");
+    } else if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no NaN/Infinity; mirror serde_json's `null`.
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        label: String,
+        weight: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        id: u64,
+        tags: Vec<String>,
+        inner: Nested,
+        maybe: Option<i64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Plain,
+        Windowed { width: usize },
+        Pair(u32),
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let v = Outer {
+            id: u64::MAX,
+            tags: vec!["a\"b".into(), "c\\d".into(), "tab\there".into()],
+            inner: Nested {
+                label: "x".into(),
+                weight: 0.1 + 0.2,
+            },
+            maybe: None,
+        };
+        let json = crate::to_string(&v).unwrap();
+        let back: Outer = crate::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn enum_roundtrip_all_shapes() {
+        for v in [Mode::Plain, Mode::Windowed { width: 5 }, Mode::Pair(9)] {
+            let json = crate::to_string(&v).unwrap();
+            let back: Mode = crate::from_str(&json).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn f64_extremes_roundtrip() {
+        for v in [0.0f64, -0.0, 1e-300, -1e300, f64::MIN_POSITIVE, 2.0] {
+            let json = crate::to_string(&v).unwrap();
+            let back: f64 = crate::from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Outer {
+            id: 1,
+            tags: vec![],
+            inner: Nested {
+                label: String::new(),
+                weight: -1.5,
+            },
+            maybe: Some(-3),
+        };
+        let json = crate::to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        let back: Outer = crate::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(crate::from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(crate::from_str::<u64>("\"nope\"").is_err());
+        assert!(crate::from_str::<Vec<u8>>("[1] trailing").is_err());
+        // RFC 8259: raw control characters in strings and leading-zero
+        // integers are invalid JSON.
+        assert!(crate::from_str::<String>("\"a\nb\"").is_err());
+        assert!(crate::from_str::<Vec<u8>>("[01]").is_err());
+        assert!(crate::from_str::<f64>("-01.5").is_err());
+        // Plain zero and fractional zero still parse.
+        assert_eq!(crate::from_str::<u64>("0").unwrap(), 0);
+        assert_eq!(crate::from_str::<f64>("0.5").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        // Real serde treats an absent field of type Option<T> as None; the
+        // stand-in must match so documents written by either parse in both.
+        let v: Outer =
+            crate::from_str(r#"{"id":1,"tags":[],"inner":{"label":"x","weight":1.0}}"#).unwrap();
+        assert_eq!(v.maybe, None);
+        // A missing required field still errors.
+        assert!(crate::from_str::<Outer>(r#"{"id":1,"tags":[]}"#).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = crate::from_str(r#""Aé 😀""#).unwrap();
+        assert_eq!(s, "Aé 😀");
+        let paired: String = crate::from_str(r#""😀""#).unwrap();
+        assert_eq!(paired, "😀");
+    }
+
+    #[test]
+    fn malformed_surrogates_rejected() {
+        // High surrogate whose following escape is not a low surrogate: the
+        // parser must error, not mask the code point into a wrong character.
+        assert!(crate::from_str::<String>("\"\\uD801\\u0041\"").is_err());
+        // High surrogate followed by a literal character.
+        assert!(crate::from_str::<String>("\"\\uD801A\"").is_err());
+        // Lone high surrogate at end of string.
+        assert!(crate::from_str::<String>("\"\\uD801\"").is_err());
+        // A valid pair still decodes.
+        let smiley: String = crate::from_str("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(smiley, "😀");
+    }
+}

@@ -1,0 +1,78 @@
+//! JSON text rendering.
+
+use crate::{write_escaped, write_number};
+use serde::Value;
+use std::fmt::Write as _;
+
+pub(crate) fn compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => write_number(*v, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn pretty(value: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(key, out);
+                out.push_str(": ");
+                pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
