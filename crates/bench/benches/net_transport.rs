@@ -1,0 +1,84 @@
+//! `cs_net` layer throughput: wire-codec encode/decode and one full
+//! threaded computation step (plaintext mode) per population size.
+
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::CryptoContext;
+use chiaroscuro::ChiaroscuroConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_bench::datasets::synthetic_contributions;
+use cs_bigint::BigUint;
+use cs_crypto::Ciphertext;
+use cs_net::runtime::{run_step_over_transport, NetConfig};
+use cs_net::wire::{decode_frame, encode_frame, Message};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn encrypted_push(slots: usize, slot_bytes: usize) -> Message {
+    let mut rng = StdRng::seed_from_u64(1);
+    Message::EncryptedPush {
+        iteration: 7,
+        denom_exp: 12,
+        weight: 0.125,
+        slots: (0..slots)
+            .map(|_| {
+                let bytes: Vec<u8> = (0..slot_bytes).map(|_| rng.gen::<u8>()).collect();
+                Ciphertext::from_biguint(BigUint::from_bytes_le(&bytes))
+            })
+            .collect(),
+    }
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/wire_codec");
+    for slot_bytes in [64usize, 256] {
+        let msg = encrypted_push(24, slot_bytes);
+        let frame = encode_frame(&msg);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", slot_bytes),
+            &msg,
+            |bench, msg| bench.iter(|| encode_frame(criterion::black_box(msg))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", slot_bytes),
+            &frame,
+            |bench, frame| bench.iter(|| decode_frame(criterion::black_box(frame)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_threaded_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/step_plain");
+    for n in [8usize, 16] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let config = ChiaroscuroConfig {
+                k: 2,
+                gossip_cycles: 12,
+                ..ChiaroscuroConfig::demo_simulated()
+            };
+            let layout = SlotLayout {
+                k: 2,
+                series_len: 8,
+            };
+            let mut rng = StdRng::seed_from_u64(2);
+            let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+            let contributions = synthetic_contributions(n, &layout, 3);
+            let net = NetConfig {
+                push_interval: Duration::from_micros(100),
+                quiesce: Duration::from_millis(50),
+                ..NetConfig::default()
+            };
+            bench.iter(|| {
+                run_step_over_transport(&config, &layout, &contributions, &crypto, 42, &net, &[])
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_codec, bench_threaded_step);
+criterion_main!(benches);

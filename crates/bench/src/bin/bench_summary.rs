@@ -1,0 +1,246 @@
+//! `bench_summary` — machine-readable benchmark trajectory seed.
+//!
+//! Runs the core measurements of the `cs_net` bench surface (wire-codec
+//! throughput, threaded-transport computation steps across population
+//! sizes, a real-crypto step) and writes them as `BENCH_net.json`, so the
+//! repository accumulates a comparable performance record across PRs.
+//!
+//! ```sh
+//! cargo run --release -p cs_bench --bin bench_summary            # full
+//! cargo run --release -p cs_bench --bin bench_summary -- --quick # smoke
+//! cargo run ... -- --out target/BENCH_net.json                   # custom path
+//! ```
+
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::CryptoContext;
+use chiaroscuro::ChiaroscuroConfig;
+use cs_bench::datasets::synthetic_contributions;
+use cs_bench::{f, Table};
+use cs_bigint::BigUint;
+use cs_crypto::Ciphertext;
+use cs_net::runtime::{run_step_over_transport, NetConfig};
+use cs_net::wire::{decode_frame, encode_frame, Message};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One measured configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Measurement name (stable across PRs — the comparison key).
+    name: String,
+    /// Population size, 0 for population-independent measurements.
+    population: usize,
+    /// Wall-clock of the measured unit, milliseconds.
+    wall_ms: f64,
+    /// Frames the unit put on the wire.
+    messages: u64,
+    /// Bytes-on-wire of those frames.
+    bytes: u64,
+    /// Average frame size.
+    bytes_per_message: f64,
+}
+
+/// The whole document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchSummary {
+    /// Document schema tag.
+    schema: String,
+    /// Whether the quick (smoke) workload was used.
+    quick: bool,
+    /// The measurements.
+    entries: Vec<BenchEntry>,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_net.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out = PathBuf::from(p);
+                }
+            }
+            other => eprintln!("warning: ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let mut entries = Vec::new();
+    entries.push(bench_wire_codec(quick));
+    let populations: &[usize] = if quick { &[8, 16] } else { &[16, 32, 64] };
+    for &n in populations {
+        entries.push(bench_plain_step(n, quick));
+    }
+    if !quick {
+        entries.push(bench_real_step(8));
+    }
+
+    let mut table = Table::new(
+        "cs_net bench summary",
+        &[
+            "name",
+            "population",
+            "wall_ms",
+            "messages",
+            "bytes",
+            "B/msg",
+        ],
+    );
+    for e in &entries {
+        table.row(vec![
+            e.name.clone(),
+            e.population.to_string(),
+            f(e.wall_ms, 3),
+            e.messages.to_string(),
+            e.bytes.to_string(),
+            f(e.bytes_per_message, 1),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let summary = BenchSummary {
+        schema: "chiaroscuro-bench-net/v1".to_string(),
+        quick,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&summary);
+    std::fs::write(&out, json.expect("summary serializes")).expect("write BENCH_net.json");
+    println!("[json written to {}]", out.display());
+}
+
+/// Median wall-clock of encode+decode for a realistic encrypted push frame
+/// (24 slots of 256-byte ciphertexts ≈ a k=2, len=5 aggregate at 2048-bit
+/// keys).
+fn bench_wire_codec(quick: bool) -> BenchEntry {
+    let mut rng = StdRng::seed_from_u64(1);
+    let slots: Vec<Ciphertext> = (0..24)
+        .map(|_| {
+            let bytes: Vec<u8> = (0..256).map(|_| rng.gen::<u8>()).collect();
+            Ciphertext::from_biguint(BigUint::from_bytes_le(&bytes))
+        })
+        .collect();
+    let msg = Message::EncryptedPush {
+        iteration: 7,
+        denom_exp: 12,
+        weight: 0.125,
+        slots,
+    };
+    let reps = if quick { 200 } else { 2000 };
+    let mut samples: Vec<f64> = Vec::with_capacity(reps);
+    let mut bytes = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let frame = encode_frame(&msg);
+        let back = decode_frame(&frame).expect("roundtrip");
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(matches!(back, Message::EncryptedPush { .. }));
+        bytes = frame.len() as u64;
+    }
+    samples.sort_by(f64::total_cmp);
+    BenchEntry {
+        name: "wire_codec_encrypted_push_roundtrip".to_string(),
+        population: 0,
+        wall_ms: samples[samples.len() / 2],
+        messages: 1,
+        bytes,
+        bytes_per_message: bytes as f64,
+    }
+}
+
+fn net_config() -> NetConfig {
+    NetConfig {
+        push_interval: Duration::from_micros(150),
+        quiesce: Duration::from_millis(100),
+        ..NetConfig::default()
+    }
+}
+
+/// One full threaded computation step in simulated-crypto (plaintext) mode.
+fn bench_plain_step(n: usize, quick: bool) -> BenchEntry {
+    let config = ChiaroscuroConfig {
+        k: 2,
+        gossip_cycles: if quick { 15 } else { 30 },
+        ..ChiaroscuroConfig::demo_simulated()
+    };
+    let layout = SlotLayout {
+        k: 2,
+        series_len: 8,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
+    let contributions = synthetic_contributions(n, &layout, 3);
+    let t = Instant::now();
+    let run = run_step_over_transport(
+        &config,
+        &layout,
+        &contributions,
+        &crypto,
+        42,
+        &net_config(),
+        &[],
+    )
+    .expect("step");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let messages = run.snapshot.messages();
+    let bytes = run.snapshot.bytes();
+    BenchEntry {
+        name: "net_step_plain".to_string(),
+        population: n,
+        wall_ms,
+        messages,
+        bytes,
+        bytes_per_message: if messages == 0 {
+            0.0
+        } else {
+            bytes as f64 / messages as f64
+        },
+    }
+}
+
+/// One full threaded computation step with the real Damgård-Jurik pipeline
+/// (test-size keys).
+fn bench_real_step(n: usize) -> BenchEntry {
+    let config = ChiaroscuroConfig {
+        k: 2,
+        gossip_cycles: 10,
+        ..ChiaroscuroConfig::test_real()
+    };
+    let layout = SlotLayout {
+        k: 2,
+        series_len: 5,
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
+    let contributions = synthetic_contributions(n, &layout, 5);
+    let t = Instant::now();
+    let run = run_step_over_transport(
+        &config,
+        &layout,
+        &contributions,
+        &crypto,
+        43,
+        &net_config(),
+        &[],
+    )
+    .expect("step");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let messages = run.snapshot.messages();
+    let bytes = run.snapshot.bytes();
+    BenchEntry {
+        name: "net_step_real_crypto".to_string(),
+        population: n,
+        wall_ms,
+        messages,
+        bytes,
+        bytes_per_message: if messages == 0 {
+            0.0
+        } else {
+            bytes as f64 / messages as f64
+        },
+    }
+}

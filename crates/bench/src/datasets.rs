@@ -81,6 +81,35 @@ pub fn rescale_epsilon(target_epsilon: f64, simulated_population: usize) -> f64 
     target_epsilon * TARGET_POPULATION / simulated_population as f64
 }
 
+/// A checkable two-cluster contribution fixture for the `cs_net` bench
+/// surface: node `i` contributes a fixed series (`[0, 1, …]` for even
+/// nodes, all-fives for odd) to cluster `i % 2`, with near-zero noise
+/// shares, so a computation step's estimates are predictable. One home for
+/// the fixture keeps `bench_summary` and the criterion benches in lockstep
+/// with `SlotLayout`.
+pub fn synthetic_contributions(
+    n: usize,
+    layout: &chiaroscuro::noise::SlotLayout,
+    seed: u64,
+) -> Vec<Option<Vec<f64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shares = cs_dp::NoiseShareGenerator::new(n, 1e-9);
+    (0..n)
+        .map(|i| {
+            let series: Vec<f64> = (0..layout.series_len)
+                .map(|d| if i % 2 == 0 { d as f64 } else { 5.0 })
+                .collect();
+            Some(chiaroscuro::noise::contribution_vector(
+                layout,
+                &series,
+                i % 2,
+                &shares,
+                &mut rng,
+            ))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

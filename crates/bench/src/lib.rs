@@ -25,13 +25,16 @@ use std::path::PathBuf;
 
 pub mod datasets;
 
-/// Minimal CLI: `--quick` and `--csv <dir>` are shared by all experiments.
+/// Minimal CLI: `--quick`, `--csv <dir>`, and `--json <dir>` are shared by
+/// all experiments.
 #[derive(Clone, Debug, Default)]
 pub struct ExpArgs {
     /// Shrink the workload for a fast smoke run.
     pub quick: bool,
     /// Directory to write CSV outputs into.
     pub csv_dir: Option<PathBuf>,
+    /// Directory to write machine-readable JSON outputs into.
+    pub json_dir: Option<PathBuf>,
 }
 
 impl ExpArgs {
@@ -45,9 +48,13 @@ impl ExpArgs {
                 "--csv" => {
                     args.csv_dir = iter.next().map(PathBuf::from);
                 }
+                "--json" => {
+                    args.json_dir = iter.next().map(PathBuf::from);
+                }
                 other => {
                     eprintln!(
-                        "warning: ignoring unknown argument {other:?} (known: --quick, --csv DIR)"
+                        "warning: ignoring unknown argument {other:?} \
+                         (known: --quick, --csv DIR, --json DIR)"
                     );
                 }
             }
@@ -125,7 +132,21 @@ impl Table {
         out
     }
 
-    /// Prints the table and, if requested, writes `<dir>/<name>.csv`.
+    /// Renders a machine-readable JSON document
+    /// (`{"title", "headers", "rows"}`) — the structured-log twin of
+    /// [`Table::to_csv`], mirroring `ExecutionLog::to_json` on the engine
+    /// side.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&TableDoc {
+            title: self.title.clone(),
+            headers: self.headers.clone(),
+            rows: self.rows.clone(),
+        })
+        .expect("table serializes")
+    }
+
+    /// Prints the table and, if requested, writes `<dir>/<name>.csv` and/or
+    /// `<dir>/<name>.json`.
     pub fn emit(&self, args: &ExpArgs, name: &str) {
         println!("{}", self.render());
         if let Some(dir) = &args.csv_dir {
@@ -134,7 +155,21 @@ impl Table {
             fs::write(&path, self.to_csv()).expect("write csv");
             println!("[csv written to {}]", path.display());
         }
+        if let Some(dir) = &args.json_dir {
+            fs::create_dir_all(dir).expect("create json dir");
+            let path = dir.join(format!("{name}.json"));
+            fs::write(&path, self.to_json()).expect("write json");
+            println!("[json written to {}]", path.display());
+        }
     }
+}
+
+/// Serialization shape of [`Table::to_json`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct TableDoc {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
 }
 
 /// Formats a float with fixed precision (table cells).
@@ -167,6 +202,16 @@ mod tests {
         assert!(text.contains("== demo =="));
         assert!(text.contains("bbb"));
         assert_eq!(t.to_csv(), "a,bbb\n1,2\n");
+    }
+
+    #[test]
+    fn table_json_roundtrips() {
+        let mut t = Table::new("demo", &["a", "bbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let doc: TableDoc = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(doc.title, "demo");
+        assert_eq!(doc.headers, vec!["a", "bbb"]);
+        assert_eq!(doc.rows, vec![vec!["1".to_string(), "2".to_string()]]);
     }
 
     #[test]

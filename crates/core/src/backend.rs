@@ -1,0 +1,76 @@
+//! Execution-substrate abstraction for the computation step.
+//!
+//! The engine's iteration loop (assignment → computation → convergence) is
+//! substrate-independent: only paper step 2 — the distributed gossip
+//! aggregation, noise folding, and collaborative decryption — touches a
+//! network. [`ComputationBackend`] isolates that step so `Engine::run` can
+//! execute over the in-process cycle simulator (the default, Peersim-style)
+//! or over a real message-passing transport (`cs_net`'s thread-per-node
+//! runtime) without the protocol logic forking.
+
+use crate::config::ChiaroscuroConfig;
+use crate::error::ChiaroscuroError;
+use crate::noise::SlotLayout;
+use crate::rounds::{run_computation_step, ComputationOutcome, CryptoContext};
+use rand::rngs::StdRng;
+
+/// An execution substrate for the distributed computation step.
+///
+/// Implementations receive every live participant's cleartext contribution
+/// vector and must return per-participant perturbed aggregate estimates plus
+/// the cost counters the engine logs. `contributions[i]` is `None` for
+/// participants that were down at the start of the iteration.
+pub trait ComputationBackend {
+    /// Short human-readable substrate name (log/debug output).
+    fn label(&self) -> &'static str;
+
+    /// Runs one computation step (paper steps 2a–2d).
+    ///
+    /// `step_seed` is the engine's per-iteration seed for the substrate's
+    /// own randomness (topology, pacing, loss); `rng` is the engine's master
+    /// RNG for draws that must stay on the shared deterministic stream
+    /// (committee sampling in the default backend).
+    fn run_step(
+        &mut self,
+        config: &ChiaroscuroConfig,
+        layout: &SlotLayout,
+        contributions: &[Option<Vec<f64>>],
+        crypto: &CryptoContext,
+        step_seed: u64,
+        rng: &mut StdRng,
+    ) -> Result<ComputationOutcome, ChiaroscuroError>;
+}
+
+/// The default substrate: the in-process cycle-driven gossip simulator
+/// (`cs_gossip::Network`), byte-for-byte the behavior `Engine::run` always
+/// had.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimulatorBackend;
+
+impl ComputationBackend for SimulatorBackend {
+    fn label(&self) -> &'static str {
+        "cycle-simulator"
+    }
+
+    fn run_step(
+        &mut self,
+        config: &ChiaroscuroConfig,
+        layout: &SlotLayout,
+        contributions: &[Option<Vec<f64>>],
+        crypto: &CryptoContext,
+        step_seed: u64,
+        rng: &mut StdRng,
+    ) -> Result<ComputationOutcome, ChiaroscuroError> {
+        run_computation_step(config, layout, contributions, crypto, step_seed, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulator_backend_is_the_default_substrate() {
+        assert_eq!(SimulatorBackend.label(), "cycle-simulator");
+    }
+}

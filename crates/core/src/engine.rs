@@ -8,6 +8,7 @@
 //! synchronization primitive: every participant carries its own Diptych, and
 //! late participants adopt a peer's newer Diptych when they resurface.
 
+use crate::backend::{ComputationBackend, SimulatorBackend};
 use crate::config::{ChiaroscuroConfig, CryptoMode};
 use crate::cost::{CostModel, IterationCost};
 use crate::diptych::Diptych;
@@ -15,7 +16,7 @@ use crate::error::ChiaroscuroError;
 use crate::log::{ExecutionLog, IterationRecord};
 use crate::noise::{contribution_vector, SlotLayout};
 use crate::participant::Participant;
-use crate::rounds::{run_computation_step, CryptoContext, PerturbedAggregates};
+use crate::rounds::{CryptoContext, PerturbedAggregates};
 use crate::termination::TerminationMonitor;
 use cs_crypto::CryptoCostProfile;
 use cs_dp::{BudgetPlan, NoiseShareGenerator, PrivacyAccountant};
@@ -83,8 +84,20 @@ impl Engine {
         &self.config
     }
 
-    /// Runs the protocol over one series per participant.
+    /// Runs the protocol over one series per participant, executing the
+    /// computation step on the default in-process cycle simulator.
     pub fn run(&self, series: &[TimeSeries]) -> Result<RunOutput, ChiaroscuroError> {
+        self.run_with_backend(series, &mut SimulatorBackend)
+    }
+
+    /// Runs the protocol with the computation step executed by an arbitrary
+    /// substrate — the cycle simulator, or a real message-passing transport
+    /// (see the `cs_net` crate's `NetBackend`).
+    pub fn run_with_backend(
+        &self,
+        series: &[TimeSeries],
+        backend: &mut dyn ComputationBackend,
+    ) -> Result<RunOutput, ChiaroscuroError> {
         let cfg = &self.config;
         let n = series.len();
         if n < cfg.k.max(2) {
@@ -163,10 +176,11 @@ impl Engine {
                 })
                 .collect();
 
-            // Step 2 (distributed): gossip aggregation + noise + decryption.
+            // Step 2 (distributed): gossip aggregation + noise + decryption,
+            // on whatever substrate the backend provides.
             let step_seed = rng.gen::<u64>();
             let outcome =
-                run_computation_step(cfg, &layout, &contributions, &crypto, step_seed, &mut rng)?;
+                backend.run_step(cfg, &layout, &contributions, &crypto, step_seed, &mut rng)?;
             alive = outcome.alive_after.clone();
 
             // Omniscient-observer clean means for the log (E2's noise-impact

@@ -16,29 +16,15 @@
 //!   strategies (`cs_dp::budget`) and perturbed-mean smoothing
 //!   (`cs_timeseries::smooth`);
 //! * cost accounting in the demo's own style ([`cost`]) and a structured
-//!   execution log ([`log`]) from which every demo graph derives.
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use chiaroscuro::{ChiaroscuroConfig, Engine};
-//! use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
-//! use rand::SeedableRng;
-//!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let data = generate(&BlobsConfig { count: 80, clusters: 2, len: 8, ..Default::default() }, &mut rng);
-//!
-//! let mut config = ChiaroscuroConfig::demo_simulated();
-//! config.k = 2;
-//! config.max_iterations = 3;
-//! let output = Engine::new(config).unwrap().run(&data.series).unwrap();
-//! assert_eq!(output.centroids.len(), 2);
-//! println!("{}", output.log.to_csv());
-//! ```
-
+//!   execution log ([`log`]) from which every demo graph derives;
+//! * a pluggable **computation-step substrate** ([`backend`]): the default
+//!   in-process cycle simulator, or a real message-passing transport via
+//!   the `cs_net` crate's `NetBackend`.
+#![doc = include_str!("../../../docs/quickstart.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod cost;
 pub mod diptych;
@@ -51,6 +37,7 @@ pub mod quality;
 pub mod rounds;
 pub mod termination;
 
+pub use backend::{ComputationBackend, SimulatorBackend};
 pub use config::{ChiaroscuroConfig, CryptoMode};
 pub use diptych::Diptych;
 pub use engine::{Engine, RunOutput};

@@ -80,7 +80,61 @@ pub struct PerturbedAggregates {
     pub counts: Vec<f64>,
 }
 
+/// Arranges final per-data-slot perturbed values into per-cluster sums and
+/// counts. `slot_value(i)` must return the perturbed value of data slot `i`
+/// (noise already folded in, push-sum weight already divided out).
+///
+/// Shared by every execution substrate — the plaintext simulator, the real
+/// homomorphic pipeline, and the `cs_net` message-passing runtime — so the
+/// slot→cluster bookkeeping exists exactly once.
+pub fn assemble_aggregates(
+    layout: &SlotLayout,
+    mut slot_value: impl FnMut(usize) -> f64,
+) -> PerturbedAggregates {
+    let mut sums = vec![vec![0.0; layout.series_len]; layout.k];
+    let mut counts = vec![0.0; layout.k];
+    for slot in 0..layout.noise_offset() {
+        let value = slot_value(slot);
+        let j = slot / layout.per_cluster();
+        let d = slot % layout.per_cluster();
+        if d == layout.series_len {
+            counts[j] = value;
+        } else {
+            sums[j][d] = value;
+        }
+    }
+    PerturbedAggregates { sums, counts }
+}
+
+/// Encrypts one contribution vector slot by slot, shipping zero slots as
+/// free trivial encryptions (paper step 1: non-selected clusters start as
+/// "encryptions of zero-valued time-series"; re-randomization on the first
+/// forward blinds them). Returns the ciphertexts and the number of *real*
+/// encryptions performed.
+pub fn encrypt_contribution<R: rand::Rng + ?Sized>(
+    pk: &PublicKey,
+    codec: &FixedPointCodec,
+    values: &[f64],
+    rng: &mut R,
+) -> (Vec<Ciphertext>, u64) {
+    let mut encryptions = 0u64;
+    let cipher = values
+        .iter()
+        .map(|&v| {
+            if v == 0.0 {
+                pk.trivial_zero()
+            } else {
+                encryptions += 1;
+                let m = codec.encode(v, pk.n_s()).expect("clamped value fits");
+                pk.encrypt(&m, rng)
+            }
+        })
+        .collect();
+    (cipher, encryptions)
+}
+
 /// Result of one computation step.
+#[derive(Clone, Debug)]
 pub struct ComputationOutcome {
     /// Per-participant estimates (`None` for participants that were down or
     /// whose push-sum weight vanished).
@@ -146,22 +200,8 @@ fn run_real(
         .iter()
         .map(|c| match c {
             Some(values) => {
-                let cipher: Vec<Ciphertext> = values
-                    .iter()
-                    .map(|&v| {
-                        if v == 0.0 {
-                            // Paper step 1: non-selected clusters start as
-                            // "encryptions of zero-valued time-series" — the
-                            // trivial encryption is free; re-randomization on
-                            // the first forward blinds it.
-                            pk.trivial_zero()
-                        } else {
-                            encryptions += 1;
-                            let m = codec.encode(v, pk.n_s()).expect("clamped value fits");
-                            pk.encrypt(&m, rng)
-                        }
-                    })
-                    .collect();
+                let (cipher, enc) = encrypt_contribution(pk.as_ref(), codec, values, rng);
+                encryptions += enc;
                 HePushSumNode::from_ciphertexts(pk.clone(), cipher, 1.0, config.rerandomize)
             }
             None => {
@@ -212,9 +252,8 @@ fn run_real(
         committee.shuffle(rng);
         let committee = &committee[..t];
 
-        let mut sums = vec![vec![0.0; layout.series_len]; layout.k];
-        let mut counts = vec![0.0; layout.k];
-        for slot in 0..data_slots {
+        let mut slot_err = None;
+        let est = assemble_aggregates(layout, |slot| {
             // 2c: local addition of the encrypted noise to the encrypted mean.
             let combined = pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]);
             ops.additions += 1;
@@ -224,20 +263,22 @@ fn run_real(
                 .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
                 .collect();
             decrypt_ops.partial_decryptions += t as u64;
-            let raw = tkp.combine(&partials)?;
+            let raw = match tkp.combine(&partials) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    slot_err.get_or_insert(e);
+                    return 0.0;
+                }
+            };
             decrypt_ops.combinations += 1;
-            let value = codec.decode(&raw, pk.n_s(), denom) / weight;
-            let j = slot / layout.per_cluster();
-            let d = slot % layout.per_cluster();
-            if d == layout.series_len {
-                counts[j] = value;
-            } else {
-                sums[j][d] = value;
-            }
+            codec.decode(&raw, pk.n_s(), denom) / weight
+        });
+        if let Some(e) = slot_err {
+            return Err(e.into());
         }
         decrypt_ops.messages += 2 * t as u64;
         decrypt_ops.bytes += 2 * (t * data_slots * pk.ciphertext_bytes()) as u64;
-        estimates.push(Some(PerturbedAggregates { sums, counts }));
+        estimates.push(Some(est));
     }
 
     Ok(ComputationOutcome {
@@ -291,19 +332,9 @@ fn run_simulated(
         match node.estimate() {
             Some(est) => {
                 decryptors += 1;
-                let mut sums = vec![vec![0.0; layout.series_len]; layout.k];
-                let mut counts = vec![0.0; layout.k];
-                for slot in 0..data_slots {
-                    let value = est[slot] + est[layout.noise_slot(slot)];
-                    let j = slot / layout.per_cluster();
-                    let d = slot % layout.per_cluster();
-                    if d == layout.series_len {
-                        counts[j] = value;
-                    } else {
-                        sums[j][d] = value;
-                    }
-                }
-                estimates.push(Some(PerturbedAggregates { sums, counts }));
+                estimates.push(Some(assemble_aggregates(layout, |slot| {
+                    est[slot] + est[layout.noise_slot(slot)]
+                })));
             }
             None => estimates.push(None),
         }

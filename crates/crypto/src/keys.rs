@@ -144,7 +144,17 @@ impl Serialize for PublicKey {
 
 impl<'de> Deserialize<'de> for PublicKey {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
         let (n, s): (BigUint, u32) = Deserialize::deserialize(deserializer)?;
+        // Reject wire garbage before the cache build: `from_parts` (and the
+        // Montgomery context underneath) require an odd modulus > 1, and the
+        // degree must be >= 1.
+        if s < 1 {
+            return Err(D::Error::custom("Damgård-Jurik degree must be >= 1"));
+        }
+        if !n.is_odd() || n.is_one() || n.is_zero() {
+            return Err(D::Error::custom("RSA modulus must be odd and > 1"));
+        }
         Ok(PublicKey::from_parts(n, s))
     }
 }

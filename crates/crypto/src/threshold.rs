@@ -77,7 +77,47 @@ impl KeyShare {
     pub fn share_value(&self) -> &BigUint {
         &self.value
     }
+
+    /// Rebuilds a share from its wire parts (deserialization path — the
+    /// caller vouches that `value` is a genuine Shamir share of the key
+    /// behind `pk` and that `exponent = 2Δ·value` for the committee's Δ).
+    pub fn from_parts(index: u64, value: BigUint, exponent: BigUint, pk: PublicKey) -> Self {
+        KeyShare {
+            index,
+            value,
+            exponent,
+            pk,
+        }
+    }
 }
+
+impl Serialize for KeyShare {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (&self.index, &self.value, &self.exponent, &self.pk).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for KeyShare {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (index, value, exponent, pk): (u64, BigUint, BigUint, PublicKey) =
+            Deserialize::deserialize(deserializer)?;
+        if index == 0 {
+            return Err(serde::de::Error::custom("share index must be >= 1"));
+        }
+        Ok(KeyShare::from_parts(index, value, exponent, pk))
+    }
+}
+
+impl PartialEq for KeyShare {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+            && self.value == other.value
+            && self.exponent == other.exponent
+            && self.pk == other.pk
+    }
+}
+
+impl Eq for KeyShare {}
 
 /// A partial decryption contributed by one party.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +135,16 @@ impl PartialDecryption {
     /// Serialized size in bytes.
     pub fn byte_len(&self) -> usize {
         self.value.byte_len() + 8
+    }
+
+    /// The raw partial-decryption group element (wire codec access).
+    pub fn value(&self) -> &BigUint {
+        &self.value
+    }
+
+    /// Rebuilds a partial decryption from its wire parts.
+    pub fn from_parts(index: u64, value: BigUint) -> Self {
+        PartialDecryption { index, value }
     }
 }
 

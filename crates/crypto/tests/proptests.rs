@@ -121,6 +121,64 @@ proptest! {
     }
 
     #[test]
+    fn ciphertext_serde_roundtrip(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kp.public().encrypt(&BigUint::from(m), &mut rng);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: cs_crypto::Ciphertext = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn public_key_serde_roundtrip_rebuilds_caches(_x in 0u8..4) {
+        let pk = keypair().public();
+        let json = serde_json::to_string(pk).unwrap();
+        let back: cs_crypto::PublicKey = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, pk);
+        prop_assert_eq!(back.n_s1(), pk.n_s1());
+        prop_assert_eq!(back.ciphertext_bytes(), pk.ciphertext_bytes());
+    }
+
+    #[test]
+    fn key_share_serde_roundtrip_preserves_decryption(m in any::<u64>(), seed in any::<u64>(),
+                                                      which in 0usize..5) {
+        let tkp = threshold();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = tkp.public().encrypt(&BigUint::from(m), &mut rng);
+        let share = &tkp.shares()[which];
+        let json = serde_json::to_string(share).unwrap();
+        let back: cs_crypto::KeyShare = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, share);
+        // A rehydrated share must produce byte-identical partial decryptions.
+        prop_assert_eq!(back.partial_decrypt(&c), share.partial_decrypt(&c));
+    }
+
+    #[test]
+    fn partial_decryption_serde_roundtrip(m in any::<u64>(), seed in any::<u64>(),
+                                          which in 0usize..5) {
+        let tkp = threshold();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = tkp.public().encrypt(&BigUint::from(m), &mut rng);
+        let p = tkp.shares()[which].partial_decrypt(&c);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: cs_crypto::PartialDecryption = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &p);
+        prop_assert_eq!(back.index(), p.index());
+        prop_assert_eq!(back.value(), p.value());
+    }
+
+    #[test]
+    fn corrupt_key_share_json_rejected(garbage in any::<u64>()) {
+        // Structurally broken documents must error, never panic: a bare
+        // string where the (index, value, exponent, pk) tuple belongs, and a
+        // zero share index.
+        prop_assert!(serde_json::from_str::<cs_crypto::KeyShare>(&format!("\"g{garbage}\"")).is_err());
+        let zero_index = r#"[0, [1], [2], [[1], 1]]"#;
+        prop_assert!(serde_json::from_str::<cs_crypto::KeyShare>(zero_index).is_err());
+    }
+
+    #[test]
     fn fixed_point_roundtrip_through_encryption(v in -1e6f64..1e6, seed in any::<u64>()) {
         let kp = keypair();
         let codec = cs_crypto::FixedPointCodec::new(20);

@@ -50,6 +50,30 @@ impl HomomorphicOpCounts {
     }
 }
 
+/// One half of an encrypted push-sum exchange: the ciphertext slots shed by
+/// the initiator, with the denominator exponent and weight they carry. This
+/// is the exact payload a message-passing deployment (`cs_net`) serializes.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct HePush {
+    /// The pushed ciphertext slots (already re-randomized when enabled).
+    pub slots: Vec<Ciphertext>,
+    /// The sender's denominator exponent after halving (plaintext meaning of
+    /// slot `i` is `Dec(slots[i]) / 2^denom_exp`).
+    pub denom_exp: u32,
+    /// The halved push-sum weight travelling with the slots.
+    pub weight: f64,
+}
+
+impl std::fmt::Debug for HePush {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HePush")
+            .field("slots", &self.slots.len())
+            .field("denom_exp", &self.denom_exp)
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
 /// One participant in the encrypted push-sum.
 #[derive(Clone)]
 pub struct HePushSumNode {
@@ -168,6 +192,58 @@ impl HePushSumNode {
     pub fn message_bytes(&self) -> usize {
         self.cipher.len() * self.pk.ciphertext_bytes() + 4 + 8
     }
+
+    /// First half of one push exchange: halves the local mass (increment the
+    /// denominator exponent, halve the weight — ciphertexts untouched) and
+    /// returns the shed half as a wire-ready payload, re-randomized when the
+    /// node is configured to do so.
+    pub fn split_push<R: Rng + ?Sized>(&mut self, rng: &mut R) -> HePush {
+        self.denom_exp += 1;
+        self.weight *= 0.5;
+        let slots: Vec<Ciphertext> = self
+            .cipher
+            .iter()
+            .map(|c| {
+                if self.rerandomize {
+                    self.ops.rerandomizations += 1;
+                    self.pk.rerandomize(c, rng)
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        HePush {
+            slots,
+            denom_exp: self.denom_exp,
+            weight: self.weight,
+        }
+    }
+
+    /// Second half of one push exchange: folds a received push into the
+    /// local mass, aligning denominators homomorphically
+    /// (`k' = max(k₁,k₂)`, `C' = C₁^(2^(k'−k₁)) · C₂^(2^(k'−k₂))`).
+    pub fn absorb(&mut self, push: &HePush) {
+        debug_assert_eq!(self.dim(), push.slots.len(), "dimension mismatch");
+        let k_new = push.denom_exp.max(self.denom_exp);
+        let incoming_shift = k_new - push.denom_exp;
+        let local_shift = k_new - self.denom_exp;
+        for (local, incoming) in self.cipher.iter_mut().zip(&push.slots) {
+            let mut incoming = incoming.clone();
+            if incoming_shift > 0 {
+                incoming = self.pk.scalar_mul_pow2(&incoming, incoming_shift);
+                self.ops.pow2_scalings += 1;
+            }
+            let mut aligned = local.clone();
+            if local_shift > 0 {
+                aligned = self.pk.scalar_mul_pow2(&aligned, local_shift);
+                self.ops.pow2_scalings += 1;
+            }
+            *local = self.pk.add(&aligned, &incoming);
+            self.ops.additions += 1;
+        }
+        self.denom_exp = k_new;
+        self.weight += push.weight;
+    }
 }
 
 impl std::fmt::Debug for HePushSumNode {
@@ -183,35 +259,11 @@ impl std::fmt::Debug for HePushSumNode {
 impl CycleProtocol for HePushSumNode {
     fn exchange(&mut self, peer: &mut Self, ctx: &mut ExchangeCtx<'_>) {
         debug_assert_eq!(self.dim(), peer.dim(), "dimension mismatch");
-        // Halve: k += 1, weight /= 2; ciphertexts untouched.
-        self.denom_exp += 1;
-        self.weight *= 0.5;
-
-        // Push a copy to the peer, re-randomized if configured so the wire
-        // ciphertext cannot be linked to this node's stored one.
-        let k_new = self.denom_exp.max(peer.denom_exp);
-        let self_shift = k_new - self.denom_exp;
-        let peer_shift = k_new - peer.denom_exp;
-        for i in 0..self.cipher.len() {
-            let mut outgoing = self.cipher[i].clone();
-            if self.rerandomize {
-                outgoing = self.pk.rerandomize(&outgoing, ctx.rng);
-                peer.ops.rerandomizations += 1;
-            }
-            if self_shift > 0 {
-                outgoing = self.pk.scalar_mul_pow2(&outgoing, self_shift);
-                peer.ops.pow2_scalings += 1;
-            }
-            let mut local = peer.cipher[i].clone();
-            if peer_shift > 0 {
-                local = self.pk.scalar_mul_pow2(&local, peer_shift);
-                peer.ops.pow2_scalings += 1;
-            }
-            peer.cipher[i] = self.pk.add(&local, &outgoing);
-            peer.ops.additions += 1;
-        }
-        peer.denom_exp = k_new;
-        peer.weight += self.weight;
+        // The shared-memory exchange is the message-passing one with a
+        // perfect link: split (re-randomizing so the wire ciphertext cannot
+        // be linked to this node's stored one), deliver, absorb.
+        let push = self.split_push(ctx.rng);
+        peer.absorb(&push);
         ctx.record_message(self.message_bytes());
     }
 }
@@ -370,6 +422,28 @@ mod tests {
         assert_eq!(total.additions, 60);
         assert!(total.pow2_scalings > 0);
         assert_eq!(total.encryptions, 12);
+    }
+
+    #[test]
+    fn split_then_absorb_conserves_mass_and_aligns_denominators() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (_pk, kp, codec, mut nodes) = setup(2, 14);
+        let before: Vec<f64> = nodes
+            .iter()
+            .map(|n| n.decrypt_mass(kp.private(), &codec)[0])
+            .collect();
+        let (a, b) = nodes.split_at_mut(1);
+        let push = a[0].split_push(&mut rng);
+        assert_eq!(push.denom_exp, 1);
+        assert_eq!(push.weight, 0.5);
+        b[0].absorb(&push);
+        assert_eq!(b[0].denominator_exp(), 1);
+        assert!((b[0].weight() - 1.5).abs() < 1e-12);
+        let after: f64 = nodes
+            .iter()
+            .map(|n| n.decrypt_mass(kp.private(), &codec)[0])
+            .sum();
+        assert!((after - before.iter().sum::<f64>()).abs() < 1e-6);
     }
 
     #[test]

@@ -12,6 +12,25 @@
 //! crypto mode.
 
 use crate::network::{CycleProtocol, ExchangeCtx};
+use serde::{Deserialize, Serialize};
+
+/// One half of a push-sum exchange: the value/weight mass the initiator
+/// sheds toward a peer. This is exactly what crosses the wire in a
+/// message-passing deployment (`cs_net`), so the type is serializable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlainPush {
+    /// The halved value vector being pushed.
+    pub values: Vec<f64>,
+    /// The halved weight being pushed.
+    pub weight: f64,
+}
+
+impl PlainPush {
+    /// Serialized payload size: the vector plus the weight, 8 bytes per f64.
+    pub fn message_bytes(&self) -> usize {
+        8 * (self.values.len() + 1)
+    }
+}
 
 /// One push-sum participant.
 #[derive(Clone, Debug)]
@@ -45,22 +64,40 @@ impl PushSumNode {
     pub fn dim(&self) -> usize {
         self.value.len()
     }
+
+    /// First half of one push exchange: halves the local mass and returns
+    /// the shed half as a wire-ready message. The caller must deliver it to
+    /// exactly one peer (or accept the mass loss, as a crashed link would).
+    pub fn split_push(&mut self) -> PlainPush {
+        for v in &mut self.value {
+            *v *= 0.5;
+        }
+        self.weight *= 0.5;
+        PlainPush {
+            values: self.value.clone(),
+            weight: self.weight,
+        }
+    }
+
+    /// Second half of one push exchange: folds a received push into the
+    /// local mass.
+    pub fn absorb(&mut self, push: &PlainPush) {
+        debug_assert_eq!(self.value.len(), push.values.len(), "dimension mismatch");
+        for (v, p) in self.value.iter_mut().zip(&push.values) {
+            *v += p;
+        }
+        self.weight += push.weight;
+    }
 }
 
 impl CycleProtocol for PushSumNode {
     fn exchange(&mut self, peer: &mut Self, ctx: &mut ExchangeCtx<'_>) {
         debug_assert_eq!(self.value.len(), peer.value.len(), "dimension mismatch");
-        // Halve locally, push the other half.
-        for v in &mut self.value {
-            *v *= 0.5;
-        }
-        self.weight *= 0.5;
-        for (pv, sv) in peer.value.iter_mut().zip(&self.value) {
-            *pv += sv;
-        }
-        peer.weight += self.weight;
-        // Payload: the vector + the weight, 8 bytes per f64.
-        ctx.record_message(8 * (self.value.len() + 1));
+        // The shared-memory exchange is the message-passing one with a
+        // perfect link: split, deliver, absorb.
+        let push = self.split_push();
+        peer.absorb(&push);
+        ctx.record_message(push.message_bytes());
     }
 }
 
@@ -182,6 +219,23 @@ mod tests {
             "error should keep shrinking: early {early}, late {late}"
         );
         assert!(late < 0.05, "late error {late}");
+    }
+
+    #[test]
+    fn split_then_absorb_matches_exchange_semantics() {
+        // Mass conservation across the split/absorb halves, and the push
+        // itself carries exactly the shed mass.
+        let mut a = PushSumNode::new(vec![4.0, 8.0], 1.0);
+        let mut b = PushSumNode::new(vec![2.0, 2.0], 1.0);
+        let push = a.split_push();
+        assert_eq!(push.values, vec![2.0, 4.0]);
+        assert_eq!(push.weight, 0.5);
+        assert_eq!(push.message_bytes(), 24);
+        b.absorb(&push);
+        assert_eq!(a.mass().0, &[2.0, 4.0]);
+        assert_eq!(a.mass().1, 0.5);
+        assert_eq!(b.mass().0, &[4.0, 6.0]);
+        assert_eq!(b.mass().1, 1.5);
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! The per-node protocol state machine for one computation step.
+//!
+//! [`ProtocolNode`] is *sans-IO*: it consumes decoded [`Message`]s and
+//! pacing ticks, and emits `(destination, Message)` pairs — the threaded
+//! runtime wires it to a [`crate::transport::Transport`], and tests can
+//! drive it entirely in-process. The gossip arithmetic itself lives in
+//! `cs_gossip` (`HePushSumNode::split_push`/`absorb` and the plaintext
+//! twins), so the simulators and this runtime execute the *same* protocol
+//! code; the slot bookkeeping and encryption helpers come from
+//! `chiaroscuro::rounds` for the same reason.
+//!
+//! Phases of one step (paper steps 2a–2d):
+//!
+//! 1. **Gossip** — every pacing tick, split the local mass and push it to a
+//!    uniformly-sampled live peer, until the push quota is exhausted;
+//!    incoming pushes are absorbed in any phase (they keep mixing mass even
+//!    after this node snapshots its own estimate — the ratio estimate is
+//!    unaffected because value and weight travel together).
+//! 2. **AwaitShares** (real crypto) — fold the encrypted noise block onto
+//!    the data block homomorphically, snapshot the combined ciphertexts,
+//!    and ask the key committee for partial decryptions; combine the first
+//!    `threshold` replies.
+//! 3. **Done** — broadcast a termination vote and keep serving committee
+//!    duties (partial decryptions for slower peers) until the runtime shuts
+//!    the population down.
+
+use crate::transport::NodeId;
+use crate::wire::Message;
+use chiaroscuro::cost::DecryptionOps;
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::{assemble_aggregates, encrypt_contribution, PerturbedAggregates};
+use cs_bigint::BigUint;
+use cs_crypto::threshold::combine_partials;
+use cs_crypto::{
+    Ciphertext, FixedPointCodec, KeyShare, PartialDecryption, PublicKey, ThresholdParams,
+};
+use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts};
+use cs_gossip::pushsum::{PlainPush, PushSumNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Crypto substrate of one node.
+// One value per node per step; the size gap to `Plain` is irrelevant next
+// to the ciphertext vectors the node holds anyway.
+#[allow(clippy::large_enum_variant)]
+pub enum NodeCrypto {
+    /// Real Damgård-Jurik pipeline.
+    Real {
+        /// Shared public key.
+        pk: Arc<PublicKey>,
+        /// Fixed-point codec.
+        codec: FixedPointCodec,
+        /// This node's key share, if it sits on the decryption committee.
+        share: Option<KeyShare>,
+        /// Threshold parameters of the committee.
+        params: ThresholdParams,
+        /// `Δ = parties!` for share combination.
+        delta: BigUint,
+        /// Re-randomize ciphertexts before each forward.
+        rerandomize: bool,
+    },
+    /// Plaintext pipeline (simulated-crypto mode): same dataflow, cleartext
+    /// slots, no decryption round.
+    Plain,
+}
+
+/// Static parameters of one node for one computation step.
+pub struct NodeParams {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// Population size.
+    pub population: usize,
+    /// Protocol iteration this step belongs to.
+    pub iteration: u64,
+    /// Number of pushes this node initiates (the per-participant exchange
+    /// budget — the message-passing analogue of `gossip_cycles`).
+    pub pushes: usize,
+    /// Nodes holding key shares, in share order (node `committee[j]` holds
+    /// share `j`).
+    pub committee: Vec<NodeId>,
+    /// Per-node RNG seed (peer sampling, encryption randomness).
+    pub seed: u64,
+}
+
+enum Aggregator {
+    Encrypted(HePushSumNode),
+    Plain(PushSumNode),
+}
+
+enum Phase {
+    Gossip,
+    AwaitShares,
+    Done,
+}
+
+/// What a node hands back to the driver when the step completes.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// The decrypted perturbed aggregates, if the node obtained them.
+    pub estimate: Option<PerturbedAggregates>,
+    /// Homomorphic work this node performed.
+    pub ops: HomomorphicOpCounts,
+    /// Decryption work this node performed (as requester and as committee
+    /// member).
+    pub decrypt_ops: DecryptionOps,
+    /// Pushes this node actually initiated.
+    pub pushes_sent: usize,
+    /// `true` if the gossip phase ended early because no live peer was
+    /// reachable (the push quota went unmet).
+    pub gossip_cut_short: bool,
+    /// Peers whose termination vote reported no usable estimate.
+    pub peer_failures: u64,
+    /// Frames that failed to decode (corrupt or mis-versioned).
+    pub bad_frames: u64,
+}
+
+/// The sans-IO per-node state machine.
+pub struct ProtocolNode {
+    params: NodeParams,
+    layout: SlotLayout,
+    crypto: NodeCrypto,
+    agg: Aggregator,
+    rng: StdRng,
+    alive_view: Vec<bool>,
+    phase: Phase,
+    pushes_sent: usize,
+    // Decryption state (real mode).
+    snapshot_weight: f64,
+    snapshot_denom: u32,
+    shares_by_sender: Vec<Option<Vec<PartialDecryption>>>,
+    shares_received: usize,
+    pending_request: Option<(Vec<NodeId>, Message)>,
+    served_replies: HashMap<NodeId, Message>,
+    gossip_cut_short: bool,
+    peer_failures: u64,
+    estimate: Option<PerturbedAggregates>,
+    votes: Vec<bool>,
+    ops: HomomorphicOpCounts,
+    decrypt_ops: DecryptionOps,
+    bad_frames: u64,
+}
+
+impl ProtocolNode {
+    /// Creates the node for one computation step.
+    ///
+    /// `contribution` is this node's cleartext contribution vector (data
+    /// block + noise block, see [`SlotLayout`]), or `None` for a node that
+    /// is down at step start — it holds zero weight and contributes
+    /// nothing, but still occupies a slot so it can recover mid-step,
+    /// exactly like the cycle simulator's crashed nodes.
+    pub fn new(
+        params: NodeParams,
+        layout: SlotLayout,
+        crypto: NodeCrypto,
+        contribution: Option<&[f64]>,
+    ) -> Self {
+        assert!(params.population >= 2, "need at least two nodes");
+        assert!(params.id < params.population, "id outside population");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut ops = HomomorphicOpCounts::default();
+        let agg = match &crypto {
+            NodeCrypto::Real {
+                pk,
+                codec,
+                rerandomize,
+                ..
+            } => {
+                let (cipher, weight) = match contribution {
+                    Some(values) => {
+                        assert_eq!(values.len(), layout.total(), "contribution length");
+                        let (cipher, enc) =
+                            encrypt_contribution(pk.as_ref(), codec, values, &mut rng);
+                        ops.encryptions += enc;
+                        (cipher, 1.0)
+                    }
+                    None => (vec![pk.trivial_zero(); layout.total()], 0.0),
+                };
+                Aggregator::Encrypted(HePushSumNode::from_ciphertexts(
+                    pk.clone(),
+                    cipher,
+                    weight,
+                    *rerandomize,
+                ))
+            }
+            NodeCrypto::Plain => {
+                let (values, weight) = match contribution {
+                    Some(values) => {
+                        assert_eq!(values.len(), layout.total(), "contribution length");
+                        (values.to_vec(), 1.0)
+                    }
+                    None => (vec![0.0; layout.total()], 0.0),
+                };
+                Aggregator::Plain(PushSumNode::new(values, weight))
+            }
+        };
+        let n = params.population;
+        ProtocolNode {
+            params,
+            layout,
+            crypto,
+            agg,
+            rng,
+            alive_view: vec![true; n],
+            phase: Phase::Gossip,
+            pushes_sent: 0,
+            snapshot_weight: 0.0,
+            snapshot_denom: 0,
+            shares_by_sender: (0..n).map(|_| None).collect(),
+            shares_received: 0,
+            pending_request: None,
+            served_replies: HashMap::new(),
+            gossip_cut_short: false,
+            peer_failures: 0,
+            estimate: None,
+            votes: vec![false; n],
+            ops,
+            decrypt_ops: DecryptionOps::default(),
+            bad_frames: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.params.id
+    }
+
+    /// `true` once this node's part of the step is over (estimate obtained
+    /// or given up) — it may still serve committee duties.
+    pub fn step_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// `true` when every peer this node believes alive has voted.
+    pub fn all_votes_in(&self) -> bool {
+        self.step_done()
+            && self
+                .alive_view
+                .iter()
+                .zip(&self.votes)
+                .all(|(&alive, &voted)| !alive || voted)
+    }
+
+    /// Records a frame that failed to decode.
+    pub fn note_bad_frame(&mut self) {
+        self.bad_frames += 1;
+    }
+
+    /// One pacing tick: push during the gossip phase, transition to
+    /// decryption when the quota is exhausted.
+    pub fn tick(&mut self, out: &mut Vec<(NodeId, Message)>) {
+        if !matches!(self.phase, Phase::Gossip) {
+            return;
+        }
+        if self.pushes_sent < self.params.pushes {
+            match self.sample_peer() {
+                Some(peer) => {
+                    let msg = match &mut self.agg {
+                        Aggregator::Encrypted(he) => {
+                            let HePush {
+                                slots,
+                                denom_exp,
+                                weight,
+                            } = he.split_push(&mut self.rng);
+                            Message::EncryptedPush {
+                                iteration: self.params.iteration,
+                                denom_exp,
+                                weight,
+                                slots,
+                            }
+                        }
+                        Aggregator::Plain(ps) => {
+                            let PlainPush { values, weight } = ps.split_push();
+                            Message::PlainPush {
+                                iteration: self.params.iteration,
+                                weight,
+                                slots: values,
+                            }
+                        }
+                    };
+                    out.push((peer, msg));
+                    self.pushes_sent += 1;
+                }
+                None => {
+                    // Nobody left to gossip with: the remaining quota is
+                    // unmeetable, so the node's own mass *is* its estimate —
+                    // finish the step instead of stalling to the deadline.
+                    // (`pushes_sent` stays honest; the flag records why the
+                    // quota went unmet.)
+                    self.gossip_cut_short = true;
+                }
+            }
+        }
+        if self.pushes_sent >= self.params.pushes || self.gossip_cut_short {
+            self.start_decrypt(out);
+        }
+    }
+
+    /// Gives up on the decryption round (the runtime's bounded-wait escape
+    /// hatch for a committee that silently died): finishes with no estimate.
+    pub fn abandon_decrypt(&mut self, out: &mut Vec<(NodeId, Message)>) {
+        if matches!(self.phase, Phase::AwaitShares) {
+            self.finish(None, out);
+        }
+    }
+
+    /// Resilience nudge for the decryption round: re-sends the pending
+    /// `DecryptRequest` to committee members that have not answered yet
+    /// (their earlier request or reply may have been lost). Idempotent —
+    /// duplicate replies are ignored by [`Self::handle`]. The runtime calls
+    /// this at a coarse interval while the node awaits shares.
+    pub fn retry_decrypt(&mut self, out: &mut Vec<(NodeId, Message)>) {
+        if !matches!(self.phase, Phase::AwaitShares) {
+            return;
+        }
+        let Some((recipients, request)) = &self.pending_request else {
+            return;
+        };
+        for &m in recipients {
+            if self.shares_by_sender[m].is_none() && self.alive_view[m] {
+                out.push((m, request.clone()));
+            }
+        }
+    }
+
+    /// `true` while the node is waiting for partial decryptions.
+    pub fn awaiting_shares(&self) -> bool {
+        matches!(self.phase, Phase::AwaitShares)
+    }
+
+    /// Handles one decoded incoming message.
+    pub fn handle(&mut self, from: NodeId, msg: Message, out: &mut Vec<(NodeId, Message)>) {
+        match msg {
+            Message::EncryptedPush {
+                iteration,
+                denom_exp,
+                weight,
+                slots,
+            } => {
+                if iteration != self.params.iteration {
+                    return;
+                }
+                if let Aggregator::Encrypted(he) = &mut self.agg {
+                    if slots.len() == he.dim() {
+                        he.absorb(&HePush {
+                            slots,
+                            denom_exp,
+                            weight,
+                        });
+                    } else {
+                        self.bad_frames += 1;
+                    }
+                }
+            }
+            Message::PlainPush {
+                iteration,
+                weight,
+                slots,
+            } => {
+                if iteration != self.params.iteration {
+                    return;
+                }
+                if let Aggregator::Plain(ps) = &mut self.agg {
+                    if slots.len() == ps.dim() {
+                        ps.absorb(&PlainPush {
+                            values: slots,
+                            weight,
+                        });
+                    } else {
+                        self.bad_frames += 1;
+                    }
+                }
+            }
+            Message::DecryptRequest { iteration, slots } => {
+                if iteration != self.params.iteration {
+                    return;
+                }
+                if let NodeCrypto::Real {
+                    share: Some(share), ..
+                } = &self.crypto
+                {
+                    // Each requester decrypts once per step, so a repeated
+                    // request is a loss-recovery retry: re-send the cached
+                    // reply instead of recomputing the (expensive) partials.
+                    if let Some(reply) = self.served_replies.get(&from) {
+                        out.push((from, reply.clone()));
+                        return;
+                    }
+                    let partials: Vec<PartialDecryption> =
+                        slots.iter().map(|c| share.partial_decrypt(c)).collect();
+                    self.decrypt_ops.partial_decryptions += partials.len() as u64;
+                    let reply = Message::DecryptShare {
+                        iteration,
+                        partials,
+                    };
+                    self.served_replies.insert(from, reply.clone());
+                    out.push((from, reply));
+                }
+            }
+            Message::DecryptShare {
+                iteration,
+                partials,
+            } => {
+                if iteration != self.params.iteration {
+                    return;
+                }
+                self.accept_share(from, partials, out);
+            }
+            Message::TerminationVote {
+                iteration,
+                completed,
+            } => {
+                if iteration == self.params.iteration && !self.votes[from] {
+                    self.votes[from] = true;
+                    if !completed {
+                        // The peer finished without a usable estimate —
+                        // surfaced in the report so drivers and experiments
+                        // can count partial-failure rounds.
+                        self.peer_failures += 1;
+                    }
+                }
+            }
+            Message::Join { node, .. } => {
+                if let Some(slot) = self.alive_view.get_mut(node as usize) {
+                    *slot = true;
+                }
+            }
+            Message::Leave { node } => {
+                if let Some(slot) = self.alive_view.get_mut(node as usize) {
+                    *slot = false;
+                }
+            }
+        }
+    }
+
+    /// Re-entry after a crash: announce membership so peers resume sending.
+    pub fn on_rejoin(&mut self, out: &mut Vec<(NodeId, Message)>) {
+        let msg = Message::Join {
+            node: self.params.id as u64,
+            iteration: self.params.iteration,
+        };
+        self.broadcast(msg, out);
+    }
+
+    /// Graceful departure: announce it so peers stop expecting this node.
+    pub fn on_leave(&mut self, out: &mut Vec<(NodeId, Message)>) {
+        let msg = Message::Leave {
+            node: self.params.id as u64,
+        };
+        self.broadcast(msg, out);
+    }
+
+    /// Consumes the node into its final report.
+    pub fn into_report(self) -> NodeReport {
+        let ops = match &self.agg {
+            Aggregator::Encrypted(he) => {
+                let mut o = self.ops;
+                o.merge(&he.op_counts());
+                o
+            }
+            Aggregator::Plain(_) => self.ops,
+        };
+        NodeReport {
+            id: self.params.id,
+            estimate: self.estimate,
+            ops,
+            decrypt_ops: self.decrypt_ops,
+            pushes_sent: self.pushes_sent,
+            gossip_cut_short: self.gossip_cut_short,
+            peer_failures: self.peer_failures,
+            bad_frames: self.bad_frames,
+        }
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn sample_peer(&mut self) -> Option<NodeId> {
+        // Rejection sampling first — O(1) per push in the common case of a
+        // mostly-live population — falling back to a scan when the view is
+        // sparse (or empty).
+        let n = self.params.population;
+        for _ in 0..16 {
+            let i = self.rng.gen_range(0..n);
+            if i != self.params.id && self.alive_view[i] {
+                return Some(i);
+            }
+        }
+        let candidates: Vec<NodeId> = (0..n)
+            .filter(|&i| i != self.params.id && self.alive_view[i])
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[self.rng.gen_range(0..candidates.len())])
+    }
+
+    fn broadcast(&self, msg: Message, out: &mut Vec<(NodeId, Message)>) {
+        for peer in 0..self.params.population {
+            if peer != self.params.id && self.alive_view[peer] {
+                out.push((peer, msg.clone()));
+            }
+        }
+    }
+
+    fn start_decrypt(&mut self, out: &mut Vec<(NodeId, Message)>) {
+        enum Next {
+            Finish(Option<PerturbedAggregates>),
+            Decrypt {
+                weight: f64,
+                denom: u32,
+                combined: Vec<Ciphertext>,
+            },
+        }
+        let layout = self.layout;
+        let next = match &self.agg {
+            Aggregator::Encrypted(he) => {
+                let weight = he.weight();
+                if weight <= f64::MIN_POSITIVE {
+                    Next::Finish(None)
+                } else {
+                    let NodeCrypto::Real { pk, .. } = &self.crypto else {
+                        unreachable!("encrypted aggregator implies real crypto");
+                    };
+                    // Step 2c: fold each noise slot onto its data slot
+                    // homomorphically, then snapshot — later absorbs keep
+                    // mixing the gossip state but no longer affect this
+                    // estimate.
+                    let cipher = he.ciphertexts();
+                    let combined: Vec<Ciphertext> = (0..layout.noise_offset())
+                        .map(|slot| pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]))
+                        .collect();
+                    Next::Decrypt {
+                        weight,
+                        denom: he.denominator_exp(),
+                        combined,
+                    }
+                }
+            }
+            Aggregator::Plain(ps) => Next::Finish(ps.estimate().map(|est| {
+                assemble_aggregates(&layout, |slot| est[slot] + est[layout.noise_slot(slot)])
+            })),
+        };
+        match next {
+            Next::Finish(est) => self.finish(est, out),
+            Next::Decrypt {
+                weight,
+                denom,
+                combined,
+            } => {
+                self.ops.additions += combined.len() as u64;
+                self.snapshot_weight = weight;
+                self.snapshot_denom = denom;
+
+                let recipients: Vec<NodeId> = self
+                    .params
+                    .committee
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != self.params.id && self.alive_view[m])
+                    .collect();
+                // Committee members contribute their own partials without a
+                // network hop.
+                let own_partials = match &self.crypto {
+                    NodeCrypto::Real {
+                        share: Some(share), ..
+                    } => Some(
+                        combined
+                            .iter()
+                            .map(|c| share.partial_decrypt(c))
+                            .collect::<Vec<_>>(),
+                    ),
+                    _ => None,
+                };
+                let threshold = match &self.crypto {
+                    NodeCrypto::Real { params, .. } => params.threshold,
+                    NodeCrypto::Plain => unreachable!("decrypt phase implies real crypto"),
+                };
+                if recipients.len() + usize::from(own_partials.is_some()) < threshold {
+                    // Not enough live committee members: no estimate.
+                    self.finish(None, out);
+                    return;
+                }
+                self.phase = Phase::AwaitShares;
+                let request = Message::DecryptRequest {
+                    iteration: self.params.iteration,
+                    slots: combined,
+                };
+                for &m in &recipients {
+                    out.push((m, request.clone()));
+                }
+                // Kept for loss recovery: `retry_decrypt` re-sends to
+                // committee members that have not answered.
+                self.pending_request = Some((recipients, request));
+                if let Some(partials) = own_partials {
+                    self.decrypt_ops.partial_decryptions += partials.len() as u64;
+                    self.accept_share(self.params.id, partials, out);
+                }
+            }
+        }
+    }
+
+    fn accept_share(
+        &mut self,
+        from: NodeId,
+        partials: Vec<PartialDecryption>,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        if !matches!(self.phase, Phase::AwaitShares) {
+            return;
+        }
+        let data_slots = self.layout.noise_offset();
+        if partials.len() != data_slots || self.shares_by_sender[from].is_some() {
+            return;
+        }
+        self.shares_by_sender[from] = Some(partials);
+        self.shares_received += 1;
+        let NodeCrypto::Real {
+            pk,
+            codec,
+            params,
+            delta,
+            ..
+        } = &self.crypto
+        else {
+            return;
+        };
+        if self.shares_received < params.threshold {
+            return;
+        }
+        // Combine the first `threshold` responders' partials, slot by slot.
+        let contributors: Vec<&Vec<PartialDecryption>> = self
+            .shares_by_sender
+            .iter()
+            .flatten()
+            .take(params.threshold)
+            .collect();
+        let mut failed = false;
+        let weight = self.snapshot_weight;
+        let denom = self.snapshot_denom;
+        let mut combinations = 0u64;
+        let est = assemble_aggregates(&self.layout, |slot| {
+            let subset: Vec<PartialDecryption> =
+                contributors.iter().map(|p| p[slot].clone()).collect();
+            match combine_partials(pk.as_ref(), *params, delta, &subset) {
+                Ok(raw) => {
+                    combinations += 1;
+                    codec.decode(&raw, pk.n_s(), denom) / weight
+                }
+                Err(_) => {
+                    failed = true;
+                    0.0
+                }
+            }
+        });
+        self.decrypt_ops.combinations += combinations;
+        let est = if failed { None } else { Some(est) };
+        self.finish(est, out);
+    }
+
+    fn finish(&mut self, estimate: Option<PerturbedAggregates>, out: &mut Vec<(NodeId, Message)>) {
+        let completed = estimate.is_some();
+        self.estimate = estimate;
+        self.phase = Phase::Done;
+        self.pending_request = None;
+        self.votes[self.params.id] = true;
+        let vote = Message::TerminationVote {
+            iteration: self.params.iteration,
+            completed,
+        };
+        self.broadcast(vote, out);
+    }
+}

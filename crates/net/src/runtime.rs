@@ -1,0 +1,851 @@
+//! The thread-per-node runtime and the engine backend built on it.
+//!
+//! [`run_step_over_transport`] executes one Chiaroscuro computation step
+//! (paper steps 2a–2d) as real concurrency: every participant runs its own
+//! event loop on its own OS thread, exchanging wire-encoded frames over a
+//! [`Transport`] — no global synchronization, no shared protocol state.
+//! [`NetBackend`] plugs that into `chiaroscuro::Engine::run_with_backend`,
+//! so the full iteration sequence (assignment → computation → convergence)
+//! runs end-to-end over real messages.
+
+use crate::churn::{ChurnKind, ChurnSchedule, Controls, Liveness};
+use crate::node::{NodeCrypto, NodeParams, NodeReport, ProtocolNode};
+use crate::transport::{ChannelTransport, LinkConfig, NodeId, Transport};
+use crate::wire::{decode_frame, encode_frame, Message};
+use chiaroscuro::backend::ComputationBackend;
+use chiaroscuro::config::ChiaroscuroConfig;
+use chiaroscuro::cost::DecryptionOps;
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::{ComputationOutcome, CryptoContext};
+use chiaroscuro::ChiaroscuroError;
+use cs_crypto::threshold::delta_for;
+use cs_gossip::homomorphic_pushsum::HomomorphicOpCounts;
+use cs_gossip::TrafficStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the threaded runtime.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Link characteristics of the in-memory transport.
+    pub link: LinkConfig,
+    /// Pacing between a node's gossip pushes.
+    pub push_interval: Duration,
+    /// How long a node keeps waiting for peers' termination votes after its
+    /// own part of the step completed (absorbs silent crashes).
+    pub quiesce: Duration,
+    /// How long a node keeps waiting (and re-requesting) in the decryption
+    /// round before giving up with no estimate — bounds the damage of a
+    /// silently-crashed committee far below `step_timeout`.
+    pub decrypt_deadline: Duration,
+    /// Hard wall-clock deadline for one step.
+    pub step_timeout: Duration,
+    /// Scripted churn, applied per step by the driver.
+    pub churn: ChurnSchedule,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            link: LinkConfig::ideal(),
+            push_interval: Duration::from_micros(300),
+            quiesce: Duration::from_millis(400),
+            decrypt_deadline: Duration::from_secs(5),
+            step_timeout: Duration::from_secs(60),
+            churn: ChurnSchedule::none(),
+        }
+    }
+}
+
+/// Everything one step hands back, beyond the engine-facing outcome.
+#[derive(Debug)]
+pub struct StepRun {
+    /// The engine-facing outcome (estimates, ops, traffic, liveness).
+    pub outcome: ComputationOutcome,
+    /// Per-node reports (push counts, per-node ops, decode failures).
+    pub reports: Vec<NodeReport>,
+    /// The transport's per-class bytes-on-wire accounting.
+    pub snapshot: crate::transport::TrafficSnapshot,
+    /// Wall-clock the step took.
+    pub elapsed: Duration,
+}
+
+/// Runs one computation step over a freshly built in-memory threaded
+/// transport.
+///
+/// `contributions[i]` is `Some(vector)` for participants alive at step
+/// start and `None` for crashed ones (they spawn fail-stopped and can be
+/// revived by the churn schedule). `step_churn` lists this step's scripted
+/// events.
+pub fn run_step_over_transport(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    crypto: &CryptoContext,
+    step_seed: u64,
+    net: &NetConfig,
+    step_churn: &[crate::churn::ChurnEvent],
+) -> Result<StepRun, ChiaroscuroError> {
+    let n = contributions.len();
+    if n < 2 {
+        return Err(ChiaroscuroError::InvalidConfig(
+            "the runtime needs at least two nodes".into(),
+        ));
+    }
+    net.link.validate();
+    let started = Instant::now();
+
+    // Per-node crypto state. The committee is the first `parties` nodes —
+    // the dealer hands share j to node j, mirroring how the simulator's
+    // committee indexes shares.
+    let committee: Vec<NodeId> = match crypto {
+        CryptoContext::Real { tkp, .. } => (0..tkp.params().parties.min(n)).collect(),
+        CryptoContext::Simulated { .. } => Vec::new(),
+    };
+    let make_crypto = |i: usize| -> NodeCrypto {
+        match crypto {
+            CryptoContext::Real { tkp, pk, codec } => NodeCrypto::Real {
+                pk: pk.clone(),
+                codec: *codec,
+                share: committee.contains(&i).then(|| tkp.shares()[i].clone()),
+                params: tkp.params(),
+                delta: delta_for(tkp.params().parties),
+                rerandomize: config.rerandomize,
+            },
+            CryptoContext::Simulated { .. } => NodeCrypto::Plain,
+        }
+    };
+
+    let transport: Arc<dyn Transport> =
+        Arc::new(ChannelTransport::new(n, net.link.clone(), step_seed));
+    let controls = Arc::new(Controls::new(n));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let completed: Arc<Vec<AtomicBool>> =
+        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    // Start barrier: every node finishes construction (contribution
+    // encryption included) before anyone gossips and before the churn clock
+    // starts — scripted offsets are relative to the *gossip* start, so
+    // "crash 16 ms in" means the same thing on every machine.
+    let start_gate = Arc::new(std::sync::Barrier::new(n + 1));
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, contribution) in contributions.iter().enumerate() {
+        if contribution.is_none() {
+            // Down at step start, exactly like the simulator's crashed nodes.
+            controls.apply(&crate::churn::ChurnEvent {
+                step: 0,
+                after: Duration::ZERO,
+                node: i,
+                kind: ChurnKind::Crash,
+            });
+        }
+        let params = NodeParams {
+            id: i,
+            population: n,
+            iteration: step_seed, // unique per step; tags every frame
+            pushes: config.gossip_cycles,
+            committee: committee.clone(),
+            seed: step_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let node_crypto = make_crypto(i);
+        let contribution = contribution.clone();
+        let layout = *layout;
+        let transport = transport.clone();
+        let controls = controls.clone();
+        let shutdown = shutdown.clone();
+        let completed = completed.clone();
+        let start_gate = start_gate.clone();
+        let timing = NodeTiming {
+            push_interval: net.push_interval,
+            quiesce: net.quiesce,
+            decrypt_deadline: net.decrypt_deadline,
+            step_timeout: net.step_timeout,
+        };
+        handles.push(
+            thread::Builder::new()
+                .name(format!("cs-net-node-{i}"))
+                .spawn(move || {
+                    // Construct inside the thread: the contribution
+                    // encryption (the expensive part in real-crypto mode)
+                    // runs on all node threads concurrently.
+                    let node =
+                        ProtocolNode::new(params, layout, node_crypto, contribution.as_deref());
+                    start_gate.wait();
+                    node_loop(node, transport, controls, shutdown, completed, timing)
+                })
+                .expect("spawn node thread"),
+        );
+    }
+
+    // Driver: apply scripted churn at its offsets, then shut the population
+    // down once every (currently live) node completed its part of the step.
+    start_gate.wait();
+    let churn_clock = Instant::now();
+    let mut events: Vec<_> = step_churn.to_vec();
+    events.sort_by_key(|e| e.after);
+    let mut pending: std::collections::VecDeque<_> = events.into_iter().collect();
+    loop {
+        let now = churn_clock.elapsed();
+        while pending.front().is_some_and(|e| e.after <= now) {
+            let event = pending.pop_front().unwrap();
+            controls.apply(&event);
+        }
+        let all_done = pending.is_empty()
+            && (0..n).all(|i| controls.is_crashed(i) || completed[i].load(Ordering::Acquire));
+        if all_done || started.elapsed() >= net.step_timeout {
+            break;
+        }
+        thread::sleep(Duration::from_micros(500));
+    }
+    shutdown.store(true, Ordering::Release);
+
+    let mut reports: Vec<NodeReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+    reports.sort_by_key(|r| r.id);
+
+    let alive_after: Vec<bool> = (0..n).map(|i| !controls.is_crashed(i)).collect();
+    let snapshot = transport.snapshot();
+
+    // Engine-facing counters: gossip + control frames feed the gossip
+    // traffic bucket; decryption frames feed the decryption bucket — the
+    // same split the simulator's synthesized accounting uses.
+    let mut traffic = TrafficStats::new();
+    traffic.messages = snapshot.gossip.messages + snapshot.control.messages;
+    traffic.bytes = snapshot.gossip.bytes + snapshot.control.bytes;
+    traffic.dropped = snapshot.dropped();
+
+    let mut ops = HomomorphicOpCounts::default();
+    let mut decrypt_ops = DecryptionOps::default();
+    for r in &reports {
+        ops.merge(&r.ops);
+        decrypt_ops.merge(&r.decrypt_ops);
+    }
+    decrypt_ops.messages += snapshot.decrypt.messages;
+    decrypt_ops.bytes += snapshot.decrypt.bytes;
+
+    let estimates = reports
+        .iter()
+        .zip(&alive_after)
+        .map(|(r, &alive)| if alive { r.estimate.clone() } else { None })
+        .collect();
+
+    Ok(StepRun {
+        outcome: ComputationOutcome {
+            estimates,
+            ops,
+            decrypt_ops,
+            traffic,
+            alive_after,
+        },
+        reports,
+        snapshot,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Per-thread timing knobs, copied out of [`NetConfig`].
+#[derive(Clone, Copy)]
+struct NodeTiming {
+    push_interval: Duration,
+    quiesce: Duration,
+    decrypt_deadline: Duration,
+    step_timeout: Duration,
+}
+
+/// One node's event loop: receive/decode/handle, paced gossip ticks,
+/// completion signalling, then committee service until shutdown.
+fn node_loop(
+    mut node: ProtocolNode,
+    transport: Arc<dyn Transport>,
+    controls: Arc<Controls>,
+    shutdown: Arc<AtomicBool>,
+    completed: Arc<Vec<AtomicBool>>,
+    NodeTiming {
+        push_interval,
+        quiesce,
+        decrypt_deadline,
+        step_timeout,
+    }: NodeTiming,
+) -> NodeReport {
+    let id = node.id();
+    let started = Instant::now();
+    let mut out: Vec<(NodeId, Message)> = Vec::new();
+    let mut next_tick = Instant::now();
+    // Coarse: a retry is loss recovery, not pacing — it must stay well above
+    // the committee's worst-case service time for one request so slow
+    // replies are never mistaken for lost ones.
+    let retry_interval = (push_interval * 50).max(Duration::from_millis(150));
+    let mut next_retry = Instant::now() + retry_interval;
+    let mut was_crashed = controls.is_crashed(id);
+    let mut done_since: Option<Instant> = None;
+    let mut await_since: Option<Instant> = None;
+
+    while !shutdown.load(Ordering::Acquire) {
+        match controls.liveness(id) {
+            Liveness::Leaving => {
+                node.on_leave(&mut out);
+                flush(id, &mut out, transport.as_ref());
+                controls.confirm_left(id);
+                was_crashed = true;
+                continue;
+            }
+            Liveness::Crashed => {
+                was_crashed = true;
+                // A crashed node loses everything addressed to it.
+                while transport.try_recv(id).is_some() {}
+                thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            Liveness::Alive => {
+                if was_crashed {
+                    node.on_rejoin(&mut out);
+                    was_crashed = false;
+                }
+            }
+        }
+
+        // Receive with a short wait so ticks and control flips stay prompt.
+        let wait = push_interval.min(Duration::from_micros(500));
+        if let Some(env) = transport.recv_timeout(id, wait) {
+            dispatch(&mut node, env, &mut out);
+            while let Some(env) = transport.try_recv(id) {
+                dispatch(&mut node, env, &mut out);
+            }
+        }
+
+        let now = Instant::now();
+        if now >= next_tick {
+            node.tick(&mut out);
+            next_tick = now + push_interval;
+        }
+        // Loss recovery for the decryption round: periodically re-send the
+        // pending request to committee members that have not answered, and
+        // give up (no estimate) if the committee stays silent past the
+        // deadline — a dead committee must not pin the step to its hard
+        // timeout.
+        if node.awaiting_shares() {
+            let since = *await_since.get_or_insert(now);
+            if now.duration_since(since) >= decrypt_deadline {
+                node.abandon_decrypt(&mut out);
+            } else if now >= next_retry {
+                node.retry_decrypt(&mut out);
+                next_retry = now + retry_interval;
+            }
+        }
+        flush(id, &mut out, transport.as_ref());
+
+        if !completed[id].load(Ordering::Relaxed) {
+            if node.step_done() && done_since.is_none() {
+                done_since = Some(Instant::now());
+            }
+            let quiesced = done_since.is_some_and(|t| t.elapsed() >= quiesce);
+            let timed_out = started.elapsed() >= step_timeout;
+            if (node.step_done() && (node.all_votes_in() || quiesced)) || timed_out {
+                completed[id].store(true, Ordering::Release);
+            }
+        }
+    }
+    node.into_report()
+}
+
+fn dispatch(
+    node: &mut ProtocolNode,
+    env: crate::transport::Envelope,
+    out: &mut Vec<(NodeId, Message)>,
+) {
+    match decode_frame(&env.frame) {
+        Ok(msg) => node.handle(env.from, msg, out),
+        Err(_) => node.note_bad_frame(),
+    }
+}
+
+fn flush(id: NodeId, out: &mut Vec<(NodeId, Message)>, transport: &dyn Transport) {
+    for (to, msg) in out.drain(..) {
+        let class = msg.class();
+        let frame = encode_frame(&msg);
+        // Sends to dead peers are indistinguishable from loss at this layer.
+        let _ = transport.send(id, to, frame, class);
+    }
+}
+
+/// A [`ComputationBackend`] that executes every computation step over the
+/// threaded message-passing runtime — `Engine::run_with_backend` drives a
+/// full Chiaroscuro run end-to-end over real wire frames.
+pub struct NetBackend {
+    /// Runtime tuning (link, pacing, churn script).
+    pub net: NetConfig,
+    steps_run: usize,
+    last: Option<StepRun>,
+}
+
+impl NetBackend {
+    /// Creates the backend.
+    pub fn new(net: NetConfig) -> Self {
+        NetBackend {
+            net,
+            steps_run: 0,
+            last: None,
+        }
+    }
+
+    /// Computation steps executed so far.
+    pub fn steps_run(&self) -> usize {
+        self.steps_run
+    }
+
+    /// Detailed run data of the most recent step (reports, per-class
+    /// bytes-on-wire, wall-clock).
+    pub fn last_step(&self) -> Option<&StepRun> {
+        self.last.as_ref()
+    }
+}
+
+impl ComputationBackend for NetBackend {
+    fn label(&self) -> &'static str {
+        "threaded-transport"
+    }
+
+    fn run_step(
+        &mut self,
+        config: &ChiaroscuroConfig,
+        layout: &SlotLayout,
+        contributions: &[Option<Vec<f64>>],
+        crypto: &CryptoContext,
+        step_seed: u64,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> Result<ComputationOutcome, ChiaroscuroError> {
+        let events = self.net.churn.for_step(self.steps_run);
+        let run = run_step_over_transport(
+            config,
+            layout,
+            contributions,
+            crypto,
+            step_seed,
+            &self.net,
+            &events,
+        )?;
+        self.steps_run += 1;
+        let outcome = run.outcome.clone();
+        self.last = Some(run);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiaroscuro::noise::contribution_vector;
+    use cs_dp::NoiseShareGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> SlotLayout {
+        SlotLayout {
+            k: 2,
+            series_len: 3,
+        }
+    }
+
+    /// Two tight clusters with negligible noise so estimates are checkable:
+    /// even nodes hold [1,2,3] in cluster 0, odd nodes [10,10,10] in
+    /// cluster 1.
+    fn tiny_contributions(n: usize, seed: u64) -> Vec<Option<Vec<f64>>> {
+        let layout = layout();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = NoiseShareGenerator::new(n, 1e-9);
+        (0..n)
+            .map(|i| {
+                let series = if i % 2 == 0 {
+                    [1.0, 2.0, 3.0]
+                } else {
+                    [10.0, 10.0, 10.0]
+                };
+                Some(contribution_vector(
+                    &layout,
+                    &series,
+                    i % 2,
+                    &shares,
+                    &mut rng,
+                ))
+            })
+            .collect()
+    }
+
+    fn check_estimates(outcome: &ComputationOutcome, n: usize, tol: f64) {
+        let produced = outcome.estimates.iter().flatten().count();
+        assert!(
+            produced > n / 2,
+            "most nodes should produce estimates, got {produced}/{n}"
+        );
+        for est in outcome.estimates.iter().flatten() {
+            for d in 0..3 {
+                let mean0 = est.sums[0][d] / est.counts[0];
+                let mean1 = est.sums[1][d] / est.counts[1];
+                let want0 = [1.0, 2.0, 3.0][d];
+                assert!(
+                    (mean0 - want0).abs() < tol,
+                    "cluster0 dim{d}: {mean0} vs {want0}"
+                );
+                assert!((mean1 - 10.0).abs() < tol, "cluster1 dim{d}: {mean1}");
+            }
+        }
+    }
+
+    fn fast_net() -> NetConfig {
+        NetConfig {
+            push_interval: Duration::from_micros(150),
+            quiesce: Duration::from_millis(120),
+            step_timeout: Duration::from_secs(30),
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn plain_step_recovers_means_over_threads() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(16, 2);
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            7,
+            &fast_net(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 16, 0.35);
+        assert!(run.outcome.traffic.messages > 0);
+        assert!(run.snapshot.gossip.bytes > 0, "bytes-on-wire recorded");
+        assert!(
+            run.reports.iter().all(|r| r.bad_frames == 0),
+            "no decode failures on a clean link"
+        );
+    }
+
+    #[test]
+    fn real_step_recovers_means_over_threads() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 12,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(8, 4);
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            11,
+            &fast_net(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 8, 0.5);
+        assert!(run.outcome.decrypt_ops.partial_decryptions > 0);
+        assert!(run.outcome.decrypt_ops.messages > 0, "decrypt frames flew");
+        assert!(run.outcome.ops.additions > 0);
+        assert!(run.outcome.ops.encryptions > 0);
+        assert!(run.snapshot.decrypt.bytes > 0);
+    }
+
+    #[test]
+    fn silent_crash_mid_gossip_is_survived() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(12, 6);
+        let events = [crate::churn::ChurnEvent {
+            step: 0,
+            after: Duration::from_millis(2),
+            node: 5,
+            kind: ChurnKind::Crash,
+        }];
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            13,
+            &fast_net(),
+            &events,
+        )
+        .unwrap();
+        assert!(!run.outcome.alive_after[5], "node 5 stays down");
+        assert!(run.outcome.estimates[5].is_none());
+        check_estimates(&run.outcome, 12, 0.6);
+    }
+
+    #[test]
+    fn crash_then_rejoin_recovers_the_node() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 40,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(10, 8);
+        let events = [
+            crate::churn::ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(1),
+                node: 3,
+                kind: ChurnKind::Crash,
+            },
+            crate::churn::ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(4),
+                node: 3,
+                kind: ChurnKind::Rejoin,
+            },
+        ];
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            17,
+            &fast_net(),
+            &events,
+        )
+        .unwrap();
+        assert!(run.outcome.alive_after[3], "node 3 is back");
+        assert!(
+            run.outcome.estimates[3].is_some(),
+            "a rejoined node finishes the step"
+        );
+    }
+
+    #[test]
+    fn graceful_leave_is_announced() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 25,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(8, 10);
+        let events = [crate::churn::ChurnEvent {
+            step: 0,
+            after: Duration::from_millis(1),
+            node: 2,
+            kind: ChurnKind::Leave,
+        }];
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            19,
+            &fast_net(),
+            &events,
+        )
+        .unwrap();
+        assert!(!run.outcome.alive_after[2]);
+        assert!(
+            run.snapshot.control.messages > 0,
+            "the Leave announcement is control traffic"
+        );
+    }
+
+    #[test]
+    fn dead_at_start_nodes_hold_zero_weight() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let mut contributions = tiny_contributions(12, 12);
+        contributions[3] = None;
+        contributions[7] = None;
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            23,
+            &fast_net(),
+            &[],
+        )
+        .unwrap();
+        assert!(run.outcome.estimates[3].is_none());
+        assert!(run.outcome.estimates[7].is_none());
+        // Counts must reflect 10 contributors, not 12 (weights normalize).
+        let est = run.outcome.estimates[0].as_ref().unwrap();
+        let total: f64 = est.counts.iter().sum();
+        assert!((total - 1.0).abs() < 0.15, "normalized count sum {total}");
+    }
+
+    #[test]
+    fn lone_survivor_finishes_instead_of_stalling() {
+        // Population of 2; the only peer leaves 1 ms in. The survivor's
+        // remaining push quota is unmeetable — it must finish with its own
+        // mass promptly, not sit out the 60 s step deadline.
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 40,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(2, 32);
+        let events = [crate::churn::ChurnEvent {
+            step: 0,
+            after: Duration::from_millis(1),
+            node: 1,
+            kind: ChurnKind::Leave,
+        }];
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            29,
+            &fast_net(),
+            &events,
+        )
+        .unwrap();
+        assert!(
+            run.elapsed < Duration::from_secs(10),
+            "survivor stalled: {:?}",
+            run.elapsed
+        );
+        assert!(!run.outcome.alive_after[1]);
+        assert!(run.outcome.estimates[0].is_some());
+    }
+
+    #[test]
+    fn lossy_link_decrypt_round_recovers_via_retry() {
+        // 25% frame loss hits DecryptRequest/DecryptShare traffic too; the
+        // periodic re-request must still carry every requester over the
+        // threshold well before the step deadline.
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 14,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(41);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(6, 42);
+        let net = NetConfig {
+            link: crate::transport::LinkConfig {
+                loss: 0.25,
+                ..crate::transport::LinkConfig::ideal()
+            },
+            ..fast_net()
+        };
+        let run =
+            run_step_over_transport(&config, &layout(), &contributions, &crypto, 43, &net, &[])
+                .unwrap();
+        assert!(
+            run.elapsed < Duration::from_secs(20),
+            "decrypt round stalled: {:?}",
+            run.elapsed
+        );
+        let produced = run.outcome.estimates.iter().flatten().count();
+        assert!(produced >= 4, "only {produced}/6 estimates under loss");
+    }
+
+    #[test]
+    fn dead_committee_is_bounded_by_the_decrypt_deadline() {
+        // 2-of-3 committee on nodes 0–2; nodes 0 and 1 silently crash
+        // before the decryption round. Requesters other than node 2 can
+        // never reach the threshold — they must give up (no estimate) at
+        // the decrypt deadline, not pin the step to its 60 s hard timeout.
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 8,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(51);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(5, 52);
+        let events = [
+            crate::churn::ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(1),
+                node: 0,
+                kind: ChurnKind::Crash,
+            },
+            crate::churn::ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(1),
+                node: 1,
+                kind: ChurnKind::Crash,
+            },
+        ];
+        let net = NetConfig {
+            decrypt_deadline: Duration::from_millis(600),
+            ..fast_net()
+        };
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            53,
+            &net,
+            &events,
+        )
+        .unwrap();
+        assert!(
+            run.elapsed < Duration::from_secs(15),
+            "dead committee pinned the step: {:?}",
+            run.elapsed
+        );
+        assert!(run.outcome.estimates[3].is_none(), "below threshold");
+        assert!(run.outcome.estimates[4].is_none(), "below threshold");
+    }
+
+    #[test]
+    fn engine_runs_end_to_end_over_the_net_backend() {
+        use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+        let data = generate(
+            &BlobsConfig {
+                count: 14,
+                clusters: 2,
+                len: 4,
+                noise: 0.2,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(21),
+        );
+        let mut config = ChiaroscuroConfig::demo_simulated();
+        config.k = 2;
+        config.max_iterations = 2;
+        config.gossip_cycles = 25;
+        config.epsilon = 1000.0;
+        let engine = chiaroscuro::Engine::new(config).unwrap();
+        let mut backend = NetBackend::new(NetConfig {
+            push_interval: Duration::from_micros(150),
+            quiesce: Duration::from_millis(120),
+            ..NetConfig::default()
+        });
+        let out = engine.run_with_backend(&data.series, &mut backend).unwrap();
+        assert_eq!(out.iterations, 2);
+        assert_eq!(backend.steps_run(), 2);
+        assert_eq!(out.centroids.len(), 2);
+        assert!(out.log.records.iter().all(|r| r.cost.gossip_messages > 0));
+        assert!(backend.last_step().is_some());
+    }
+}

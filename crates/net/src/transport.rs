@@ -1,0 +1,556 @@
+//! The transport layer: a [`Transport`] trait and an in-memory threaded
+//! channel implementation with configurable per-link latency, jitter, loss,
+//! and bandwidth, plus bytes-on-wire accounting per traffic class.
+//!
+//! The trait deals in opaque frames (already wire-encoded byte vectors), so
+//! a TCP/QUIC implementation can slot in without touching the protocol
+//! layer; [`ChannelTransport`] is the reference implementation the tests,
+//! benches, and the churn experiments run on.
+
+use crate::wire::FrameClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Node identifier — index into the population, matching the simulators.
+pub type NodeId = cs_gossip::NodeId;
+
+/// Transport-layer failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A send addressed a node outside the population.
+    UnknownPeer {
+        /// The offending node id.
+        node: NodeId,
+        /// Population size.
+        population: usize,
+    },
+    /// The frame exceeds the codec's size cap.
+    FrameTooLarge(usize),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPeer { node, population } => {
+                write!(f, "node {node} outside population of {population}")
+            }
+            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Per-link characteristics of the simulated network.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Fixed one-way delivery delay.
+    pub latency: Duration,
+    /// Additional uniformly-random delay in `[0, jitter]`.
+    pub jitter: Duration,
+    /// Probability that any individual frame is lost in transit.
+    pub loss: f64,
+    /// Link bandwidth in bytes/second; `None` models an infinitely fast
+    /// pipe. Serialization delay `frame_len / bandwidth` adds to latency.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl LinkConfig {
+    /// A perfect link: no delay, no jitter, no loss, infinite bandwidth.
+    pub fn ideal() -> Self {
+        LinkConfig {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Validates probabilities and bandwidth.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss),
+            "loss out of [0,1]: {}",
+            self.loss
+        );
+        assert!(
+            self.bandwidth_bytes_per_sec != Some(0),
+            "bandwidth must be positive"
+        );
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::ideal()
+    }
+}
+
+/// Counters for one traffic class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Frames delivered (scheduled for delivery).
+    pub messages: u64,
+    /// Bytes-on-wire of delivered frames.
+    pub bytes: u64,
+    /// Frames lost in transit.
+    pub dropped: u64,
+}
+
+/// A point-in-time copy of a transport's accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    /// Push-sum gossip traffic.
+    pub gossip: ClassCounts,
+    /// Collaborative-decryption traffic.
+    pub decrypt: ClassCounts,
+    /// Membership / termination control traffic.
+    pub control: ClassCounts,
+}
+
+impl TrafficSnapshot {
+    /// Total delivered frames across all classes.
+    pub fn messages(&self) -> u64 {
+        self.gossip.messages + self.decrypt.messages + self.control.messages
+    }
+
+    /// Total delivered bytes across all classes.
+    pub fn bytes(&self) -> u64 {
+        self.gossip.bytes + self.decrypt.bytes + self.control.bytes
+    }
+
+    /// Total lost frames across all classes.
+    pub fn dropped(&self) -> u64 {
+        self.gossip.dropped + self.decrypt.dropped + self.control.dropped
+    }
+}
+
+/// A delivered frame with its sender.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The sending node.
+    pub from: NodeId,
+    /// The raw wire frame (decode with [`crate::wire::decode_frame`]).
+    pub frame: Vec<u8>,
+}
+
+/// A message-passing substrate connecting a fixed population of nodes.
+///
+/// Implementations must be shareable across the per-node threads; sends are
+/// fire-and-forget (a lossy link looks successful to the sender), receives
+/// are per-node inboxes.
+pub trait Transport: Send + Sync {
+    /// Population size.
+    fn node_count(&self) -> usize;
+
+    /// Queues `frame` from `from` toward `to`'s inbox. Returns the number
+    /// of bytes put on the wire. Loss is applied inside; the sender cannot
+    /// observe it.
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        frame: Vec<u8>,
+        class: FrameClass,
+    ) -> Result<usize, NetError>;
+
+    /// Non-blocking receive at node `at`.
+    fn try_recv(&self, at: NodeId) -> Option<Envelope>;
+
+    /// Blocking receive at node `at`, up to `timeout`.
+    fn recv_timeout(&self, at: NodeId, timeout: Duration) -> Option<Envelope>;
+
+    /// Current traffic counters.
+    fn snapshot(&self) -> TrafficSnapshot;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory channel implementation
+// ---------------------------------------------------------------------------
+
+/// A frame sitting in an inbox, ordered by delivery time.
+struct Scheduled {
+    deliver_at: Instant,
+    seq: u64,
+    from: NodeId,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest delivery wins.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inbox {
+    heap: Mutex<BinaryHeap<Scheduled>>,
+    bell: Condvar,
+}
+
+/// The in-memory threaded transport: one delay-ordered inbox per node,
+/// deterministic (seeded) loss and jitter draws, and per-class traffic
+/// counters.
+pub struct ChannelTransport {
+    inboxes: Vec<Inbox>,
+    cfg: LinkConfig,
+    seed: u64,
+    seq: AtomicU64,
+    // [gossip, decrypt, control] × [messages, bytes, dropped]
+    counters: [[AtomicU64; 3]; 3],
+    sent_messages: Vec<AtomicU64>,
+    sent_bytes: Vec<AtomicU64>,
+}
+
+/// SplitMix64 — decorrelates the per-frame loss/jitter draws from the seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ChannelTransport {
+    /// Builds a transport for `n` nodes with identical link characteristics.
+    pub fn new(n: usize, cfg: LinkConfig, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        cfg.validate();
+        ChannelTransport {
+            inboxes: (0..n)
+                .map(|_| Inbox {
+                    heap: Mutex::new(BinaryHeap::new()),
+                    bell: Condvar::new(),
+                })
+                .collect(),
+            cfg,
+            seed,
+            seq: AtomicU64::new(0),
+            counters: Default::default(),
+            sent_messages: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sent_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Per-node bandwidth accounting: `(frames, bytes)` node `id` has put
+    /// on the wire so far (attempts — loss happens downstream of the NIC).
+    pub fn sent_by(&self, id: NodeId) -> (u64, u64) {
+        (
+            self.sent_messages[id].load(Ordering::Relaxed),
+            self.sent_bytes[id].load(Ordering::Relaxed),
+        )
+    }
+
+    fn class_index(class: FrameClass) -> usize {
+        match class {
+            FrameClass::Gossip => 0,
+            FrameClass::Decrypt => 1,
+            FrameClass::Control => 2,
+        }
+    }
+
+    fn pop_ready(&self, at: NodeId) -> Option<Envelope> {
+        let mut heap = self.inboxes[at].heap.lock().expect("inbox poisoned");
+        if let Some(top) = heap.peek() {
+            if top.deliver_at <= Instant::now() {
+                let s = heap.pop().unwrap();
+                return Some(Envelope {
+                    from: s.from,
+                    frame: s.frame,
+                });
+            }
+        }
+        None
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn node_count(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        frame: Vec<u8>,
+        class: FrameClass,
+    ) -> Result<usize, NetError> {
+        let n = self.inboxes.len();
+        if from >= n {
+            return Err(NetError::UnknownPeer {
+                node: from,
+                population: n,
+            });
+        }
+        if to >= n {
+            return Err(NetError::UnknownPeer {
+                node: to,
+                population: n,
+            });
+        }
+        if frame.len() > crate::wire::MAX_FRAME_BYTES {
+            return Err(NetError::FrameTooLarge(frame.len()));
+        }
+        let len = frame.len();
+        self.sent_messages[from].fetch_add(1, Ordering::Relaxed);
+        self.sent_bytes[from].fetch_add(len as u64, Ordering::Relaxed);
+
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let draw = mix(self.seed ^ seq.wrapping_mul(0xA076_1D64_78BD_642F));
+        let ci = Self::class_index(class);
+        if self.cfg.loss > 0.0 && unit_f64(draw) < self.cfg.loss {
+            self.counters[ci][2].fetch_add(1, Ordering::Relaxed);
+            return Ok(len);
+        }
+        self.counters[ci][0].fetch_add(1, Ordering::Relaxed);
+        self.counters[ci][1].fetch_add(len as u64, Ordering::Relaxed);
+
+        let mut delay = self.cfg.latency;
+        if !self.cfg.jitter.is_zero() {
+            delay += Duration::from_secs_f64(self.cfg.jitter.as_secs_f64() * unit_f64(mix(draw)));
+        }
+        if let Some(bw) = self.cfg.bandwidth_bytes_per_sec {
+            delay += Duration::from_secs_f64(len as f64 / bw as f64);
+        }
+        let scheduled = Scheduled {
+            deliver_at: Instant::now() + delay,
+            seq,
+            from,
+            frame,
+        };
+        let inbox = &self.inboxes[to];
+        let mut heap = inbox.heap.lock().expect("inbox poisoned");
+        heap.push(scheduled);
+        drop(heap);
+        inbox.bell.notify_one();
+        Ok(len)
+    }
+
+    fn try_recv(&self, at: NodeId) -> Option<Envelope> {
+        self.pop_ready(at)
+    }
+
+    fn recv_timeout(&self, at: NodeId, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let inbox = &self.inboxes[at];
+        let mut heap = inbox.heap.lock().expect("inbox poisoned");
+        loop {
+            let now = Instant::now();
+            let next_wake = match heap.peek() {
+                Some(top) if top.deliver_at <= now => {
+                    let s = heap.pop().unwrap();
+                    return Some(Envelope {
+                        from: s.from,
+                        frame: s.frame,
+                    });
+                }
+                Some(top) => top.deliver_at.min(deadline),
+                None => deadline,
+            };
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = inbox
+                .bell
+                .wait_timeout(heap, next_wake.saturating_duration_since(now))
+                .expect("inbox poisoned");
+            heap = guard;
+        }
+    }
+
+    fn snapshot(&self) -> TrafficSnapshot {
+        let read = |ci: usize| ClassCounts {
+            messages: self.counters[ci][0].load(Ordering::Relaxed),
+            bytes: self.counters[ci][1].load(Ordering::Relaxed),
+            dropped: self.counters[ci][2].load(Ordering::Relaxed),
+        };
+        TrafficSnapshot {
+            gossip: read(0),
+            decrypt: read(1),
+            control: read(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_frame, encode_frame, Message};
+
+    fn frame(node: u64) -> Vec<u8> {
+        encode_frame(&Message::Leave { node })
+    }
+
+    #[test]
+    fn frames_are_delivered_with_sender_identity() {
+        let t = ChannelTransport::new(3, LinkConfig::ideal(), 1);
+        t.send(0, 2, frame(7), FrameClass::Control).unwrap();
+        let env = t.recv_timeout(2, Duration::from_millis(100)).unwrap();
+        assert_eq!(env.from, 0);
+        assert_eq!(
+            decode_frame(&env.frame).unwrap(),
+            Message::Leave { node: 7 }
+        );
+        assert!(t.try_recv(2).is_none());
+        assert!(t.try_recv(0).is_none());
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = LinkConfig {
+            latency: Duration::from_millis(30),
+            ..LinkConfig::ideal()
+        };
+        let t = ChannelTransport::new(2, cfg, 2);
+        let sent_at = Instant::now();
+        t.send(0, 1, frame(1), FrameClass::Control).unwrap();
+        assert!(t.try_recv(1).is_none(), "not deliverable immediately");
+        let env = t.recv_timeout(1, Duration::from_secs(1)).unwrap();
+        assert!(sent_at.elapsed() >= Duration::from_millis(30));
+        assert_eq!(env.from, 0);
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let cfg = LinkConfig {
+            // ~1 kB frame over 10 kB/s ⇒ ≥ tens of ms.
+            bandwidth_bytes_per_sec: Some(10_000),
+            ..LinkConfig::ideal()
+        };
+        let t = ChannelTransport::new(2, cfg, 3);
+        let big = encode_frame(&Message::PlainPush {
+            iteration: 0,
+            weight: 1.0,
+            slots: vec![0.5; 128],
+        });
+        let len = big.len();
+        let sent_at = Instant::now();
+        t.send(0, 1, big, FrameClass::Gossip).unwrap();
+        t.recv_timeout(1, Duration::from_secs(2)).unwrap();
+        let min = Duration::from_secs_f64(len as f64 / 10_000.0);
+        assert!(
+            sent_at.elapsed() >= min,
+            "{:?} < {min:?}",
+            sent_at.elapsed()
+        );
+    }
+
+    #[test]
+    fn total_loss_drops_everything_and_counts_it() {
+        let cfg = LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::ideal()
+        };
+        let t = ChannelTransport::new(2, cfg, 4);
+        for _ in 0..10 {
+            t.send(0, 1, frame(1), FrameClass::Gossip).unwrap();
+        }
+        assert!(t.recv_timeout(1, Duration::from_millis(20)).is_none());
+        let snap = t.snapshot();
+        assert_eq!(snap.gossip.dropped, 10);
+        assert_eq!(snap.gossip.messages, 0);
+        // The sender's NIC still did the work.
+        assert_eq!(t.sent_by(0).0, 10);
+    }
+
+    #[test]
+    fn partial_loss_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let cfg = LinkConfig {
+                loss: 0.4,
+                ..LinkConfig::ideal()
+            };
+            let t = ChannelTransport::new(2, cfg, seed);
+            for _ in 0..100 {
+                t.send(0, 1, frame(1), FrameClass::Gossip).unwrap();
+            }
+            t.snapshot().gossip.dropped
+        };
+        let d = run(42);
+        assert_eq!(d, run(42), "same seed, same losses");
+        assert!((20..60).contains(&d), "≈40% of 100 dropped, got {d}");
+    }
+
+    #[test]
+    fn per_class_accounting_is_separate() {
+        let t = ChannelTransport::new(2, LinkConfig::ideal(), 5);
+        t.send(0, 1, frame(1), FrameClass::Gossip).unwrap();
+        t.send(0, 1, frame(2), FrameClass::Decrypt).unwrap();
+        t.send(0, 1, frame(3), FrameClass::Decrypt).unwrap();
+        t.send(0, 1, frame(4), FrameClass::Control).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.gossip.messages, 1);
+        assert_eq!(snap.decrypt.messages, 2);
+        assert_eq!(snap.control.messages, 1);
+        assert_eq!(snap.messages(), 4);
+        assert!(snap.bytes() > 0);
+        assert_eq!(snap.bytes(), 4 * frame(1).len() as u64);
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let t = ChannelTransport::new(2, LinkConfig::ideal(), 6);
+        assert!(matches!(
+            t.send(0, 9, frame(1), FrameClass::Control),
+            Err(NetError::UnknownPeer { node: 9, .. })
+        ));
+        assert!(matches!(
+            t.send(9, 0, frame(1), FrameClass::Control),
+            Err(NetError::UnknownPeer { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_expires_empty() {
+        let t = ChannelTransport::new(2, LinkConfig::ideal(), 7);
+        let start = Instant::now();
+        assert!(t.recv_timeout(0, Duration::from_millis(25)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn cross_thread_delivery_works() {
+        let t = std::sync::Arc::new(ChannelTransport::new(2, LinkConfig::ideal(), 8));
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            let mut got = 0;
+            while got < 50 {
+                if t2.recv_timeout(1, Duration::from_millis(200)).is_some() {
+                    got += 1;
+                } else {
+                    break;
+                }
+            }
+            got
+        });
+        for i in 0..50 {
+            t.send(0, 1, frame(i), FrameClass::Gossip).unwrap();
+        }
+        assert_eq!(h.join().unwrap(), 50);
+    }
+}

@@ -1,0 +1,575 @@
+//! The versioned, length-prefixed wire codec.
+//!
+//! Every protocol interaction of the Chiaroscuro runtime crosses the wire as
+//! one [`Message`], serialized into a *frame*:
+//!
+//! ```text
+//! ┌────────────┬─────────┬─────┬───────────────────┐
+//! │ length u32 │ version │ tag │ body (per-variant)│
+//! │ (LE, body) │   u8    │ u8  │                   │
+//! └────────────┴─────────┴─────┴───────────────────┘
+//! ```
+//!
+//! The length prefix covers version + tag + body, so frames are
+//! self-delimiting on a byte stream. Integers are little-endian; `f64`
+//! travels as its IEEE-754 bit pattern; big integers as length-prefixed
+//! little-endian byte strings (the same convention as `cs_bigint`'s serde
+//! form). Decoding is strict: wrong version, unknown tag, truncation,
+//! trailing bytes, and absurd element counts are all rejected — what crosses
+//! the wire is the security-relevant object, so nothing is silently
+//! tolerated.
+//!
+//! The [`Message`] type also derives serde, so every variant has a JSON
+//! form for logs and debugging; the binary frame codec is the transport
+//! format.
+
+use cs_bigint::BigUint;
+use cs_crypto::{Ciphertext, PartialDecryption};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Current wire format version. Bump on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard upper bound on one frame's body, guarding decode against hostile
+/// length prefixes (64 MiB comfortably fits any realistic slot vector).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Upper bound on per-message element counts (slots, partials), guarding
+/// allocation against corrupt counts.
+const MAX_ELEMENTS: usize = 1 << 20;
+
+/// Traffic class of a frame, for bytes-on-wire accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Push-sum gossip payloads (steps 2a/2b).
+    Gossip,
+    /// Collaborative-decryption traffic (step 2d).
+    Decrypt,
+    /// Membership and termination control traffic.
+    Control,
+}
+
+/// Everything a Chiaroscuro participant ever puts on the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// One encrypted push-sum half-exchange: Damgård-Jurik ciphertext slots
+    /// (data block + noise block) with their denominator exponent and the
+    /// halved push-sum weight (steps 2a/2b merged — both blocks travel
+    /// together and experience the same mixing weights).
+    EncryptedPush {
+        /// Protocol iteration this push belongs to.
+        iteration: u64,
+        /// Sender's denominator exponent after halving.
+        denom_exp: u32,
+        /// The halved push-sum weight.
+        weight: f64,
+        /// The pushed ciphertext slots.
+        slots: Vec<Ciphertext>,
+    },
+    /// The plaintext counterpart used in simulated-crypto mode: same
+    /// dataflow, cleartext slots.
+    PlainPush {
+        /// Protocol iteration this push belongs to.
+        iteration: u64,
+        /// The halved push-sum weight.
+        weight: f64,
+        /// The pushed plaintext slots.
+        slots: Vec<f64>,
+    },
+    /// A request for partial decryptions of the requester's combined
+    /// (mean + noise) ciphertext slots (step 2d).
+    DecryptRequest {
+        /// Protocol iteration of the decryption round.
+        iteration: u64,
+        /// The combined ciphertexts to partially decrypt.
+        slots: Vec<Ciphertext>,
+    },
+    /// A committee member's partial decryptions, one per requested slot.
+    DecryptShare {
+        /// Protocol iteration of the decryption round.
+        iteration: u64,
+        /// One partial decryption per requested slot, in request order.
+        partials: Vec<PartialDecryption>,
+    },
+    /// A participant's termination vote for the current computation step.
+    TerminationVote {
+        /// Protocol iteration being voted on.
+        iteration: u64,
+        /// Whether the voter completed the step with a usable estimate.
+        completed: bool,
+    },
+    /// Membership: a (re)joining node announcing itself.
+    Join {
+        /// The joining node's identifier.
+        node: u64,
+        /// The latest iteration the joiner knows (lets peers decide whether
+        /// it must synchronize its Diptych).
+        iteration: u64,
+    },
+    /// Membership: a gracefully departing node.
+    Leave {
+        /// The departing node's identifier.
+        node: u64,
+    },
+}
+
+impl Message {
+    /// The traffic class of this message.
+    pub fn class(&self) -> FrameClass {
+        match self {
+            Message::EncryptedPush { .. } | Message::PlainPush { .. } => FrameClass::Gossip,
+            Message::DecryptRequest { .. } | Message::DecryptShare { .. } => FrameClass::Decrypt,
+            Message::TerminationVote { .. } | Message::Join { .. } | Message::Leave { .. } => {
+                FrameClass::Control
+            }
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Message::EncryptedPush { .. } => 0,
+            Message::PlainPush { .. } => 1,
+            Message::DecryptRequest { .. } => 2,
+            Message::DecryptShare { .. } => 3,
+            Message::TerminationVote { .. } => 4,
+            Message::Join { .. } => 5,
+            Message::Leave { .. } => 6,
+        }
+    }
+}
+
+/// Decoding failures. Encoding is infallible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared content did.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge(usize),
+    /// The length prefix disagrees with the bytes actually present.
+    BadLength {
+        /// Length the prefix declared.
+        declared: usize,
+        /// Bytes actually available after the prefix.
+        actual: usize,
+    },
+    /// Unsupported wire format version.
+    BadVersion(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// The body decoded but bytes were left over.
+    TrailingBytes(usize),
+    /// A field value is structurally impossible (e.g. absurd element count).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
+            WireError::BadLength { declared, actual } => {
+                write!(f, "length prefix says {declared} bytes, found {actual}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the message"),
+            WireError::BadValue(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_biguint(buf: &mut Vec<u8>, v: &BigUint) {
+    let bytes = v.to_bytes_le();
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(&bytes);
+}
+
+fn put_ciphertexts(buf: &mut Vec<u8>, slots: &[Ciphertext]) {
+    put_u32(buf, slots.len() as u32);
+    for c in slots {
+        put_biguint(buf, c.as_biguint());
+    }
+}
+
+/// Encodes a message into one length-prefixed frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.push(WIRE_VERSION);
+    body.push(msg.tag());
+    match msg {
+        Message::EncryptedPush {
+            iteration,
+            denom_exp,
+            weight,
+            slots,
+        } => {
+            put_u64(&mut body, *iteration);
+            put_u32(&mut body, *denom_exp);
+            put_f64(&mut body, *weight);
+            put_ciphertexts(&mut body, slots);
+        }
+        Message::PlainPush {
+            iteration,
+            weight,
+            slots,
+        } => {
+            put_u64(&mut body, *iteration);
+            put_f64(&mut body, *weight);
+            put_u32(&mut body, slots.len() as u32);
+            for v in slots {
+                put_f64(&mut body, *v);
+            }
+        }
+        Message::DecryptRequest { iteration, slots } => {
+            put_u64(&mut body, *iteration);
+            put_ciphertexts(&mut body, slots);
+        }
+        Message::DecryptShare {
+            iteration,
+            partials,
+        } => {
+            put_u64(&mut body, *iteration);
+            put_u32(&mut body, partials.len() as u32);
+            for p in partials {
+                put_u64(&mut body, p.index());
+                put_biguint(&mut body, p.value());
+            }
+        }
+        Message::TerminationVote {
+            iteration,
+            completed,
+        } => {
+            put_u64(&mut body, *iteration);
+            body.push(u8::from(*completed));
+        }
+        Message::Join { node, iteration } => {
+            put_u64(&mut body, *node);
+            put_u64(&mut body, *iteration);
+        }
+        Message::Leave { node } => {
+            put_u64(&mut body, *node);
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ELEMENTS {
+            return Err(WireError::BadValue("element count exceeds the cap"));
+        }
+        Ok(n)
+    }
+
+    fn biguint(&mut self) -> Result<BigUint, WireError> {
+        let len = self.count()?;
+        Ok(BigUint::from_bytes_le(self.take(len)?))
+    }
+
+    fn ciphertexts(&mut self) -> Result<Vec<Ciphertext>, WireError> {
+        let n = self.count()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(Ciphertext::from_biguint(self.biguint()?));
+        }
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Decodes one length-prefixed frame. The buffer must hold exactly one
+/// frame; any deviation — short buffer, over-long prefix, version or tag
+/// mismatch, trailing bytes — is an error.
+pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader { buf: frame, pos: 0 };
+    let declared = r.u32()? as usize;
+    if declared > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(declared));
+    }
+    if declared != r.remaining() {
+        return Err(WireError::BadLength {
+            declared,
+            actual: r.remaining(),
+        });
+    }
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    let msg = match tag {
+        0 => Message::EncryptedPush {
+            iteration: r.u64()?,
+            denom_exp: r.u32()?,
+            weight: r.f64()?,
+            slots: r.ciphertexts()?,
+        },
+        1 => {
+            let iteration = r.u64()?;
+            let weight = r.f64()?;
+            let n = r.count()?;
+            let mut slots = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                slots.push(r.f64()?);
+            }
+            Message::PlainPush {
+                iteration,
+                weight,
+                slots,
+            }
+        }
+        2 => Message::DecryptRequest {
+            iteration: r.u64()?,
+            slots: r.ciphertexts()?,
+        },
+        3 => {
+            let iteration = r.u64()?;
+            let n = r.count()?;
+            let mut partials = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                let index = r.u64()?;
+                if index == 0 {
+                    return Err(WireError::BadValue("share index must be >= 1"));
+                }
+                partials.push(PartialDecryption::from_parts(index, r.biguint()?));
+            }
+            Message::DecryptShare {
+                iteration,
+                partials,
+            }
+        }
+        4 => {
+            let iteration = r.u64()?;
+            let completed = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::BadValue("vote flag must be 0 or 1")),
+            };
+            Message::TerminationVote {
+                iteration,
+                completed,
+            }
+        }
+        5 => Message::Join {
+            node: r.u64()?,
+            iteration: r.u64()?,
+        },
+        6 => Message::Leave { node: r.u64()? },
+        other => return Err(WireError::BadTag(other)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        let c = |v: u64| Ciphertext::from_biguint(BigUint::from(v));
+        vec![
+            Message::EncryptedPush {
+                iteration: 3,
+                denom_exp: 7,
+                weight: 0.125,
+                slots: vec![c(42), c(0), c(u64::MAX)],
+            },
+            Message::PlainPush {
+                iteration: 1,
+                weight: 1.0,
+                slots: vec![0.0, -3.5, 1e300],
+            },
+            Message::DecryptRequest {
+                iteration: 2,
+                slots: vec![c(9)],
+            },
+            Message::DecryptShare {
+                iteration: 2,
+                partials: vec![
+                    PartialDecryption::from_parts(1, BigUint::from(77u64)),
+                    PartialDecryption::from_parts(3, BigUint::from(0u64)),
+                ],
+            },
+            Message::TerminationVote {
+                iteration: 5,
+                completed: true,
+            },
+            Message::Join {
+                node: 11,
+                iteration: 4,
+            },
+            Message::Leave { node: 12 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in sample_messages() {
+            let frame = encode_frame(&msg);
+            assert_eq!(decode_frame(&frame).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_message_space() {
+        let classes: Vec<FrameClass> = sample_messages().iter().map(|m| m.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                FrameClass::Gossip,
+                FrameClass::Gossip,
+                FrameClass::Decrypt,
+                FrameClass::Decrypt,
+                FrameClass::Control,
+                FrameClass::Control,
+                FrameClass::Control,
+            ]
+        );
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let frame = encode_frame(&sample_messages()[0]);
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode_frame(&Message::Leave { node: 1 });
+        frame.push(0);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::BadLength { .. })
+        ));
+        // Consistent prefix but extra body bytes inside the declared length.
+        let mut frame = encode_frame(&Message::Leave { node: 1 });
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) + 1;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        frame.push(0);
+        assert_eq!(decode_frame(&frame), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn wrong_version_and_tag_rejected() {
+        let mut frame = encode_frame(&Message::Leave { node: 1 });
+        frame[4] = WIRE_VERSION + 1;
+        assert_eq!(decode_frame(&frame), Err(WireError::BadVersion(2)));
+        let mut frame = encode_frame(&Message::Leave { node: 1 });
+        frame[5] = 99;
+        assert_eq!(decode_frame(&frame), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut frame = encode_frame(&Message::Leave { node: 1 });
+        frame[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_element_count_rejected() {
+        // A DecryptRequest claiming 2^30 slots in a tiny body.
+        let mut body = vec![WIRE_VERSION, 2];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadValue("element count exceeds the cap"))
+        );
+    }
+
+    #[test]
+    fn zero_share_index_rejected() {
+        let msg = Message::DecryptShare {
+            iteration: 1,
+            partials: vec![PartialDecryption::from_parts(1, BigUint::from(5u64))],
+        };
+        let mut frame = encode_frame(&msg);
+        // The index field sits right after len(4) + version(1) + tag(1) +
+        // iteration(8) + count(4).
+        frame[18] = 0;
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadValue("share index must be >= 1"))
+        );
+    }
+
+    #[test]
+    fn serde_json_mirror_exists_for_logging() {
+        for msg in sample_messages() {
+            let json = serde_json::to_string(&msg).unwrap();
+            let back: Message = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+}

@@ -11,23 +11,10 @@
 //! * [`cs_gossip`] — the cycle- and event-driven gossip simulators and
 //!   push-sum (plaintext and homomorphic);
 //! * [`cs_timeseries`] — series types, distances, PAA, synthetic datasets;
-//! * [`cs_kmeans`] — the centralized baseline and quality metrics.
-//!
-//! ## End-to-end in eight lines
-//!
-//! ```
-//! use chiaroscuro::{ChiaroscuroConfig, Engine};
-//! use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
-//! use rand::SeedableRng;
-//!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let data = generate(&BlobsConfig { count: 60, clusters: 2, len: 6, ..Default::default() }, &mut rng);
-//! let mut config = ChiaroscuroConfig::demo_simulated();
-//! config.k = 2;
-//! config.max_iterations = 2;
-//! let output = Engine::new(config).unwrap().run(&data.series).unwrap();
-//! assert_eq!(output.centroids.len(), 2);
-//! ```
+//! * [`cs_kmeans`] — the centralized baseline and quality metrics;
+//! * [`cs_net`] — the message-passing node runtime: wire codec, threaded
+//!   transport, churn injection.
+#![doc = include_str!("../docs/quickstart.md")]
 
 pub use chiaroscuro;
 pub use cs_bigint;
@@ -35,4 +22,5 @@ pub use cs_crypto;
 pub use cs_dp;
 pub use cs_gossip;
 pub use cs_kmeans;
+pub use cs_net;
 pub use cs_timeseries;

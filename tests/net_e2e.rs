@@ -1,0 +1,149 @@
+//! End-to-end runs over the `cs_net` threaded message-passing runtime: the
+//! same engine, the same protocol state machines, but every exchange
+//! crosses a wire as a length-prefixed frame between concurrently running
+//! node threads — including one node crashing mid-gossip.
+//!
+//! The decisive check: the runtime's decrypted perturbed centroids must
+//! match the in-process simulator's run of the identical configuration
+//! within a small tolerance (gossip truncation error + fixed-point
+//! granularity; the DP noise is made negligible with a huge ε so the
+//! comparison isolates protocol correctness).
+
+use chiaroscuro::{ChiaroscuroConfig, Engine};
+use cs_net::{ChurnSchedule, NetBackend, NetConfig};
+use cs_timeseries::datasets::blobs::{generate_with_centers, BlobsConfig};
+use cs_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn dataset(count: usize, seed: u64) -> (Vec<TimeSeries>, Vec<usize>) {
+    let (ds, _) = generate_with_centers(
+        &BlobsConfig {
+            count,
+            clusters: 2,
+            len: 5,
+            noise: 0.2,
+            center_amplitude: 3.0,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    (ds.series, ds.labels)
+}
+
+fn max_centroid_gap(a: &[TimeSeries], b: &[TimeSeries]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| {
+            x.values()
+                .iter()
+                .zip(y.values())
+                .map(|(u, v)| (u - v).abs())
+        })
+        .fold(0.0f64, f64::max)
+}
+
+fn fast_net() -> NetConfig {
+    NetConfig {
+        push_interval: Duration::from_micros(250),
+        quiesce: Duration::from_millis(150),
+        ..NetConfig::default()
+    }
+}
+
+/// The acceptance scenario: 16 participants, real Damgård-Jurik crypto, a
+/// full Chiaroscuro iteration end-to-end over the threaded transport with
+/// one node crashing mid-gossip — and the result still matches the
+/// simulated run.
+#[test]
+fn real_crypto_net_run_with_crash_matches_simulator() {
+    let (series, labels) = dataset(16, 31);
+    let mut cfg = ChiaroscuroConfig::test_real();
+    cfg.k = 2;
+    cfg.max_iterations = 1;
+    cfg.gossip_cycles = 14;
+    // Noise made negligible so the comparison isolates the protocol path.
+    cfg.epsilon = 1e5;
+    cfg.value_bound = 8.0;
+    let engine = Engine::new(cfg).unwrap();
+
+    // Reference: the same configuration on the in-process cycle simulator.
+    let sim = engine.run(&series).unwrap();
+
+    // The runtime run, with node 7 silently crashing mid-gossip. The push
+    // pacing is set well above the per-push crypto cost (which is ~25× more
+    // expensive without optimizations, hence the profile split) so the
+    // gossip phase has a predictable span; the crash at ~75% of it lands
+    // after ~10 of 14 pushes, destroying mass that is already well mixed —
+    // the loss push-sum's sum/weight ratio tolerates — while the node
+    // verifiably dies before finishing its quota.
+    let push_ms: u64 = if cfg!(debug_assertions) { 250 } else { 30 };
+    let churn = ChurnSchedule::none().crash(0, Duration::from_millis(push_ms * 14 * 3 / 4), 7);
+    let mut backend = NetBackend::new(NetConfig {
+        churn,
+        push_interval: Duration::from_millis(push_ms),
+        ..fast_net()
+    });
+    let net = engine.run_with_backend(&series, &mut backend).unwrap();
+
+    let step = backend.last_step().expect("one step ran");
+    assert!(!step.outcome.alive_after[7], "node 7 stayed down");
+    assert!(step.outcome.estimates[7].is_none());
+    assert!(
+        step.reports[7].pushes_sent < 14,
+        "node 7 crashed before finishing its gossip quota ({} pushes)",
+        step.reports[7].pushes_sent
+    );
+    assert!(
+        step.snapshot.gossip.bytes > 0 && step.snapshot.decrypt.bytes > 0,
+        "both gossip and decryption traffic crossed the wire"
+    );
+
+    // Decrypted perturbed centroids agree with the simulated-mode run.
+    let gap = max_centroid_gap(&sim.centroids, &net.centroids);
+    assert!(
+        gap < 0.35,
+        "net-vs-simulator centroid gap too large: {gap} \
+         (sim {:?} vs net {:?})",
+        sim.centroids
+            .iter()
+            .map(|c| c.values().to_vec())
+            .collect::<Vec<_>>(),
+        net.centroids
+            .iter()
+            .map(|c| c.values().to_vec())
+            .collect::<Vec<_>>(),
+    );
+
+    // And the clustering itself is faithful to the ground truth.
+    let ari = cs_kmeans::adjusted_rand_index(&net.assignment, &labels);
+    assert!(ari > 0.6, "net-run clustering degraded: ARI {ari}");
+}
+
+/// Simulated-crypto mode over the runtime: larger population, two full
+/// iterations, still matching the cycle simulator.
+#[test]
+fn plain_net_run_matches_simulator_over_two_iterations() {
+    let (series, _) = dataset(24, 37);
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.max_iterations = 2;
+    cfg.gossip_cycles = 30;
+    cfg.epsilon = 1e5;
+    cfg.value_bound = 8.0;
+    cfg.smoothing = cs_timeseries::smooth::Smoothing::None;
+    let engine = Engine::new(cfg).unwrap();
+
+    let sim = engine.run(&series).unwrap();
+    let mut backend = NetBackend::new(fast_net());
+    let net = engine.run_with_backend(&series, &mut backend).unwrap();
+
+    assert_eq!(backend.steps_run(), 2);
+    let gap = max_centroid_gap(&sim.centroids, &net.centroids);
+    assert!(gap < 0.35, "centroid gap {gap}");
+    // The runtime measured real bytes-on-wire for its gossip traffic.
+    for r in &net.log.records {
+        assert!(r.cost.gossip_bytes > 0);
+    }
+}
