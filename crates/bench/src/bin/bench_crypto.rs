@@ -1,0 +1,416 @@
+//! `bench_crypto` — the crypto fast path's machine-readable scorecard.
+//!
+//! Measures the per-bucket cost of the Damgård-Jurik pipeline — encrypt,
+//! homomorphic add, threshold decrypt — **packed vs unpacked**, plus one
+//! full `net_step_real_crypto` computation step over the threaded
+//! transport in both modes, and writes `BENCH_CRYPTO.json` so the
+//! repository keeps a comparable record of the fast path across PRs.
+//!
+//! ```sh
+//! cargo run --release -p cs_bench --bin bench_crypto              # full
+//! cargo run --release -p cs_bench --bin bench_crypto -- --quick   # smoke
+//! cargo run ... -- --check   # exit non-zero if packing regressed
+//! cargo run ... -- --out target/BENCH_CRYPTO.json
+//! ```
+//!
+//! `--check` is the CI regression gate: the packed per-bucket encrypt (and
+//! encrypt+decrypt) cost must stay below the unpacked baseline measured in
+//! the *same run* — machine-speed-independent — and, when a committed
+//! `BENCH_CRYPTO.json` is readable, below twice its recorded unpacked
+//! baseline (the absolute guard; slack ×2 absorbs runner variance).
+
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::CryptoContext;
+use chiaroscuro::ChiaroscuroConfig;
+use cs_bench::{f, Table};
+use cs_crypto::{
+    Ciphertext, FastEncryptor, FixedPointCodec, KeyGenOptions, PackedCodec, ThresholdKeyPair,
+    ThresholdParams,
+};
+use cs_net::runtime::{run_step_over_transport, NetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Buckets per measured vector: one k=2, len=5 contribution (data + noise
+/// blocks), the standard layout of the transport benches.
+const BUCKETS: usize = 24;
+
+/// One measurement row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CryptoBenchEntry {
+    /// Operation (`encrypt`, `add`, `decrypt`, `net_step_real_crypto`).
+    name: String,
+    /// `packed` or `unpacked`.
+    mode: String,
+    /// Buckets the unit carried (0 for the net step rows).
+    buckets: usize,
+    /// Wall-clock of the measured unit, milliseconds.
+    total_ms: f64,
+    /// Cost per bucket, microseconds (0 for the net step rows).
+    per_bucket_us: f64,
+    /// Frames on the wire (net step rows only).
+    messages: u64,
+    /// Bytes on the wire (net step rows only).
+    bytes: u64,
+    /// Average frame size (net step rows only).
+    bytes_per_message: f64,
+}
+
+/// The whole document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CryptoBenchSummary {
+    /// Document schema tag.
+    schema: String,
+    /// Whether the quick (smoke) workload was used.
+    quick: bool,
+    /// Lanes per ciphertext under the benched envelope.
+    lanes: usize,
+    /// The measurements.
+    entries: Vec<CryptoBenchEntry>,
+}
+
+struct Ctx {
+    tkp: ThresholdKeyPair,
+    enc: Arc<FastEncryptor>,
+    codec: PackedCodec,
+    fp: FixedPointCodec,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut out = PathBuf::from("BENCH_CRYPTO.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    // Falling back to the default here would clobber the
+                    // committed baseline with whatever mode this run used.
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => eprintln!("warning: ignoring unknown argument {other:?}"),
+        }
+    }
+
+    // Shared key material: test-size keys (the envelope of every in-repo
+    // real-crypto run), a 2-of-3 committee, and a packed plan sized for a
+    // population of 64 with a modest denominator budget — the per-op
+    // envelope; gossip-scale denominators are exercised by the net rows.
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let tkp = ThresholdKeyPair::generate(
+        &KeyGenOptions::insecure_test_size(),
+        ThresholdParams {
+            threshold: 2,
+            parties: 3,
+        },
+        &mut rng,
+    )
+    .expect("valid params");
+    let pk = Arc::new(tkp.public().clone());
+    let enc = Arc::new(FastEncryptor::new(pk.clone(), &mut rng));
+    let fp = FixedPointCodec::new(20);
+    let codec = PackedCodec::plan(fp, 16.0, 64, 8, pk.n_s()).expect("plan fits test keys");
+    let ctx = Ctx {
+        tkp,
+        enc,
+        codec,
+        fp,
+    };
+
+    let reps = if quick { 4 } else { 16 };
+    let mut entries = Vec::new();
+    entries.extend(bench_encrypt(&ctx, reps, &mut rng));
+    entries.extend(bench_add(&ctx, reps, &mut rng));
+    entries.extend(bench_decrypt(&ctx, reps.min(6), &mut rng));
+    if !quick {
+        for packing in [false, true] {
+            entries.push(bench_net_step(8, packing));
+        }
+    }
+
+    let mut table = Table::new(
+        "crypto fast path: packed vs unpacked",
+        &["name", "mode", "buckets", "total_ms", "us/bucket", "B/msg"],
+    );
+    for e in &entries {
+        table.row(vec![
+            e.name.clone(),
+            e.mode.clone(),
+            e.buckets.to_string(),
+            f(e.total_ms, 3),
+            f(e.per_bucket_us, 2),
+            f(e.bytes_per_message, 1),
+        ]);
+    }
+    println!("{}", table.render());
+    for name in ["encrypt", "add", "decrypt"] {
+        if let Some(s) = speedup(&entries, name) {
+            println!("{name}: packed is {s:.1}x cheaper per bucket");
+        }
+    }
+    if let (Some(e), Some(d)) = (
+        per_bucket(&entries, "encrypt"),
+        per_bucket(&entries, "decrypt"),
+    ) {
+        let ratio = (e.0 + d.0) / (e.1 + d.1);
+        println!("encrypt+decrypt: packed is {ratio:.1}x cheaper per bucket");
+    }
+
+    let summary = CryptoBenchSummary {
+        schema: "chiaroscuro-bench-crypto/v1".to_string(),
+        quick,
+        lanes: ctx.codec.lanes(),
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write(&out, &json).expect("write BENCH_CRYPTO.json");
+    println!("[json written to {}]", out.display());
+
+    if check {
+        run_check(&summary);
+    }
+}
+
+/// `(unpacked, packed)` per-bucket microseconds for a measurement name.
+fn per_bucket(entries: &[CryptoBenchEntry], name: &str) -> Option<(f64, f64)> {
+    let find = |mode: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name && e.mode == mode)
+            .map(|e| e.per_bucket_us)
+    };
+    Some((find("unpacked")?, find("packed")?))
+}
+
+fn speedup(entries: &[CryptoBenchEntry], name: &str) -> Option<f64> {
+    let (u, p) = per_bucket(entries, name)?;
+    (p > 0.0).then_some(u / p)
+}
+
+/// The CI gate: packing must not regress against the unpacked baseline.
+fn run_check(summary: &CryptoBenchSummary) {
+    let mut failures = Vec::new();
+    for name in ["encrypt", "decrypt"] {
+        match per_bucket(&summary.entries, name) {
+            Some((unpacked, packed)) if packed < unpacked => {}
+            Some((unpacked, packed)) => failures.push(format!(
+                "{name}: packed {packed:.2} us/bucket >= unpacked baseline {unpacked:.2}"
+            )),
+            None => failures.push(format!("{name}: measurement missing")),
+        }
+    }
+    // Absolute guard against drift, when a committed baseline is readable.
+    if let Some(committed) = read_committed_baseline() {
+        if let (Some((_, packed)), Some((committed_unpacked, _))) = (
+            per_bucket(&summary.entries, "encrypt"),
+            per_bucket(&committed.entries, "encrypt"),
+        ) {
+            if packed >= committed_unpacked * 2.0 {
+                failures.push(format!(
+                    "encrypt: packed {packed:.2} us/bucket exceeds 2x the committed \
+                     unpacked baseline {committed_unpacked:.2}"
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("[check] packed fast path within budget");
+    } else {
+        for f in &failures {
+            eprintln!("[check] REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn read_committed_baseline() -> Option<CryptoBenchSummary> {
+    let text = std::fs::read_to_string("BENCH_CRYPTO.json").ok()?;
+    let doc: CryptoBenchSummary = serde_json::from_str(&text).ok()?;
+    (!doc.quick).then_some(doc)
+}
+
+/// A signed bucket vector shaped like a real contribution.
+fn bucket_values() -> Vec<f64> {
+    (0..BUCKETS)
+        .map(|b| (b as f64 * 0.73 - 7.5) * if b % 2 == 0 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn entry(name: &str, mode: &str, total_ms: f64) -> CryptoBenchEntry {
+    CryptoBenchEntry {
+        name: name.into(),
+        mode: mode.into(),
+        buckets: BUCKETS,
+        total_ms,
+        per_bucket_us: total_ms * 1e3 / BUCKETS as f64,
+        messages: 0,
+        bytes: 0,
+        bytes_per_message: 0.0,
+    }
+}
+
+/// Encrypts the bucket vector: per-bucket `PublicKey::encrypt` vs packed
+/// lanes through the fixed-base encryptor.
+fn bench_encrypt(ctx: &Ctx, reps: usize, rng: &mut StdRng) -> Vec<CryptoBenchEntry> {
+    let pk = ctx.tkp.public();
+    let values = bucket_values();
+    let mut unpacked = Vec::with_capacity(reps);
+    let mut packed = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let cts: Vec<Ciphertext> = values
+            .iter()
+            .map(|&v| pk.encrypt(&ctx.fp.encode(v, pk.n_s()).unwrap(), rng))
+            .collect();
+        unpacked.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(cts.len(), BUCKETS);
+
+        let t = Instant::now();
+        let pts = ctx.codec.pack(&values).unwrap();
+        let cts: Vec<Ciphertext> = pts.iter().map(|m| ctx.enc.encrypt(m, rng)).collect();
+        packed.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(cts.len(), ctx.codec.ciphertexts_for(BUCKETS));
+    }
+    vec![
+        entry("encrypt", "unpacked", median(&mut unpacked)),
+        entry("encrypt", "packed", median(&mut packed)),
+    ]
+}
+
+/// Homomorphic addition of two whole bucket vectors.
+fn bench_add(ctx: &Ctx, reps: usize, rng: &mut StdRng) -> Vec<CryptoBenchEntry> {
+    let pk = ctx.tkp.public();
+    let values = bucket_values();
+    let unpacked_cts: Vec<Ciphertext> = values
+        .iter()
+        .map(|&v| pk.encrypt(&ctx.fp.encode(v, pk.n_s()).unwrap(), rng))
+        .collect();
+    let packed_cts: Vec<Ciphertext> = ctx
+        .codec
+        .pack(&values)
+        .unwrap()
+        .iter()
+        .map(|m| ctx.enc.encrypt(m, rng))
+        .collect();
+    let mut unpacked = Vec::with_capacity(reps);
+    let mut packed = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let sum: Vec<Ciphertext> = unpacked_cts.iter().map(|c| pk.add(c, c)).collect();
+        unpacked.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(sum.len(), BUCKETS);
+
+        let t = Instant::now();
+        let sum: Vec<Ciphertext> = packed_cts.iter().map(|c| pk.add(c, c)).collect();
+        packed.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(sum.len(), packed_cts.len());
+    }
+    vec![
+        entry("add", "unpacked", median(&mut unpacked)),
+        entry("add", "packed", median(&mut packed)),
+    ]
+}
+
+/// Threshold decryption (2 partials + combine) of the whole bucket vector,
+/// plus the unpack on the packed side.
+fn bench_decrypt(ctx: &Ctx, reps: usize, rng: &mut StdRng) -> Vec<CryptoBenchEntry> {
+    let pk = ctx.tkp.public();
+    let values = bucket_values();
+    let unpacked_cts: Vec<Ciphertext> = values
+        .iter()
+        .map(|&v| pk.encrypt(&ctx.fp.encode(v, pk.n_s()).unwrap(), rng))
+        .collect();
+    let packed_cts: Vec<Ciphertext> = ctx
+        .codec
+        .pack(&values)
+        .unwrap()
+        .iter()
+        .map(|m| ctx.enc.encrypt(m, rng))
+        .collect();
+    let decrypt = |c: &Ciphertext| {
+        let partials = vec![
+            ctx.tkp.shares()[0].partial_decrypt(c),
+            ctx.tkp.shares()[1].partial_decrypt(c),
+        ];
+        ctx.tkp.combine(&partials).expect("enough shares")
+    };
+    let mut unpacked = Vec::with_capacity(reps);
+    let mut packed = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let raws: Vec<_> = unpacked_cts.iter().map(decrypt).collect();
+        unpacked.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(raws.len(), BUCKETS);
+
+        let t = Instant::now();
+        let raws: Vec<_> = packed_cts.iter().map(decrypt).collect();
+        let ints = ctx
+            .codec
+            .unpack_integers(&raws, BUCKETS, 0, 1.0, 1)
+            .expect("within headroom");
+        packed.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(ints.len(), BUCKETS);
+    }
+    vec![
+        entry("decrypt", "unpacked", median(&mut unpacked)),
+        entry("decrypt", "packed", median(&mut packed)),
+    ]
+}
+
+/// One full threaded computation step with the real Damgård-Jurik pipeline
+/// (test-size keys), packed vs unpacked — the `net_step_real_crypto` line.
+fn bench_net_step(n: usize, packing: bool) -> CryptoBenchEntry {
+    let config = ChiaroscuroConfig {
+        k: 2,
+        gossip_cycles: 10,
+        packing,
+        ..ChiaroscuroConfig::test_real()
+    };
+    let layout = SlotLayout {
+        k: 2,
+        series_len: 5,
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
+    let contributions = cs_bench::datasets::synthetic_contributions(n, &layout, 5);
+    let net = NetConfig {
+        push_interval: Duration::from_micros(150),
+        quiesce: Duration::from_millis(100),
+        ..NetConfig::default()
+    };
+    let t = Instant::now();
+    let run = run_step_over_transport(&config, &layout, &contributions, &crypto, 43, &net, &[])
+        .expect("step");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let messages = run.snapshot.messages();
+    let bytes = run.snapshot.bytes();
+    CryptoBenchEntry {
+        name: "net_step_real_crypto".into(),
+        mode: if packing { "packed" } else { "unpacked" }.into(),
+        buckets: 0,
+        total_ms: wall_ms,
+        per_bucket_us: 0.0,
+        messages,
+        bytes,
+        bytes_per_message: if messages == 0 {
+            0.0
+        } else {
+            bytes as f64 / messages as f64
+        },
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-base windowed modular exponentiation.
+//!
+//! The generic [`MontgomeryCtx::pow_mod`] spends one squaring per exponent
+//! bit plus one multiplication per 4-bit window. When the *base* is known
+//! ahead of time and many exponents will be raised to it — the
+//! Damgård-Jurik randomizer base `h^(n^s)` on the encryption hot path, the
+//! generator `(1+n)` when the binomial shortcut does not apply — all the
+//! squarings can be paid once, at table-build time: precompute
+//! `base^(d · 2^(w·i))` for every window position `i` and digit `d`, and an
+//! exponentiation collapses to one Montgomery multiplication per non-zero
+//! window. For a `B`-bit exponent that is ≤ `B/w` multiplications instead
+//! of `B` squarings + `B/w` multiplications — a ~4–5× reduction at `w = 4`.
+
+use crate::{BigUint, MontgomeryCtx};
+
+/// Window width in bits. 4 keeps the table at `15 · ⌈bits/4⌉` entries —
+/// the sweet spot for the few-hundred-to-few-thousand-bit exponents the
+/// cryptosystem uses (wider windows grow the table by `2^w` while saving
+/// only `1/w` of the multiplications).
+const WINDOW_BITS: usize = 4;
+const DIGITS: usize = (1 << WINDOW_BITS) - 1; // non-zero digits per window
+
+/// Precomputed fixed-base exponentiation table for one `(base, modulus)`
+/// pair, valid for exponents up to a declared bit length (larger exponents
+/// transparently fall back to the generic square-and-multiply path).
+///
+/// ```
+/// use cs_bigint::{BigUint, FixedBaseExp, MontgomeryCtx};
+///
+/// let m = BigUint::from(1_000_000_007u64);
+/// let ctx = MontgomeryCtx::new(&m);
+/// let base = BigUint::from(42u64);
+/// let fixed = FixedBaseExp::new(&ctx, &base, 128);
+/// let e = BigUint::from(123_456_789u64);
+/// assert_eq!(fixed.pow_mod(&e), ctx.pow_mod(&base, &e));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedBaseExp {
+    ctx: MontgomeryCtx,
+    /// The base reduced mod n (kept for the oversized-exponent fallback).
+    base: BigUint,
+    /// `table[i][d-1] = base^(d · 2^(WINDOW_BITS·i))` in Montgomery form.
+    table: Vec<[Vec<u64>; DIGITS]>,
+    max_exp_bits: usize,
+}
+
+impl FixedBaseExp {
+    /// Builds the window tables for exponents of up to `max_exp_bits` bits.
+    ///
+    /// Table cost: `⌈max_exp_bits/4⌉ · 15` modulus-sized entries, built with
+    /// one Montgomery multiplication each — amortized after a handful of
+    /// exponentiations.
+    pub fn new(ctx: &MontgomeryCtx, base: &BigUint, max_exp_bits: usize) -> Self {
+        let modulus = ctx.modulus();
+        let base = base % &modulus;
+        let windows = max_exp_bits.max(1).div_ceil(WINDOW_BITS);
+        let mut table = Vec::with_capacity(windows);
+        if !base.is_zero() {
+            // cur = base^(2^(WINDOW_BITS·i)) at the top of iteration i.
+            let mut cur = ctx.to_mont(&base);
+            for _ in 0..windows {
+                let mut row: [Vec<u64>; DIGITS] = std::array::from_fn(|_| Vec::new());
+                row[0] = cur.clone();
+                for d in 1..DIGITS {
+                    row[d] = ctx.mont_mul(&row[d - 1], &cur);
+                }
+                // base^(16·2^(4i)) = base^(15·2^(4i)) · base^(2^(4i)).
+                cur = ctx.mont_mul(&row[DIGITS - 1], &cur);
+                table.push(row);
+            }
+        }
+        FixedBaseExp {
+            ctx: ctx.clone(),
+            base,
+            table,
+            max_exp_bits: windows * WINDOW_BITS,
+        }
+    }
+
+    /// The largest exponent bit length the tables cover.
+    pub fn max_exp_bits(&self) -> usize {
+        self.max_exp_bits
+    }
+
+    /// The modulus the table was built for.
+    pub fn modulus(&self) -> BigUint {
+        self.ctx.modulus()
+    }
+
+    /// `base^exp mod n` using the precomputed tables: one Montgomery
+    /// multiplication per non-zero 4-bit window, zero squarings.
+    ///
+    /// Exponents longer than [`Self::max_exp_bits`] fall back to the generic
+    /// [`MontgomeryCtx::pow_mod`] (correct, just not accelerated).
+    pub fn pow_mod(&self, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one() % self.ctx.modulus();
+        }
+        if self.base.is_zero() {
+            return BigUint::zero();
+        }
+        let bits = exp.bit_len();
+        if bits > self.max_exp_bits {
+            return self.ctx.pow_mod(&self.base, exp);
+        }
+        let mut acc: Option<Vec<u64>> = None;
+        for (i, row) in self
+            .table
+            .iter()
+            .enumerate()
+            .take(bits.div_ceil(WINDOW_BITS))
+        {
+            let mut digit = 0usize;
+            for b in (0..WINDOW_BITS).rev() {
+                let bit_idx = i * WINDOW_BITS + b;
+                digit <<= 1;
+                if bit_idx < bits && exp.bit(bit_idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                let entry = &row[digit - 1];
+                acc = Some(match acc {
+                    Some(a) => self.ctx.mont_mul(&a, entry),
+                    None => entry.clone(),
+                });
+            }
+        }
+        match acc {
+            Some(a) => self.ctx.from_mont(&a),
+            // All windows zero is impossible for a non-zero exponent, but
+            // stay total.
+            None => BigUint::one() % self.ctx.modulus(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_generic_pow_mod() {
+        let m = BigUint::from(0xffff_ffff_ffff_ffc5u64);
+        let ctx = MontgomeryCtx::new(&m);
+        let base = BigUint::from(0x1234_5678u64);
+        let fixed = FixedBaseExp::new(&ctx, &base, 192);
+        for e in [0u64, 1, 2, 15, 16, 17, 255, u64::MAX] {
+            let e = BigUint::from(e);
+            assert_eq!(fixed.pow_mod(&e), ctx.pow_mod(&base, &e));
+        }
+    }
+
+    #[test]
+    fn oversized_exponent_falls_back() {
+        let m = BigUint::from(1_000_003u64);
+        let ctx = MontgomeryCtx::new(&m);
+        let base = BigUint::from(7u64);
+        let fixed = FixedBaseExp::new(&ctx, &base, 8);
+        let e = BigUint::from(u128::MAX);
+        assert_eq!(fixed.pow_mod(&e), ctx.pow_mod(&base, &e));
+    }
+
+    #[test]
+    fn zero_base_and_reduction() {
+        let m = BigUint::from(97u64);
+        let ctx = MontgomeryCtx::new(&m);
+        let zero = FixedBaseExp::new(&ctx, &BigUint::zero(), 32);
+        assert_eq!(zero.pow_mod(&BigUint::from(5u64)), BigUint::zero());
+        assert!(zero.pow_mod(&BigUint::zero()).is_one());
+        // Base ≥ n is reduced first, like the generic path.
+        let big = FixedBaseExp::new(&ctx, &BigUint::from(97u64 * 3 + 5), 32);
+        assert_eq!(
+            big.pow_mod(&BigUint::from(10u64)),
+            ctx.pow_mod(&BigUint::from(5u64), &BigUint::from(10u64))
+        );
+    }
+
+    #[test]
+    fn multi_limb_modulus() {
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_fff1, 0xabcd, 0x1]);
+        let ctx = MontgomeryCtx::new(&m);
+        let base = BigUint::from_limbs(vec![0xdead_beef, 0xcafe]);
+        let fixed = FixedBaseExp::new(&ctx, &base, 256);
+        let e = BigUint::from_limbs(vec![0x0123_4567_89ab_cdef, 0xfedc_ba98]);
+        assert_eq!(fixed.pow_mod(&e), ctx.pow_mod(&base, &e));
+    }
+}

@@ -39,6 +39,7 @@ mod bits;
 mod cmp;
 mod convert;
 mod div;
+pub mod fixed_base;
 mod fmt;
 pub mod gcd;
 mod int;
@@ -52,6 +53,7 @@ mod serde_impl;
 mod shift;
 mod uint;
 
+pub use fixed_base::FixedBaseExp;
 pub use int::{BigInt, Sign};
 pub use montgomery::MontgomeryCtx;
 pub use uint::BigUint;

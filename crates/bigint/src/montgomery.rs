@@ -78,7 +78,7 @@ impl MontgomeryCtx {
 
     /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n` for
     /// `a, b < n` given as padded limb slices of length `k`.
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k();
         debug_assert!(a.len() == k && b.len() == k);
         // t has k+2 limbs: accumulator for the running sum.
@@ -133,14 +133,14 @@ impl MontgomeryCtx {
     }
 
     /// Converts `a < n` into Montgomery form (`a·R mod n`).
-    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, a: &BigUint) -> Vec<u64> {
         debug_assert!(*a < self.modulus());
         self.mont_mul(&pad(a.limbs().to_vec(), self.k()), &self.rr)
     }
 
     /// Converts out of Montgomery form (`a·R^{-1} mod n`).
     #[allow(clippy::wrong_self_convention)] // "from Montgomery domain", not a constructor
-    fn from_mont(&self, a: &[u64]) -> BigUint {
+    pub(crate) fn from_mont(&self, a: &[u64]) -> BigUint {
         let k = self.k();
         let one = pad(vec![1], k);
         BigUint::from_limbs(self.mont_mul(a, &one))

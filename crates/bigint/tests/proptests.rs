@@ -4,7 +4,9 @@
 //! values, (2) algebraic identities on arbitrarily large values built from
 //! random byte strings.
 
-use cs_bigint::{gcd::extended_gcd, rng::random_below, BigInt, BigUint, MontgomeryCtx};
+use cs_bigint::{
+    gcd::extended_gcd, rng::random_below, BigInt, BigUint, FixedBaseExp, MontgomeryCtx,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -157,6 +159,50 @@ proptest! {
         let g = a.gcd(&b);
         prop_assert!((&a % &g).is_zero());
         prop_assert!((&b % &g).is_zero());
+    }
+
+    // ---- fixed-base exponentiation ------------------------------------------
+
+    /// The fixed-base windowed path must agree with the generic Montgomery
+    /// `pow_mod` across random bases, exponents, and (odd) moduli —
+    /// including the 0/1 exponent edges and exponents adjacent to the
+    /// modulus (the `n^s`-shaped exponents the cryptosystem raises to).
+    #[test]
+    fn fixed_base_pow_matches_montgomery(
+        base in any_biguint(),
+        exp in any_biguint(),
+        m in nonzero_biguint(),
+    ) {
+        // Any odd modulus > 1.
+        let m = (&(&m << 1) + &BigUint::one()).add_u64(2);
+        let ctx = MontgomeryCtx::new(&m);
+        let fixed = FixedBaseExp::new(&ctx, &base, 520);
+        prop_assert_eq!(fixed.pow_mod(&exp), ctx.pow_mod(&base, &exp));
+
+        // Edge exponents: 0, 1, and modulus-adjacent (m−1, m, m+1).
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            m.sub_u64(1),
+            m.clone(),
+            m.add_u64(1),
+        ] {
+            prop_assert_eq!(fixed.pow_mod(&e), ctx.pow_mod(&base, &e));
+        }
+    }
+
+    /// Oversized exponents (beyond the table) transparently fall back to
+    /// the generic path.
+    #[test]
+    fn fixed_base_oversized_exponent_falls_back(
+        base in any_biguint(),
+        exp in any_biguint(),
+        m in nonzero_biguint(),
+    ) {
+        let m = (&(&m << 1) + &BigUint::one()).add_u64(2);
+        let ctx = MontgomeryCtx::new(&m);
+        let fixed = FixedBaseExp::new(&ctx, &base, 16);
+        prop_assert_eq!(fixed.pow_mod(&exp), ctx.pow_mod(&base, &exp));
     }
 
     // ---- randomness ---------------------------------------------------------

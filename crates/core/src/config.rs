@@ -78,6 +78,12 @@ pub struct ChiaroscuroConfig {
     /// Re-randomize ciphertexts before each forward (hides which slots are
     /// trivial zero encryptions). Ignored in simulated mode except for cost.
     pub rerandomize: bool,
+    /// Pack many buckets per ciphertext (disjoint fixed-point lanes of
+    /// `Z_{n^s}`, see `cs_crypto::packing`) and use fixed-base
+    /// exponentiation for encryption — the crypto fast path. Only affects
+    /// [`CryptoMode::Real`]; the simulated (plaintext) pipeline has nothing
+    /// to pack. Off by default so existing runs stay byte-identical.
+    pub packing: bool,
 
     // ---- gossip ----
     /// Gossip cycles per computation step ("number of exchanges per
@@ -116,6 +122,7 @@ impl ChiaroscuroConfig {
             },
             codec_scale_bits: 20,
             rerandomize: true,
+            packing: false,
             gossip_cycles: 12,
             overlay: Overlay::Full,
             failure: FailureModel::none(),
@@ -145,6 +152,7 @@ impl ChiaroscuroConfig {
             },
             codec_scale_bits: 20,
             rerandomize: true,
+            packing: false,
             gossip_cycles: 30,
             overlay: Overlay::Full,
             failure: FailureModel::none(),

@@ -20,7 +20,7 @@ use crate::cost::{synthesize_decrypt_ops, synthesize_ops, DecryptionOps};
 use crate::error::ChiaroscuroError;
 use crate::noise::SlotLayout;
 use cs_crypto::threshold::ThresholdKeyPair;
-use cs_crypto::{Ciphertext, FixedPointCodec, PublicKey};
+use cs_crypto::{Ciphertext, FastEncryptor, FixedPointCodec, PackedCodec, PublicKey};
 use cs_gossip::homomorphic_pushsum::{HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::PushSumNode;
 use cs_gossip::{Network, TrafficStats};
@@ -38,6 +38,10 @@ pub enum CryptoContext {
         pk: Arc<PublicKey>,
         /// Fixed-point codec.
         codec: FixedPointCodec,
+        /// Fixed-base fast encryptor — `Some` when ciphertext packing is
+        /// enabled ([`ChiaroscuroConfig::packing`]); the per-step lane plan
+        /// is derived via [`plan_packed_codec`].
+        fast: Option<Arc<FastEncryptor>>,
     },
     /// Plaintext pipeline with synthesized cost accounting.
     Simulated {
@@ -57,10 +61,20 @@ impl CryptoContext {
             CryptoMode::Real { keygen } => {
                 let tkp = ThresholdKeyPair::generate(keygen, config.threshold, rng)?;
                 let pk = Arc::new(tkp.public().clone());
+                // The encryptor's generator draws from a *forked* stream:
+                // toggling `packing` must not shift the master RNG, so a
+                // packed run stays comparable (same initial centroids, same
+                // noise) to the unpacked run it is diffed against.
+                let fast = config.packing.then(|| {
+                    use rand::SeedableRng as _;
+                    let mut enc_rng = StdRng::seed_from_u64(config.seed ^ 0xFA57_E6C5_97B1_D003);
+                    Arc::new(FastEncryptor::new(pk.clone(), &mut enc_rng))
+                });
                 Ok(CryptoContext::Real {
                     tkp: Box::new(tkp),
                     pk,
                     codec: FixedPointCodec::new(config.codec_scale_bits),
+                    fast,
                 })
             }
             CryptoMode::Simulated { cost_profile } => Ok(CryptoContext::Simulated {
@@ -68,6 +82,77 @@ impl CryptoContext {
             }),
         }
     }
+}
+
+/// Plans the packed lane layout for one computation step.
+///
+/// The envelope is **public** protocol metadata only — the population
+/// size, the per-participant exchange budget, and a magnitude bound
+/// derived from the configured `value_bound` plus the ε-derived noise
+/// scale (64× the worst-iteration Laplace scale; a share exceeding that
+/// has probability `≈ e^{-64}` and would surface as a typed
+/// [`cs_crypto::CryptoError::LaneOverflow`], never a silent wrap). Nothing
+/// data-dependent enters the plan, so the ciphertext count on the wire
+/// leaks nothing about any participant's values, and every execution
+/// substrate — the in-process simulator and the `cs_net` runtime —
+/// derives the identical layout from configuration alone.
+///
+/// The denominator-exponent budget deserves a note: a node's exponent
+/// grows by one per *own* split, but `absorb` inherits the peer's
+/// exponent, so a split-absorb chain within one exchange round cascades —
+/// empirically the population maximum grows by `O(log n)` per round
+/// rather than by one. The plan asks for `⌈log₂(n+1)⌉ + 1` per exchange
+/// (roughly double
+/// the observed cascade) and, when the plaintext space cannot afford that
+/// much headroom, clamps down — never below the per-node split count plus
+/// margin, below which the run would certainly fail. A schedule that
+/// outruns the reserved headroom hits the typed
+/// [`cs_crypto::CryptoError::LaneHeadroomExceeded`] at unpack instead of
+/// silent lane wrap-around.
+pub fn plan_packed_codec(
+    config: &ChiaroscuroConfig,
+    pk: &PublicKey,
+    codec: &FixedPointCodec,
+    layout: &SlotLayout,
+    population: usize,
+) -> Result<PackedCodec, ChiaroscuroError> {
+    // Worst per-iteration Laplace scale under the uniform budget split;
+    // the 64× tail margin also absorbs moderately front-loaded strategies.
+    let noise_scale =
+        config.sensitivity(layout.series_len) * config.max_iterations as f64 / config.epsilon;
+    let max_abs = config.value_bound.max(1.0) + 64.0 * noise_scale;
+    let pop_bits = (usize::BITS - population.leading_zeros()).max(1);
+    let ideal = config.gossip_cycles as u32 * (pop_bits + 1) + 8;
+    let floor = config.gossip_cycles as u32 + 8;
+    let mut k = ideal;
+    loop {
+        match PackedCodec::plan(*codec, max_abs, population, k, pk.n_s()) {
+            Ok(plan) => return Ok(plan),
+            Err(e) if k <= floor => return Err(e.into()),
+            Err(_) => k -= 1,
+        }
+    }
+}
+
+/// Packs and encrypts one contribution vector: the data block and the noise
+/// block are packed *separately* (identical chunking), so the data
+/// ciphertext `j` and the noise ciphertext `data_cts + j` share lane
+/// positions and protocol step 2c stays a single homomorphic addition per
+/// ciphertext pair. Returns the ciphertexts and the encryption count.
+pub fn encrypt_packed_contribution<R: rand::Rng + ?Sized>(
+    packed: &PackedCodec,
+    enc: &FastEncryptor,
+    layout: &SlotLayout,
+    values: &[f64],
+    rng: &mut R,
+) -> Result<(Vec<Ciphertext>, u64), ChiaroscuroError> {
+    debug_assert_eq!(values.len(), layout.total(), "contribution length");
+    let split = layout.noise_offset();
+    let mut plaintexts = packed.pack(&values[..split])?;
+    plaintexts.extend(packed.pack(&values[split..])?);
+    let cipher: Vec<Ciphertext> = plaintexts.iter().map(|m| enc.encrypt(m, rng)).collect();
+    let count = cipher.len() as u64;
+    Ok((cipher, count))
 }
 
 /// One participant's decrypted, perturbed aggregate estimates.
@@ -164,7 +249,28 @@ pub fn run_computation_step(
     rng: &mut StdRng,
 ) -> Result<ComputationOutcome, ChiaroscuroError> {
     match crypto {
-        CryptoContext::Real { tkp, pk, codec } => run_real(
+        CryptoContext::Real {
+            tkp,
+            pk,
+            codec,
+            fast: Some(enc),
+        } => run_real_packed(
+            config,
+            layout,
+            contributions,
+            tkp,
+            pk.clone(),
+            codec,
+            enc.clone(),
+            step_seed,
+            rng,
+        ),
+        CryptoContext::Real {
+            tkp,
+            pk,
+            codec,
+            fast: None,
+        } => run_real(
             config,
             layout,
             contributions,
@@ -182,6 +288,108 @@ pub fn run_computation_step(
             step_seed,
         )),
     }
+}
+
+/// The packed variant of [`run_real`]: one ciphertext carries a whole lane
+/// vector, encryption takes the fixed-base path, and step 2c folds the
+/// noise block onto the data block with one addition per ciphertext *pair*
+/// instead of per bucket.
+#[allow(clippy::too_many_arguments)]
+fn run_real_packed(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    tkp: &ThresholdKeyPair,
+    pk: Arc<PublicKey>,
+    codec: &FixedPointCodec,
+    enc: Arc<FastEncryptor>,
+    step_seed: u64,
+    rng: &mut StdRng,
+) -> Result<ComputationOutcome, ChiaroscuroError> {
+    let packed = plan_packed_codec(config, &pk, codec, layout, contributions.len())?;
+    let data_slots = layout.noise_offset();
+    let data_cts = packed.ciphertexts_for(data_slots);
+    let mut encryptions = 0u64;
+    let mut nodes = Vec::with_capacity(contributions.len());
+    for c in contributions {
+        let node = match c {
+            Some(values) => {
+                let (cipher, enc_count) =
+                    encrypt_packed_contribution(&packed, &enc, layout, values, rng)?;
+                encryptions += enc_count;
+                HePushSumNode::from_ciphertexts(pk.clone(), cipher, 1.0, config.rerandomize)
+            }
+            None => {
+                // Down at step start: zero weight, *unbiased* zero lanes —
+                // the lane bias must travel exactly with the weight mass.
+                let cipher = vec![pk.trivial_zero(); 2 * data_cts];
+                HePushSumNode::from_ciphertexts(pk.clone(), cipher, 0.0, config.rerandomize)
+            }
+        };
+        nodes.push(node.with_encryptor(enc.clone()));
+    }
+
+    let mut net = Network::new(nodes, config.overlay.clone(), config.failure, step_seed);
+    for (i, c) in contributions.iter().enumerate() {
+        if c.is_none() {
+            net.set_alive(i, false);
+        }
+    }
+    net.run_cycles(config.gossip_cycles);
+
+    let alive_after: Vec<bool> = (0..net.len()).map(|i| net.is_alive(i)).collect();
+    let traffic = net.traffic().clone();
+    let (nodes, _) = net.into_parts();
+
+    let mut ops = HomomorphicOpCounts {
+        encryptions,
+        ..Default::default()
+    };
+    for n in &nodes {
+        ops.merge(&n.op_counts());
+    }
+
+    // Steps 2c + 2d, per ciphertext pair instead of per bucket.
+    let mut decrypt_ops = DecryptionOps::default();
+    let mut estimates = Vec::with_capacity(nodes.len());
+    let t = config.threshold.threshold;
+    let share_pool: Vec<usize> = (0..tkp.shares().len()).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        if !alive_after[i] || node.weight() <= f64::MIN_POSITIVE {
+            estimates.push(None);
+            continue;
+        }
+        let cipher = node.ciphertexts();
+        let mut committee = share_pool.clone();
+        committee.shuffle(rng);
+        let committee = &committee[..t];
+
+        let mut raws = Vec::with_capacity(data_cts);
+        for j in 0..data_cts {
+            let combined = pk.add(&cipher[j], &cipher[data_cts + j]);
+            ops.additions += 1;
+            let partials: Vec<_> = committee
+                .iter()
+                .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
+                .collect();
+            decrypt_ops.partial_decryptions += t as u64;
+            raws.push(tkp.combine(&partials)?);
+            decrypt_ops.combinations += 1;
+        }
+        let values =
+            packed.unpack_aggregate(&raws, data_slots, node.denominator_exp(), node.weight(), 2)?;
+        decrypt_ops.messages += 2 * t as u64;
+        decrypt_ops.bytes += 2 * (t * data_cts * pk.ciphertext_bytes()) as u64;
+        estimates.push(Some(assemble_aggregates(layout, |slot| values[slot])));
+    }
+
+    Ok(ComputationOutcome {
+        estimates,
+        ops,
+        decrypt_ops,
+        traffic,
+        alive_after,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -502,6 +710,109 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn packed_real_step_recovers_means() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 15,
+            packing: true,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let contributions = tiny_contributions(8, &mut rng);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        assert!(matches!(&crypto, CryptoContext::Real { fast: Some(_), .. }));
+        let outcome =
+            run_computation_step(&config, &layout(), &contributions, &crypto, 8, &mut rng).unwrap();
+        check_estimates(&outcome, 8);
+        assert!(outcome.decrypt_ops.partial_decryptions > 0);
+        // 8 data slots pack into far fewer ciphertexts than 8 per node.
+        let unpacked_min = 8 * 8; // nodes × data slots, if unpacked
+        assert!(
+            outcome.decrypt_ops.combinations < unpacked_min as u64,
+            "combinations {} should shrink under packing",
+            outcome.decrypt_ops.combinations
+        );
+    }
+
+    #[test]
+    fn packed_and_unpacked_real_steps_agree() {
+        // Same contributions, same topology seed: packed and unpacked real
+        // pipelines must produce near-identical estimates. Re-randomization
+        // off so both consume the shared RNG identically.
+        let mut rng = StdRng::seed_from_u64(23);
+        let contributions = tiny_contributions(8, &mut rng);
+
+        let mut cfg = ChiaroscuroConfig::test_real();
+        cfg.k = 2;
+        cfg.gossip_cycles = 10;
+        cfg.rerandomize = false;
+
+        let mut cfg_packed = cfg.clone();
+        cfg_packed.packing = true;
+
+        let mut rng_a = StdRng::seed_from_u64(24);
+        let crypto_a = CryptoContext::from_config(&cfg, &mut rng_a).unwrap();
+        let plain =
+            run_computation_step(&cfg, &layout(), &contributions, &crypto_a, 99, &mut rng_a)
+                .unwrap();
+
+        let mut rng_b = StdRng::seed_from_u64(24);
+        let crypto_b = CryptoContext::from_config(&cfg_packed, &mut rng_b).unwrap();
+        let packed = run_computation_step(
+            &cfg_packed,
+            &layout(),
+            &contributions,
+            &crypto_b,
+            99,
+            &mut rng_b,
+        )
+        .unwrap();
+
+        for (p, u) in packed.estimates.iter().zip(&plain.estimates) {
+            let (Some(p), Some(u)) = (p, u) else { continue };
+            for j in 0..2 {
+                assert!((p.counts[j] - u.counts[j]).abs() < 1e-3);
+                for d in 0..3 {
+                    assert!(
+                        (p.sums[j][d] - u.sums[j][d]).abs() < 1e-3,
+                        "cluster {j} dim {d}: {} vs {}",
+                        p.sums[j][d],
+                        u.sums[j][d]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_plan_is_feasible_on_the_default_real_config() {
+        // Regression: the ideal cascade budget exceeds the 256-bit test
+        // plaintext space at the default 30 gossip cycles — the plan must
+        // clamp the reserved headroom, not refuse the run.
+        let mut rng = StdRng::seed_from_u64(31);
+        let config = ChiaroscuroConfig {
+            packing: true,
+            gossip_cycles: 30, // demo-scale exchange budget on test-size keys
+            ..ChiaroscuroConfig::test_real()
+        };
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let CryptoContext::Real { pk, codec, .. } = &crypto else {
+            panic!("real mode");
+        };
+        for population in [2usize, 8, 64, 1000] {
+            let plan = plan_packed_codec(&config, pk, codec, &layout(), population)
+                .unwrap_or_else(|e| panic!("population {population}: {e}"));
+            assert!(plan.lanes() >= 1);
+            // Never below the per-node split count plus margin.
+            assert!(
+                plan.headroom_bits() as usize > config.gossip_cycles,
+                "headroom {} cannot cover the node's own splits",
+                plan.headroom_bits()
+            );
         }
     }
 

@@ -24,6 +24,15 @@ pub enum CryptoError {
     MismatchedShares,
     /// Fixed-point encoding overflow: the value cannot be represented.
     EncodingOverflow,
+    /// A packed value does not fit its lane (pack-time saturation).
+    LaneOverflow {
+        /// Index of the offending bucket in the packed vector.
+        slot: usize,
+    },
+    /// The aggregate carry multiplier exceeds the packed lanes' headroom:
+    /// lane sums could have wrapped into their neighbours, so the unpacked
+    /// values cannot be trusted.
+    LaneHeadroomExceeded,
     /// Key generation parameters are invalid (e.g. threshold > parties).
     InvalidParameters(&'static str),
 }
@@ -40,6 +49,15 @@ impl fmt::Display for CryptoError {
             CryptoError::ShareIndexOutOfRange(i) => write!(f, "share index {i} out of range"),
             CryptoError::MismatchedShares => write!(f, "partial decryptions do not match"),
             CryptoError::EncodingOverflow => write!(f, "fixed-point encoding overflow"),
+            CryptoError::LaneOverflow { slot } => {
+                write!(f, "packed value at bucket {slot} overflows its lane")
+            }
+            CryptoError::LaneHeadroomExceeded => {
+                write!(
+                    f,
+                    "aggregate carry multiplier exceeds the packed lane headroom"
+                )
+            }
             CryptoError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
         }
     }

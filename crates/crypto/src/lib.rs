@@ -51,8 +51,10 @@ pub mod cost;
 mod damgard_jurik;
 mod encoding;
 mod error;
+pub mod fastenc;
 mod homomorphic;
 mod keys;
+pub mod packing;
 pub mod shamir;
 pub mod threshold;
 
@@ -60,5 +62,7 @@ pub use ciphertext::Ciphertext;
 pub use cost::CryptoCostProfile;
 pub use encoding::FixedPointCodec;
 pub use error::CryptoError;
+pub use fastenc::{FastEncryptor, RandomizerPool};
 pub use keys::{KeyGenOptions, KeyPair, PrivateKey, PublicKey};
+pub use packing::PackedCodec;
 pub use threshold::{KeyShare, PartialDecryption, ThresholdKeyPair, ThresholdParams};

@@ -22,7 +22,7 @@
 //! threshold decryption at the end of the computation step.
 
 use crate::network::{CycleProtocol, ExchangeCtx};
-use cs_crypto::{Ciphertext, FixedPointCodec, PrivateKey, PublicKey};
+use cs_crypto::{Ciphertext, FastEncryptor, FixedPointCodec, PrivateKey, PublicKey};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -78,6 +78,9 @@ impl std::fmt::Debug for HePush {
 #[derive(Clone)]
 pub struct HePushSumNode {
     pk: Arc<PublicKey>,
+    /// Fixed-base fast path for the forward re-randomizations; `None` falls
+    /// back to the generic [`PublicKey::rerandomize`].
+    enc: Option<Arc<FastEncryptor>>,
     cipher: Vec<Ciphertext>,
     denom_exp: u32,
     weight: f64,
@@ -108,6 +111,7 @@ impl HePushSumNode {
         };
         HePushSumNode {
             pk,
+            enc: None,
             cipher,
             denom_exp: 0,
             weight,
@@ -127,12 +131,20 @@ impl HePushSumNode {
     ) -> Self {
         HePushSumNode {
             pk,
+            enc: None,
             cipher,
             denom_exp: 0,
             weight,
             rerandomize,
             ops: HomomorphicOpCounts::default(),
         }
+    }
+
+    /// Attaches a fixed-base [`FastEncryptor`] so forward re-randomizations
+    /// take the precomputed-window path instead of a full exponentiation.
+    pub fn with_encryptor(mut self, enc: Arc<FastEncryptor>) -> Self {
+        self.enc = Some(enc);
+        self
     }
 
     /// The encrypted slots (for collaborative decryption).
@@ -206,7 +218,10 @@ impl HePushSumNode {
             .map(|c| {
                 if self.rerandomize {
                     self.ops.rerandomizations += 1;
-                    self.pk.rerandomize(c, rng)
+                    match &self.enc {
+                        Some(enc) => enc.rerandomize(c, rng),
+                        None => self.pk.rerandomize(c, rng),
+                    }
                 } else {
                     c.clone()
                 }

@@ -28,11 +28,14 @@ use crate::transport::NodeId;
 use crate::wire::Message;
 use chiaroscuro::cost::DecryptionOps;
 use chiaroscuro::noise::SlotLayout;
-use chiaroscuro::rounds::{assemble_aggregates, encrypt_contribution, PerturbedAggregates};
+use chiaroscuro::rounds::{
+    assemble_aggregates, encrypt_contribution, encrypt_packed_contribution, PerturbedAggregates,
+};
 use cs_bigint::BigUint;
 use cs_crypto::threshold::combine_partials;
 use cs_crypto::{
-    Ciphertext, FixedPointCodec, KeyShare, PartialDecryption, PublicKey, ThresholdParams,
+    Ciphertext, FastEncryptor, FixedPointCodec, KeyShare, PackedCodec, PartialDecryption,
+    PublicKey, ThresholdParams,
 };
 use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::{PlainPush, PushSumNode};
@@ -40,6 +43,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Packed-mode crypto state: the lane codec every participant agreed on
+/// for this step, plus the fixed-base encryptor serving contribution
+/// encryption and forward re-randomization.
+#[derive(Clone)]
+pub struct PackedCrypto {
+    /// Lane layout shared by the whole population this step.
+    pub codec: PackedCodec,
+    /// Fixed-base fast encryptor for the shared public key.
+    pub enc: Arc<FastEncryptor>,
+}
 
 /// Crypto substrate of one node.
 // One value per node per step; the size gap to `Plain` is irrelevant next
@@ -60,6 +74,8 @@ pub enum NodeCrypto {
         delta: BigUint,
         /// Re-randomize ciphertexts before each forward.
         rerandomize: bool,
+        /// Ciphertext packing (`Some` = packed payloads on the wire).
+        packed: Option<PackedCrypto>,
     },
     /// Plaintext pipeline (simulated-crypto mode): same dataflow, cleartext
     /// slots, no decryption round.
@@ -167,24 +183,42 @@ impl ProtocolNode {
                 pk,
                 codec,
                 rerandomize,
+                packed,
                 ..
             } => {
-                let (cipher, weight) = match contribution {
-                    Some(values) => {
+                let (cipher, weight) = match (contribution, packed) {
+                    (Some(values), Some(p)) => {
+                        assert_eq!(values.len(), layout.total(), "contribution length");
+                        let (cipher, enc) = encrypt_packed_contribution(
+                            &p.codec, &p.enc, &layout, values, &mut rng,
+                        )
+                        .expect("planned lanes fit the contribution envelope");
+                        ops.encryptions += enc;
+                        (cipher, 1.0)
+                    }
+                    (Some(values), None) => {
                         assert_eq!(values.len(), layout.total(), "contribution length");
                         let (cipher, enc) =
                             encrypt_contribution(pk.as_ref(), codec, values, &mut rng);
                         ops.encryptions += enc;
                         (cipher, 1.0)
                     }
-                    None => (vec![pk.trivial_zero(); layout.total()], 0.0),
+                    (None, packed) => {
+                        // Down at step start: zero weight and *unbiased* zero
+                        // lanes (the lane bias travels with the weight mass).
+                        let cts = match packed {
+                            Some(p) => 2 * p.codec.ciphertexts_for(layout.noise_offset()),
+                            None => layout.total(),
+                        };
+                        (vec![pk.trivial_zero(); cts], 0.0)
+                    }
                 };
-                Aggregator::Encrypted(HePushSumNode::from_ciphertexts(
-                    pk.clone(),
-                    cipher,
-                    weight,
-                    *rerandomize,
-                ))
+                let mut he =
+                    HePushSumNode::from_ciphertexts(pk.clone(), cipher, weight, *rerandomize);
+                if let Some(p) = packed {
+                    he = he.with_encryptor(p.enc.clone());
+                }
+                Aggregator::Encrypted(he)
             }
             NodeCrypto::Plain => {
                 let (values, weight) = match contribution {
@@ -258,6 +292,7 @@ impl ProtocolNode {
         if self.pushes_sent < self.params.pushes {
             match self.sample_peer() {
                 Some(peer) => {
+                    let packed = self.is_packed();
                     let msg = match &mut self.agg {
                         Aggregator::Encrypted(he) => {
                             let HePush {
@@ -265,11 +300,21 @@ impl ProtocolNode {
                                 denom_exp,
                                 weight,
                             } = he.split_push(&mut self.rng);
-                            Message::EncryptedPush {
-                                iteration: self.params.iteration,
-                                denom_exp,
-                                weight,
-                                slots,
+                            if packed {
+                                Message::PackedPush {
+                                    iteration: self.params.iteration,
+                                    denom_exp,
+                                    weight,
+                                    buckets: self.layout.total() as u32,
+                                    slots,
+                                }
+                            } else {
+                                Message::EncryptedPush {
+                                    iteration: self.params.iteration,
+                                    denom_exp,
+                                    weight,
+                                    slots,
+                                }
                             }
                         }
                         Aggregator::Plain(ps) => {
@@ -343,8 +388,36 @@ impl ProtocolNode {
                 if iteration != self.params.iteration {
                     return;
                 }
+                // An unpacked push into a packed population (or vice versa)
+                // would corrupt the lane bias accounting — rejected like any
+                // dimension mismatch.
+                let packed = self.is_packed();
                 if let Aggregator::Encrypted(he) = &mut self.agg {
-                    if slots.len() == he.dim() {
+                    if !packed && slots.len() == he.dim() {
+                        he.absorb(&HePush {
+                            slots,
+                            denom_exp,
+                            weight,
+                        });
+                    } else {
+                        self.bad_frames += 1;
+                    }
+                }
+            }
+            Message::PackedPush {
+                iteration,
+                denom_exp,
+                weight,
+                buckets,
+                slots,
+            } => {
+                if iteration != self.params.iteration {
+                    return;
+                }
+                let packed = self.is_packed();
+                if let Aggregator::Encrypted(he) = &mut self.agg {
+                    if packed && buckets as usize == self.layout.total() && slots.len() == he.dim()
+                    {
                         he.absorb(&HePush {
                             slots,
                             denom_exp,
@@ -521,17 +594,26 @@ impl ProtocolNode {
                 if weight <= f64::MIN_POSITIVE {
                     Next::Finish(None)
                 } else {
-                    let NodeCrypto::Real { pk, .. } = &self.crypto else {
+                    let NodeCrypto::Real { pk, packed, .. } = &self.crypto else {
                         unreachable!("encrypted aggregator implies real crypto");
                     };
-                    // Step 2c: fold each noise slot onto its data slot
+                    // Step 2c: fold the noise block onto the data block
                     // homomorphically, then snapshot — later absorbs keep
                     // mixing the gossip state but no longer affect this
-                    // estimate.
+                    // estimate. Packed mode folds whole ciphertext pairs
+                    // (every lane at once) instead of slot pairs.
                     let cipher = he.ciphertexts();
-                    let combined: Vec<Ciphertext> = (0..layout.noise_offset())
-                        .map(|slot| pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]))
-                        .collect();
+                    let combined: Vec<Ciphertext> = match packed {
+                        Some(p) => {
+                            let data_cts = p.codec.ciphertexts_for(layout.noise_offset());
+                            (0..data_cts)
+                                .map(|j| pk.add(&cipher[j], &cipher[data_cts + j]))
+                                .collect()
+                        }
+                        None => (0..layout.noise_offset())
+                            .map(|slot| pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]))
+                            .collect(),
+                    };
                     Next::Decrypt {
                         weight,
                         denom: he.denominator_exp(),
@@ -602,6 +684,28 @@ impl ProtocolNode {
         }
     }
 
+    /// `true` when this node speaks the packed wire dialect.
+    fn is_packed(&self) -> bool {
+        matches!(
+            &self.crypto,
+            NodeCrypto::Real {
+                packed: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// Combined (data + noise) ciphertexts this node snapshots for
+    /// decryption: one per data slot unpacked, one per lane group packed.
+    fn data_ciphertext_count(&self) -> usize {
+        match &self.crypto {
+            NodeCrypto::Real {
+                packed: Some(p), ..
+            } => p.codec.ciphertexts_for(self.layout.noise_offset()),
+            _ => self.layout.noise_offset(),
+        }
+    }
+
     fn accept_share(
         &mut self,
         from: NodeId,
@@ -611,8 +715,7 @@ impl ProtocolNode {
         if !matches!(self.phase, Phase::AwaitShares) {
             return;
         }
-        let data_slots = self.layout.noise_offset();
-        if partials.len() != data_slots || self.shares_by_sender[from].is_some() {
+        if partials.len() != self.data_ciphertext_count() || self.shares_by_sender[from].is_some() {
             return;
         }
         self.shares_by_sender[from] = Some(partials);
@@ -622,6 +725,7 @@ impl ProtocolNode {
             codec,
             params,
             delta,
+            packed,
             ..
         } = &self.crypto
         else {
@@ -630,7 +734,8 @@ impl ProtocolNode {
         if self.shares_received < params.threshold {
             return;
         }
-        // Combine the first `threshold` responders' partials, slot by slot.
+        // Combine the first `threshold` responders' partials, ciphertext by
+        // ciphertext.
         let contributors: Vec<&Vec<PartialDecryption>> = self
             .shares_by_sender
             .iter()
@@ -641,22 +746,63 @@ impl ProtocolNode {
         let weight = self.snapshot_weight;
         let denom = self.snapshot_denom;
         let mut combinations = 0u64;
-        let est = assemble_aggregates(&self.layout, |slot| {
-            let subset: Vec<PartialDecryption> =
-                contributors.iter().map(|p| p[slot].clone()).collect();
-            match combine_partials(pk.as_ref(), *params, delta, &subset) {
-                Ok(raw) => {
-                    combinations += 1;
-                    codec.decode(&raw, pk.n_s(), denom) / weight
+        let est = match packed {
+            Some(p) => {
+                // Combine each packed ciphertext, then unpack every lane at
+                // once. A headroom violation surfaces as a failed step, not
+                // silently-wrapped values.
+                let data_slots = self.layout.noise_offset();
+                let data_cts = p.codec.ciphertexts_for(data_slots);
+                let mut raws = Vec::with_capacity(data_cts);
+                for j in 0..data_cts {
+                    let subset: Vec<PartialDecryption> =
+                        contributors.iter().map(|c| c[j].clone()).collect();
+                    match combine_partials(pk.as_ref(), *params, delta, &subset) {
+                        Ok(raw) => {
+                            combinations += 1;
+                            raws.push(raw);
+                        }
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
                 }
-                Err(_) => {
-                    failed = true;
-                    0.0
+                if failed {
+                    None
+                } else {
+                    match p
+                        .codec
+                        .unpack_aggregate(&raws, data_slots, denom, weight, 2)
+                    {
+                        Ok(values) => Some(assemble_aggregates(&self.layout, |slot| values[slot])),
+                        Err(_) => None,
+                    }
                 }
             }
-        });
+            None => {
+                let est = assemble_aggregates(&self.layout, |slot| {
+                    let subset: Vec<PartialDecryption> =
+                        contributors.iter().map(|p| p[slot].clone()).collect();
+                    match combine_partials(pk.as_ref(), *params, delta, &subset) {
+                        Ok(raw) => {
+                            combinations += 1;
+                            codec.decode(&raw, pk.n_s(), denom) / weight
+                        }
+                        Err(_) => {
+                            failed = true;
+                            0.0
+                        }
+                    }
+                });
+                if failed {
+                    None
+                } else {
+                    Some(est)
+                }
+            }
+        };
         self.decrypt_ops.combinations += combinations;
-        let est = if failed { None } else { Some(est) };
         self.finish(est, out);
     }
 

@@ -104,15 +104,36 @@ pub fn run_step_over_transport(
         CryptoContext::Real { tkp, .. } => (0..tkp.params().parties.min(n)).collect(),
         CryptoContext::Simulated { .. } => Vec::new(),
     };
+    // Packed mode: every node shares one lane plan, derived from the same
+    // public inputs the in-process simulator uses.
+    let packed = match crypto {
+        CryptoContext::Real {
+            pk,
+            codec,
+            fast: Some(fast),
+            ..
+        } => Some(crate::node::PackedCrypto {
+            codec: chiaroscuro::rounds::plan_packed_codec(
+                config,
+                pk,
+                codec,
+                layout,
+                contributions.len(),
+            )?,
+            enc: fast.clone(),
+        }),
+        _ => None,
+    };
     let make_crypto = |i: usize| -> NodeCrypto {
         match crypto {
-            CryptoContext::Real { tkp, pk, codec } => NodeCrypto::Real {
+            CryptoContext::Real { tkp, pk, codec, .. } => NodeCrypto::Real {
                 pk: pk.clone(),
                 codec: *codec,
                 share: committee.contains(&i).then(|| tkp.shares()[i].clone()),
                 params: tkp.params(),
                 delta: delta_for(tkp.params().parties),
                 rerandomize: config.rerandomize,
+                packed: packed.clone(),
             },
             CryptoContext::Simulated { .. } => NodeCrypto::Plain,
         }
@@ -559,6 +580,44 @@ mod tests {
         assert!(run.outcome.ops.additions > 0);
         assert!(run.outcome.ops.encryptions > 0);
         assert!(run.snapshot.decrypt.bytes > 0);
+    }
+
+    #[test]
+    fn packed_real_step_recovers_means_over_threads() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 12,
+            packing: true,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(61);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(8, 62);
+        let run = run_step_over_transport(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            63,
+            &fast_net(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 8, 0.5);
+        assert!(run.outcome.decrypt_ops.partial_decryptions > 0);
+        assert!(run.outcome.ops.encryptions > 0);
+        // The packed payload must be materially smaller than the unpacked
+        // one (layout.total() ciphertexts per push at ~64 B each).
+        let per_push = run.snapshot.gossip.bytes as f64 / run.snapshot.gossip.messages as f64;
+        let unpacked_floor = (layout().total() * 64) as f64;
+        assert!(
+            per_push < unpacked_floor * 0.6,
+            "packed push of {per_push} B is not smaller than unpacked {unpacked_floor} B"
+        );
+        assert!(
+            run.reports.iter().all(|r| r.bad_frames == 0),
+            "packed frames decode cleanly"
+        );
     }
 
     #[test]

@@ -29,7 +29,17 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Current wire format version. Bump on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2 added the [`Message::PackedPush`] payload (tag 7). Every v1 frame is
+/// also a valid v2 frame, so decoding still accepts
+/// [`LEGACY_WIRE_VERSION`] for the tags that existed then. The guarantee
+/// is **decode-side**: upgraded nodes keep reading captured or in-flight
+/// v1 frames, while [`encode_frame`] stamps the current version on
+/// everything it emits (a strict v1-only decoder rejects those).
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest wire version [`decode_frame`] still accepts.
+pub const LEGACY_WIRE_VERSION: u8 = 1;
 
 /// Hard upper bound on one frame's body, guarding decode against hostile
 /// length prefixes (64 MiB comfortably fits any realistic slot vector).
@@ -65,6 +75,23 @@ pub enum Message {
         /// The halved push-sum weight.
         weight: f64,
         /// The pushed ciphertext slots.
+        slots: Vec<Ciphertext>,
+    },
+    /// The packed counterpart of [`Message::EncryptedPush`] (wire v2): each
+    /// ciphertext carries a whole lane vector (`cs_crypto::packing`), so a
+    /// push ships `⌈buckets/lanes⌉` ciphertexts instead of one per bucket.
+    /// `buckets` is the logical bucket count (data + noise blocks), letting
+    /// the receiver cross-check the sender's layout before absorbing.
+    PackedPush {
+        /// Protocol iteration this push belongs to.
+        iteration: u64,
+        /// Sender's denominator exponent after halving.
+        denom_exp: u32,
+        /// The halved push-sum weight.
+        weight: f64,
+        /// Logical bucket count packed into `slots`.
+        buckets: u32,
+        /// The pushed packed ciphertexts.
         slots: Vec<Ciphertext>,
     },
     /// The plaintext counterpart used in simulated-crypto mode: same
@@ -118,7 +145,9 @@ impl Message {
     /// The traffic class of this message.
     pub fn class(&self) -> FrameClass {
         match self {
-            Message::EncryptedPush { .. } | Message::PlainPush { .. } => FrameClass::Gossip,
+            Message::EncryptedPush { .. }
+            | Message::PackedPush { .. }
+            | Message::PlainPush { .. } => FrameClass::Gossip,
             Message::DecryptRequest { .. } | Message::DecryptShare { .. } => FrameClass::Decrypt,
             Message::TerminationVote { .. } | Message::Join { .. } | Message::Leave { .. } => {
                 FrameClass::Control
@@ -135,6 +164,7 @@ impl Message {
             Message::TerminationVote { .. } => 4,
             Message::Join { .. } => 5,
             Message::Leave { .. } => 6,
+            Message::PackedPush { .. } => 7,
         }
     }
 }
@@ -268,6 +298,19 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
         Message::Leave { node } => {
             put_u64(&mut body, *node);
         }
+        Message::PackedPush {
+            iteration,
+            denom_exp,
+            weight,
+            buckets,
+            slots,
+        } => {
+            put_u64(&mut body, *iteration);
+            put_u32(&mut body, *denom_exp);
+            put_f64(&mut body, *weight);
+            put_u32(&mut body, *buckets);
+            put_ciphertexts(&mut body, slots);
+        }
     }
     let mut frame = Vec::with_capacity(4 + body.len());
     put_u32(&mut frame, body.len() as u32);
@@ -353,10 +396,14 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
         });
     }
     let version = r.u8()?;
-    if version != WIRE_VERSION {
+    if !(LEGACY_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let tag = r.u8()?;
+    // Tags introduced after a version must not appear in older frames.
+    if tag >= 7 && version < 2 {
+        return Err(WireError::BadTag(tag));
+    }
     let msg = match tag {
         0 => Message::EncryptedPush {
             iteration: r.u64()?,
@@ -415,6 +462,13 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
             iteration: r.u64()?,
         },
         6 => Message::Leave { node: r.u64()? },
+        7 => Message::PackedPush {
+            iteration: r.u64()?,
+            denom_exp: r.u32()?,
+            weight: r.f64()?,
+            buckets: r.u32()?,
+            slots: r.ciphertexts()?,
+        },
         other => return Err(WireError::BadTag(other)),
     };
     if r.remaining() != 0 {
@@ -461,6 +515,13 @@ mod tests {
                 iteration: 4,
             },
             Message::Leave { node: 12 },
+            Message::PackedPush {
+                iteration: 9,
+                denom_exp: 3,
+                weight: 0.5,
+                buckets: 24,
+                slots: vec![c(123_456_789), c(1)],
+            },
         ]
     }
 
@@ -485,6 +546,7 @@ mod tests {
                 FrameClass::Control,
                 FrameClass::Control,
                 FrameClass::Control,
+                FrameClass::Gossip,
             ]
         );
     }
@@ -517,10 +579,32 @@ mod tests {
     fn wrong_version_and_tag_rejected() {
         let mut frame = encode_frame(&Message::Leave { node: 1 });
         frame[4] = WIRE_VERSION + 1;
-        assert_eq!(decode_frame(&frame), Err(WireError::BadVersion(2)));
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadVersion(WIRE_VERSION + 1))
+        );
+        let mut frame = encode_frame(&Message::Leave { node: 1 });
+        frame[4] = 0;
+        assert_eq!(decode_frame(&frame), Err(WireError::BadVersion(0)));
         let mut frame = encode_frame(&Message::Leave { node: 1 });
         frame[5] = 99;
         assert_eq!(decode_frame(&frame), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn legacy_version_still_decodes_legacy_tags() {
+        for msg in sample_messages() {
+            let mut frame = encode_frame(&msg);
+            frame[4] = LEGACY_WIRE_VERSION;
+            let packed = matches!(msg, Message::PackedPush { .. });
+            if packed {
+                // The packed payload did not exist in v1 — a v1 frame
+                // claiming tag 7 is corrupt, not forward-compatible.
+                assert_eq!(decode_frame(&frame), Err(WireError::BadTag(7)));
+            } else {
+                assert_eq!(decode_frame(&frame).unwrap(), msg);
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use cs_bigint::BigUint;
 use cs_crypto::{Ciphertext, PartialDecryption};
-use cs_net::wire::{decode_frame, encode_frame, Message, WIRE_VERSION};
+use cs_net::wire::{decode_frame, encode_frame, Message, LEGACY_WIRE_VERSION, WIRE_VERSION};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -20,7 +20,7 @@ fn build_message(
     flag: bool,
 ) -> Message {
     let cipher = |bytes: &Vec<u8>| Ciphertext::from_biguint(BigUint::from_bytes_le(bytes));
-    match variant % 7 {
+    match variant % 8 {
         0 => Message::EncryptedPush {
             iteration,
             denom_exp,
@@ -54,8 +54,15 @@ fn build_message(
             node: denom_exp as u64,
             iteration,
         },
-        _ => Message::Leave {
+        6 => Message::Leave {
             node: denom_exp as u64,
+        },
+        _ => Message::PackedPush {
+            iteration,
+            denom_exp,
+            weight,
+            buckets: denom_exp.wrapping_mul(3),
+            slots: raw_slots.iter().map(cipher).collect(),
         },
     }
 }
@@ -65,7 +72,7 @@ proptest! {
 
     #[test]
     fn every_variant_roundtrips_binary_and_json(
-        variant in 0u8..7,
+        variant in 0u8..8,
         iteration in any::<u64>(),
         denom_exp in any::<u32>(),
         weight in -1e12f64..1e12,
@@ -85,7 +92,7 @@ proptest! {
 
     #[test]
     fn any_truncation_is_rejected(
-        variant in 0u8..7,
+        variant in 0u8..8,
         iteration in any::<u64>(),
         raw_slots in vec(vec(any::<u8>(), 0..16), 0..4),
         cut_frac in 0.0f64..1.0,
@@ -99,7 +106,7 @@ proptest! {
 
     #[test]
     fn single_byte_corruption_never_yields_the_original(
-        variant in 0u8..7,
+        variant in 0u8..8,
         iteration in any::<u64>(),
         raw_slots in vec(vec(any::<u8>(), 1..16), 1..4),
         pos_frac in 0.0f64..1.0,
@@ -118,10 +125,10 @@ proptest! {
 
     #[test]
     fn version_is_enforced_on_every_variant(
-        variant in 0u8..7,
+        variant in 0u8..8,
         wrong in any::<u8>(),
     ) {
-        prop_assume!(wrong != WIRE_VERSION);
+        prop_assume!(!(LEGACY_WIRE_VERSION..=WIRE_VERSION).contains(&wrong));
         let msg = build_message(variant, 1, 2, 0.5, &[vec![9u8]], &[1.0], true);
         let mut frame = encode_frame(&msg);
         frame[4] = wrong;

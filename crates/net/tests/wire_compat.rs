@@ -1,0 +1,187 @@
+//! Wire-format compatibility: v1 frames, captured as fixture bytes from the
+//! version-1 encoder *before* the packed-payload version bump, must still
+//! decode — byte for byte — on the current decoder, and corrupt packed
+//! frames must be rejected.
+//!
+//! The hex strings below are real frames emitted by the v1 codec (PR 2);
+//! they are deliberately hardcoded rather than re-encoded, so any
+//! accidental change to the legacy layout breaks this test even if encoder
+//! and decoder drift together.
+
+use cs_bigint::BigUint;
+use cs_crypto::{Ciphertext, PartialDecryption};
+use cs_net::wire::{
+    decode_frame, encode_frame, Message, WireError, LEGACY_WIRE_VERSION, WIRE_VERSION,
+};
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2));
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+fn c(v: u64) -> Ciphertext {
+    Ciphertext::from_biguint(BigUint::from(v))
+}
+
+/// Every v1 frame fixture with the message it encoded at capture time.
+fn v1_fixtures() -> Vec<(&'static str, Message)> {
+    vec![
+        (
+            // EncryptedPush { iteration: 3, denom_exp: 7, weight: 0.125,
+            //                 slots: [0xDEADBEEF, 0, u64::MAX] }
+            "320000000100030000000000000007000000000000000000c03f0300000004000000efbeadde0000000008000000ffffffffffffffff",
+            Message::EncryptedPush {
+                iteration: 3,
+                denom_exp: 7,
+                weight: 0.125,
+                slots: vec![c(0xDEAD_BEEF), c(0), c(u64::MAX)],
+            },
+        ),
+        (
+            // PlainPush { iteration: 1, weight: 1.0, slots: [0.0, -3.5, 1e300] }
+            "2e00000001010100000000000000000000000000f03f0300000000000000000000000000000000000cc09c7500883ce4377e",
+            Message::PlainPush {
+                iteration: 1,
+                weight: 1.0,
+                slots: vec![0.0, -3.5, 1e300],
+            },
+        ),
+        (
+            // DecryptRequest { iteration: 2, slots: [9] }
+            "1300000001020200000000000000010000000100000009",
+            Message::DecryptRequest {
+                iteration: 2,
+                slots: vec![c(9)],
+            },
+        ),
+        (
+            // DecryptShare { iteration: 2, partials: [(1, 77), (3, 0)] }
+            "2700000001030200000000000000020000000100000000000000010000004d030000000000000000000000",
+            Message::DecryptShare {
+                iteration: 2,
+                partials: vec![
+                    PartialDecryption::from_parts(1, BigUint::from(77u64)),
+                    PartialDecryption::from_parts(3, BigUint::from(0u64)),
+                ],
+            },
+        ),
+        (
+            // TerminationVote { iteration: 5, completed: true }
+            "0b0000000104050000000000000001",
+            Message::TerminationVote {
+                iteration: 5,
+                completed: true,
+            },
+        ),
+        (
+            // Join { node: 11, iteration: 4 }
+            "1200000001050b000000000000000400000000000000",
+            Message::Join {
+                node: 11,
+                iteration: 4,
+            },
+        ),
+        (
+            // Leave { node: 12 }
+            "0a00000001060c00000000000000",
+            Message::Leave { node: 12 },
+        ),
+    ]
+}
+
+#[test]
+fn every_v1_fixture_still_decodes_after_the_version_bump() {
+    for (hex, expect) in v1_fixtures() {
+        let frame = unhex(hex);
+        assert_eq!(frame[4], LEGACY_WIRE_VERSION, "fixture is a v1 frame");
+        let decoded = decode_frame(&frame)
+            .unwrap_or_else(|e| panic!("v1 fixture no longer decodes: {e} ({hex})"));
+        assert_eq!(decoded, expect, "fixture {hex}");
+    }
+}
+
+#[test]
+fn current_encoder_emits_the_bumped_version() {
+    for (_, msg) in v1_fixtures() {
+        let frame = encode_frame(&msg);
+        assert_eq!(frame[4], WIRE_VERSION);
+        assert_eq!(decode_frame(&frame).unwrap(), msg, "v2 self-roundtrip");
+    }
+}
+
+#[test]
+fn v1_and_v2_frames_differ_only_in_the_version_byte_for_legacy_tags() {
+    // The body layout of legacy tags is unchanged — the compatibility
+    // guarantee is structural, not coincidental.
+    for (hex, msg) in v1_fixtures() {
+        let v1 = unhex(hex);
+        let mut v2 = encode_frame(&msg);
+        assert_eq!(v2[4], WIRE_VERSION);
+        v2[4] = LEGACY_WIRE_VERSION;
+        assert_eq!(v1, v2, "layout drifted for {msg:?}");
+    }
+}
+
+fn sample_packed() -> Message {
+    Message::PackedPush {
+        iteration: 6,
+        denom_exp: 11,
+        weight: 0.25,
+        buckets: 24,
+        slots: vec![c(0x0123_4567_89AB_CDEF), c(42)],
+    }
+}
+
+#[test]
+fn packed_frames_roundtrip_on_v2_only() {
+    let frame = encode_frame(&sample_packed());
+    assert_eq!(decode_frame(&frame).unwrap(), sample_packed());
+    // A v1 frame claiming the packed tag is corrupt, not forward-compatible.
+    let mut v1 = frame.clone();
+    v1[4] = LEGACY_WIRE_VERSION;
+    assert_eq!(decode_frame(&v1), Err(WireError::BadTag(7)));
+}
+
+#[test]
+fn corrupt_packed_frames_are_rejected() {
+    let frame = encode_frame(&sample_packed());
+
+    // Truncation at every length.
+    for cut in 0..frame.len() {
+        assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+    }
+
+    // Trailing garbage inside a consistent length prefix.
+    let mut padded = frame.clone();
+    let len = u32::from_le_bytes(padded[..4].try_into().unwrap()) + 1;
+    padded[..4].copy_from_slice(&len.to_le_bytes());
+    padded.push(0);
+    assert_eq!(decode_frame(&padded), Err(WireError::TrailingBytes(1)));
+
+    // A hostile ciphertext count.
+    let mut body = vec![cs_net::wire::WIRE_VERSION, 7];
+    body.extend_from_slice(&6u64.to_le_bytes()); // iteration
+    body.extend_from_slice(&11u32.to_le_bytes()); // denom_exp
+    body.extend_from_slice(&0.25f64.to_bits().to_le_bytes()); // weight
+    body.extend_from_slice(&24u32.to_le_bytes()); // buckets
+    body.extend_from_slice(&(1u32 << 30).to_le_bytes()); // absurd slot count
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    hostile.extend_from_slice(&body);
+    assert_eq!(
+        decode_frame(&hostile),
+        Err(WireError::BadValue("element count exceeds the cap"))
+    );
+
+    // Any single flipped byte either fails or decodes to something else.
+    for pos in 0..frame.len() {
+        let mut flipped = frame.clone();
+        flipped[pos] ^= 0xFF;
+        if let Ok(decoded) = decode_frame(&flipped) {
+            assert_ne!(decoded, sample_packed(), "flip at {pos} went unnoticed");
+        }
+    }
+}
