@@ -2,12 +2,15 @@
 //!
 //! Runs the core measurements of the `cs_net` bench surface (wire-codec
 //! throughput, threaded-transport computation steps across population
-//! sizes, a real-crypto step) and writes them as `BENCH_net.json`, so the
-//! repository accumulates a comparable performance record across PRs.
+//! sizes, a real-crypto step, and the sharded executor's scaling sweep up
+//! to 4096 plain / 512 real-crypto-packed nodes) and writes them as
+//! `BENCH_net.json`, so the repository accumulates a comparable performance
+//! record across PRs.
 //!
 //! ```sh
 //! cargo run --release -p cs_bench --bin bench_summary            # full
 //! cargo run --release -p cs_bench --bin bench_summary -- --quick # smoke
+//! cargo run ... -- --quick --check  # CI gate: sharded must beat threaded
 //! cargo run ... -- --out target/BENCH_net.json                   # custom path
 //! ```
 
@@ -18,6 +21,7 @@ use cs_bench::datasets::synthetic_contributions;
 use cs_bench::{f, Table};
 use cs_bigint::BigUint;
 use cs_crypto::Ciphertext;
+use cs_net::executor::{run_step_sharded, ShardedConfig};
 use cs_net::runtime::{run_step_over_transport, NetConfig};
 use cs_net::wire::{decode_frame, encode_frame, Message};
 use rand::rngs::StdRng;
@@ -56,11 +60,13 @@ struct BenchSummary {
 
 fn main() {
     let mut quick = false;
+    let mut check = false;
     let mut out = PathBuf::from("BENCH_net.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--check" => check = true,
             "--out" => {
                 if let Some(p) = args.next() {
                     out = PathBuf::from(p);
@@ -72,12 +78,25 @@ fn main() {
 
     let mut entries = Vec::new();
     entries.push(bench_wire_codec(quick));
-    let populations: &[usize] = if quick { &[8, 16] } else { &[16, 32, 64] };
+    // Threaded runtime: population 64 is the overlap point the sharded
+    // executor is gated against, so it is measured in both modes.
+    let populations: &[usize] = if quick { &[16, 64] } else { &[16, 32, 64] };
     for &n in populations {
         entries.push(bench_plain_step(n, quick));
     }
     if !quick {
         entries.push(bench_real_step(8));
+    }
+    // Sharded executor: the scaling sweep. Same protocol configuration as
+    // the threaded rows at the overlap population; virtual nodes carry it
+    // three orders of magnitude further.
+    let sharded_populations: &[usize] = if quick { &[64, 256] } else { &[64, 1024, 4096] };
+    for &n in sharded_populations {
+        entries.push(bench_plain_step_sharded(n, quick));
+    }
+    let packed_populations: &[usize] = if quick { &[32] } else { &[256, 512] };
+    for &n in packed_populations {
+        entries.push(bench_packed_step_sharded(n));
     }
 
     let mut table = Table::new(
@@ -111,6 +130,49 @@ fn main() {
     let json = serde_json::to_string_pretty(&summary);
     std::fs::write(&out, json.expect("summary serializes")).expect("write BENCH_net.json");
     println!("[json written to {}]", out.display());
+
+    if check {
+        run_check(&summary);
+    }
+}
+
+/// The CI gate: the sharded executor must not be slower than the threaded
+/// runtime at the overlap population, and the scaling rows must actually
+/// have gossiped. Mirrors `bench_crypto --check`.
+fn run_check(summary: &BenchSummary) {
+    let wall = |name: &str, population: usize| {
+        summary
+            .entries
+            .iter()
+            .find(|e| e.name == name && e.population == population)
+            .map(|e| e.wall_ms)
+    };
+    let mut failures = Vec::new();
+    match (
+        wall("net_step_plain", 64),
+        wall("net_step_plain_sharded", 64),
+    ) {
+        // 1.25x headroom absorbs CI scheduling noise; the expected margin
+        // is several-fold.
+        (Some(threaded), Some(sharded)) if sharded <= threaded * 1.25 => {}
+        (Some(threaded), Some(sharded)) => failures.push(format!(
+            "population 64: sharded {sharded:.2} ms exceeds threaded {threaded:.2} ms"
+        )),
+        _ => failures.push("population-64 overlap measurements missing".to_string()),
+    }
+    for e in &summary.entries {
+        if e.name != "wire_codec_encrypted_push_roundtrip" && e.messages == 0 {
+            failures.push(format!("{} @ {} moved no messages", e.name, e.population));
+        }
+    }
+    if failures.is_empty() {
+        println!("[check] sharded executor within budget");
+    } else {
+        for f in &failures {
+            eprintln!("[check] REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Median wall-clock of encode+decode for a realistic encrypted push frame
@@ -190,6 +252,108 @@ fn bench_plain_step(n: usize, quick: bool) -> BenchEntry {
     let bytes = run.snapshot.bytes();
     BenchEntry {
         name: "net_step_plain".to_string(),
+        population: n,
+        wall_ms,
+        messages,
+        bytes,
+        bytes_per_message: if messages == 0 {
+            0.0
+        } else {
+            bytes as f64 / messages as f64
+        },
+    }
+}
+
+/// Sharded-executor settings for the sweep: votes stay on at the overlap
+/// population (so the head-to-head against the threaded runtime compares
+/// identical protocols) and are quiescence-replaced on the scaling rows —
+/// the `O(n²)` broadcast would dominate the message counts without
+/// informing them.
+fn sharded_config(n: usize) -> ShardedConfig {
+    ShardedConfig {
+        termination_votes: n <= 64,
+        ..ShardedConfig::default()
+    }
+}
+
+/// One full computation step on the sharded event-loop executor,
+/// simulated-crypto (plaintext) mode — the same protocol configuration as
+/// [`bench_plain_step`], three orders of magnitude further out.
+fn bench_plain_step_sharded(n: usize, quick: bool) -> BenchEntry {
+    let config = ChiaroscuroConfig {
+        k: 2,
+        gossip_cycles: if quick { 15 } else { 30 },
+        ..ChiaroscuroConfig::demo_simulated()
+    };
+    let layout = SlotLayout {
+        k: 2,
+        series_len: 8,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
+    let contributions = synthetic_contributions(n, &layout, 3);
+    let t = Instant::now();
+    let run = run_step_sharded(
+        &config,
+        &layout,
+        &contributions,
+        &crypto,
+        42,
+        &sharded_config(n),
+        &[],
+    )
+    .expect("step");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let messages = run.snapshot.messages();
+    let bytes = run.snapshot.bytes();
+    BenchEntry {
+        name: "net_step_plain_sharded".to_string(),
+        population: n,
+        wall_ms,
+        messages,
+        bytes,
+        bytes_per_message: if messages == 0 {
+            0.0
+        } else {
+            bytes as f64 / messages as f64
+        },
+    }
+}
+
+/// One full computation step on the sharded executor with the real
+/// Damgård-Jurik pipeline *and* the crypto fast path (ciphertext packing +
+/// fixed-base exponentiation) — the configuration that makes real crypto
+/// at populations ≥512 tractable on one machine.
+fn bench_packed_step_sharded(n: usize) -> BenchEntry {
+    let config = ChiaroscuroConfig {
+        k: 2,
+        gossip_cycles: 10,
+        packing: true,
+        ..ChiaroscuroConfig::test_real()
+    };
+    let layout = SlotLayout {
+        k: 2,
+        series_len: 5,
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
+    let contributions = synthetic_contributions(n, &layout, 5);
+    let t = Instant::now();
+    let run = run_step_sharded(
+        &config,
+        &layout,
+        &contributions,
+        &crypto,
+        43,
+        &sharded_config(n),
+        &[],
+    )
+    .expect("step");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let messages = run.snapshot.messages();
+    let bytes = run.snapshot.bytes();
+    BenchEntry {
+        name: "net_step_real_packed_sharded".to_string(),
         population: n,
         wall_ms,
         messages,

@@ -5,8 +5,9 @@
 //! aggregation, noise folding, and collaborative decryption — touches a
 //! network. [`ComputationBackend`] isolates that step so `Engine::run` can
 //! execute over the in-process cycle simulator (the default, Peersim-style)
-//! or over a real message-passing transport (`cs_net`'s thread-per-node
-//! runtime) without the protocol logic forking.
+//! or over a real message-passing runtime (`cs_net`'s thread-per-node
+//! transport, or its sharded virtual-time executor for 10k+ virtual nodes)
+//! without the protocol logic forking.
 
 use crate::config::ChiaroscuroConfig;
 use crate::error::ChiaroscuroError;

@@ -5,8 +5,17 @@
 //! (`cs_gossip::FailureModel`); a message-passing runtime needs the *timed*
 //! counterpart — "node 7 crashes 3 ms into the step, rejoins at 9 ms" — so
 //! experiments can place failures at protocol-critical moments
-//! (mid-gossip, during decryption). [`ChurnSchedule`] is that script; the
-//! driver applies due events through the population's [`Controls`].
+//! (mid-gossip, during decryption). [`ChurnSchedule`] is that script.
+//!
+//! The two runtimes interpret an event's offset differently:
+//!
+//! * **Threaded runtime** — the offset is *wall-clock*: the driver applies
+//!   due events through the population's [`Controls`], so where an event
+//!   lands relative to the protocol depends on the OS scheduler.
+//! * **Sharded executor** — the offset is *virtual time*: the event is
+//!   scheduled into the owning shard's event queue like any message or
+//!   timer, so "crash at 3 ms" hits the exact same protocol moment in
+//!   every same-seed run.
 
 use crate::transport::NodeId;
 use std::sync::atomic::{AtomicU8, Ordering};

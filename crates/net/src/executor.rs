@@ -1,0 +1,1336 @@
+//! The sharded event-loop executor: 10k+ virtual nodes on a fixed worker
+//! pool.
+//!
+//! The thread-per-node runtime ([`crate::runtime`]) buys real concurrency at
+//! the price of one OS thread per participant — it tops out around a few
+//! hundred nodes, three orders of magnitude short of the paper's "massively
+//! distributed" population. This module is the scaling substrate: the same
+//! sans-IO [`ProtocolNode`] state machines, but driven as *virtual nodes*
+//! from per-shard event queues on a worker pool sized to the machine, in
+//! **virtual time**.
+//!
+//! ## Architecture
+//!
+//! * The population is dealt into a fixed number of **shards** (seeded
+//!   shuffle — machine-independent, part of the deterministic
+//!   configuration). Each shard owns its nodes and a binary heap of
+//!   scheduled events: message deliveries, pacing ticks, decryption
+//!   retry/deadline timers, and scripted churn.
+//! * A pool of **workers** (≈ the machine's cores) drives the shards in
+//!   epochs of virtual time: each epoch, parked workers are woken through a
+//!   condvar and claim shards from an atomic injector; a barrier closes the
+//!   epoch. No per-node threads, no sleep-polling anywhere.
+//! * **In-shard delivery** is a direct queue push of the decoded
+//!   [`Message`] — no serialization (byte-accounted via
+//!   [`Message::encoded_len`]), no loss, no delay: same-shard pairs ride a
+//!   perfect in-memory edge. **Cross-shard delivery** goes through the
+//!   wire codec and the link model (latency, jitter, loss, bandwidth) and
+//!   lands in the destination shard's mailbox, becoming visible at the next
+//!   epoch boundary. With the default 64 shards only `1/64` of the traffic
+//!   takes the perfect edge; see [`ShardedConfig::link`] for when that
+//!   matters.
+//! * **Churn is executor-scheduled**: a [`crate::churn::ChurnEvent`]'s
+//!   offset is a *virtual* timestamp here, so "node 7 crashes 3 ms into the
+//!   step" happens at exactly the same protocol moment in every same-seed
+//!   run — unlike the threaded runtime, where the offset is wall-clock and
+//!   at the mercy of the OS scheduler.
+//!
+//! ## Determinism
+//!
+//! Every event carries a totally ordered key `(virtual time, class, actor,
+//! sequence)` in which ties are impossible, and all executor-side
+//! randomness (shard assignment, per-frame loss/jitter draws) derives from
+//! the engine's per-step seed — itself drawn from `ChiaroscuroConfig`'s
+//! master RNG. Cross-shard messages only take effect at epoch boundaries,
+//! so the interleaving is independent of the worker count and of OS
+//! scheduling: two same-seed runs produce identical `ExecutionLog`s,
+//! byte for byte (asserted by `tests/sharded_e2e.rs`).
+//!
+//! Completion needs no termination votes: the executor observes global
+//! quiescence (all event queues drained) directly, so
+//! [`ShardedConfig::termination_votes`] may disable the `O(n²)`
+//! control-plane broadcast at very large populations.
+
+use crate::churn::{ChurnEvent, ChurnKind};
+use crate::node::{NodeParams, NodeReport, ProtocolNode};
+use crate::runtime::{assemble_outcome, StepCrypto, StepRun};
+use crate::transport::{mix, unit_f64, ClassCounts, LinkConfig, NodeId, TrafficSnapshot};
+use crate::wire::{decode_frame, encode_frame, FrameClass, Message};
+use chiaroscuro::config::ChiaroscuroConfig;
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::CryptoContext;
+use chiaroscuro::ChiaroscuroError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the sharded executor. All durations are **virtual
+/// time** — they shape the simulated timeline, not wall-clock, and cost
+/// nothing to skip over.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of shards the population is dealt into. Fixed by
+    /// configuration (not by the machine's core count) because the shard
+    /// layout is part of the deterministic timeline: in-shard deliveries
+    /// are instantaneous, cross-shard ones are epoch-aligned.
+    pub shards: usize,
+    /// Worker threads driving the shards; `0` picks
+    /// `min(available_parallelism, shards)`. The worker count never affects
+    /// results, only wall-clock.
+    pub workers: usize,
+    /// Cross-shard link characteristics (latency, jitter, loss, bandwidth),
+    /// applied in virtual time. **Cross-shard only**: same-shard pairs (a
+    /// seeded `1/shards` fraction of all traffic) exchange over a perfect
+    /// in-memory edge — raise `shards` to shrink that fraction when a
+    /// degraded-link experiment must touch (nearly) every pair, or use the
+    /// threaded runtime, which applies the model to every link.
+    pub link: LinkConfig,
+    /// Virtual pacing between a node's gossip pushes.
+    pub push_interval: Duration,
+    /// Virtual epoch quantum: cross-shard deliveries become visible at the
+    /// next multiple of this. Smaller quanta interleave shards more finely
+    /// at the cost of more barriers.
+    pub epoch: Duration,
+    /// How long (virtual) a node waits in the decryption round before
+    /// giving up with no estimate.
+    pub decrypt_deadline: Duration,
+    /// Hard virtual-time deadline for one step.
+    pub step_timeout: Duration,
+    /// Whether nodes broadcast termination votes on completion. The
+    /// executor detects completion by event-queue quiescence, so the
+    /// `O(n²)` vote broadcast is optional realism — turn it off at very
+    /// large populations.
+    pub termination_votes: bool,
+    /// Scripted churn, scheduled at virtual offsets.
+    pub churn: crate::churn::ChurnSchedule,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 64,
+            workers: 0,
+            link: LinkConfig::ideal(),
+            push_interval: Duration::from_millis(1),
+            epoch: Duration::from_micros(250),
+            decrypt_deadline: Duration::from_secs(5),
+            step_timeout: Duration::from_secs(60),
+            termination_votes: true,
+            churn: crate::churn::ChurnSchedule::none(),
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A preset for XL populations: vote broadcast off (completion is
+    /// quiescence-detected), everything else default.
+    pub fn large_population() -> Self {
+        ShardedConfig {
+            termination_votes: false,
+            ..ShardedConfig::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), ChiaroscuroError> {
+        let fail = |msg: &str| Err(ChiaroscuroError::InvalidConfig(msg.to_string()));
+        if self.shards == 0 {
+            return fail("sharded executor needs at least one shard");
+        }
+        if self.epoch.is_zero() {
+            return fail("epoch quantum must be positive");
+        }
+        if self.push_interval.is_zero() {
+            return fail("push_interval must be positive");
+        }
+        self.link.validate();
+        Ok(())
+    }
+}
+
+// Event classes, ordered: scripted churn fires before timers, timers before
+// deliveries at the same virtual instant.
+const CLASS_CHURN: u8 = 0;
+const CLASS_TIMER: u8 = 1;
+const CLASS_DELIVER: u8 = 2;
+
+/// A message in flight. Same-shard messages skip the codec entirely;
+/// cross-shard messages travel as encoded frames and are decoded (and
+/// strict-checked) on arrival, exactly like the threaded transport.
+enum Payload {
+    Local(Message),
+    Frame(Vec<u8>),
+}
+
+/// Timer events carry the target node's timer *generation* at scheduling
+/// time. A crash (or leave) bumps the generation, invalidating every
+/// pending pre-crash timer — otherwise a rejoin would resurrect the old
+/// pacing chain (double push rate) or fire a stale decrypt deadline from
+/// the pre-crash clock.
+enum EventKind {
+    Churn(ChurnKind),
+    Tick { gen: u64 },
+    Retry { gen: u64 },
+    Deadline { gen: u64 },
+    Deliver { to: NodeId, payload: Payload },
+}
+
+/// One scheduled event. The key `(at, class, actor, seq)` is unique and
+/// deterministic: `actor` is the sender (deliveries) or the target node
+/// (timers, churn); `seq` is a per-actor monotone counter (send sequence,
+/// timer sequence, or churn-script index). Heap ordering therefore never
+/// depends on insertion order — which is the whole determinism story, since
+/// mailbox insertion order *does* vary across runs.
+struct Event {
+    at: u64,
+    class: u8,
+    actor: u32,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Event {
+    fn key(&self) -> (u64, u8, u32, u64) {
+        (self.at, self.class, self.actor, self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest key wins.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// One virtual node: the protocol state machine plus executor bookkeeping.
+struct Slot {
+    node: ProtocolNode,
+    alive: bool,
+    /// Per-sender message sequence (deliveries' deterministic tiebreak and
+    /// loss/jitter draw input).
+    send_seq: u64,
+    /// Per-node timer sequence.
+    timer_seq: u64,
+    /// Current timer generation; pending timers from older generations
+    /// (scheduled before a crash/leave) are ignored when they fire.
+    timer_gen: u64,
+    /// Decrypt retry/deadline timers already scheduled for the current
+    /// await (prevents duplicates on every share arrival).
+    timers_armed: bool,
+}
+
+/// A shard: the nodes it owns, their event queue, and local (unsynchronized)
+/// traffic counters merged after the step.
+struct Shard {
+    heap: BinaryHeap<Event>,
+    slots: Vec<Slot>,
+    // [gossip, decrypt, control] × [messages, bytes, dropped]
+    counters: [[u64; 3]; 3],
+    /// Reusable output buffer for node activations.
+    scratch: Vec<(NodeId, Message)>,
+}
+
+/// Cross-shard delivery queue. Items become visible to the owning shard at
+/// the next epoch boundary; `earliest` feeds the global next-event-time
+/// computation between epochs.
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+}
+
+struct MailboxInner {
+    queue: Vec<Event>,
+    earliest: u64,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            inner: Mutex::new(MailboxInner {
+                queue: Vec::new(),
+                earliest: u64::MAX,
+            }),
+        }
+    }
+
+    fn push(&self, event: Event) {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        inner.earliest = inner.earliest.min(event.at);
+        inner.queue.push(event);
+    }
+}
+
+/// Epoch coordination: the main loop publishes a window, parked workers
+/// wake through `start`, claim shards from the injector, and the last one
+/// out rings `done`.
+struct Coord {
+    state: Mutex<CoordState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+struct CoordState {
+    epoch: u64,
+    window_end: u64,
+    remaining: usize,
+    shutdown: bool,
+}
+
+fn class_index(class: FrameClass) -> usize {
+    match class {
+        FrameClass::Gossip => 0,
+        FrameClass::Decrypt => 1,
+        FrameClass::Control => 2,
+    }
+}
+
+/// Everything the workers share while a step runs.
+struct Exec<'a> {
+    home: &'a [(u32, u32)],
+    shards: &'a [Mutex<Shard>],
+    mailboxes: &'a [Mailbox],
+    injector: AtomicUsize,
+    coord: Coord,
+    step_seed: u64,
+    loss: f64,
+    latency: u64,
+    jitter: u64,
+    bandwidth: Option<u64>,
+    push_interval: u64,
+    retry_interval: u64,
+    decrypt_deadline: u64,
+}
+
+/// The three per-node timer flavors; [`Exec::schedule_timer`] stamps them
+/// with the node's current generation.
+enum TimerKind {
+    Tick,
+    Retry,
+    Deadline,
+}
+
+impl Exec<'_> {
+    fn schedule_timer(shard: &mut Shard, local: usize, at: u64, kind: TimerKind) {
+        let slot = &mut shard.slots[local];
+        slot.timer_seq += 1;
+        let gen = slot.timer_gen;
+        let event = Event {
+            at,
+            class: CLASS_TIMER,
+            actor: slot.node.id() as u32,
+            seq: slot.timer_seq,
+            kind: match kind {
+                TimerKind::Tick => EventKind::Tick { gen },
+                TimerKind::Retry => EventKind::Retry { gen },
+                TimerKind::Deadline => EventKind::Deadline { gen },
+            },
+        };
+        shard.heap.push(event);
+    }
+
+    /// Arms the decryption-round timers once the node starts awaiting
+    /// shares (the virtual-time counterpart of the threaded runtime's
+    /// retry/deadline bookkeeping).
+    fn arm_decrypt_timers(&self, shard: &mut Shard, local: usize, now: u64) {
+        if shard.slots[local].node.awaiting_shares() && !shard.slots[local].timers_armed {
+            shard.slots[local].timers_armed = true;
+            Self::schedule_timer(shard, local, now + self.retry_interval, TimerKind::Retry);
+            Self::schedule_timer(
+                shard,
+                local,
+                now + self.decrypt_deadline,
+                TimerKind::Deadline,
+            );
+        }
+    }
+
+    /// Routes one activation's output messages. `from` owns its shard, so
+    /// its send sequence lives behind the same lock.
+    fn route(
+        &self,
+        shard: &mut Shard,
+        shard_idx: usize,
+        from: NodeId,
+        now: u64,
+        window_end: u64,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        let from_local = self.home[from].1 as usize;
+        for (to, msg) in out.drain(..) {
+            let class = msg.class();
+            let ci = class_index(class);
+            let seq = {
+                let slot = &mut shard.slots[from_local];
+                slot.send_seq += 1;
+                slot.send_seq
+            };
+            let target_shard = self.home[to].0 as usize;
+            if target_shard == shard_idx {
+                // Direct queue push: same shard, same epoch, no codec. The
+                // byte accounting still reflects the frame the message
+                // *would* occupy on a wire.
+                shard.counters[ci][0] += 1;
+                shard.counters[ci][1] += msg.encoded_len() as u64;
+                shard.heap.push(Event {
+                    at: now,
+                    class: CLASS_DELIVER,
+                    actor: from as u32,
+                    seq,
+                    kind: EventKind::Deliver {
+                        to,
+                        payload: Payload::Local(msg),
+                    },
+                });
+                continue;
+            }
+            // Cross-shard: through the codec and the link model. The draw is
+            // keyed by (step seed, sender, sender sequence), so the loss and
+            // jitter pattern is identical in every same-seed run.
+            let frame = encode_frame(&msg);
+            let len = frame.len();
+            let draw = mix(self.step_seed
+                ^ (from as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if self.loss > 0.0 && unit_f64(draw) < self.loss {
+                shard.counters[ci][2] += 1;
+                continue;
+            }
+            shard.counters[ci][0] += 1;
+            shard.counters[ci][1] += len as u64;
+            let mut delay = self.latency;
+            if self.jitter > 0 {
+                delay += (self.jitter as f64 * unit_f64(mix(draw))) as u64;
+            }
+            if let Some(bw) = self.bandwidth {
+                delay += (len as f64 * 1e9 / bw as f64) as u64;
+            }
+            // Visible no earlier than the next epoch boundary — the barrier
+            // that makes cross-shard interleaving schedule-independent.
+            let at = (now + delay).max(window_end);
+            self.mailboxes[target_shard].push(Event {
+                at,
+                class: CLASS_DELIVER,
+                actor: from as u32,
+                seq,
+                kind: EventKind::Deliver {
+                    to,
+                    payload: Payload::Frame(frame),
+                },
+            });
+        }
+    }
+
+    fn handle_event(&self, shard: &mut Shard, shard_idx: usize, event: Event, window_end: u64) {
+        let now = event.at;
+        let mut out = std::mem::take(&mut shard.scratch);
+        match event.kind {
+            EventKind::Churn(kind) => {
+                let node = event.actor as usize;
+                let local = self.home[node].1 as usize;
+                match kind {
+                    ChurnKind::Crash => {
+                        shard.slots[local].alive = false;
+                        // Invalidate every pending pre-crash timer: a later
+                        // rejoin starts a single fresh pacing chain and a
+                        // fresh decrypt clock, never resurrecting the old
+                        // ones.
+                        shard.slots[local].timer_gen += 1;
+                    }
+                    ChurnKind::Rejoin => {
+                        if !shard.slots[local].alive {
+                            shard.slots[local].alive = true;
+                            shard.slots[local].node.on_rejoin(&mut out);
+                            self.route(shard, shard_idx, node, now, window_end, &mut out);
+                            let awaiting = shard.slots[local].node.awaiting_shares();
+                            let done = shard.slots[local].node.step_done();
+                            if awaiting {
+                                // Restart the decrypt-round clocks from the
+                                // rejoin instant.
+                                shard.slots[local].timers_armed = false;
+                                self.arm_decrypt_timers(shard, local, now);
+                            } else if !done {
+                                Self::schedule_timer(
+                                    shard,
+                                    local,
+                                    now + self.push_interval,
+                                    TimerKind::Tick,
+                                );
+                            }
+                        }
+                    }
+                    ChurnKind::Leave => {
+                        if shard.slots[local].alive {
+                            shard.slots[local].node.on_leave(&mut out);
+                            self.route(shard, shard_idx, node, now, window_end, &mut out);
+                            shard.slots[local].alive = false;
+                            shard.slots[local].timer_gen += 1;
+                        }
+                    }
+                }
+            }
+            EventKind::Tick { gen } => {
+                let node = event.actor as usize;
+                let local = self.home[node].1 as usize;
+                // A crashed node's pacing stops (its generation was bumped);
+                // rejoin starts a fresh chain.
+                if shard.slots[local].alive && gen == shard.slots[local].timer_gen {
+                    shard.slots[local].node.tick(&mut out);
+                    self.route(shard, shard_idx, node, now, window_end, &mut out);
+                    self.arm_decrypt_timers(shard, local, now);
+                    let gossiping = !shard.slots[local].node.step_done()
+                        && !shard.slots[local].node.awaiting_shares();
+                    if gossiping {
+                        Self::schedule_timer(
+                            shard,
+                            local,
+                            now + self.push_interval,
+                            TimerKind::Tick,
+                        );
+                    }
+                }
+            }
+            EventKind::Retry { gen } => {
+                let node = event.actor as usize;
+                let local = self.home[node].1 as usize;
+                if shard.slots[local].alive
+                    && gen == shard.slots[local].timer_gen
+                    && shard.slots[local].node.awaiting_shares()
+                {
+                    shard.slots[local].node.retry_decrypt(&mut out);
+                    self.route(shard, shard_idx, node, now, window_end, &mut out);
+                    Self::schedule_timer(shard, local, now + self.retry_interval, TimerKind::Retry);
+                }
+            }
+            EventKind::Deadline { gen } => {
+                let node = event.actor as usize;
+                let local = self.home[node].1 as usize;
+                if shard.slots[local].alive
+                    && gen == shard.slots[local].timer_gen
+                    && shard.slots[local].node.awaiting_shares()
+                {
+                    shard.slots[local].node.abandon_decrypt(&mut out);
+                    self.route(shard, shard_idx, node, now, window_end, &mut out);
+                }
+            }
+            EventKind::Deliver { to, payload } => {
+                let local = self.home[to].1 as usize;
+                // A crashed node loses everything addressed to it, exactly
+                // like the threaded runtime's inbox drain.
+                if shard.slots[local].alive {
+                    let from = event.actor as usize;
+                    let msg = match payload {
+                        Payload::Local(msg) => Some(msg),
+                        Payload::Frame(frame) => match decode_frame(&frame) {
+                            Ok(msg) => Some(msg),
+                            Err(_) => {
+                                shard.slots[local].node.note_bad_frame();
+                                None
+                            }
+                        },
+                    };
+                    if let Some(msg) = msg {
+                        shard.slots[local].node.handle(from, msg, &mut out);
+                        self.route(shard, shard_idx, to, now, window_end, &mut out);
+                        self.arm_decrypt_timers(shard, local, now);
+                    }
+                }
+            }
+        }
+        out.clear();
+        shard.scratch = out;
+    }
+
+    /// Drives one shard through the window `[·, window_end)`: drain the
+    /// mailbox, then pop events in key order until none are due.
+    fn process_shard(&self, shard_idx: usize, window_end: u64) {
+        let mut shard = self.shards[shard_idx].lock().expect("shard poisoned");
+        {
+            let mut mail = self.mailboxes[shard_idx]
+                .inner
+                .lock()
+                .expect("mailbox poisoned");
+            for event in mail.queue.drain(..) {
+                shard.heap.push(event);
+            }
+            mail.earliest = u64::MAX;
+        }
+        while shard.heap.peek().is_some_and(|e| e.at < window_end) {
+            let event = shard.heap.pop().unwrap();
+            self.handle_event(&mut shard, shard_idx, event, window_end);
+        }
+    }
+
+    /// Earliest pending event across all shards and mailboxes, or `None`
+    /// when the system is fully quiescent (the step is over).
+    fn next_event_time(&self) -> Option<u64> {
+        let mut min = u64::MAX;
+        for (shard, mailbox) in self.shards.iter().zip(self.mailboxes) {
+            if let Some(top) = shard.lock().expect("shard poisoned").heap.peek() {
+                min = min.min(top.at);
+            }
+            min = min.min(mailbox.inner.lock().expect("mailbox poisoned").earliest);
+        }
+        (min < u64::MAX).then_some(min)
+    }
+
+    fn worker_loop(&self, shard_count: usize) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let window_end = {
+                let mut state = self.coord.state.lock().expect("coord poisoned");
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    if state.epoch != seen_epoch {
+                        seen_epoch = state.epoch;
+                        break state.window_end;
+                    }
+                    state = self.coord.start.wait(state).expect("coord poisoned");
+                }
+            };
+            loop {
+                let shard_idx = self.injector.fetch_add(1, Ordering::SeqCst);
+                if shard_idx >= shard_count {
+                    break;
+                }
+                self.process_shard(shard_idx, window_end);
+            }
+            let mut state = self.coord.state.lock().expect("coord poisoned");
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                self.coord.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs one computation step on the sharded event-loop executor.
+///
+/// Mirrors [`crate::runtime::run_step_over_transport`]: `contributions[i]`
+/// is `Some(vector)` for participants alive at step start, `None` for
+/// crashed ones (zero weight, revivable by churn); `step_churn` lists this
+/// step's scripted events at *virtual* offsets. The returned [`StepRun`] is
+/// structurally identical to the threaded runtime's, so everything
+/// downstream (engine, benches, experiments) is substrate-agnostic.
+pub fn run_step_sharded(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    crypto: &CryptoContext,
+    step_seed: u64,
+    sharded: &ShardedConfig,
+    step_churn: &[ChurnEvent],
+) -> Result<StepRun, ChiaroscuroError> {
+    let n = contributions.len();
+    if n < 2 {
+        return Err(ChiaroscuroError::InvalidConfig(
+            "the executor needs at least two nodes".into(),
+        ));
+    }
+    sharded.validate()?;
+    let started = Instant::now();
+
+    let step = StepCrypto::prepare(config, layout, n, crypto)?;
+    let shard_count = sharded.shards.min(n);
+    let workers = if sharded.workers == 0 {
+        thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(4)
+            .min(shard_count)
+    } else {
+        sharded.workers.min(shard_count)
+    };
+
+    // Shard assignment: a seeded shuffle dealt round-robin. Derived from the
+    // step seed (drawn from the engine's master RNG), so it is part of the
+    // same fork discipline as every other random choice in a run.
+    let mut order: Vec<NodeId> = (0..n).collect();
+    let mut assign_rng = StdRng::seed_from_u64(mix(step_seed ^ 0x5AAD_ED5E_ED00_0001));
+    order.shuffle(&mut assign_rng);
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); shard_count];
+    let mut home = vec![(0u32, 0u32); n];
+    for (position, &node) in order.iter().enumerate() {
+        let shard = position % shard_count;
+        home[node] = (shard as u32, members[shard].len() as u32);
+        members[shard].push(node);
+    }
+
+    let shards: Vec<Mutex<Shard>> = (0..shard_count)
+        .map(|_| {
+            Mutex::new(Shard {
+                heap: BinaryHeap::new(),
+                slots: Vec::new(),
+                counters: [[0; 3]; 3],
+                scratch: Vec::new(),
+            })
+        })
+        .collect();
+    let mailboxes: Vec<Mailbox> = (0..shard_count).map(|_| Mailbox::new()).collect();
+
+    // Parallel construction: contribution encryption (the expensive part in
+    // real-crypto mode) runs on all workers concurrently, one shard at a
+    // time per worker. Node state only depends on per-node seeds, so the
+    // build order is irrelevant to determinism.
+    let build_next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let shard_idx = build_next.fetch_add(1, Ordering::SeqCst);
+                if shard_idx >= shard_count {
+                    break;
+                }
+                let mut shard = shards[shard_idx].lock().expect("shard poisoned");
+                for &id in &members[shard_idx] {
+                    let params = NodeParams {
+                        id,
+                        population: n,
+                        iteration: step_seed,
+                        pushes: config.gossip_cycles,
+                        committee: step.committee.clone(),
+                        seed: step_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        votes: sharded.termination_votes,
+                    };
+                    let node_crypto = step.node_crypto(crypto, config, id);
+                    let contribution = contributions[id].as_deref();
+                    let node = ProtocolNode::new(params, *layout, node_crypto, contribution);
+                    let alive = contribution.is_some();
+                    let mut slot = Slot {
+                        node,
+                        alive,
+                        send_seq: 0,
+                        timer_seq: 0,
+                        timer_gen: 0,
+                        timers_armed: false,
+                    };
+                    if alive {
+                        slot.timer_seq += 1;
+                        shard.heap.push(Event {
+                            at: 0,
+                            class: CLASS_TIMER,
+                            actor: id as u32,
+                            seq: slot.timer_seq,
+                            kind: EventKind::Tick { gen: 0 },
+                        });
+                    }
+                    shard.slots.push(slot);
+                }
+            });
+        }
+    });
+
+    // Scripted churn, scheduled into the owning shards at virtual offsets.
+    for (index, event) in step_churn.iter().enumerate() {
+        let shard_idx = home[event.node].0 as usize;
+        shards[shard_idx]
+            .lock()
+            .expect("shard poisoned")
+            .heap
+            .push(Event {
+                at: event.after.as_nanos() as u64,
+                class: CLASS_CHURN,
+                actor: event.node as u32,
+                seq: index as u64,
+                kind: EventKind::Churn(event.kind),
+            });
+    }
+
+    let push_interval = sharded.push_interval.as_nanos() as u64;
+    let exec = Exec {
+        home: &home,
+        shards: &shards,
+        mailboxes: &mailboxes,
+        injector: AtomicUsize::new(0),
+        coord: Coord {
+            state: Mutex::new(CoordState {
+                epoch: 0,
+                window_end: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        },
+        step_seed,
+        loss: sharded.link.loss,
+        latency: sharded.link.latency.as_nanos() as u64,
+        jitter: sharded.link.jitter.as_nanos() as u64,
+        bandwidth: sharded.link.bandwidth_bytes_per_sec,
+        push_interval,
+        // Same shape as the threaded runtime: a retry is loss recovery, not
+        // pacing — it stays well above one committee round-trip.
+        retry_interval: (push_interval * 50).max(Duration::from_millis(150).as_nanos() as u64),
+        decrypt_deadline: sharded.decrypt_deadline.as_nanos() as u64,
+    };
+    let quantum = sharded.epoch.as_nanos() as u64;
+    let timeout = sharded.step_timeout.as_nanos() as u64;
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| exec.worker_loop(shard_count));
+        }
+        // The epoch loop: jump virtual time to the next pending event,
+        // publish the window, let the pool drain it, repeat until global
+        // quiescence (every node done, every message delivered) or the
+        // virtual deadline.
+        while let Some(next) = exec.next_event_time() {
+            if next >= timeout {
+                break;
+            }
+            let window_start = next - next % quantum;
+            let window_end = window_start + quantum;
+            {
+                let mut state = exec.coord.state.lock().expect("coord poisoned");
+                exec.injector.store(0, Ordering::SeqCst);
+                state.epoch += 1;
+                state.window_end = window_end;
+                state.remaining = workers;
+            }
+            exec.coord.start.notify_all();
+            let mut state = exec.coord.state.lock().expect("coord poisoned");
+            while state.remaining > 0 {
+                state = exec.coord.done.wait(state).expect("coord poisoned");
+            }
+        }
+        exec.coord.state.lock().expect("coord poisoned").shutdown = true;
+        exec.coord.start.notify_all();
+    });
+
+    // Deterministic collection: nodes back into id order, counters merged
+    // in shard order.
+    let mut collected: Vec<(NodeId, bool, NodeReport)> = Vec::with_capacity(n);
+    let mut counters = [[0u64; 3]; 3];
+    for shard in shards {
+        let shard = shard.into_inner().expect("shard poisoned");
+        for (ci, row) in counters.iter_mut().enumerate() {
+            for (mi, cell) in row.iter_mut().enumerate() {
+                *cell += shard.counters[ci][mi];
+            }
+        }
+        for slot in shard.slots {
+            collected.push((slot.node.id(), slot.alive, slot.node.into_report()));
+        }
+    }
+    collected.sort_by_key(|(id, _, _)| *id);
+    let alive_after: Vec<bool> = collected.iter().map(|(_, alive, _)| *alive).collect();
+    let reports: Vec<NodeReport> = collected.into_iter().map(|(_, _, r)| r).collect();
+
+    let read = |ci: usize| ClassCounts {
+        messages: counters[ci][0],
+        bytes: counters[ci][1],
+        dropped: counters[ci][2],
+    };
+    let snapshot = TrafficSnapshot {
+        gossip: read(0),
+        decrypt: read(1),
+        control: read(2),
+    };
+
+    Ok(StepRun {
+        outcome: assemble_outcome(&reports, alive_after, &snapshot),
+        reports,
+        snapshot,
+        elapsed: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiaroscuro::noise::contribution_vector;
+    use chiaroscuro::rounds::ComputationOutcome;
+    use cs_dp::NoiseShareGenerator;
+
+    fn layout() -> SlotLayout {
+        SlotLayout {
+            k: 2,
+            series_len: 3,
+        }
+    }
+
+    /// Two tight clusters with negligible noise — same fixture as the
+    /// threaded runtime's tests, so the suites stay comparable.
+    fn tiny_contributions(n: usize, seed: u64) -> Vec<Option<Vec<f64>>> {
+        let layout = layout();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = NoiseShareGenerator::new(n, 1e-9);
+        (0..n)
+            .map(|i| {
+                let series = if i % 2 == 0 {
+                    [1.0, 2.0, 3.0]
+                } else {
+                    [10.0, 10.0, 10.0]
+                };
+                Some(contribution_vector(
+                    &layout,
+                    &series,
+                    i % 2,
+                    &shares,
+                    &mut rng,
+                ))
+            })
+            .collect()
+    }
+
+    fn check_estimates(outcome: &ComputationOutcome, n: usize, tol: f64) {
+        let produced = outcome.estimates.iter().flatten().count();
+        assert!(
+            produced > n / 2,
+            "most nodes should produce estimates, got {produced}/{n}"
+        );
+        for est in outcome.estimates.iter().flatten() {
+            for d in 0..3 {
+                let mean0 = est.sums[0][d] / est.counts[0];
+                let mean1 = est.sums[1][d] / est.counts[1];
+                let want0 = [1.0, 2.0, 3.0][d];
+                assert!(
+                    (mean0 - want0).abs() < tol,
+                    "cluster0 dim{d}: {mean0} vs {want0}"
+                );
+                assert!((mean1 - 10.0).abs() < tol, "cluster1 dim{d}: {mean1}");
+            }
+        }
+    }
+
+    fn small_sharded() -> ShardedConfig {
+        ShardedConfig {
+            shards: 8,
+            ..ShardedConfig::default()
+        }
+    }
+
+    #[test]
+    fn plain_step_recovers_means_on_the_executor() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(64, 2);
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            7,
+            &small_sharded(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 64, 0.35);
+        assert!(run.outcome.traffic.messages > 0);
+        assert!(run.snapshot.gossip.bytes > 0, "bytes-on-wire recorded");
+        assert!(
+            run.reports.iter().all(|r| r.bad_frames == 0),
+            "no decode failures on a clean link"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_step_bitwise() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 25,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(48, 4);
+        let sharded = ShardedConfig {
+            shards: 8,
+            link: LinkConfig {
+                latency: Duration::from_micros(200),
+                jitter: Duration::from_micros(100),
+                loss: 0.05,
+                bandwidth_bytes_per_sec: Some(10_000_000),
+            },
+            ..ShardedConfig::default()
+        };
+        let run = |workers: usize| {
+            let cfg = ShardedConfig {
+                workers,
+                ..sharded.clone()
+            };
+            run_step_sharded(&config, &layout(), &contributions, &crypto, 11, &cfg, &[]).unwrap()
+        };
+        let a = run(0);
+        let b = run(0);
+        // Bitwise-identical estimates and identical accounting…
+        for (x, y) in a.outcome.estimates.iter().zip(&b.outcome.estimates) {
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.sums, y.sums);
+                    assert_eq!(x.counts, y.counts);
+                }
+                (None, None) => {}
+                _ => panic!("estimate presence diverged"),
+            }
+        }
+        assert_eq!(a.snapshot, b.snapshot);
+        // …including with a different worker count: parallelism never
+        // changes results, only wall-clock.
+        let c = run(1);
+        assert_eq!(a.snapshot, c.snapshot);
+        for (x, y) in a.outcome.estimates.iter().zip(&c.outcome.estimates) {
+            if let (Some(x), Some(y)) = (x, y) {
+                assert_eq!(x.sums, y.sums);
+            }
+        }
+    }
+
+    #[test]
+    fn real_step_recovers_means_on_the_executor() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 12,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(8, 4);
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            11,
+            &ShardedConfig {
+                shards: 4,
+                ..ShardedConfig::default()
+            },
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 8, 0.5);
+        assert!(run.outcome.decrypt_ops.partial_decryptions > 0);
+        assert!(run.outcome.ops.additions > 0);
+        assert!(run.outcome.ops.encryptions > 0);
+        assert!(run.snapshot.decrypt.bytes > 0);
+    }
+
+    #[test]
+    fn packed_real_step_recovers_means_on_the_executor() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 12,
+            packing: true,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(61);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(8, 62);
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            63,
+            &ShardedConfig {
+                shards: 4,
+                ..ShardedConfig::default()
+            },
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 8, 0.5);
+        assert!(run.outcome.decrypt_ops.partial_decryptions > 0);
+        let per_push = run.snapshot.gossip.bytes as f64 / run.snapshot.gossip.messages as f64;
+        let unpacked_floor = (layout().total() * 64) as f64;
+        assert!(
+            per_push < unpacked_floor * 0.6,
+            "packed push of {per_push} B is not smaller than unpacked {unpacked_floor} B"
+        );
+    }
+
+    #[test]
+    fn scripted_churn_fires_at_exact_virtual_offsets() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(32, 6);
+        // Crash node 5 exactly 4 pushes into its schedule (virtual 4 ms at
+        // the default 1 ms pacing), leave node 9 at 10 ms, rejoin node 5 at
+        // 20 ms.
+        let events = [
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_micros(4100),
+                node: 5,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(10),
+                node: 9,
+                kind: ChurnKind::Leave,
+            },
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(20),
+                node: 5,
+                kind: ChurnKind::Rejoin,
+            },
+        ];
+        let run = |seed| {
+            run_step_sharded(
+                &config,
+                &layout(),
+                &contributions,
+                &crypto,
+                seed,
+                &small_sharded(),
+                &events,
+            )
+            .unwrap()
+        };
+        let a = run(13);
+        assert!(a.outcome.alive_after[5], "node 5 rejoined");
+        assert!(!a.outcome.alive_after[9], "node 9 left for good");
+        assert!(a.outcome.estimates[9].is_none());
+        assert!(
+            a.outcome.estimates[5].is_some(),
+            "a rejoined node finishes the step"
+        );
+        // The crash window costs node 5 a deterministic number of pushes:
+        // same-seed runs replay the exact same churn placement.
+        let b = run(13);
+        assert_eq!(
+            a.reports[5].pushes_sent, b.reports[5].pushes_sent,
+            "same-seed churn must replay identically"
+        );
+        assert!(
+            a.snapshot.control.messages > 0,
+            "Leave/Join announcements are control traffic"
+        );
+        check_estimates(&a.outcome, 32, 0.6);
+    }
+
+    #[test]
+    fn votes_off_still_completes_by_quiescence() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 20,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(32, 8);
+        let cfg = ShardedConfig {
+            shards: 8,
+            ..ShardedConfig::large_population()
+        };
+        let run =
+            run_step_sharded(&config, &layout(), &contributions, &crypto, 17, &cfg, &[]).unwrap();
+        check_estimates(&run.outcome, 32, 0.45);
+        // No termination votes were broadcast; membership churn is the only
+        // control traffic and none was scripted.
+        assert_eq!(run.snapshot.control.messages, 0);
+    }
+
+    #[test]
+    fn dead_at_start_nodes_hold_zero_weight() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let mut contributions = tiny_contributions(24, 12);
+        contributions[3] = None;
+        contributions[7] = None;
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            23,
+            &small_sharded(),
+            &[],
+        )
+        .unwrap();
+        assert!(run.outcome.estimates[3].is_none());
+        assert!(run.outcome.estimates[7].is_none());
+        let est = run.outcome.estimates[0].as_ref().unwrap();
+        let total: f64 = est.counts.iter().sum();
+        assert!((total - 1.0).abs() < 0.15, "normalized count sum {total}");
+    }
+
+    #[test]
+    fn dead_committee_is_bounded_by_the_decrypt_deadline() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 8,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(51);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(5, 52);
+        let events = [
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(1),
+                node: 0,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_millis(1),
+                node: 1,
+                kind: ChurnKind::Crash,
+            },
+        ];
+        let cfg = ShardedConfig {
+            shards: 2,
+            decrypt_deadline: Duration::from_millis(600),
+            ..ShardedConfig::default()
+        };
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            53,
+            &cfg,
+            &events,
+        )
+        .unwrap();
+        // 2-of-3 committee with nodes 0 and 1 crashed: requesters other than
+        // committee member 2 give up at the (virtual) decrypt deadline.
+        assert!(run.outcome.estimates[3].is_none(), "below threshold");
+        assert!(run.outcome.estimates[4].is_none(), "below threshold");
+        assert!(
+            run.elapsed < Duration::from_secs(15),
+            "virtual deadline must not cost wall-clock: {:?}",
+            run.elapsed
+        );
+    }
+
+    /// Regression: a rejoin landing *before* a pre-crash timer fires must
+    /// not resurrect the old pacing chain alongside the fresh one. The
+    /// schedule is exactly countable: ticks at 0/1/2 ms (3 pushes), crash
+    /// at 2.2 ms invalidates the pending 3 ms tick, rejoin at 2.4 ms starts
+    /// one fresh chain at 3.4/4.4/…/7.4 ms (5 pushes), leave at 8.3 ms ends
+    /// it — 8 pushes total. A duplicated chain would add ticks at
+    /// 3/4/…/8 ms and overshoot.
+    #[test]
+    fn rejoin_does_not_resurrect_pre_crash_timers() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30, // far above what the node can send before leaving
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(71);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(16, 72);
+        let events = [
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_micros(2_200),
+                node: 2,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_micros(2_400),
+                node: 2,
+                kind: ChurnKind::Rejoin,
+            },
+            ChurnEvent {
+                step: 0,
+                after: Duration::from_micros(8_300),
+                node: 2,
+                kind: ChurnKind::Leave,
+            },
+        ];
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            73,
+            &small_sharded(),
+            &events,
+        )
+        .unwrap();
+        assert_eq!(
+            run.reports[2].pushes_sent, 8,
+            "exactly one pacing chain must survive the crash/rejoin window"
+        );
+        assert!(!run.outcome.alive_after[2]);
+    }
+
+    /// The headline scale claim: 16k virtual nodes through a full plain
+    /// gossip step. Ignored by default (it is a multi-second release-mode
+    /// run); `cargo test -p cs_net --release -- --ignored scale_16k` checks
+    /// it manually.
+    #[test]
+    #[ignore = "manual scale check: 16k virtual nodes, release mode"]
+    fn scale_16k_virtual_nodes_plain() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 20,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(91);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(16_384, 92);
+        let run = run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            93,
+            &ShardedConfig::large_population(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 16_384, 0.35);
+        assert_eq!(
+            run.outcome.estimates.iter().flatten().count(),
+            16_384,
+            "every virtual node finished the step"
+        );
+    }
+
+    #[test]
+    fn population_must_be_at_least_two() {
+        let config = ChiaroscuroConfig::demo_simulated();
+        let mut rng = StdRng::seed_from_u64(1);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(1, 2);
+        assert!(run_step_sharded(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            7,
+            &ShardedConfig::default(),
+            &[],
+        )
+        .is_err());
+    }
+}

@@ -22,11 +22,19 @@
 //!   (`cs_gossip::homomorphic_pushsum::HePushSumNode::split_push`/`absorb`
 //!   and the plaintext twins); this crate only adds the messaging shell.
 //! * [`churn`] — scripted crash / rejoin / leave injection with
-//!   millisecond placement ("node 7 crashes mid-gossip").
+//!   millisecond placement ("node 7 crashes mid-gossip"). On the threaded
+//!   runtime the offsets are wall-clock; on the sharded executor they are
+//!   **virtual time**, making churn placement deterministic under a seed.
 //! * [`runtime`] — the **thread-per-node actor runtime**: each participant
 //!   runs its own event loop over its inbox; [`runtime::NetBackend`] plugs
-//!   it into `chiaroscuro::Engine::run_with_backend`, so a full protocol
-//!   run executes end-to-end over real messages.
+//!   either runtime into `chiaroscuro::Engine::run_with_backend`, so a full
+//!   protocol run executes end-to-end over real messages.
+//! * [`executor`] — the **sharded event-loop executor**: thousands of
+//!   virtual nodes dealt into per-shard event queues and driven by a fixed
+//!   worker pool in virtual time — no per-node threads, no sleep-polling,
+//!   fully deterministic under a seed. The scaling substrate
+//!   (`NetBackend::sharded`); the threaded runtime stays as the
+//!   differential oracle.
 //!
 //! ## Example: one engine run over the threaded runtime
 //!
@@ -56,12 +64,14 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod executor;
 pub mod node;
 pub mod runtime;
 pub mod transport;
 pub mod wire;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
+pub use executor::{run_step_sharded, ShardedConfig};
 pub use runtime::{run_step_over_transport, NetBackend, NetConfig, StepRun};
 pub use transport::{ChannelTransport, Envelope, LinkConfig, NetError, Transport};
 pub use wire::{decode_frame, encode_frame, FrameClass, Message, WireError, WIRE_VERSION};

@@ -41,7 +41,7 @@ use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts}
 use cs_gossip::pushsum::{PlainPush, PushSumNode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Packed-mode crypto state: the lane codec every participant agreed on
@@ -98,6 +98,11 @@ pub struct NodeParams {
     pub committee: Vec<NodeId>,
     /// Per-node RNG seed (peer sampling, encryption randomness).
     pub seed: u64,
+    /// Broadcast a termination vote on completion. The threaded runtime
+    /// needs the votes to detect completion early; the sharded executor
+    /// observes event-queue quiescence directly and can disable the
+    /// `O(n²)` control-plane broadcast at very large populations.
+    pub votes: bool,
 }
 
 enum Aggregator {
@@ -144,11 +149,15 @@ pub struct ProtocolNode {
     alive_view: Vec<bool>,
     phase: Phase,
     pushes_sent: usize,
-    // Decryption state (real mode).
+    // Decryption state (real mode). Shares are keyed by sender id in an
+    // ordered map: only committee members ever answer, so this stays
+    // O(committee) instead of O(population) per node — the difference
+    // between 4k and 16k+ virtual nodes fitting in memory — while keeping
+    // the combine order (ascending sender id) identical to the old
+    // population-indexed vector.
     snapshot_weight: f64,
     snapshot_denom: u32,
-    shares_by_sender: Vec<Option<Vec<PartialDecryption>>>,
-    shares_received: usize,
+    shares_by_sender: BTreeMap<NodeId, Vec<PartialDecryption>>,
     pending_request: Option<(Vec<NodeId>, Message)>,
     served_replies: HashMap<NodeId, Message>,
     gossip_cut_short: bool,
@@ -243,8 +252,7 @@ impl ProtocolNode {
             pushes_sent: 0,
             snapshot_weight: 0.0,
             snapshot_denom: 0,
-            shares_by_sender: (0..n).map(|_| None).collect(),
-            shares_received: 0,
+            shares_by_sender: BTreeMap::new(),
             pending_request: None,
             served_replies: HashMap::new(),
             gossip_cut_short: false,
@@ -365,7 +373,7 @@ impl ProtocolNode {
             return;
         };
         for &m in recipients {
-            if self.shares_by_sender[m].is_none() && self.alive_view[m] {
+            if !self.shares_by_sender.contains_key(&m) && self.alive_view[m] {
                 out.push((m, request.clone()));
             }
         }
@@ -715,11 +723,12 @@ impl ProtocolNode {
         if !matches!(self.phase, Phase::AwaitShares) {
             return;
         }
-        if partials.len() != self.data_ciphertext_count() || self.shares_by_sender[from].is_some() {
+        if partials.len() != self.data_ciphertext_count()
+            || self.shares_by_sender.contains_key(&from)
+        {
             return;
         }
-        self.shares_by_sender[from] = Some(partials);
-        self.shares_received += 1;
+        self.shares_by_sender.insert(from, partials);
         let NodeCrypto::Real {
             pk,
             codec,
@@ -731,15 +740,14 @@ impl ProtocolNode {
         else {
             return;
         };
-        if self.shares_received < params.threshold {
+        if self.shares_by_sender.len() < params.threshold {
             return;
         }
-        // Combine the first `threshold` responders' partials, ciphertext by
-        // ciphertext.
+        // Combine the first `threshold` responders' partials (in ascending
+        // sender-id order), ciphertext by ciphertext.
         let contributors: Vec<&Vec<PartialDecryption>> = self
             .shares_by_sender
-            .iter()
-            .flatten()
+            .values()
             .take(params.threshold)
             .collect();
         let mut failed = false;
@@ -812,10 +820,12 @@ impl ProtocolNode {
         self.phase = Phase::Done;
         self.pending_request = None;
         self.votes[self.params.id] = true;
-        let vote = Message::TerminationVote {
-            iteration: self.params.iteration,
-            completed,
-        };
-        self.broadcast(vote, out);
+        if self.params.votes {
+            let vote = Message::TerminationVote {
+                iteration: self.params.iteration,
+                completed,
+            };
+            self.broadcast(vote, out);
+        }
     }
 }

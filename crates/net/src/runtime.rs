@@ -9,8 +9,9 @@
 //! runs end-to-end over real messages.
 
 use crate::churn::{ChurnKind, ChurnSchedule, Controls, Liveness};
+use crate::executor::ShardedConfig;
 use crate::node::{NodeCrypto, NodeParams, NodeReport, ProtocolNode};
-use crate::transport::{ChannelTransport, LinkConfig, NodeId, Transport};
+use crate::transport::{ChannelTransport, LinkConfig, NodeId, TrafficSnapshot, Transport};
 use crate::wire::{decode_frame, encode_frame, Message};
 use chiaroscuro::backend::ComputationBackend;
 use chiaroscuro::config::ChiaroscuroConfig;
@@ -22,9 +23,145 @@ use cs_crypto::threshold::delta_for;
 use cs_gossip::homomorphic_pushsum::HomomorphicOpCounts;
 use cs_gossip::TrafficStats;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Per-step crypto state shared by every node: committee membership and, in
+/// packed mode, the lane plan + fast encryptor. Both execution substrates
+/// (thread-per-node and sharded event loop) derive identical per-node
+/// [`NodeCrypto`] values from this, so swapping the substrate can never
+/// change what the protocol computes.
+pub(crate) struct StepCrypto {
+    /// The committee: the first `parties` nodes, in share order (the dealer
+    /// hands share `j` to node `j`, mirroring the simulator's indexing).
+    pub committee: Vec<NodeId>,
+    packed: Option<crate::node::PackedCrypto>,
+}
+
+impl StepCrypto {
+    /// Derives the shared step state from the crypto context. The packed
+    /// lane plan uses only public inputs (the same ones the in-process
+    /// simulator uses), so every node independently agrees on it.
+    pub fn prepare(
+        config: &ChiaroscuroConfig,
+        layout: &SlotLayout,
+        population: usize,
+        crypto: &CryptoContext,
+    ) -> Result<Self, ChiaroscuroError> {
+        let committee: Vec<NodeId> = match crypto {
+            CryptoContext::Real { tkp, .. } => (0..tkp.params().parties.min(population)).collect(),
+            CryptoContext::Simulated { .. } => Vec::new(),
+        };
+        let packed = match crypto {
+            CryptoContext::Real {
+                pk,
+                codec,
+                fast: Some(fast),
+                ..
+            } => Some(crate::node::PackedCrypto {
+                codec: chiaroscuro::rounds::plan_packed_codec(
+                    config, pk, codec, layout, population,
+                )?,
+                enc: fast.clone(),
+            }),
+            _ => None,
+        };
+        Ok(StepCrypto { committee, packed })
+    }
+
+    /// The crypto substrate node `i` runs with.
+    pub fn node_crypto(
+        &self,
+        crypto: &CryptoContext,
+        config: &ChiaroscuroConfig,
+        i: usize,
+    ) -> NodeCrypto {
+        match crypto {
+            CryptoContext::Real { tkp, pk, codec, .. } => NodeCrypto::Real {
+                pk: pk.clone(),
+                codec: *codec,
+                share: self.committee.contains(&i).then(|| tkp.shares()[i].clone()),
+                params: tkp.params(),
+                delta: delta_for(tkp.params().parties),
+                rerandomize: config.rerandomize,
+                packed: self.packed.clone(),
+            },
+            CryptoContext::Simulated { .. } => NodeCrypto::Plain,
+        }
+    }
+}
+
+/// Folds per-node reports and the transport's per-class accounting into the
+/// engine-facing [`ComputationOutcome`] — gossip + control frames feed the
+/// gossip traffic bucket, decryption frames the decryption bucket, the same
+/// split the simulator's synthesized accounting uses. Shared by both
+/// substrates so their outcomes are structurally identical.
+pub(crate) fn assemble_outcome(
+    reports: &[NodeReport],
+    alive_after: Vec<bool>,
+    snapshot: &TrafficSnapshot,
+) -> ComputationOutcome {
+    let mut traffic = TrafficStats::new();
+    traffic.messages = snapshot.gossip.messages + snapshot.control.messages;
+    traffic.bytes = snapshot.gossip.bytes + snapshot.control.bytes;
+    traffic.dropped = snapshot.dropped();
+
+    let mut ops = HomomorphicOpCounts::default();
+    let mut decrypt_ops = DecryptionOps::default();
+    for r in reports {
+        ops.merge(&r.ops);
+        decrypt_ops.merge(&r.decrypt_ops);
+    }
+    decrypt_ops.messages += snapshot.decrypt.messages;
+    decrypt_ops.bytes += snapshot.decrypt.bytes;
+
+    let estimates = reports
+        .iter()
+        .zip(&alive_after)
+        .map(|(r, &alive)| if alive { r.estimate.clone() } else { None })
+        .collect();
+
+    ComputationOutcome {
+        estimates,
+        ops,
+        decrypt_ops,
+        traffic,
+        alive_after,
+    }
+}
+
+/// Completion tracking shared between the node threads and the driver: each
+/// node flips its flag once its part of the step is over, and rings the
+/// condvar so the driver re-evaluates without sleep-polling.
+struct Completion {
+    flags: Vec<AtomicBool>,
+    state: Mutex<()>,
+    bell: Condvar,
+}
+
+impl Completion {
+    fn new(n: usize) -> Self {
+        Completion {
+            flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            state: Mutex::new(()),
+            bell: Condvar::new(),
+        }
+    }
+
+    fn is_marked(&self, id: NodeId) -> bool {
+        self.flags[id].load(Ordering::Acquire)
+    }
+
+    fn mark(&self, id: NodeId) {
+        if !self.flags[id].swap(true, Ordering::AcqRel) {
+            // Taking the lock orders the notify against the driver's
+            // check-then-wait, so the wakeup can never be lost.
+            let _guard = self.state.lock().expect("completion poisoned");
+            self.bell.notify_all();
+        }
+    }
+}
 
 /// Tuning knobs of the threaded runtime.
 #[derive(Clone, Debug)]
@@ -97,54 +234,13 @@ pub fn run_step_over_transport(
     net.link.validate();
     let started = Instant::now();
 
-    // Per-node crypto state. The committee is the first `parties` nodes —
-    // the dealer hands share j to node j, mirroring how the simulator's
-    // committee indexes shares.
-    let committee: Vec<NodeId> = match crypto {
-        CryptoContext::Real { tkp, .. } => (0..tkp.params().parties.min(n)).collect(),
-        CryptoContext::Simulated { .. } => Vec::new(),
-    };
-    // Packed mode: every node shares one lane plan, derived from the same
-    // public inputs the in-process simulator uses.
-    let packed = match crypto {
-        CryptoContext::Real {
-            pk,
-            codec,
-            fast: Some(fast),
-            ..
-        } => Some(crate::node::PackedCrypto {
-            codec: chiaroscuro::rounds::plan_packed_codec(
-                config,
-                pk,
-                codec,
-                layout,
-                contributions.len(),
-            )?,
-            enc: fast.clone(),
-        }),
-        _ => None,
-    };
-    let make_crypto = |i: usize| -> NodeCrypto {
-        match crypto {
-            CryptoContext::Real { tkp, pk, codec, .. } => NodeCrypto::Real {
-                pk: pk.clone(),
-                codec: *codec,
-                share: committee.contains(&i).then(|| tkp.shares()[i].clone()),
-                params: tkp.params(),
-                delta: delta_for(tkp.params().parties),
-                rerandomize: config.rerandomize,
-                packed: packed.clone(),
-            },
-            CryptoContext::Simulated { .. } => NodeCrypto::Plain,
-        }
-    };
+    let step = StepCrypto::prepare(config, layout, n, crypto)?;
 
     let transport: Arc<dyn Transport> =
         Arc::new(ChannelTransport::new(n, net.link.clone(), step_seed));
     let controls = Arc::new(Controls::new(n));
     let shutdown = Arc::new(AtomicBool::new(false));
-    let completed: Arc<Vec<AtomicBool>> =
-        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let completed = Arc::new(Completion::new(n));
     // Start barrier: every node finishes construction (contribution
     // encryption included) before anyone gossips and before the churn clock
     // starts — scripted offsets are relative to the *gossip* start, so
@@ -167,10 +263,11 @@ pub fn run_step_over_transport(
             population: n,
             iteration: step_seed, // unique per step; tags every frame
             pushes: config.gossip_cycles,
-            committee: committee.clone(),
+            committee: step.committee.clone(),
             seed: step_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            votes: true,
         };
-        let node_crypto = make_crypto(i);
+        let node_crypto = step.node_crypto(crypto, config, i);
         let contribution = contribution.clone();
         let layout = *layout;
         let transport = transport.clone();
@@ -202,24 +299,40 @@ pub fn run_step_over_transport(
 
     // Driver: apply scripted churn at its offsets, then shut the population
     // down once every (currently live) node completed its part of the step.
+    // The driver parks on the completion condvar between churn deadlines —
+    // no sleep-polling, no busy core while the population works.
     start_gate.wait();
     let churn_clock = Instant::now();
     let mut events: Vec<_> = step_churn.to_vec();
     events.sort_by_key(|e| e.after);
     let mut pending: std::collections::VecDeque<_> = events.into_iter().collect();
+    let mut guard = completed.state.lock().expect("completion poisoned");
     loop {
         let now = churn_clock.elapsed();
         while pending.front().is_some_and(|e| e.after <= now) {
             let event = pending.pop_front().unwrap();
             controls.apply(&event);
         }
-        let all_done = pending.is_empty()
-            && (0..n).all(|i| controls.is_crashed(i) || completed[i].load(Ordering::Acquire));
+        let all_done =
+            pending.is_empty() && (0..n).all(|i| controls.is_crashed(i) || completed.is_marked(i));
         if all_done || started.elapsed() >= net.step_timeout {
             break;
         }
-        thread::sleep(Duration::from_micros(500));
+        // Wake for whichever comes first: the next scripted churn event, the
+        // step deadline, or a node ringing the completion bell.
+        let until_timeout = net.step_timeout.saturating_sub(started.elapsed());
+        let wait = pending
+            .front()
+            .map(|e| e.after.saturating_sub(now))
+            .map_or(until_timeout, |d| d.min(until_timeout))
+            .max(Duration::from_micros(50));
+        guard = completed
+            .bell
+            .wait_timeout(guard, wait)
+            .expect("completion poisoned")
+            .0;
     }
+    drop(guard);
     shutdown.store(true, Ordering::Release);
 
     let mut reports: Vec<NodeReport> = handles
@@ -231,37 +344,8 @@ pub fn run_step_over_transport(
     let alive_after: Vec<bool> = (0..n).map(|i| !controls.is_crashed(i)).collect();
     let snapshot = transport.snapshot();
 
-    // Engine-facing counters: gossip + control frames feed the gossip
-    // traffic bucket; decryption frames feed the decryption bucket — the
-    // same split the simulator's synthesized accounting uses.
-    let mut traffic = TrafficStats::new();
-    traffic.messages = snapshot.gossip.messages + snapshot.control.messages;
-    traffic.bytes = snapshot.gossip.bytes + snapshot.control.bytes;
-    traffic.dropped = snapshot.dropped();
-
-    let mut ops = HomomorphicOpCounts::default();
-    let mut decrypt_ops = DecryptionOps::default();
-    for r in &reports {
-        ops.merge(&r.ops);
-        decrypt_ops.merge(&r.decrypt_ops);
-    }
-    decrypt_ops.messages += snapshot.decrypt.messages;
-    decrypt_ops.bytes += snapshot.decrypt.bytes;
-
-    let estimates = reports
-        .iter()
-        .zip(&alive_after)
-        .map(|(r, &alive)| if alive { r.estimate.clone() } else { None })
-        .collect();
-
     Ok(StepRun {
-        outcome: ComputationOutcome {
-            estimates,
-            ops,
-            decrypt_ops,
-            traffic,
-            alive_after,
-        },
+        outcome: assemble_outcome(&reports, alive_after, &snapshot),
         reports,
         snapshot,
         elapsed: started.elapsed(),
@@ -284,7 +368,7 @@ fn node_loop(
     transport: Arc<dyn Transport>,
     controls: Arc<Controls>,
     shutdown: Arc<AtomicBool>,
-    completed: Arc<Vec<AtomicBool>>,
+    completed: Arc<Completion>,
     NodeTiming {
         push_interval,
         quiesce,
@@ -316,9 +400,11 @@ fn node_loop(
             }
             Liveness::Crashed => {
                 was_crashed = true;
-                // A crashed node loses everything addressed to it.
+                // A crashed node loses everything addressed to it. The
+                // blocking receive parks the thread on the inbox condvar
+                // between liveness polls instead of spin-sleeping.
                 while transport.try_recv(id).is_some() {}
-                thread::sleep(Duration::from_micros(200));
+                let _ = transport.recv_timeout(id, Duration::from_micros(250));
                 continue;
             }
             Liveness::Alive => {
@@ -359,14 +445,14 @@ fn node_loop(
         }
         flush(id, &mut out, transport.as_ref());
 
-        if !completed[id].load(Ordering::Relaxed) {
+        if !completed.is_marked(id) {
             if node.step_done() && done_since.is_none() {
                 done_since = Some(Instant::now());
             }
             let quiesced = done_since.is_some_and(|t| t.elapsed() >= quiesce);
             let timed_out = started.elapsed() >= step_timeout;
             if (node.step_done() && (node.all_votes_in() || quiesced)) || timed_out {
-                completed[id].store(true, Ordering::Release);
+                completed.mark(id);
             }
         }
     }
@@ -393,21 +479,50 @@ fn flush(id: NodeId, out: &mut Vec<(NodeId, Message)>, transport: &dyn Transport
     }
 }
 
-/// A [`ComputationBackend`] that executes every computation step over the
-/// threaded message-passing runtime — `Engine::run_with_backend` drives a
-/// full Chiaroscuro run end-to-end over real wire frames.
+/// The execution substrate a [`NetBackend`] drives each computation step on.
+enum Flavor {
+    /// Thread-per-node over the in-memory channel transport.
+    Threaded(NetConfig),
+    /// Sharded virtual-time event-loop executor (see [`crate::executor`]).
+    Sharded(ShardedConfig),
+}
+
+/// A [`ComputationBackend`] that executes every computation step over a
+/// `cs_net` runtime — `Engine::run_with_backend` drives a full Chiaroscuro
+/// run end-to-end over real wire messages. Two substrates are available:
+///
+/// * [`NetBackend::threaded`] — one OS thread per participant, wall-clock
+///   pacing, real concurrency. The differential oracle: it exercises the
+///   protocol under genuine nondeterministic interleaving.
+/// * [`NetBackend::sharded`] — the virtual-time sharded event-loop
+///   executor: thousands of virtual nodes on a fixed worker pool, fully
+///   deterministic under a seed.
 pub struct NetBackend {
-    /// Runtime tuning (link, pacing, churn script).
-    pub net: NetConfig,
+    flavor: Flavor,
     steps_run: usize,
     last: Option<StepRun>,
 }
 
 impl NetBackend {
-    /// Creates the backend.
+    /// Creates the thread-per-node backend (alias of
+    /// [`NetBackend::threaded`], kept for source compatibility).
     pub fn new(net: NetConfig) -> Self {
+        NetBackend::threaded(net)
+    }
+
+    /// Creates the backend on the thread-per-node runtime.
+    pub fn threaded(net: NetConfig) -> Self {
         NetBackend {
-            net,
+            flavor: Flavor::Threaded(net),
+            steps_run: 0,
+            last: None,
+        }
+    }
+
+    /// Creates the backend on the sharded event-loop executor.
+    pub fn sharded(cfg: ShardedConfig) -> Self {
+        NetBackend {
+            flavor: Flavor::Sharded(cfg),
             steps_run: 0,
             last: None,
         }
@@ -427,7 +542,10 @@ impl NetBackend {
 
 impl ComputationBackend for NetBackend {
     fn label(&self) -> &'static str {
-        "threaded-transport"
+        match self.flavor {
+            Flavor::Threaded(_) => "threaded-transport",
+            Flavor::Sharded(_) => "sharded-executor",
+        }
     }
 
     fn run_step(
@@ -439,16 +557,32 @@ impl ComputationBackend for NetBackend {
         step_seed: u64,
         _rng: &mut rand::rngs::StdRng,
     ) -> Result<ComputationOutcome, ChiaroscuroError> {
-        let events = self.net.churn.for_step(self.steps_run);
-        let run = run_step_over_transport(
-            config,
-            layout,
-            contributions,
-            crypto,
-            step_seed,
-            &self.net,
-            &events,
-        )?;
+        let run = match &self.flavor {
+            Flavor::Threaded(net) => {
+                let events = net.churn.for_step(self.steps_run);
+                run_step_over_transport(
+                    config,
+                    layout,
+                    contributions,
+                    crypto,
+                    step_seed,
+                    net,
+                    &events,
+                )?
+            }
+            Flavor::Sharded(cfg) => {
+                let events = cfg.churn.for_step(self.steps_run);
+                crate::executor::run_step_sharded(
+                    config,
+                    layout,
+                    contributions,
+                    crypto,
+                    step_seed,
+                    cfg,
+                    &events,
+                )?
+            }
+        };
         self.steps_run += 1;
         let outcome = run.outcome.clone();
         self.last = Some(run);

@@ -224,14 +224,16 @@ pub struct ChannelTransport {
 }
 
 /// SplitMix64 — decorrelates the per-frame loss/jitter draws from the seed.
-fn mix(mut z: u64) -> u64 {
+/// Shared with the sharded executor, whose draws must additionally be
+/// deterministic per `(sender, sequence)` rather than per global send order.
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-fn unit_f64(bits: u64) -> f64 {
+pub(crate) fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 

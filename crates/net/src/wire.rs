@@ -167,6 +167,42 @@ impl Message {
             Message::PackedPush { .. } => 7,
         }
     }
+
+    /// Exact length in bytes of [`encode_frame`]'s output for this message,
+    /// computed without serializing.
+    ///
+    /// The sharded executor delivers same-shard messages by direct queue
+    /// push — no frame is ever materialized — but its bytes-on-wire
+    /// accounting must stay comparable with the threaded transport's, so
+    /// this mirrors the codec's layout arithmetic exactly (asserted by a
+    /// round-trip proptest).
+    pub fn encoded_len(&self) -> usize {
+        let ciphertexts = |slots: &[Ciphertext]| -> usize {
+            4 + slots
+                .iter()
+                .map(|c| 4 + c.as_biguint().byte_len())
+                .sum::<usize>()
+        };
+        // length prefix + version + tag, then the per-variant body.
+        4 + 1
+            + 1
+            + match self {
+                Message::EncryptedPush { slots, .. } => 8 + 4 + 8 + ciphertexts(slots),
+                Message::PackedPush { slots, .. } => 8 + 4 + 8 + 4 + ciphertexts(slots),
+                Message::PlainPush { slots, .. } => 8 + 8 + 4 + 8 * slots.len(),
+                Message::DecryptRequest { slots, .. } => 8 + ciphertexts(slots),
+                Message::DecryptShare { partials, .. } => {
+                    8 + 4
+                        + partials
+                            .iter()
+                            .map(|p| 8 + 4 + p.value().byte_len())
+                            .sum::<usize>()
+                }
+                Message::TerminationVote { .. } => 8 + 1,
+                Message::Join { .. } => 8 + 8,
+                Message::Leave { .. } => 8,
+            }
+    }
 }
 
 /// Decoding failures. Encoding is infallible.
@@ -531,6 +567,22 @@ mod tests {
             let frame = encode_frame(&msg);
             assert_eq!(decode_frame(&frame).unwrap(), msg, "{msg:?}");
         }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for msg in sample_messages() {
+            assert_eq!(msg.encoded_len(), encode_frame(&msg).len(), "{msg:?}");
+        }
+        // Zero-valued big integers encode as empty byte strings — the
+        // arithmetic must agree with the codec there too.
+        let zeroes = Message::EncryptedPush {
+            iteration: 0,
+            denom_exp: 0,
+            weight: 0.0,
+            slots: vec![Ciphertext::from_biguint(BigUint::from(0u64)); 3],
+        };
+        assert_eq!(zeroes.encoded_len(), encode_frame(&zeroes).len());
     }
 
     #[test]

@@ -91,6 +91,23 @@ proptest! {
     }
 
     #[test]
+    fn encoded_len_agrees_with_the_codec_on_every_variant(
+        variant in 0u8..8,
+        iteration in any::<u64>(),
+        denom_exp in any::<u32>(),
+        weight in -1e12f64..1e12,
+        raw_slots in vec(vec(any::<u8>(), 0..24), 0..6),
+        floats in vec(-1e12f64..1e12, 0..12),
+        flag in any::<bool>(),
+    ) {
+        // The sharded executor accounts same-shard bytes-on-wire through
+        // `encoded_len` without ever serializing — it must agree with the
+        // real codec on every reachable message.
+        let msg = build_message(variant, iteration, denom_exp, weight, &raw_slots, &floats, flag);
+        prop_assert_eq!(msg.encoded_len(), encode_frame(&msg).len());
+    }
+
+    #[test]
     fn any_truncation_is_rejected(
         variant in 0u8..8,
         iteration in any::<u64>(),

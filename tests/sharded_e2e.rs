@@ -1,0 +1,285 @@
+//! End-to-end runs over the `cs_net` sharded event-loop executor: the same
+//! engine and protocol state machines as the threaded runtime, but driven
+//! as virtual nodes in deterministic virtual time — which is what makes
+//! 1k+ populations tractable in a test suite.
+//!
+//! Three claims are locked in here:
+//!
+//! 1. **Determinism** — two same-seed sharded runs produce *identical*
+//!    `ExecutionLog`s (byte-for-byte JSON) and bitwise-equal centroids.
+//! 2. **Differential vs the threaded oracle** — at an overlapping
+//!    population the sharded executor and the thread-per-node runtime
+//!    recover the same centroids from the same seed within gossip
+//!    truncation tolerance (the threaded runtime's interleaving is OS
+//!    scheduled, so exact equality is only defined *within* the
+//!    deterministic substrate — asserted in 1).
+//! 3. **Scale with churn** — crash/rejoin/leave injected mid-gossip at
+//!    population ≥1k (release; debug runs a smaller smoke), packed and
+//!    unpacked, still matching the cycle simulator's centroids.
+
+use chiaroscuro::{ChiaroscuroConfig, Engine};
+use cs_net::{ChurnSchedule, NetBackend, NetConfig, ShardedConfig};
+use cs_timeseries::datasets::blobs::{generate_with_centers, BlobsConfig};
+use cs_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn dataset(count: usize, seed: u64) -> (Vec<TimeSeries>, Vec<usize>) {
+    let (ds, _) = generate_with_centers(
+        &BlobsConfig {
+            count,
+            clusters: 2,
+            len: 5,
+            noise: 0.2,
+            center_amplitude: 3.0,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    (ds.series, ds.labels)
+}
+
+fn max_centroid_gap(a: &[TimeSeries], b: &[TimeSeries]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| {
+            x.values()
+                .iter()
+                .zip(y.values())
+                .map(|(u, v)| (u - v).abs())
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Two same-seed sharded runs must be indistinguishable: identical
+/// execution logs (the full per-iteration record, serialized), identical
+/// centroids down to the bit, identical cost accounting — regardless of
+/// how many workers drove the shards.
+#[test]
+fn sharded_run_is_deterministic_end_to_end() {
+    let (series, _) = dataset(128, 41);
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.max_iterations = 2;
+    cfg.gossip_cycles = 25;
+    cfg.epsilon = 50.0;
+    let engine = Engine::new(cfg).unwrap();
+
+    // A non-trivial link so the determinism claim covers the loss/jitter
+    // draws, not just the ideal path.
+    let sharded = ShardedConfig {
+        shards: 16,
+        link: cs_net::LinkConfig {
+            latency: Duration::from_micros(300),
+            jitter: Duration::from_micros(150),
+            loss: 0.03,
+            bandwidth_bytes_per_sec: Some(20_000_000),
+        },
+        ..ShardedConfig::default()
+    };
+    let run = |workers: usize| {
+        let mut backend = NetBackend::sharded(ShardedConfig {
+            workers,
+            ..sharded.clone()
+        });
+        engine.run_with_backend(&series, &mut backend).unwrap()
+    };
+
+    let a = run(0); // auto worker count
+    let b = run(0);
+    let c = run(1); // single worker: same results, only slower
+    assert_eq!(
+        a.log.to_json(),
+        b.log.to_json(),
+        "same-seed sharded runs must produce identical execution logs"
+    );
+    assert_eq!(
+        a.log.to_json(),
+        c.log.to_json(),
+        "worker count must not leak into results"
+    );
+    for (x, y) in a.centroids.iter().zip(&b.centroids) {
+        assert_eq!(x.values(), y.values(), "centroids must be bitwise equal");
+    }
+    assert_eq!(a.assignment, b.assignment);
+}
+
+/// The differential test against the threaded oracle at an overlapping
+/// population: same engine seed, both substrates, centroids agree with
+/// each other (and with the in-process cycle simulator) within gossip
+/// truncation tolerance — and the sharded substrate's centroids are
+/// *identical* across same-seed repetitions.
+#[test]
+fn sharded_vs_threaded_differential_at_population_64() {
+    let (series, labels) = dataset(64, 43);
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.max_iterations = 2;
+    cfg.gossip_cycles = 30;
+    cfg.epsilon = 1e5; // negligible noise isolates the protocol path
+    cfg.value_bound = 8.0;
+    cfg.smoothing = cs_timeseries::smooth::Smoothing::None;
+    let engine = Engine::new(cfg).unwrap();
+
+    let sim = engine.run(&series).unwrap();
+
+    let mut threaded = NetBackend::threaded(NetConfig {
+        push_interval: Duration::from_micros(250),
+        quiesce: Duration::from_millis(150),
+        ..NetConfig::default()
+    });
+    let over_threads = engine.run_with_backend(&series, &mut threaded).unwrap();
+
+    let sharded_cfg = ShardedConfig {
+        shards: 16,
+        ..ShardedConfig::default()
+    };
+    let mut sharded = NetBackend::sharded(sharded_cfg.clone());
+    let over_shards = engine.run_with_backend(&series, &mut sharded).unwrap();
+
+    // All three substrates recover the same clustering.
+    let gap_threaded = max_centroid_gap(&over_threads.centroids, &over_shards.centroids);
+    assert!(
+        gap_threaded < 0.35,
+        "sharded-vs-threaded centroid gap too large: {gap_threaded}"
+    );
+    let gap_sim = max_centroid_gap(&sim.centroids, &over_shards.centroids);
+    assert!(
+        gap_sim < 0.35,
+        "sharded-vs-simulator centroid gap too large: {gap_sim}"
+    );
+    let ari = cs_kmeans::adjusted_rand_index(&over_shards.assignment, &labels);
+    assert!(ari > 0.6, "sharded-run clustering degraded: ARI {ari}");
+
+    // Equal seeds ⇒ identical centroids, repeatably, on the deterministic
+    // substrate.
+    let mut again = NetBackend::sharded(sharded_cfg);
+    let repeat = engine.run_with_backend(&series, &mut again).unwrap();
+    for (x, y) in over_shards.centroids.iter().zip(&repeat.centroids) {
+        assert_eq!(
+            x.values(),
+            y.values(),
+            "equal seeds must give identical centroids on the sharded executor"
+        );
+    }
+
+    // Both runtimes measured real bytes-on-wire.
+    for r in over_shards
+        .log
+        .records
+        .iter()
+        .chain(&over_threads.log.records)
+    {
+        assert!(r.cost.gossip_bytes > 0);
+    }
+}
+
+/// Churn injected mid-gossip at scale, plaintext (simulated-crypto)
+/// pipeline: a silent crash, a later rejoin, and a graceful leave, on a
+/// ≥1k population in release builds. The centroids still match the
+/// un-churned cycle simulator — one node's worth of destroyed mass is
+/// invisible at this population.
+#[test]
+fn sharded_plain_churn_at_1k_matches_simulator() {
+    let n: usize = if cfg!(debug_assertions) { 256 } else { 1024 };
+    let (series, _) = dataset(n, 47);
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.max_iterations = 1;
+    cfg.gossip_cycles = 25;
+    cfg.epsilon = 1e5;
+    cfg.value_bound = 8.0;
+    cfg.smoothing = cs_timeseries::smooth::Smoothing::None;
+    let engine = Engine::new(cfg).unwrap();
+
+    let sim = engine.run(&series).unwrap();
+
+    // Node 17 crashes 5 pushes in and rejoins near the end of the gossip
+    // schedule (it then finishes its remaining quota); node 71 crashes at
+    // the same moment for good; node 33 leaves gracefully mid-gossip.
+    // Virtual offsets: the default pacing is 1 ms per push.
+    let churn = ChurnSchedule::none()
+        .crash(0, Duration::from_micros(5_100), 17)
+        .rejoin(0, Duration::from_millis(20), 17)
+        .crash(0, Duration::from_micros(5_100), 71)
+        .leave(0, Duration::from_millis(12), 33);
+    let mut backend = NetBackend::sharded(ShardedConfig {
+        churn,
+        // Votes stay on here: n² control traffic at this scale is still
+        // cheap and exercises the full protocol surface.
+        ..ShardedConfig::default()
+    });
+    let net = engine.run_with_backend(&series, &mut backend).unwrap();
+
+    let step = backend.last_step().expect("one step ran");
+    assert!(step.outcome.alive_after[17], "node 17 rejoined");
+    assert!(!step.outcome.alive_after[33], "node 33 left");
+    assert!(!step.outcome.alive_after[71], "node 71 stayed down");
+    assert!(step.outcome.estimates[33].is_none());
+    assert!(step.outcome.estimates[71].is_none());
+    assert!(
+        step.outcome.estimates[17].is_some(),
+        "a rejoined node finishes the step"
+    );
+    assert_eq!(
+        step.reports[17].pushes_sent, 25,
+        "the rejoined node completes its full quota after recovery"
+    );
+    assert!(
+        step.reports[71].pushes_sent < 25,
+        "node 71 verifiably died mid-quota ({} pushes)",
+        step.reports[71].pushes_sent
+    );
+    assert!(step.snapshot.gossip.bytes > 0 && step.snapshot.control.messages > 0);
+
+    let gap = max_centroid_gap(&sim.centroids, &net.centroids);
+    assert!(gap < 0.35, "churned sharded run diverged: gap {gap}");
+}
+
+/// The same churn story on the real Damgård-Jurik pipeline with ciphertext
+/// packing — the configuration the scaling sweep benches. Release builds
+/// run the full ≥1k population; debug builds run a smaller smoke of the
+/// identical code path.
+#[test]
+fn sharded_packed_crypto_churn_matches_simulator() {
+    let n: usize = if cfg!(debug_assertions) { 24 } else { 1024 };
+    let (series, _) = dataset(n, 53);
+    let mut cfg = ChiaroscuroConfig::test_real();
+    cfg.k = 2;
+    cfg.max_iterations = 1;
+    cfg.gossip_cycles = 12;
+    cfg.packing = true;
+    cfg.epsilon = 1e5;
+    cfg.value_bound = 8.0;
+    let engine = Engine::new(cfg).unwrap();
+
+    // Reference: the identical packed configuration on the in-process
+    // simulator (whose packed-vs-unpacked equivalence is locked in by
+    // tests/packed_e2e.rs).
+    let sim = engine.run(&series).unwrap();
+
+    let churn = ChurnSchedule::none().crash(0, Duration::from_micros(7_300), 5);
+    let mut backend = NetBackend::sharded(ShardedConfig {
+        churn,
+        ..ShardedConfig::large_population()
+    });
+    let net = engine.run_with_backend(&series, &mut backend).unwrap();
+
+    let step = backend.last_step().expect("one step ran");
+    assert!(!step.outcome.alive_after[5], "node 5 stayed down");
+    assert!(step.outcome.estimates[5].is_none());
+    assert!(
+        step.reports[5].pushes_sent < 12,
+        "node 5 crashed before finishing its quota ({} pushes)",
+        step.reports[5].pushes_sent
+    );
+    assert!(
+        step.outcome.decrypt_ops.partial_decryptions > 0,
+        "the collaborative decryption round really ran"
+    );
+    assert!(step.snapshot.decrypt.bytes > 0);
+
+    let gap = max_centroid_gap(&sim.centroids, &net.centroids);
+    assert!(gap < 0.35, "packed churned sharded run diverged: gap {gap}");
+}
