@@ -22,7 +22,7 @@ use cs_bench::{f, Table};
 use cs_bigint::BigUint;
 use cs_crypto::Ciphertext;
 use cs_net::executor::{run_step_sharded, ShardedConfig};
-use cs_net::runtime::{run_step_over_transport, NetConfig};
+use cs_net::runtime::{run_step_over_tcp, run_step_over_transport, NetConfig};
 use cs_net::wire::{decode_frame, encode_frame, Message};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,6 +87,14 @@ fn main() {
     if !quick {
         entries.push(bench_real_step(8));
     }
+    // TCP loopback: the same thread-per-node step, but every frame crosses
+    // a real kernel socket — measured at the threaded overlap populations
+    // so the socket tax is directly readable, plus a packed real-crypto row
+    // (the wire configuration a deployed cluster would actually run).
+    for &n in populations {
+        entries.push(bench_plain_step_tcp(n, quick));
+    }
+    entries.push(bench_packed_step_tcp(8));
     // Sharded executor: the scaling sweep. Same protocol configuration as
     // the threaded rows at the overlap population; virtual nodes carry it
     // three orders of magnitude further.
@@ -160,6 +168,17 @@ fn run_check(summary: &BenchSummary) {
         )),
         _ => failures.push("population-64 overlap measurements missing".to_string()),
     }
+    // TCP loopback pays kernel-socket tax over the in-memory channel, but
+    // it must stay within a sane multiple of the threaded runtime at the
+    // overlap population — a blowout means the writer/reader path is
+    // stalling (lock contention, lost wakeups), not just syscall overhead.
+    match (wall("net_step_plain", 64), wall("net_step_plain_tcp", 64)) {
+        (Some(threaded), Some(tcp)) if tcp <= threaded.max(1.0) * 15.0 => {}
+        (Some(threaded), Some(tcp)) => failures.push(format!(
+            "population 64: tcp loopback {tcp:.2} ms exceeds 15x threaded {threaded:.2} ms"
+        )),
+        _ => failures.push("population-64 tcp overlap measurements missing".to_string()),
+    }
     for e in &summary.entries {
         if e.name != "wire_codec_encrypted_push_roundtrip" && e.messages == 0 {
             failures.push(format!("{} @ {} moved no messages", e.name, e.population));
@@ -222,46 +241,124 @@ fn net_config() -> NetConfig {
     }
 }
 
+/// The thread-per-node substrates a workload can be measured on. The
+/// protocol configuration is shared (one [`StepWorkload`] feeds both), so
+/// the threaded-vs-tcp rows stay comparable by construction.
+#[derive(Clone, Copy)]
+enum Substrate {
+    /// In-memory channel transport.
+    Threaded,
+    /// Real kernel sockets on `127.0.0.1`.
+    TcpLoopback,
+}
+
+/// One protocol configuration measured as a full computation step.
+struct StepWorkload {
+    name: &'static str,
+    config: ChiaroscuroConfig,
+    layout: SlotLayout,
+    /// Seed of the RNG that builds the crypto context.
+    rng_seed: u64,
+    /// The step's per-iteration seed.
+    step_seed: u64,
+    /// Seed of the synthetic contribution vectors.
+    values_seed: u64,
+}
+
+impl StepWorkload {
+    /// Simulated-crypto (plaintext) mode, the scaling-comparison config.
+    fn plain(name: &'static str, quick: bool) -> Self {
+        StepWorkload {
+            name,
+            config: ChiaroscuroConfig {
+                k: 2,
+                gossip_cycles: if quick { 15 } else { 30 },
+                ..ChiaroscuroConfig::demo_simulated()
+            },
+            layout: SlotLayout {
+                k: 2,
+                series_len: 8,
+            },
+            rng_seed: 2,
+            step_seed: 42,
+            values_seed: 3,
+        }
+    }
+
+    /// Real Damgård-Jurik pipeline (test-size keys), optionally packed.
+    fn real(name: &'static str, packing: bool) -> Self {
+        StepWorkload {
+            name,
+            config: ChiaroscuroConfig {
+                k: 2,
+                gossip_cycles: 10,
+                packing,
+                ..ChiaroscuroConfig::test_real()
+            },
+            layout: SlotLayout {
+                k: 2,
+                series_len: 5,
+            },
+            rng_seed: 4,
+            step_seed: 43,
+            values_seed: 5,
+        }
+    }
+
+    /// Runs the workload at population `n` on `substrate` and measures it.
+    fn measure(&self, n: usize, substrate: Substrate) -> BenchEntry {
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+        let crypto = CryptoContext::from_config(&self.config, &mut rng).expect("context");
+        let contributions = synthetic_contributions(n, &self.layout, self.values_seed);
+        let t = Instant::now();
+        let runner = match substrate {
+            Substrate::Threaded => run_step_over_transport,
+            Substrate::TcpLoopback => run_step_over_tcp,
+        };
+        let run = runner(
+            &self.config,
+            &self.layout,
+            &contributions,
+            &crypto,
+            self.step_seed,
+            &net_config(),
+            &[],
+        )
+        .expect("step");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let messages = run.snapshot.messages();
+        let bytes = run.snapshot.bytes();
+        BenchEntry {
+            name: self.name.to_string(),
+            population: n,
+            wall_ms,
+            messages,
+            bytes,
+            bytes_per_message: if messages == 0 {
+                0.0
+            } else {
+                bytes as f64 / messages as f64
+            },
+        }
+    }
+}
+
 /// One full threaded computation step in simulated-crypto (plaintext) mode.
 fn bench_plain_step(n: usize, quick: bool) -> BenchEntry {
-    let config = ChiaroscuroConfig {
-        k: 2,
-        gossip_cycles: if quick { 15 } else { 30 },
-        ..ChiaroscuroConfig::demo_simulated()
-    };
-    let layout = SlotLayout {
-        k: 2,
-        series_len: 8,
-    };
-    let mut rng = StdRng::seed_from_u64(2);
-    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
-    let contributions = synthetic_contributions(n, &layout, 3);
-    let t = Instant::now();
-    let run = run_step_over_transport(
-        &config,
-        &layout,
-        &contributions,
-        &crypto,
-        42,
-        &net_config(),
-        &[],
-    )
-    .expect("step");
-    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    let messages = run.snapshot.messages();
-    let bytes = run.snapshot.bytes();
-    BenchEntry {
-        name: "net_step_plain".to_string(),
-        population: n,
-        wall_ms,
-        messages,
-        bytes,
-        bytes_per_message: if messages == 0 {
-            0.0
-        } else {
-            bytes as f64 / messages as f64
-        },
-    }
+    StepWorkload::plain("net_step_plain", quick).measure(n, Substrate::Threaded)
+}
+
+/// The same plaintext step over the TCP loopback substrate — identical
+/// protocol configuration, but every frame crosses a real kernel socket.
+fn bench_plain_step_tcp(n: usize, quick: bool) -> BenchEntry {
+    StepWorkload::plain("net_step_plain_tcp", quick).measure(n, Substrate::TcpLoopback)
+}
+
+/// One full computation step over TCP loopback with the real Damgård-Jurik
+/// pipeline *and* the crypto fast path — the wire configuration of a
+/// deployed `csnoded` cluster, measured in-process.
+fn bench_packed_step_tcp(n: usize) -> BenchEntry {
+    StepWorkload::real("net_step_real_packed_tcp", true).measure(n, Substrate::TcpLoopback)
 }
 
 /// Sharded-executor settings for the sweep: votes stay on at the overlap
@@ -369,42 +466,5 @@ fn bench_packed_step_sharded(n: usize) -> BenchEntry {
 /// One full threaded computation step with the real Damgård-Jurik pipeline
 /// (test-size keys).
 fn bench_real_step(n: usize) -> BenchEntry {
-    let config = ChiaroscuroConfig {
-        k: 2,
-        gossip_cycles: 10,
-        ..ChiaroscuroConfig::test_real()
-    };
-    let layout = SlotLayout {
-        k: 2,
-        series_len: 5,
-    };
-    let mut rng = StdRng::seed_from_u64(4);
-    let crypto = CryptoContext::from_config(&config, &mut rng).expect("context");
-    let contributions = synthetic_contributions(n, &layout, 5);
-    let t = Instant::now();
-    let run = run_step_over_transport(
-        &config,
-        &layout,
-        &contributions,
-        &crypto,
-        43,
-        &net_config(),
-        &[],
-    )
-    .expect("step");
-    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    let messages = run.snapshot.messages();
-    let bytes = run.snapshot.bytes();
-    BenchEntry {
-        name: "net_step_real_crypto".to_string(),
-        population: n,
-        wall_ms,
-        messages,
-        bytes,
-        bytes_per_message: if messages == 0 {
-            0.0
-        } else {
-            bytes as f64 / messages as f64
-        },
-    }
+    StepWorkload::real("net_step_real_crypto", false).measure(n, Substrate::Threaded)
 }

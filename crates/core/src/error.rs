@@ -18,6 +18,9 @@ pub enum ChiaroscuroError {
     },
     /// A cryptographic operation failed.
     Crypto(CryptoError),
+    /// A network substrate failed below the protocol layer (socket bind,
+    /// peer handshake, cluster bootstrap, broken control channel).
+    Transport(String),
     /// The privacy budget was exhausted before convergence *and* before the
     /// iteration cap (should not happen with a consistent budget plan).
     BudgetExhausted(AccountantError),
@@ -31,6 +34,7 @@ impl fmt::Display for ChiaroscuroError {
                 write!(f, "need at least k={k} series, got {series}")
             }
             ChiaroscuroError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ChiaroscuroError::Transport(msg) => write!(f, "transport error: {msg}"),
             ChiaroscuroError::BudgetExhausted(e) => write!(f, "{e}"),
         }
     }

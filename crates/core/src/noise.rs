@@ -7,6 +7,7 @@
 
 use cs_dp::NoiseShareGenerator;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Slot layout of one computation step's aggregate vector.
 ///
@@ -15,7 +16,7 @@ use rand::Rng;
 /// aggregates — mirroring the paper's separate "gossip computation of the
 /// encrypted means" (2a) and "of the encrypted noises" (2b), merged slotwise
 /// in step 2c.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlotLayout {
     /// Number of clusters.
     pub k: usize,

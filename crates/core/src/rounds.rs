@@ -156,7 +156,7 @@ pub fn encrypt_packed_contribution<R: rand::Rng + ?Sized>(
 }
 
 /// One participant's decrypted, perturbed aggregate estimates.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PerturbedAggregates {
     /// Per-cluster perturbed sums (`k × series_len`), noise already folded
     /// in.

@@ -35,6 +35,13 @@
 //!   fully deterministic under a seed. The scaling substrate
 //!   (`NetBackend::sharded`); the threaded runtime stays as the
 //!   differential oracle.
+//! * [`tcp`] — the **TCP socket transport**: the same wire frames over
+//!   `std::net` streams, with a peer directory, connect/accept plus
+//!   reconnect-with-backoff, stream reassembly at arbitrary read
+//!   boundaries, and the channel transport's loss/latency shims — serving
+//!   both as the in-process loopback substrate (`NetBackend::tcp`) and as
+//!   the inter-process substrate under the `cs_node` crate's `csnoded`
+//!   daemons, where the protocol finally runs across real OS processes.
 //!
 //! ## Example: one engine run over the threaded runtime
 //!
@@ -67,11 +74,13 @@ pub mod churn;
 pub mod executor;
 pub mod node;
 pub mod runtime;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use executor::{run_step_sharded, ShardedConfig};
-pub use runtime::{run_step_over_transport, NetBackend, NetConfig, StepRun};
+pub use runtime::{run_step_over_tcp, run_step_over_transport, NetBackend, NetConfig, StepRun};
+pub use tcp::{FrameReassembler, PeerDirectory, TcpEndpoint, TcpRecord, TcpTransport};
 pub use transport::{ChannelTransport, Envelope, LinkConfig, NetError, Transport};
 pub use wire::{decode_frame, encode_frame, FrameClass, Message, WireError, WIRE_VERSION};

@@ -117,7 +117,11 @@ enum Phase {
 }
 
 /// What a node hands back to the driver when the step completes.
-#[derive(Clone, Debug)]
+///
+/// Serializable: in the multi-process deployment (`cs_node`) the report is
+/// what a `csnoded` daemon ships back to its coordinator over the control
+/// channel.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct NodeReport {
     /// This node's identifier.
     pub id: NodeId,
@@ -137,6 +141,23 @@ pub struct NodeReport {
     pub peer_failures: u64,
     /// Frames that failed to decode (corrupt or mis-versioned).
     pub bad_frames: u64,
+}
+
+impl NodeReport {
+    /// The report of a node that never ran (down before the step started,
+    /// or its process died without reporting): no estimate, no work done.
+    pub fn dead(id: NodeId) -> Self {
+        NodeReport {
+            id,
+            estimate: None,
+            ops: HomomorphicOpCounts::default(),
+            decrypt_ops: DecryptionOps::default(),
+            pushes_sent: 0,
+            gossip_cut_short: false,
+            peer_failures: 0,
+            bad_frames: 0,
+        }
+    }
 }
 
 /// The sans-IO per-node state machine.

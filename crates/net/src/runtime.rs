@@ -95,9 +95,10 @@ impl StepCrypto {
 /// Folds per-node reports and the transport's per-class accounting into the
 /// engine-facing [`ComputationOutcome`] — gossip + control frames feed the
 /// gossip traffic bucket, decryption frames the decryption bucket, the same
-/// split the simulator's synthesized accounting uses. Shared by both
-/// substrates so their outcomes are structurally identical.
-pub(crate) fn assemble_outcome(
+/// split the simulator's synthesized accounting uses. Shared by every
+/// substrate (threaded, sharded, TCP, and the `cs_node` multi-process
+/// coordinator) so their outcomes are structurally identical.
+pub fn assemble_outcome(
     reports: &[NodeReport],
     alive_after: Vec<bool>,
     snapshot: &TrafficSnapshot,
@@ -231,13 +232,74 @@ pub fn run_step_over_transport(
             "the runtime needs at least two nodes".into(),
         ));
     }
+    let transport: Arc<dyn Transport> =
+        Arc::new(ChannelTransport::new(n, net.link.clone(), step_seed));
+    run_step_on(
+        config,
+        layout,
+        contributions,
+        crypto,
+        step_seed,
+        net,
+        step_churn,
+        transport,
+    )
+}
+
+/// Runs one computation step over a freshly built TCP loopback transport:
+/// the same thread-per-node event loops as [`run_step_over_transport`], but
+/// every frame crosses a real kernel socket on `127.0.0.1` instead of an
+/// in-memory channel (see [`crate::tcp::TcpTransport::loopback`]).
+pub fn run_step_over_tcp(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    crypto: &CryptoContext,
+    step_seed: u64,
+    net: &NetConfig,
+    step_churn: &[crate::churn::ChurnEvent],
+) -> Result<StepRun, ChiaroscuroError> {
+    let n = contributions.len();
+    if n < 2 {
+        return Err(ChiaroscuroError::InvalidConfig(
+            "the runtime needs at least two nodes".into(),
+        ));
+    }
+    let transport: Arc<dyn Transport> = Arc::new(
+        crate::tcp::TcpTransport::loopback(n, net.link.clone(), step_seed)
+            .map_err(|e| ChiaroscuroError::Transport(format!("tcp loopback bind: {e}")))?,
+    );
+    run_step_on(
+        config,
+        layout,
+        contributions,
+        crypto,
+        step_seed,
+        net,
+        step_churn,
+        transport,
+    )
+}
+
+/// The substrate-independent step driver behind the `run_step_over_*`
+/// entry points: spawns one thread per node against `transport`, applies
+/// the scripted churn, and folds reports + traffic into a [`StepRun`].
+#[allow(clippy::too_many_arguments)]
+fn run_step_on(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    contributions: &[Option<Vec<f64>>],
+    crypto: &CryptoContext,
+    step_seed: u64,
+    net: &NetConfig,
+    step_churn: &[crate::churn::ChurnEvent],
+    transport: Arc<dyn Transport>,
+) -> Result<StepRun, ChiaroscuroError> {
+    let n = contributions.len();
     net.link.validate();
     let started = Instant::now();
 
     let step = StepCrypto::prepare(config, layout, n, crypto)?;
-
-    let transport: Arc<dyn Transport> =
-        Arc::new(ChannelTransport::new(n, net.link.clone(), step_seed));
     let controls = Arc::new(Controls::new(n));
     let shutdown = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(Completion::new(n));
@@ -380,10 +442,7 @@ fn node_loop(
     let started = Instant::now();
     let mut out: Vec<(NodeId, Message)> = Vec::new();
     let mut next_tick = Instant::now();
-    // Coarse: a retry is loss recovery, not pacing — it must stay well above
-    // the committee's worst-case service time for one request so slow
-    // replies are never mistaken for lost ones.
-    let retry_interval = (push_interval * 50).max(Duration::from_millis(150));
+    let retry_interval = decrypt_retry_interval(push_interval);
     let mut next_retry = Instant::now() + retry_interval;
     let mut was_crashed = controls.is_crashed(id);
     let mut done_since: Option<Instant> = None;
@@ -418,9 +477,9 @@ fn node_loop(
         // Receive with a short wait so ticks and control flips stay prompt.
         let wait = push_interval.min(Duration::from_micros(500));
         if let Some(env) = transport.recv_timeout(id, wait) {
-            dispatch(&mut node, env, &mut out);
+            dispatch_frame(&mut node, env, &mut out);
             while let Some(env) = transport.try_recv(id) {
-                dispatch(&mut node, env, &mut out);
+                dispatch_frame(&mut node, env, &mut out);
             }
         }
 
@@ -459,7 +518,11 @@ fn node_loop(
     node.into_report()
 }
 
-fn dispatch(
+/// Decodes one delivered frame into the node; corrupt frames are counted,
+/// never fatal. Shared by every event loop fronting a [`ProtocolNode`] —
+/// the threaded runtime here and the `cs_node` daemon — so frame-handling
+/// policy exists exactly once.
+pub fn dispatch_frame(
     node: &mut ProtocolNode,
     env: crate::transport::Envelope,
     out: &mut Vec<(NodeId, Message)>,
@@ -468,6 +531,16 @@ fn dispatch(
         Ok(msg) => node.handle(env.from, msg, out),
         Err(_) => node.note_bad_frame(),
     }
+}
+
+/// The decryption-round re-request cadence for a given gossip pacing.
+/// Coarse by design: a retry is loss recovery, not pacing — it must stay
+/// well above the committee's worst-case service time for one request so
+/// slow replies are never mistaken for lost ones. Load-bearing for the
+/// cross-substrate differential tests; every node event loop (threaded
+/// runtime, `cs_node` daemon) must use this, not its own formula.
+pub fn decrypt_retry_interval(push_interval: Duration) -> Duration {
+    (push_interval * 50).max(Duration::from_millis(150))
 }
 
 fn flush(id: NodeId, out: &mut Vec<(NodeId, Message)>, transport: &dyn Transport) {
@@ -483,6 +556,8 @@ fn flush(id: NodeId, out: &mut Vec<(NodeId, Message)>, transport: &dyn Transport
 enum Flavor {
     /// Thread-per-node over the in-memory channel transport.
     Threaded(NetConfig),
+    /// Thread-per-node over localhost TCP sockets (see [`crate::tcp`]).
+    Tcp(NetConfig),
     /// Sharded virtual-time event-loop executor (see [`crate::executor`]).
     Sharded(ShardedConfig),
 }
@@ -519,6 +594,19 @@ impl NetBackend {
         }
     }
 
+    /// Creates the backend on the TCP loopback substrate: the same
+    /// thread-per-node event loops as [`NetBackend::threaded`], but every
+    /// frame crosses a real kernel socket on `127.0.0.1` — the in-process
+    /// twin of the `cs_node` multi-process cluster, and the substrate the
+    /// `net_step_*_tcp` bench rows measure.
+    pub fn tcp(net: NetConfig) -> Self {
+        NetBackend {
+            flavor: Flavor::Tcp(net),
+            steps_run: 0,
+            last: None,
+        }
+    }
+
     /// Creates the backend on the sharded event-loop executor.
     pub fn sharded(cfg: ShardedConfig) -> Self {
         NetBackend {
@@ -544,6 +632,7 @@ impl ComputationBackend for NetBackend {
     fn label(&self) -> &'static str {
         match self.flavor {
             Flavor::Threaded(_) => "threaded-transport",
+            Flavor::Tcp(_) => "tcp-loopback",
             Flavor::Sharded(_) => "sharded-executor",
         }
     }
@@ -561,6 +650,18 @@ impl ComputationBackend for NetBackend {
             Flavor::Threaded(net) => {
                 let events = net.churn.for_step(self.steps_run);
                 run_step_over_transport(
+                    config,
+                    layout,
+                    contributions,
+                    crypto,
+                    step_seed,
+                    net,
+                    &events,
+                )?
+            }
+            Flavor::Tcp(net) => {
+                let events = net.churn.for_step(self.steps_run);
+                run_step_over_tcp(
                     config,
                     layout,
                     contributions,
@@ -686,6 +787,93 @@ mod tests {
             run.reports.iter().all(|r| r.bad_frames == 0),
             "no decode failures on a clean link"
         );
+    }
+
+    #[test]
+    fn plain_step_recovers_means_over_tcp_loopback() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 30,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(71);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(12, 72);
+        let run = run_step_over_tcp(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            73,
+            &fast_net(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 12, 0.35);
+        assert!(run.snapshot.gossip.bytes > 0, "bytes crossed real sockets");
+        assert!(
+            run.reports.iter().all(|r| r.bad_frames == 0),
+            "no decode failures over loopback TCP"
+        );
+    }
+
+    #[test]
+    fn real_step_recovers_means_over_tcp_loopback() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 10,
+            ..ChiaroscuroConfig::test_real()
+        };
+        let mut rng = StdRng::seed_from_u64(81);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(6, 82);
+        let run = run_step_over_tcp(
+            &config,
+            &layout(),
+            &contributions,
+            &crypto,
+            83,
+            &fast_net(),
+            &[],
+        )
+        .unwrap();
+        check_estimates(&run.outcome, 6, 0.5);
+        assert!(run.outcome.decrypt_ops.partial_decryptions > 0);
+        assert!(
+            run.snapshot.decrypt.bytes > 0,
+            "decrypt frames flew via TCP"
+        );
+    }
+
+    #[test]
+    fn engine_runs_end_to_end_over_the_tcp_backend() {
+        use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+        let data = generate(
+            &BlobsConfig {
+                count: 10,
+                clusters: 2,
+                len: 4,
+                noise: 0.2,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(91),
+        );
+        let mut config = ChiaroscuroConfig::demo_simulated();
+        config.k = 2;
+        config.max_iterations = 2;
+        config.gossip_cycles = 20;
+        config.epsilon = 1000.0;
+        let engine = chiaroscuro::Engine::new(config).unwrap();
+        let mut backend = NetBackend::tcp(NetConfig {
+            push_interval: Duration::from_micros(150),
+            quiesce: Duration::from_millis(120),
+            ..NetConfig::default()
+        });
+        assert_eq!(backend.label(), "tcp-loopback");
+        let out = engine.run_with_backend(&data.series, &mut backend).unwrap();
+        assert_eq!(out.iterations, 2);
+        assert_eq!(backend.steps_run(), 2);
+        assert!(out.log.records.iter().all(|r| r.cost.gossip_messages > 0));
     }
 
     #[test]

@@ -101,6 +101,26 @@ pub struct ClassCounts {
     pub dropped: u64,
 }
 
+impl ClassCounts {
+    /// Component-wise sum.
+    pub fn plus(&self, other: &ClassCounts) -> ClassCounts {
+        ClassCounts {
+            messages: self.messages + other.messages,
+            bytes: self.bytes + other.bytes,
+            dropped: self.dropped + other.dropped,
+        }
+    }
+
+    /// Component-wise difference (`self` must be the later reading).
+    pub fn minus(&self, earlier: &ClassCounts) -> ClassCounts {
+        ClassCounts {
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+            dropped: self.dropped - earlier.dropped,
+        }
+    }
+}
+
 /// A point-in-time copy of a transport's accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficSnapshot {
@@ -126,6 +146,27 @@ impl TrafficSnapshot {
     /// Total lost frames across all classes.
     pub fn dropped(&self) -> u64 {
         self.gossip.dropped + self.decrypt.dropped + self.control.dropped
+    }
+
+    /// Component-wise sum — folds per-node (or per-process) snapshots into
+    /// a population total; accounting is send-side, so nothing is
+    /// double-counted.
+    pub fn plus(&self, other: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            gossip: self.gossip.plus(&other.gossip),
+            decrypt: self.decrypt.plus(&other.decrypt),
+            control: self.control.plus(&other.control),
+        }
+    }
+
+    /// What accumulated since `earlier` — turns a transport's cumulative
+    /// counters into a per-step delta.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            gossip: self.gossip.minus(&earlier.gossip),
+            decrypt: self.decrypt.minus(&earlier.decrypt),
+            control: self.control.minus(&earlier.control),
+        }
     }
 }
 
@@ -173,7 +214,7 @@ pub trait Transport: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// A frame sitting in an inbox, ordered by delivery time.
-struct Scheduled {
+pub(crate) struct Scheduled {
     deliver_at: Instant,
     seq: u64,
     from: NodeId,
@@ -204,9 +245,79 @@ impl Ord for Scheduled {
     }
 }
 
-struct Inbox {
+/// A delay-ordered inbox: frames become visible at their `deliver_at`
+/// timestamp, a condvar wakes blocked receivers. Shared by the in-memory
+/// channel transport and the TCP transport (which schedules into it from
+/// its socket reader threads).
+pub(crate) struct Inbox {
     heap: Mutex<BinaryHeap<Scheduled>>,
     bell: Condvar,
+}
+
+impl Inbox {
+    pub(crate) fn new() -> Self {
+        Inbox {
+            heap: Mutex::new(BinaryHeap::new()),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Schedules a frame for delivery at `deliver_at`; `seq` breaks ties.
+    pub(crate) fn schedule(&self, deliver_at: Instant, seq: u64, from: NodeId, frame: Vec<u8>) {
+        let mut heap = self.heap.lock().expect("inbox poisoned");
+        heap.push(Scheduled {
+            deliver_at,
+            seq,
+            from,
+            frame,
+        });
+        drop(heap);
+        self.bell.notify_one();
+    }
+
+    /// Pops the earliest frame whose delivery time has passed.
+    pub(crate) fn try_pop(&self) -> Option<Envelope> {
+        let mut heap = self.heap.lock().expect("inbox poisoned");
+        if let Some(top) = heap.peek() {
+            if top.deliver_at <= Instant::now() {
+                let s = heap.pop().unwrap();
+                return Some(Envelope {
+                    from: s.from,
+                    frame: s.frame,
+                });
+            }
+        }
+        None
+    }
+
+    /// Blocking pop, up to `timeout`: parks on the condvar until a frame is
+    /// deliverable, a new frame arrives, or the deadline passes.
+    pub(crate) fn pop_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let mut heap = self.heap.lock().expect("inbox poisoned");
+        loop {
+            let now = Instant::now();
+            let next_wake = match heap.peek() {
+                Some(top) if top.deliver_at <= now => {
+                    let s = heap.pop().unwrap();
+                    return Some(Envelope {
+                        from: s.from,
+                        frame: s.frame,
+                    });
+                }
+                Some(top) => top.deliver_at.min(deadline),
+                None => deadline,
+            };
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .bell
+                .wait_timeout(heap, next_wake.saturating_duration_since(now))
+                .expect("inbox poisoned");
+            heap = guard;
+        }
+    }
 }
 
 /// The in-memory threaded transport: one delay-ordered inbox per node,
@@ -243,12 +354,7 @@ impl ChannelTransport {
         assert!(n >= 2, "need at least two nodes");
         cfg.validate();
         ChannelTransport {
-            inboxes: (0..n)
-                .map(|_| Inbox {
-                    heap: Mutex::new(BinaryHeap::new()),
-                    bell: Condvar::new(),
-                })
-                .collect(),
+            inboxes: (0..n).map(|_| Inbox::new()).collect(),
             cfg,
             seed,
             seq: AtomicU64::new(0),
@@ -273,20 +379,6 @@ impl ChannelTransport {
             FrameClass::Decrypt => 1,
             FrameClass::Control => 2,
         }
-    }
-
-    fn pop_ready(&self, at: NodeId) -> Option<Envelope> {
-        let mut heap = self.inboxes[at].heap.lock().expect("inbox poisoned");
-        if let Some(top) = heap.peek() {
-            if top.deliver_at <= Instant::now() {
-                let s = heap.pop().unwrap();
-                return Some(Envelope {
-                    from: s.from,
-                    frame: s.frame,
-                });
-            }
-        }
-        None
     }
 }
 
@@ -339,50 +431,16 @@ impl Transport for ChannelTransport {
         if let Some(bw) = self.cfg.bandwidth_bytes_per_sec {
             delay += Duration::from_secs_f64(len as f64 / bw as f64);
         }
-        let scheduled = Scheduled {
-            deliver_at: Instant::now() + delay,
-            seq,
-            from,
-            frame,
-        };
-        let inbox = &self.inboxes[to];
-        let mut heap = inbox.heap.lock().expect("inbox poisoned");
-        heap.push(scheduled);
-        drop(heap);
-        inbox.bell.notify_one();
+        self.inboxes[to].schedule(Instant::now() + delay, seq, from, frame);
         Ok(len)
     }
 
     fn try_recv(&self, at: NodeId) -> Option<Envelope> {
-        self.pop_ready(at)
+        self.inboxes[at].try_pop()
     }
 
     fn recv_timeout(&self, at: NodeId, timeout: Duration) -> Option<Envelope> {
-        let deadline = Instant::now() + timeout;
-        let inbox = &self.inboxes[at];
-        let mut heap = inbox.heap.lock().expect("inbox poisoned");
-        loop {
-            let now = Instant::now();
-            let next_wake = match heap.peek() {
-                Some(top) if top.deliver_at <= now => {
-                    let s = heap.pop().unwrap();
-                    return Some(Envelope {
-                        from: s.from,
-                        frame: s.frame,
-                    });
-                }
-                Some(top) => top.deliver_at.min(deadline),
-                None => deadline,
-            };
-            if now >= deadline {
-                return None;
-            }
-            let (guard, _) = inbox
-                .bell
-                .wait_timeout(heap, next_wake.saturating_duration_since(now))
-                .expect("inbox poisoned");
-            heap = guard;
-        }
+        self.inboxes[at].pop_timeout(timeout)
     }
 
     fn snapshot(&self) -> TrafficSnapshot {

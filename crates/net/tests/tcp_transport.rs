@@ -1,0 +1,194 @@
+//! Integration tests for the TCP socket transport: stream reassembly under
+//! arbitrary kernel read fragmentation, and bytes-on-wire accounting parity
+//! with the in-memory channel transport.
+
+use cs_bigint::BigUint;
+use cs_crypto::{Ciphertext, PartialDecryption};
+use cs_net::tcp::{encode_record, FrameReassembler, TcpTransport};
+use cs_net::wire::{decode_frame, encode_frame, Message};
+use cs_net::{ChannelTransport, LinkConfig, Transport};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A message whose frame size varies with the sampled raw bytes, covering
+/// every traffic class.
+fn build_message(variant: u8, iteration: u64, raw_slots: &[Vec<u8>], floats: &[f64]) -> Message {
+    let cipher = |bytes: &Vec<u8>| Ciphertext::from_biguint(BigUint::from_bytes_le(bytes));
+    match variant % 5 {
+        0 => Message::EncryptedPush {
+            iteration,
+            denom_exp: 3,
+            weight: 0.25,
+            slots: raw_slots.iter().map(cipher).collect(),
+        },
+        1 => Message::PlainPush {
+            iteration,
+            weight: 0.5,
+            slots: floats.to_vec(),
+        },
+        2 => Message::DecryptShare {
+            iteration,
+            partials: raw_slots
+                .iter()
+                .enumerate()
+                .map(|(i, bytes)| {
+                    PartialDecryption::from_parts(i as u64 + 1, BigUint::from_bytes_le(bytes))
+                })
+                .collect(),
+        },
+        3 => Message::TerminationVote {
+            iteration,
+            completed: true,
+        },
+        _ => Message::Leave { node: iteration },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The length-prefix reader's core guarantee: a stream of records split
+    /// at *arbitrary* byte boundaries across successive reads reassembles
+    /// into exactly the records that went in, and every carried frame
+    /// decodes identically to its whole-frame decode.
+    #[test]
+    fn records_split_at_arbitrary_boundaries_decode_identically(
+        specs in vec((0u8..5, any::<u64>(), vec(vec(any::<u8>(), 0..24), 0..5), vec(-1e9f64..1e9, 0..8)), 1..6),
+        cuts in vec(1usize..64, 0..24),
+    ) {
+        // Build the ground truth and the concatenated byte stream.
+        let mut messages = Vec::new();
+        let mut stream = Vec::new();
+        for (i, (variant, iteration, raw_slots, floats)) in specs.iter().enumerate() {
+            let msg = build_message(*variant, *iteration, raw_slots, floats);
+            let frame = encode_frame(&msg);
+            stream.extend_from_slice(&encode_record(i, i + 1, &frame));
+            messages.push(msg);
+        }
+
+        // Split the stream at the sampled boundaries (cuts wrap around the
+        // remaining length, so every fragmentation pattern is reachable,
+        // including 1-byte reads and reads spanning several records).
+        let mut reassembler = FrameReassembler::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
+        let mut cut_idx = 0usize;
+        while pos < stream.len() {
+            let remaining = stream.len() - pos;
+            let take = if cut_idx < cuts.len() {
+                cuts[cut_idx].min(remaining)
+            } else {
+                remaining
+            };
+            cut_idx += 1;
+            reassembler.push(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(rec) = reassembler.next_record().unwrap() {
+                decoded.push((rec.from, rec.to, decode_frame(&rec.frame).unwrap()));
+            }
+        }
+
+        prop_assert_eq!(decoded.len(), messages.len());
+        for (i, (from, to, msg)) in decoded.iter().enumerate() {
+            prop_assert_eq!(*from, i);
+            prop_assert_eq!(*to, i + 1);
+            prop_assert_eq!(msg, &messages[i]);
+        }
+        prop_assert_eq!(reassembler.pending(), 0, "no leftover bytes");
+    }
+}
+
+/// The per-class accounting parity lock: for the same message sequence on a
+/// lossless link, `TcpTransport::send` must report exactly the per-class
+/// message and byte counts `ChannelTransport` reports — the byte count is
+/// the wire frame's length in both, never the TCP record framing.
+#[test]
+fn tcp_send_accounting_matches_channel_transport() {
+    let n = 4;
+    let channel = ChannelTransport::new(n, LinkConfig::ideal(), 9);
+    let tcp = TcpTransport::loopback(n, LinkConfig::ideal(), 9).unwrap();
+
+    let messages = vec![
+        (
+            0,
+            1,
+            Message::PlainPush {
+                iteration: 1,
+                weight: 0.5,
+                slots: vec![1.0, 2.0, 3.0],
+            },
+        ),
+        (
+            1,
+            2,
+            Message::EncryptedPush {
+                iteration: 1,
+                denom_exp: 2,
+                weight: 0.25,
+                slots: vec![Ciphertext::from_biguint(BigUint::from(123456789u64))],
+            },
+        ),
+        (
+            2,
+            3,
+            Message::DecryptRequest {
+                iteration: 1,
+                slots: vec![Ciphertext::from_biguint(BigUint::from(42u64))],
+            },
+        ),
+        (
+            3,
+            0,
+            Message::DecryptShare {
+                iteration: 1,
+                partials: vec![PartialDecryption::from_parts(1, BigUint::from(7u64))],
+            },
+        ),
+        (
+            0,
+            2,
+            Message::TerminationVote {
+                iteration: 1,
+                completed: true,
+            },
+        ),
+        (
+            1,
+            3,
+            Message::Join {
+                node: 1,
+                iteration: 1,
+            },
+        ),
+        (2, 0, Message::Leave { node: 2 }),
+    ];
+
+    for (from, to, msg) in &messages {
+        let frame = encode_frame(msg);
+        let class = msg.class();
+        let a = channel.send(*from, *to, frame.clone(), class).unwrap();
+        let b = tcp.send(*from, *to, frame, class).unwrap();
+        assert_eq!(a, b, "send must report the same bytes-on-wire");
+        assert_eq!(a, msg.encoded_len(), "and both match encoded_len");
+    }
+
+    // Drain the TCP side so the comparison happens after real delivery —
+    // the counters are send-side, but this proves the frames actually flew.
+    let mut delivered = 0;
+    for (_, to, _) in &messages {
+        if tcp.recv_timeout(*to, Duration::from_secs(5)).is_some() {
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, messages.len());
+
+    let cs = channel.snapshot();
+    let ts = tcp.snapshot();
+    assert_eq!(cs.gossip, ts.gossip, "gossip class counters diverge");
+    assert_eq!(cs.decrypt, ts.decrypt, "decrypt class counters diverge");
+    assert_eq!(cs.control, ts.control, "control class counters diverge");
+    assert_eq!(cs.messages(), messages.len() as u64);
+    assert_eq!(cs.dropped(), 0);
+    assert_eq!(ts.dropped(), 0);
+}

@@ -1,0 +1,68 @@
+//! `csnoded` — one Chiaroscuro participant as an OS process.
+//!
+//! ```sh
+//! csnoded --id 3 --coordinator 127.0.0.1:9000 [--bind 127.0.0.1:0]
+//! ```
+//!
+//! The daemon binds its data-plane listener, registers with the
+//! coordinator, receives the population manifest plus (in real-crypto
+//! mode) its key share, and then runs one protocol node per computation
+//! step until the coordinator says `Shutdown`. See `docs/deployment.md`.
+
+use cs_node::daemon::{self, DaemonOpts};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csnoded --id <N> --coordinator <HOST:PORT> [--bind <ADDR>] [--advertise <HOST[:PORT]>]\n\
+         \n\
+         --id           this participant's node id (index in the manifest)\n\
+         --coordinator  the coordinator's control address\n\
+         --bind         data-plane bind address (default 127.0.0.1:0)\n\
+         --advertise    address peers connect to, when it differs from the\n\
+                        bind address (required for wildcard binds like\n\
+                        0.0.0.0; a bare HOST inherits the bound port)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut id: Option<usize> = None;
+    let mut coordinator: Option<String> = None;
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut advertise: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--id" => id = args.next().and_then(|v| v.parse().ok()),
+            "--coordinator" => coordinator = args.next(),
+            "--bind" => {
+                if let Some(v) = args.next() {
+                    bind = v;
+                }
+            }
+            "--advertise" => advertise = args.next(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("csnoded: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let (Some(id), Some(coordinator)) = (id, coordinator) else {
+        usage();
+    };
+    let opts = DaemonOpts {
+        id,
+        coordinator,
+        bind,
+        advertise,
+    };
+    match daemon::run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("csnoded[{id}]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The cluster coordinator: bootstrap, per-step orchestration, and the
+//! [`ClusterBackend`] that plugs a multi-process cluster into
+//! `chiaroscuro::Engine::run_with_backend`.
+//!
+//! The coordinator models the paper's *initialization* role, not a trusted
+//! aggregator: it deals key shares (the dealer of `cs_crypto::threshold`),
+//! distributes the population manifest, and paces steps — but the gossip
+//! aggregation, noise folding, and collaborative decryption run entirely
+//! between the daemons, and all the coordinator ever learns back are the
+//! *DP-perturbed* aggregate estimates the protocol discloses anyway.
+//!
+//! Orchestration per step mirrors the threaded runtime's driver: hand every
+//! live daemon its `Step`, wait until each announces `Done` (or its process
+//! dies — a connection EOF is the fail-stop signal), broadcast `StepEnd`,
+//! collect `Report`s, and fold them with `cs_net::runtime::assemble_outcome`
+//! so the engine sees exactly the same outcome shape as on every other
+//! substrate.
+
+use crate::proto::{read_msg, write_msg, ControlMsg, LinkSpec, TimingSpec, PROTO_VERSION};
+use crate::supervisor::Supervisor;
+use chiaroscuro::backend::ComputationBackend;
+use chiaroscuro::config::ChiaroscuroConfig;
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::{ComputationOutcome, CryptoContext};
+use chiaroscuro::ChiaroscuroError;
+use cs_net::node::NodeReport;
+use cs_net::runtime::assemble_outcome;
+use cs_net::transport::TrafficSnapshot;
+use cs_net::wire::WIRE_VERSION;
+use rand::rngs::StdRng;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Cluster-level knobs (the per-node timing travels to the daemons in the
+/// `Bootstrap`).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Data-plane link shims (keep [`LinkSpec::ideal`] for a real cluster —
+    /// localhost TCP is the genuine article).
+    pub link: LinkSpec,
+    /// Per-node event-loop timing.
+    pub timing: TimingSpec,
+    /// Seed for the data-plane loss/jitter draws.
+    pub transport_seed: u64,
+    /// How long the coordinator waits for straggler `Report`s after
+    /// `StepEnd`.
+    pub report_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            link: LinkSpec::ideal(),
+            timing: TimingSpec::default(),
+            transport_seed: 0x7C50_C4E7,
+            report_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+fn transport_err(msg: impl Into<String>) -> ChiaroscuroError {
+    ChiaroscuroError::Transport(msg.into())
+}
+
+/// A bound control-plane listener, waiting for daemons.
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+// Events are one-per-step-per-daemon — the Bootstrap-sized variant's
+// footprint is irrelevant at that rate.
+#[allow(clippy::large_enum_variant)]
+enum Event {
+    Msg(ControlMsg),
+    Gone,
+}
+
+struct Member {
+    /// Write half of the control connection; `None` once the daemon died.
+    writer: Option<TcpStream>,
+    data_addr: String,
+}
+
+impl Coordinator {
+    /// Binds the control listener on an ephemeral localhost port.
+    pub fn bind() -> io::Result<Coordinator> {
+        Ok(Coordinator {
+            listener: TcpListener::bind("127.0.0.1:0")?,
+        })
+    }
+
+    /// The control address to hand to `csnoded --coordinator`.
+    pub fn addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts exactly `n` daemons (validating their `Hello`s) within
+    /// `timeout`, and returns the assembled cluster. Every daemon must
+    /// speak the same wire and control-protocol versions and claim a
+    /// distinct id in `0..n`.
+    pub fn accept_cluster(self, n: usize, timeout: Duration) -> io::Result<Cluster> {
+        let deadline = Instant::now() + timeout;
+        self.listener.set_nonblocking(true)?;
+        let (tx, events) = mpsc::channel::<(usize, Event)>();
+        let mut members: Vec<Option<Member>> = (0..n).map(|_| None).collect();
+        let mut joined = 0usize;
+        while joined < n {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nodelay(true)?;
+                    // The Hello must arrive promptly; afterwards the reader
+                    // thread owns the (blocking) stream.
+                    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+                    let hello = read_msg(&mut stream)?;
+                    let ControlMsg::Hello {
+                        node,
+                        wire_version,
+                        proto_version,
+                        data_addr,
+                    } = hello
+                    else {
+                        return Err(bad_data("expected Hello"));
+                    };
+                    if wire_version != WIRE_VERSION || proto_version != PROTO_VERSION {
+                        return Err(bad_data(format!(
+                            "version mismatch from node {node}: wire {wire_version} \
+                             (want {WIRE_VERSION}), proto {proto_version} (want {PROTO_VERSION})"
+                        )));
+                    }
+                    if node >= n || members[node].is_some() {
+                        return Err(bad_data(format!(
+                            "duplicate or out-of-range node id {node}"
+                        )));
+                    }
+                    stream.set_read_timeout(None)?;
+                    let writer = stream.try_clone()?;
+                    let reader_tx = tx.clone();
+                    let mut reader = stream;
+                    thread::Builder::new()
+                        .name(format!("coord-reader-{node}"))
+                        .spawn(move || loop {
+                            match read_msg(&mut reader) {
+                                Ok(msg) => {
+                                    if reader_tx.send((node, Event::Msg(msg))).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(_) => {
+                                    let _ = reader_tx.send((node, Event::Gone));
+                                    return;
+                                }
+                            }
+                        })
+                        .expect("spawn coordinator reader");
+                    members[node] = Some(Member {
+                        writer: Some(writer),
+                        data_addr,
+                    });
+                    joined += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("only {joined}/{n} daemons connected in time"),
+                        ));
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Cluster {
+            members: members.into_iter().map(Option::unwrap).collect(),
+            events,
+            alive: vec![true; n],
+        })
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// An accepted, not-yet-bootstrapped cluster of daemon control channels.
+pub struct Cluster {
+    members: Vec<Member>,
+    events: Receiver<(usize, Event)>,
+    alive: Vec<bool>,
+}
+
+impl Cluster {
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` iff the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Per-daemon connection liveness.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    fn mark_dead(&mut self, node: usize) {
+        self.alive[node] = false;
+        self.members[node].writer = None;
+    }
+
+    fn send(&mut self, node: usize, msg: &ControlMsg) {
+        if let Some(w) = self.members[node].writer.as_mut() {
+            if write_msg(w, msg).is_err() {
+                self.mark_dead(node);
+            }
+        }
+    }
+}
+
+/// A [`ComputationBackend`] that executes every computation step across the
+/// daemons of a [`Cluster`] — real processes, real sockets, real crypto.
+///
+/// Bootstrap is lazy: the engine builds its `CryptoContext` (the dealer)
+/// inside `run_with_backend`, so the backend ships key material on the
+/// first `run_step` call, when it first sees it.
+pub struct ClusterBackend {
+    cluster: Cluster,
+    cfg: ClusterConfig,
+    bootstrapped: bool,
+    steps_run: usize,
+    kills: Vec<(usize, Duration, usize)>,
+    supervisor: Option<Arc<Supervisor>>,
+    last_reports: Option<Vec<NodeReport>>,
+    last_snapshot: Option<TrafficSnapshot>,
+}
+
+impl ClusterBackend {
+    /// Wraps an accepted cluster.
+    pub fn new(cluster: Cluster, cfg: ClusterConfig) -> Self {
+        ClusterBackend {
+            cluster,
+            cfg,
+            bootstrapped: false,
+            steps_run: 0,
+            kills: Vec::new(),
+            supervisor: None,
+            last_reports: None,
+            last_snapshot: None,
+        }
+    }
+
+    /// Scripts process kills: `(step, offset, node)` — `offset` after the
+    /// step's `Step` broadcast, `node` is SIGKILLed through `supervisor`.
+    /// The multi-process analogue of [`cs_net::ChurnSchedule`]'s crashes.
+    pub fn with_kills(
+        mut self,
+        supervisor: Arc<Supervisor>,
+        kills: Vec<(usize, Duration, usize)>,
+    ) -> Self {
+        self.supervisor = Some(supervisor);
+        self.kills = kills;
+        self
+    }
+
+    /// Computation steps executed so far.
+    pub fn steps_run(&self) -> usize {
+        self.steps_run
+    }
+
+    /// Per-node reports of the most recent step.
+    pub fn last_reports(&self) -> Option<&[NodeReport]> {
+        self.last_reports.as_deref()
+    }
+
+    /// Cluster-summed per-class traffic of the most recent step.
+    pub fn last_snapshot(&self) -> Option<&TrafficSnapshot> {
+        self.last_snapshot.as_ref()
+    }
+
+    /// Per-daemon connection liveness.
+    pub fn alive(&self) -> &[bool] {
+        self.cluster.alive()
+    }
+
+    /// Sends `Shutdown` to every living daemon (they exit cleanly).
+    pub fn shutdown(&mut self) {
+        for i in 0..self.cluster.len() {
+            self.cluster.send(i, &ControlMsg::Shutdown);
+        }
+    }
+
+    fn bootstrap(
+        &mut self,
+        config: &ChiaroscuroConfig,
+        layout: &SlotLayout,
+        population: usize,
+        crypto: &CryptoContext,
+    ) -> Result<(), ChiaroscuroError> {
+        let n = self.cluster.len();
+        if population != n {
+            return Err(transport_err(format!(
+                "engine population {population} != cluster size {n}"
+            )));
+        }
+        let manifest: Vec<String> = self
+            .cluster
+            .members
+            .iter()
+            .map(|m| m.data_addr.clone())
+            .collect();
+        // Committee assignment mirrors `cs_net::runtime::StepCrypto`: the
+        // first `parties` nodes, in share order.
+        let (committee, pk) = match crypto {
+            CryptoContext::Real { tkp, pk, .. } => (
+                (0..tkp.params().parties.min(n)).collect::<Vec<_>>(),
+                Some(pk.as_ref().clone()),
+            ),
+            CryptoContext::Simulated { .. } => (Vec::new(), None),
+        };
+        for i in 0..n {
+            let share = match crypto {
+                CryptoContext::Real { tkp, .. } if committee.contains(&i) => {
+                    Some(tkp.shares()[i].clone())
+                }
+                _ => None,
+            };
+            let msg = ControlMsg::Bootstrap {
+                config: config.clone(),
+                layout: *layout,
+                population: manifest.clone(),
+                committee: committee.clone(),
+                pk: pk.clone(),
+                share,
+                link: self.cfg.link,
+                timing: self.cfg.timing,
+                transport_seed: self.cfg.transport_seed,
+            };
+            self.cluster.send(i, &msg);
+        }
+        self.bootstrapped = true;
+        Ok(())
+    }
+}
+
+impl ComputationBackend for ClusterBackend {
+    fn label(&self) -> &'static str {
+        "tcp-cluster"
+    }
+
+    fn run_step(
+        &mut self,
+        config: &ChiaroscuroConfig,
+        layout: &SlotLayout,
+        contributions: &[Option<Vec<f64>>],
+        crypto: &CryptoContext,
+        step_seed: u64,
+        _rng: &mut StdRng,
+    ) -> Result<ComputationOutcome, ChiaroscuroError> {
+        let n = contributions.len();
+        if !self.bootstrapped {
+            self.bootstrap(config, layout, n, crypto)?;
+        }
+        let step = self.steps_run;
+
+        for (i, contribution) in contributions.iter().enumerate() {
+            self.cluster.send(
+                i,
+                &ControlMsg::Step {
+                    step,
+                    step_seed,
+                    contribution: contribution.clone(),
+                },
+            );
+        }
+
+        let step_deadline = Instant::now()
+            + Duration::from_millis(self.cfg.timing.step_timeout_ms)
+            + Duration::from_secs(5);
+        let mut ready = vec![false; n];
+        let mut done = vec![false; n];
+        let mut reports: Vec<Option<NodeReport>> = (0..n).map(|_| None).collect();
+        let mut snapshots: Vec<TrafficSnapshot> = vec![TrafficSnapshot::default(); n];
+
+        // Phase 0 — the start barrier: every living daemon constructs its
+        // node (contribution encryption included) and acknowledges Ready
+        // before anyone gossips, mirroring the threaded runtime's start
+        // gate. Dark slots Ready-then-Done immediately, so their Done must
+        // be buffered here too.
+        loop {
+            let outstanding = (0..n).any(|i| self.cluster.alive[i] && !ready[i]);
+            if !outstanding {
+                break;
+            }
+            let now = Instant::now();
+            if now >= step_deadline {
+                break; // release whoever is ready rather than deadlock
+            }
+            match self.cluster.events.recv_timeout(step_deadline - now) {
+                Ok((i, Event::Msg(ControlMsg::Ready { step: s, .. }))) if s == step => {
+                    ready[i] = true;
+                }
+                Ok((i, Event::Msg(ControlMsg::Done { step: s, .. }))) if s == step => {
+                    done[i] = true;
+                }
+                Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(transport_err("all control channels died"));
+                }
+            }
+        }
+        for i in 0..n {
+            self.cluster.send(i, &ControlMsg::Go { step });
+        }
+
+        // Scripted process kills, offset from the Go broadcast — i.e. from
+        // the start of the *gossip* phase, the same anchor every other
+        // substrate's churn clock uses. The fence scopes them to this
+        // step: churn events belong to their step on every substrate, so
+        // a timer still pending when run_step returns (step finished
+        // early, or errored) is cancelled rather than firing into a later
+        // step or after the run.
+        struct KillFence(Arc<std::sync::atomic::AtomicBool>);
+        impl Drop for KillFence {
+            fn drop(&mut self) {
+                self.0.store(true, std::sync::atomic::Ordering::Release);
+            }
+        }
+        let fence = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let _fence_guard = KillFence(fence.clone());
+        for &(kill_step, after, node) in &self.kills {
+            if kill_step != step {
+                continue;
+            }
+            let Some(sup) = self.supervisor.clone() else {
+                return Err(transport_err("kill schedule without a supervisor"));
+            };
+            let fence = fence.clone();
+            thread::Builder::new()
+                .name(format!("cluster-kill-{node}"))
+                .spawn(move || {
+                    thread::sleep(after);
+                    if !fence.load(std::sync::atomic::Ordering::Acquire) {
+                        sup.kill(node);
+                    }
+                })
+                .map_err(|e| transport_err(format!("spawn kill timer: {e}")))?;
+        }
+
+        // Phase 1: every living daemon announces Done (its own part of the
+        // step finished; committee service continues until StepEnd). A
+        // dead connection excuses its daemon — that is the fail-stop.
+        loop {
+            let outstanding = (0..n).any(|i| self.cluster.alive[i] && !done[i]);
+            if !outstanding {
+                break;
+            }
+            let now = Instant::now();
+            if now >= step_deadline {
+                break;
+            }
+            match self.cluster.events.recv_timeout(step_deadline - now) {
+                // Step-tagged so a straggler announcement or report from a
+                // previous step can never satisfy (or poison) this one.
+                Ok((i, Event::Msg(ControlMsg::Done { step: s, .. }))) if s == step => {
+                    done[i] = true;
+                }
+                Ok((
+                    i,
+                    Event::Msg(ControlMsg::Report {
+                        step: s,
+                        report,
+                        snapshot,
+                    }),
+                )) if s == step => {
+                    snapshots[i] = snapshot;
+                    reports[i] = Some(report);
+                }
+                Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(transport_err("all control channels died"));
+                }
+            }
+        }
+
+        // Phase 2: stop the population and collect reports.
+        for i in 0..n {
+            self.cluster.send(i, &ControlMsg::StepEnd);
+        }
+        let report_deadline = Instant::now() + self.cfg.report_timeout;
+        loop {
+            let outstanding = (0..n).any(|i| self.cluster.alive[i] && reports[i].is_none());
+            if !outstanding {
+                break;
+            }
+            let now = Instant::now();
+            if now >= report_deadline {
+                break;
+            }
+            match self.cluster.events.recv_timeout(report_deadline - now) {
+                Ok((
+                    i,
+                    Event::Msg(ControlMsg::Report {
+                        step: s,
+                        report,
+                        snapshot,
+                    }),
+                )) if s == step => {
+                    snapshots[i] = snapshot;
+                    reports[i] = Some(report);
+                }
+                Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(transport_err("all control channels died"));
+                }
+            }
+        }
+
+        // Fold. A daemon that never reported (killed, or hopelessly late)
+        // contributes a dead report; cluster traffic is the sum of the
+        // per-daemon deltas — accounting is send-side, so nothing is
+        // double-counted.
+        let reports: Vec<NodeReport> = reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| NodeReport::dead(i)))
+            .collect();
+        let alive_after: Vec<bool> = (0..n)
+            .map(|i| self.cluster.alive[i] && contributions[i].is_some())
+            .collect();
+        let total = snapshots
+            .iter()
+            .fold(TrafficSnapshot::default(), |acc, s| acc.plus(s));
+        let outcome = assemble_outcome(&reports, alive_after, &total);
+        self.steps_run += 1;
+        self.last_reports = Some(reports);
+        self.last_snapshot = Some(total);
+        Ok(outcome)
+    }
+}
+
+impl Drop for ClusterBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,448 @@
+//! The `csnoded` daemon: one Chiaroscuro participant per OS process.
+//!
+//! Lifecycle: bind the data-plane listener (ephemeral port), connect to the
+//! coordinator, introduce yourself (`Hello` — node id, wire + control
+//! protocol versions, data address), receive the `Bootstrap` (engine
+//! configuration, population manifest, key share if on the committee), and
+//! then serve `Step` commands until `Shutdown`: each step drives one
+//! [`ProtocolNode`] — the *same* sans-IO state machine every other
+//! substrate runs — over a [`TcpTransport`] whose peers are other
+//! processes, announces `Done` when its own part completes, keeps serving
+//! committee duties until `StepEnd`, and ships its [`NodeReport`] plus the
+//! step's traffic delta back up the control channel.
+//!
+//! The daemon is deliberately boring: all protocol behavior lives in
+//! `cs_net::node`, all transport behavior in `cs_net::tcp`; this module
+//! only sequences bootstrap and steps. If the control connection dies the
+//! daemon exits — in this deployment the coordinator *is* the experiment,
+//! so an orphaned participant has nothing left to do.
+
+use crate::proto::{read_msg, write_msg, ControlMsg, TimingSpec, PROTO_VERSION};
+use chiaroscuro::config::CryptoMode;
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::plan_packed_codec;
+use chiaroscuro::ChiaroscuroConfig;
+use cs_crypto::threshold::delta_for;
+use cs_crypto::{FastEncryptor, FixedPointCodec, KeyShare, PublicKey};
+use cs_net::node::{NodeCrypto, NodeParams, PackedCrypto, ProtocolNode};
+use cs_net::runtime::{decrypt_retry_interval, dispatch_frame};
+use cs_net::tcp::{PeerDirectory, TcpEndpoint, TcpTransport};
+use cs_net::transport::{NodeId, TrafficSnapshot, Transport};
+use cs_net::wire::{encode_frame, Message, WIRE_VERSION};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Command-line surface of the daemon.
+#[derive(Clone, Debug)]
+pub struct DaemonOpts {
+    /// This participant's node id (its index in the population manifest).
+    pub id: usize,
+    /// The coordinator's control address, `host:port`.
+    pub coordinator: String,
+    /// Data-plane bind address; the default takes an ephemeral local port.
+    pub bind: String,
+    /// Address peers should connect to, when it differs from the bind
+    /// address — required for wildcard binds (`0.0.0.0:PORT` would
+    /// otherwise enter the manifest verbatim and route every peer to its
+    /// own localhost). A bare `HOST` inherits the bound port.
+    pub advertise: Option<String>,
+}
+
+impl DaemonOpts {
+    /// Default options for `id` against `coordinator`.
+    pub fn new(id: usize, coordinator: impl Into<String>) -> Self {
+        DaemonOpts {
+            id,
+            coordinator: coordinator.into(),
+            bind: "127.0.0.1:0".into(),
+            advertise: None,
+        }
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The daemon's per-run context, assembled from the `Bootstrap` message.
+struct RunContext {
+    config: ChiaroscuroConfig,
+    layout: SlotLayout,
+    committee: Vec<usize>,
+    pk: Option<Arc<PublicKey>>,
+    share: Option<KeyShare>,
+    timing: TimingSpec,
+    transport: Arc<TcpTransport>,
+    /// Packed-mode crypto (lane plan + fixed-base encryptor), built once
+    /// per run by [`RunContext::prepare_packed`].
+    packed: Option<PackedCrypto>,
+}
+
+impl RunContext {
+    /// Builds the per-run packed crypto, once: the lane plan is derived
+    /// locally from public inputs only (so every daemon agrees on it
+    /// without coordination), and the fixed-base encryptor's window tables
+    /// are precomputed here rather than per step — the in-process
+    /// substrates likewise build their `FastEncryptor` once per run.
+    fn prepare_packed(&self, id: usize) -> io::Result<Option<PackedCrypto>> {
+        let Some(pk) = &self.pk else {
+            return Ok(None);
+        };
+        if !self.config.packing {
+            return Ok(None);
+        }
+        let codec = FixedPointCodec::new(self.config.codec_scale_bits);
+        let plan = plan_packed_codec(
+            &self.config,
+            pk,
+            &codec,
+            &self.layout,
+            self.transport.node_count(),
+        )
+        .map_err(|e| bad_data(format!("packed lane plan: {e}")))?;
+        // Encryption randomness is private per daemon — only the lane
+        // plan must match across the cluster, and it does (public inputs
+        // only).
+        let mut enc_rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED_DAE0 ^ (id as u64) << 32);
+        Ok(Some(PackedCrypto {
+            codec: plan,
+            enc: Arc::new(FastEncryptor::new(pk.clone(), &mut enc_rng)),
+        }))
+    }
+
+    /// The crypto substrate this daemon's node runs with — mirrors
+    /// `cs_net::runtime::StepCrypto::node_crypto`, rebuilt from shipped
+    /// key material instead of the in-process dealer.
+    fn node_crypto(&self) -> io::Result<NodeCrypto> {
+        let Some(pk) = &self.pk else {
+            return Ok(NodeCrypto::Plain);
+        };
+        if !matches!(self.config.crypto, CryptoMode::Real { .. }) {
+            return Err(bad_data("public key shipped for a simulated-crypto run"));
+        }
+        Ok(NodeCrypto::Real {
+            pk: pk.clone(),
+            codec: FixedPointCodec::new(self.config.codec_scale_bits),
+            share: self.share.clone(),
+            params: self.config.threshold,
+            delta: delta_for(self.config.threshold.parties),
+            rerandomize: self.config.rerandomize,
+            packed: self.packed.clone(),
+        })
+    }
+}
+
+/// Runs the daemon to completion (clean `Shutdown` or control-channel
+/// death). This is the body of the `csnoded` binary; tests can call it
+/// in-process as well.
+pub fn run(opts: &DaemonOpts) -> io::Result<()> {
+    // Bind first: the ephemeral data-plane port is part of our Hello.
+    let endpoint = TcpEndpoint::bind(&opts.bind)?;
+    let bound = endpoint.local_addr()?;
+    // What enters the population manifest. A wildcard bind is unroutable
+    // for peers, so it demands an explicit advertise address.
+    let data_addr = match &opts.advertise {
+        Some(adv) if adv.contains(':') => adv.clone(),
+        Some(host) => format!("{host}:{}", bound.port()),
+        None if bound.ip().is_unspecified() => {
+            return Err(bad_data(format!(
+                "bound to wildcard {bound} — peers cannot route to it; \
+                 pass --advertise <HOST[:PORT]>"
+            )));
+        }
+        None => bound.to_string(),
+    };
+
+    let mut control = TcpStream::connect(&opts.coordinator)?;
+    control.set_nodelay(true)?;
+    write_msg(
+        &mut control,
+        &ControlMsg::Hello {
+            node: opts.id,
+            wire_version: WIRE_VERSION,
+            proto_version: PROTO_VERSION,
+            data_addr,
+        },
+    )?;
+
+    // Bootstrap: the population manifest wires the endpoint into the
+    // data-plane transport; key material and config arrive alongside.
+    let boot = read_msg(&mut control)?;
+    let ControlMsg::Bootstrap {
+        config,
+        layout,
+        population,
+        committee,
+        pk,
+        share,
+        link,
+        timing,
+        transport_seed,
+    } = boot
+    else {
+        return Err(bad_data("expected Bootstrap after Hello"));
+    };
+    if opts.id >= population.len() {
+        return Err(bad_data(format!(
+            "node id {} outside population of {}",
+            opts.id,
+            population.len()
+        )));
+    }
+    let directory: Vec<SocketAddr> = population
+        .iter()
+        .map(|a| {
+            a.parse()
+                .map_err(|e| bad_data(format!("bad address {a:?}: {e}")))
+        })
+        .collect::<io::Result<_>>()?;
+    let transport = Arc::new(endpoint.into_transport(
+        &[opts.id],
+        PeerDirectory::new(directory),
+        link.to_link_config(),
+        transport_seed ^ (opts.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ));
+    let mut ctx = RunContext {
+        config,
+        layout,
+        committee,
+        pk: pk.map(Arc::new),
+        share,
+        timing,
+        transport,
+        packed: None,
+    };
+    ctx.packed = ctx.prepare_packed(opts.id)?;
+
+    // Control reader thread: turns the blocking stream into a channel the
+    // step loop can poll without stalling the protocol. EOF becomes a
+    // Shutdown sentinel — an orphaned daemon exits.
+    let (tx, rx) = mpsc::channel::<ControlMsg>();
+    let mut reader = control.try_clone()?;
+    thread::Builder::new()
+        .name("csnoded-control".into())
+        .spawn(move || loop {
+            match read_msg(&mut reader) {
+                Ok(msg) => {
+                    if tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = tx.send(ControlMsg::Shutdown);
+                    return;
+                }
+            }
+        })
+        .expect("spawn control reader");
+
+    let mut last_snapshot = TrafficSnapshot::default();
+    loop {
+        match rx.recv() {
+            Ok(ControlMsg::Step {
+                step,
+                step_seed,
+                contribution,
+            }) => {
+                let report = run_step(
+                    &ctx,
+                    opts.id,
+                    step,
+                    step_seed,
+                    contribution,
+                    &rx,
+                    &mut control,
+                )?;
+                let now = ctx.transport.snapshot();
+                let delta = now.since(&last_snapshot);
+                last_snapshot = now;
+                write_msg(
+                    &mut control,
+                    &ControlMsg::Report {
+                        step,
+                        report,
+                        snapshot: delta,
+                    },
+                )?;
+            }
+            Ok(ControlMsg::Shutdown) | Err(_) => return Ok(()),
+            // A StepEnd can trail a step this daemon already left (the
+            // dark-mode timeout path); late duplicates are harmless, so
+            // ignore anything that is neither work nor a shutdown.
+            Ok(_) => {}
+        }
+    }
+}
+
+/// What the step loop should do next, after polling the control channel.
+enum Control {
+    Continue,
+    StepEnd,
+    Dead,
+}
+
+fn poll_control(rx: &mpsc::Receiver<ControlMsg>) -> Control {
+    match rx.try_recv() {
+        Ok(ControlMsg::StepEnd) => Control::StepEnd,
+        Ok(ControlMsg::Shutdown) => Control::Dead,
+        Ok(_) => Control::Continue, // late duplicates are harmless
+        Err(TryRecvError::Empty) => Control::Continue,
+        Err(TryRecvError::Disconnected) => Control::Dead,
+    }
+}
+
+/// Drives one computation step. Mirrors the threaded runtime's node loop
+/// (receive → tick → decrypt retries → flush → completion), with two
+/// differences: completion is *announced* to the coordinator instead of a
+/// shared flag, and the loop ends on `StepEnd` instead of a shutdown
+/// atomic. A `None` contribution runs the step dark — drain and discard,
+/// exactly the crashed-node semantics of the other substrates.
+///
+/// KEEP IN SYNC with `cs_net::runtime::node_loop`: frame dispatch and the
+/// decrypt-retry cadence are shared helpers (`dispatch_frame`,
+/// `decrypt_retry_interval`), but the loop shape — the `min(500µs)`
+/// receive wait and the done/all-votes/quiesce completion rule — is
+/// load-bearing for the cross-substrate differential e2e tests, and a
+/// change applied to only one loop desynchronizes the substrates silently.
+fn run_step(
+    ctx: &RunContext,
+    id: NodeId,
+    step: usize,
+    step_seed: u64,
+    contribution: Option<Vec<f64>>,
+    rx: &mpsc::Receiver<ControlMsg>,
+    control: &mut TcpStream,
+) -> io::Result<cs_net::node::NodeReport> {
+    let transport = ctx.transport.as_ref();
+    let push_interval = Duration::from_micros(ctx.timing.push_interval_us.max(1));
+    let quiesce = Duration::from_millis(ctx.timing.quiesce_ms);
+    let decrypt_deadline = Duration::from_millis(ctx.timing.decrypt_deadline_ms);
+    let step_timeout = Duration::from_millis(ctx.timing.step_timeout_ms);
+
+    if contribution.is_none() {
+        // Down at step start: hold the slot dark. Everything addressed to
+        // this node is received and destroyed, like a crashed node. A dark
+        // slot still acknowledges Ready so it can never stall the
+        // population's start barrier.
+        write_msg(control, &ControlMsg::Ready { step, node: id })?;
+        write_msg(control, &ControlMsg::Done { step, node: id })?;
+        let started = Instant::now();
+        loop {
+            match poll_control(rx) {
+                Control::StepEnd => return Ok(cs_net::node::NodeReport::dead(id)),
+                Control::Dead => {
+                    return Err(bad_data("control channel died mid-step"));
+                }
+                Control::Continue => {}
+            }
+            while transport.try_recv(id).is_some() {}
+            let _ = transport.recv_timeout(id, Duration::from_millis(2));
+            if started.elapsed() >= step_timeout {
+                return Ok(cs_net::node::NodeReport::dead(id));
+            }
+        }
+    }
+
+    let params = NodeParams {
+        id,
+        population: transport.node_count(),
+        iteration: step_seed, // unique per step; tags every frame
+        pushes: ctx.config.gossip_cycles,
+        committee: ctx.committee.clone(),
+        seed: step_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        votes: true,
+    };
+    let node_crypto = ctx.node_crypto()?;
+    let mut node = ProtocolNode::new(params, ctx.layout, node_crypto, contribution.as_deref());
+
+    // Start barrier, mirroring the threaded runtime's start gate: node
+    // construction (contribution encryption — the expensive part in
+    // real-crypto mode) happens on every daemon before anyone gossips, so
+    // the coordinator's scripted kill offsets mean "into the gossip
+    // phase", not "into the encryption stampede".
+    write_msg(control, &ControlMsg::Ready { step, node: id })?;
+    let barrier = Instant::now();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(ControlMsg::Go { step: s }) if s == step => break,
+            // A coordinator that timed out collecting Readys may skip
+            // straight to ending the step.
+            Ok(ControlMsg::StepEnd) => return Ok(node.into_report()),
+            Ok(ControlMsg::Shutdown) => return Err(bad_data("shutdown mid-step")),
+            Ok(_) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if barrier.elapsed() >= step_timeout {
+                    return Err(bad_data("no Go from the coordinator"));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(bad_data("control channel died at the start barrier"));
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut out: Vec<(NodeId, Message)> = Vec::new();
+    let mut next_tick = Instant::now();
+    let retry_interval = decrypt_retry_interval(push_interval);
+    let mut next_retry = Instant::now() + retry_interval;
+    let mut done_since: Option<Instant> = None;
+    let mut await_since: Option<Instant> = None;
+    let mut announced = false;
+
+    loop {
+        match poll_control(rx) {
+            Control::StepEnd => break,
+            Control::Dead => return Err(bad_data("control channel died mid-step")),
+            Control::Continue => {}
+        }
+
+        let wait = push_interval.min(Duration::from_micros(500));
+        if let Some(env) = transport.recv_timeout(id, wait) {
+            dispatch_frame(&mut node, env, &mut out);
+            while let Some(env) = transport.try_recv(id) {
+                dispatch_frame(&mut node, env, &mut out);
+            }
+        }
+
+        let now = Instant::now();
+        if now >= next_tick {
+            node.tick(&mut out);
+            next_tick = now + push_interval;
+        }
+        if node.awaiting_shares() {
+            let since = *await_since.get_or_insert(now);
+            if now.duration_since(since) >= decrypt_deadline {
+                node.abandon_decrypt(&mut out);
+            } else if now >= next_retry {
+                node.retry_decrypt(&mut out);
+                next_retry = now + retry_interval;
+            }
+        }
+        for (to, msg) in out.drain(..) {
+            let class = msg.class();
+            let frame = encode_frame(&msg);
+            // Sends to dead peers degrade into loss inside the transport.
+            let _ = transport.send(id, to, frame, class);
+        }
+
+        if !announced {
+            if node.step_done() && done_since.is_none() {
+                done_since = Some(Instant::now());
+            }
+            let quiesced = done_since.is_some_and(|t| t.elapsed() >= quiesce);
+            let timed_out = started.elapsed() >= step_timeout;
+            if (node.step_done() && (node.all_votes_in() || quiesced)) || timed_out {
+                write_msg(control, &ControlMsg::Done { step, node: id })?;
+                announced = true;
+            }
+        }
+    }
+    Ok(node.into_report())
+}

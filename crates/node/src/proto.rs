@@ -1,0 +1,332 @@
+//! The control-plane protocol between a coordinator and its `csnoded`
+//! daemons.
+//!
+//! The *data plane* — gossip pushes, decryption traffic, votes — runs
+//! peer-to-peer over [`cs_net::tcp::TcpTransport`] and never touches the
+//! coordinator. The control plane is the thin bootstrap-and-orchestration
+//! layer around it:
+//!
+//! ```text
+//! daemon → coordinator   Hello     (id, wire/proto version, data address)
+//! coordinator → daemon   Bootstrap (config, population manifest, key share)
+//! coordinator → daemon   Step      (per-iteration seed + contribution)
+//! daemon → coordinator   Ready     (node constructed — ready to gossip)
+//! coordinator → daemon   Go        (everyone is ready — start gossiping)
+//! daemon → coordinator   Done      (own part of the step finished)
+//! coordinator → daemon   StepEnd   (everyone is done — stop serving)
+//! daemon → coordinator   Report    (estimate, op counts, traffic delta)
+//! coordinator → daemon   Shutdown
+//! ```
+//!
+//! Control messages are serde-JSON documents behind a `u32` length prefix —
+//! they are low-rate (a handful per step), so readability beats compactness;
+//! the latency-critical path is the wire codec, not this. Both sides check
+//! [`PROTO_VERSION`] and [`cs_net::wire::WIRE_VERSION`] during the
+//! handshake, so a mixed-version cluster fails at bootstrap instead of
+//! corrupting a run.
+
+use chiaroscuro::noise::SlotLayout;
+use chiaroscuro::rounds::PerturbedAggregates;
+use chiaroscuro::ChiaroscuroConfig;
+use cs_crypto::{KeyShare, PublicKey};
+use cs_net::node::NodeReport;
+use cs_net::transport::{LinkConfig, TrafficSnapshot};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Control-plane protocol version; both sides must match exactly.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on one control message (guards the length-prefix read).
+pub const MAX_CONTROL_BYTES: usize = 64 << 20;
+
+/// A [`LinkConfig`] in wire-friendly units (the vendored serde stand-in has
+/// no `Duration` impl, and explicit microseconds are unambiguous anyway).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Fixed one-way delivery delay, microseconds.
+    pub latency_us: u64,
+    /// Additional uniformly-random delay in `[0, jitter]`, microseconds.
+    pub jitter_us: u64,
+    /// Per-frame loss probability.
+    pub loss: f64,
+    /// Link bandwidth in bytes/second; `None` = infinitely fast.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl LinkSpec {
+    /// A perfect link (the right default for a real TCP cluster — the
+    /// kernel provides the genuine article).
+    pub fn ideal() -> Self {
+        LinkSpec {
+            latency_us: 0,
+            jitter_us: 0,
+            loss: 0.0,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Converts to the transport's native form.
+    pub fn to_link_config(self) -> LinkConfig {
+        LinkConfig {
+            latency: Duration::from_micros(self.latency_us),
+            jitter: Duration::from_micros(self.jitter_us),
+            loss: self.loss,
+            bandwidth_bytes_per_sec: self.bandwidth_bytes_per_sec,
+        }
+    }
+}
+
+/// Per-node event-loop timing, in wire-friendly units (see
+/// [`cs_net::runtime::NetConfig`] for the semantics of each knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingSpec {
+    /// Pacing between a node's gossip pushes, microseconds.
+    pub push_interval_us: u64,
+    /// Post-completion vote wait, milliseconds.
+    pub quiesce_ms: u64,
+    /// Decryption-round give-up deadline, milliseconds.
+    pub decrypt_deadline_ms: u64,
+    /// Hard per-step deadline, milliseconds.
+    pub step_timeout_ms: u64,
+}
+
+impl Default for TimingSpec {
+    fn default() -> Self {
+        TimingSpec {
+            push_interval_us: 300,
+            quiesce_ms: 400,
+            decrypt_deadline_ms: 10_000,
+            step_timeout_ms: 60_000,
+        }
+    }
+}
+
+/// Everything that ever crosses a control connection, in either direction.
+// Control messages are low-rate (a handful per step); the Bootstrap
+// variant's size gap to StepEnd/Shutdown is irrelevant next to the key
+// material it carries.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// Daemon → coordinator: first message after connecting.
+    Hello {
+        /// The daemon's node id (assigned by the supervisor's command line).
+        node: usize,
+        /// The daemon's data-plane wire codec version.
+        wire_version: u8,
+        /// The daemon's control-plane protocol version.
+        proto_version: u8,
+        /// The address the daemon's data-plane listener is bound to.
+        data_addr: String,
+    },
+    /// Coordinator → daemon: the full run context. Sent once, before the
+    /// first step.
+    Bootstrap {
+        /// The engine configuration (the daemon derives the fixed-point
+        /// codec, packing plan, and pacing defaults from it).
+        config: ChiaroscuroConfig,
+        /// Aggregate-vector slot layout of the run.
+        layout: SlotLayout,
+        /// The population manifest: `population[i]` is node `i`'s
+        /// data-plane listener address.
+        population: Vec<String>,
+        /// The decryption committee, in share order.
+        committee: Vec<usize>,
+        /// The shared public key (`None` in simulated-crypto mode).
+        pk: Option<PublicKey>,
+        /// This daemon's key share, if it sits on the committee.
+        share: Option<KeyShare>,
+        /// Link shims for the data-plane transport.
+        link: LinkSpec,
+        /// Event-loop timing.
+        timing: TimingSpec,
+        /// Seed for the data-plane transport's loss/jitter draws.
+        transport_seed: u64,
+    },
+    /// Coordinator → daemon: run one computation step.
+    Step {
+        /// 0-based step index.
+        step: usize,
+        /// The engine's per-iteration seed (tags every frame, seeds the
+        /// node's RNG — identical across the cluster).
+        step_seed: u64,
+        /// This node's cleartext contribution vector, or `None` if it is
+        /// down at step start (it then stays dark for the whole step).
+        contribution: Option<Vec<f64>>,
+    },
+    /// Daemon → coordinator: step context received and the protocol node
+    /// constructed (contribution encrypted) — ready to gossip. The
+    /// coordinator's `Go` barrier makes churn offsets mean "into the
+    /// *gossip* phase" on every machine, exactly like the threaded
+    /// runtime's start gate.
+    Ready {
+        /// The step being acknowledged.
+        step: usize,
+        /// The reporting node.
+        node: usize,
+    },
+    /// Coordinator → daemon: every living daemon is ready — start
+    /// gossiping.
+    Go {
+        /// The step being released.
+        step: usize,
+    },
+    /// Daemon → coordinator: own part of the step finished (estimate
+    /// obtained or given up); still serving committee duties.
+    Done {
+        /// The step being announced — the coordinator drops stale
+        /// announcements from a previous step's stragglers.
+        step: usize,
+        /// The reporting node.
+        node: usize,
+    },
+    /// Coordinator → daemon: the whole population is done — stop the step
+    /// loop and report.
+    StepEnd,
+    /// Daemon → coordinator: the step's outcome.
+    Report {
+        /// The step being reported — a straggler report from an earlier
+        /// step must never be attributed to the current one.
+        step: usize,
+        /// The node's protocol report.
+        report: NodeReport,
+        /// This step's data-plane traffic (already delta'd against the
+        /// previous step — summing across daemons gives cluster totals).
+        snapshot: TrafficSnapshot,
+    },
+    /// Coordinator → daemon: exit cleanly.
+    Shutdown,
+}
+
+/// The estimate type re-exported where control-plane users expect it.
+pub type Estimate = PerturbedAggregates;
+
+/// Writes one length-prefixed control message.
+pub fn write_msg<W: Write>(w: &mut W, msg: &ControlMsg) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = json.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed control message (blocking).
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<ControlMsg> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_CONTROL_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("control message of {len} bytes exceeds the cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    let json = std::str::from_utf8(&buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    serde_json::from_str(json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_roundtrip_through_the_framing() {
+        let msgs = vec![
+            ControlMsg::Hello {
+                node: 3,
+                wire_version: cs_net::wire::WIRE_VERSION,
+                proto_version: PROTO_VERSION,
+                data_addr: "127.0.0.1:4567".into(),
+            },
+            ControlMsg::Step {
+                step: 1,
+                step_seed: 42,
+                contribution: Some(vec![1.0, -2.5, 0.0]),
+            },
+            ControlMsg::Step {
+                step: 2,
+                step_seed: 43,
+                contribution: None,
+            },
+            ControlMsg::Ready { step: 1, node: 7 },
+            ControlMsg::Go { step: 1 },
+            ControlMsg::Done { step: 1, node: 7 },
+            ControlMsg::StepEnd,
+            ControlMsg::Report {
+                step: 1,
+                report: NodeReport::dead(7),
+                snapshot: TrafficSnapshot::default(),
+            },
+            ControlMsg::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_msg(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &msgs {
+            let back = read_msg(&mut cursor).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(m).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_roundtrips_with_key_material() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let config = ChiaroscuroConfig::test_real();
+        let tkp = cs_crypto::ThresholdKeyPair::generate(
+            &cs_crypto::KeyGenOptions::insecure_test_size(),
+            config.threshold,
+            &mut rng,
+        )
+        .unwrap();
+        let msg = ControlMsg::Bootstrap {
+            config,
+            layout: SlotLayout {
+                k: 2,
+                series_len: 3,
+            },
+            population: vec!["127.0.0.1:1000".into(), "127.0.0.1:1001".into()],
+            committee: vec![0, 1, 2],
+            pk: Some(tkp.public().clone()),
+            share: Some(tkp.shares()[0].clone()),
+            link: LinkSpec::ideal(),
+            timing: TimingSpec::default(),
+            transport_seed: 99,
+        };
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).unwrap();
+        let back = read_msg(&mut std::io::Cursor::new(buf)).unwrap();
+        let ControlMsg::Bootstrap {
+            pk,
+            share,
+            committee,
+            ..
+        } = back
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(pk.as_ref(), Some(tkp.public()));
+        assert_eq!(share.as_ref(), Some(&tkp.shares()[0]));
+        assert_eq!(committee, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oversized_control_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(b"garbage");
+        assert!(read_msg(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! In-process cluster tests: the daemon body (`cs_node::daemon::run`) is a
+//! plain function, so a whole cluster can run as threads of the test
+//! process — same control protocol, same TCP data plane, no process
+//! spawning. The facade's `tests/tcp_e2e.rs` covers the real multi-process
+//! deployment; these tests keep the bootstrap/step/report machinery honest
+//! at unit-test speed.
+
+use chiaroscuro::{ChiaroscuroConfig, Engine};
+use cs_node::{ClusterBackend, ClusterConfig, Coordinator, DaemonOpts, TimingSpec};
+use cs_timeseries::datasets::blobs::{generate, BlobsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::thread;
+use std::time::Duration;
+
+fn spawn_daemon_threads(n: usize, coordinator: String) -> Vec<thread::JoinHandle<()>> {
+    (0..n)
+        .map(|id| {
+            let coordinator = coordinator.clone();
+            thread::Builder::new()
+                .name(format!("inproc-daemon-{id}"))
+                .spawn(move || {
+                    cs_node::daemon::run(&DaemonOpts::new(id, coordinator))
+                        .unwrap_or_else(|e| panic!("daemon {id} failed: {e}"));
+                })
+                .expect("spawn daemon thread")
+        })
+        .collect()
+}
+
+fn fast_timing() -> TimingSpec {
+    TimingSpec {
+        push_interval_us: 200,
+        quiesce_ms: 150,
+        decrypt_deadline_ms: 10_000,
+        step_timeout_ms: 30_000,
+    }
+}
+
+#[test]
+fn plain_cluster_runs_an_engine_end_to_end() {
+    let n = 8;
+    let data = generate(
+        &BlobsConfig {
+            count: n,
+            clusters: 2,
+            len: 4,
+            noise: 0.2,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(11),
+    );
+    let mut config = ChiaroscuroConfig::demo_simulated();
+    config.k = 2;
+    config.max_iterations = 2;
+    config.gossip_cycles = 20;
+    config.epsilon = 1000.0;
+    let engine = Engine::new(config).unwrap();
+
+    let coordinator = Coordinator::bind().unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let daemons = spawn_daemon_threads(n, addr);
+    let cluster = coordinator
+        .accept_cluster(n, Duration::from_secs(20))
+        .unwrap();
+    let mut backend = ClusterBackend::new(
+        cluster,
+        ClusterConfig {
+            timing: fast_timing(),
+            ..ClusterConfig::default()
+        },
+    );
+
+    let out = engine.run_with_backend(&data.series, &mut backend).unwrap();
+    assert_eq!(out.iterations, 2);
+    assert_eq!(backend.steps_run(), 2);
+    assert_eq!(out.centroids.len(), 2);
+    assert!(out.log.records.iter().all(|r| r.cost.gossip_messages > 0));
+    let snap = backend.last_snapshot().unwrap();
+    assert!(snap.gossip.bytes > 0, "gossip bytes crossed the sockets");
+    assert!(
+        backend
+            .last_reports()
+            .unwrap()
+            .iter()
+            .all(|r| r.bad_frames == 0),
+        "clean decode across the cluster"
+    );
+
+    backend.shutdown();
+    for d in daemons {
+        d.join().expect("daemon thread exits cleanly");
+    }
+}
+
+#[test]
+fn real_crypto_cluster_distributes_shares_and_decrypts() {
+    let n = 5;
+    let data = generate(
+        &BlobsConfig {
+            count: n,
+            clusters: 2,
+            len: 3,
+            noise: 0.2,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(21),
+    );
+    let mut config = ChiaroscuroConfig::test_real();
+    config.k = 2;
+    config.max_iterations = 1;
+    config.gossip_cycles = 6;
+    config.epsilon = 1e5;
+    let engine = Engine::new(config).unwrap();
+
+    let coordinator = Coordinator::bind().unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let daemons = spawn_daemon_threads(n, addr);
+    let cluster = coordinator
+        .accept_cluster(n, Duration::from_secs(20))
+        .unwrap();
+    let mut timing = fast_timing();
+    // Real crypto in debug builds is slow; give the pacing some air.
+    timing.push_interval_us = if cfg!(debug_assertions) {
+        50_000
+    } else {
+        2_000
+    };
+    let mut backend = ClusterBackend::new(
+        cluster,
+        ClusterConfig {
+            timing,
+            ..ClusterConfig::default()
+        },
+    );
+
+    let out = engine.run_with_backend(&data.series, &mut backend).unwrap();
+    assert_eq!(backend.steps_run(), 1);
+    assert_eq!(out.centroids.len(), 2);
+    let reports = backend.last_reports().unwrap();
+    let with_estimates = reports.iter().filter(|r| r.estimate.is_some()).count();
+    assert!(
+        with_estimates > n / 2,
+        "most daemons decrypt an estimate, got {with_estimates}/{n}"
+    );
+    assert!(
+        reports
+            .iter()
+            .map(|r| r.decrypt_ops.partial_decryptions)
+            .sum::<u64>()
+            > 0,
+        "committee daemons served partial decryptions"
+    );
+    let snap = backend.last_snapshot().unwrap();
+    assert!(snap.decrypt.bytes > 0, "decrypt frames crossed the sockets");
+
+    backend.shutdown();
+    for d in daemons {
+        d.join().expect("daemon thread exits cleanly");
+    }
+}

@@ -3,9 +3,12 @@
 //! frame over a lossy, latent link — and one participant crashing
 //! mid-gossip, then rejoining for the next iteration. Then the same
 //! protocol again at 1024 participants on the sharded event-loop executor,
-//! where nodes are virtual and the timeline is deterministic.
+//! where nodes are virtual and the timeline is deterministic. Act three
+//! leaves the process entirely: a supervised cluster of `csnoded` daemons
+//! runs the engine across real OS processes over localhost TCP.
 //!
 //! ```sh
+//! cargo build --release -p cs_node   # the csnoded binary for act three
 //! cargo run --release --example net_runtime
 //! ```
 
@@ -131,4 +134,64 @@ fn main() {
             step.elapsed.as_secs_f64() * 1e3,
         );
     }
+
+    // Act three: out of the process. A supervisor launches one `csnoded`
+    // per participant, the coordinator bootstraps them (manifest + key
+    // shares), and the engine runs across real OS processes over
+    // localhost TCP — the paper's "massively distributed devices" setting
+    // in miniature (see docs/deployment.md).
+    let Some(binary) = cs_node::find_csnoded() else {
+        println!(
+            "cluster act skipped: csnoded not built \
+             (run `cargo build --release -p cs_node` first)"
+        );
+        return;
+    };
+    let n = 8;
+    let small = generate(
+        &BlobsConfig {
+            count: n,
+            clusters: 2,
+            len: 6,
+            noise: 0.25,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(13),
+    );
+    let mut config = ChiaroscuroConfig::demo_simulated();
+    config.k = 2;
+    config.max_iterations = 2;
+    config.gossip_cycles = 25;
+    config.epsilon = 50.0;
+    let engine = Engine::new(config).expect("valid config");
+
+    let coordinator = cs_node::Coordinator::bind().expect("bind coordinator");
+    let addr = coordinator.addr().expect("coordinator addr").to_string();
+    let supervisor = cs_node::Supervisor::spawn(&binary, &addr, n).expect("spawn csnoded cluster");
+    let cluster = coordinator
+        .accept_cluster(n, Duration::from_secs(30))
+        .expect("daemons connect");
+    let mut backend = cs_node::ClusterBackend::new(cluster, cs_node::ClusterConfig::default());
+
+    let wall = std::time::Instant::now();
+    let output = engine
+        .run_with_backend(&small.series, &mut backend)
+        .expect("cluster run completes");
+    println!(
+        "csnoded cluster: {n} OS processes, {} iterations, converged: {}, \
+         {:.1} ms wall-clock",
+        output.iterations,
+        output.converged,
+        wall.elapsed().as_secs_f64() * 1e3,
+    );
+    if let Some(snap) = backend.last_snapshot() {
+        println!(
+            "last step: {} gossip frames ({} B) and {} decrypt frames \
+             between processes",
+            snap.gossip.messages, snap.gossip.bytes, snap.decrypt.messages,
+        );
+    }
+    backend.shutdown();
+    let clean = supervisor.wait_all(Duration::from_secs(15));
+    println!("cluster shutdown: {clean}/{n} daemons exited cleanly");
 }

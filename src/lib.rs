@@ -13,7 +13,9 @@
 //! * [`cs_timeseries`] — series types, distances, PAA, synthetic datasets;
 //! * [`cs_kmeans`] — the centralized baseline and quality metrics;
 //! * [`cs_net`] — the message-passing node runtime: wire codec, threaded
-//!   transport, churn injection.
+//!   transport, TCP socket transport, churn injection;
+//! * [`cs_node`] — the multi-process deployment: `csnoded` daemon,
+//!   cluster coordinator, local-cluster supervisor.
 #![doc = include_str!("../docs/quickstart.md")]
 
 pub use chiaroscuro;
@@ -23,4 +25,5 @@ pub use cs_dp;
 pub use cs_gossip;
 pub use cs_kmeans;
 pub use cs_net;
+pub use cs_node;
 pub use cs_timeseries;
