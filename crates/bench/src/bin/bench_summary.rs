@@ -12,6 +12,7 @@
 //! cargo run --release -p cs_bench --bin bench_summary -- --quick # smoke
 //! cargo run ... -- --quick --check  # CI gate: sharded must beat threaded
 //! cargo run ... -- --out target/BENCH_net.json                   # custom path
+//! cargo run ... -- --profile   # per-phase step breakdown in the entries
 //! ```
 
 use chiaroscuro::noise::SlotLayout;
@@ -24,11 +25,38 @@ use cs_crypto::Ciphertext;
 use cs_net::executor::{run_step_sharded, ShardedConfig};
 use cs_net::runtime::{run_step_over_tcp, run_step_over_transport, NetConfig};
 use cs_net::wire::{decode_frame, encode_frame, Message};
+use cs_obs::{PhaseProfile, StepPhase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Per-phase wall-clock of one computation step, milliseconds. These are
+/// CPU-time sums across all nodes of the step (each node accumulates its
+/// own phase clock), so a phase total can exceed `wall_ms` on a
+/// multi-core run — read them as *where the work went*, not elapsed time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PhaseBreakdown {
+    encrypt_ms: f64,
+    gossip_ms: f64,
+    decrypt_share_ms: f64,
+    combine_ms: f64,
+    unpack_ms: f64,
+}
+
+impl PhaseBreakdown {
+    fn from_profile(p: &PhaseProfile) -> Self {
+        let ms = |phase| p.get(phase) as f64 / 1e6;
+        PhaseBreakdown {
+            encrypt_ms: ms(StepPhase::Encrypt),
+            gossip_ms: ms(StepPhase::Gossip),
+            decrypt_share_ms: ms(StepPhase::DecryptShare),
+            combine_ms: ms(StepPhase::Combine),
+            unpack_ms: ms(StepPhase::Unpack),
+        }
+    }
+}
 
 /// One measured configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -45,6 +73,9 @@ struct BenchEntry {
     bytes: u64,
     /// Average frame size.
     bytes_per_message: f64,
+    /// Per-phase breakdown; populated by `--profile`, `null` otherwise
+    /// (and in documents written before the field existed).
+    phases: Option<PhaseBreakdown>,
 }
 
 /// The whole document.
@@ -61,12 +92,14 @@ struct BenchSummary {
 fn main() {
     let mut quick = false;
     let mut check = false;
+    let mut profile = false;
     let mut out = PathBuf::from("BENCH_net.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--profile" => profile = true,
             "--out" => {
                 if let Some(p) = args.next() {
                     out = PathBuf::from(p);
@@ -107,6 +140,14 @@ fn main() {
         entries.push(bench_packed_step_sharded(n));
     }
 
+    // The phase clocks are always captured (they cost nothing); --profile
+    // decides whether they make it into the document and the report.
+    if !profile {
+        for e in &mut entries {
+            e.phases = None;
+        }
+    }
+
     let mut table = Table::new(
         "cs_net bench summary",
         &[
@@ -129,6 +170,34 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    if profile {
+        let mut phase_table = Table::new(
+            "step phase breakdown (node-CPU ms)",
+            &[
+                "name",
+                "population",
+                "encrypt",
+                "gossip",
+                "decrypt_share",
+                "combine",
+                "unpack",
+            ],
+        );
+        for e in entries.iter().filter(|e| e.phases.is_some()) {
+            let p = e.phases.as_ref().unwrap();
+            phase_table.row(vec![
+                e.name.clone(),
+                e.population.to_string(),
+                f(p.encrypt_ms, 3),
+                f(p.gossip_ms, 3),
+                f(p.decrypt_share_ms, 3),
+                f(p.combine_ms, 3),
+                f(p.unpack_ms, 3),
+            ]);
+        }
+        println!("{}", phase_table.render());
+    }
 
     let summary = BenchSummary {
         schema: "chiaroscuro-bench-net/v1".to_string(),
@@ -230,6 +299,7 @@ fn bench_wire_codec(quick: bool) -> BenchEntry {
         messages: 1,
         bytes,
         bytes_per_message: bytes as f64,
+        phases: None,
     }
 }
 
@@ -339,6 +409,7 @@ impl StepWorkload {
             } else {
                 bytes as f64 / messages as f64
             },
+            phases: Some(PhaseBreakdown::from_profile(&run.outcome.phases)),
         }
     }
 }
@@ -414,6 +485,7 @@ fn bench_plain_step_sharded(n: usize, quick: bool) -> BenchEntry {
         } else {
             bytes as f64 / messages as f64
         },
+        phases: Some(PhaseBreakdown::from_profile(&run.outcome.phases)),
     }
 }
 
@@ -460,6 +532,7 @@ fn bench_packed_step_sharded(n: usize) -> BenchEntry {
         } else {
             bytes as f64 / messages as f64
         },
+        phases: Some(PhaseBreakdown::from_profile(&run.outcome.phases)),
     }
 }
 

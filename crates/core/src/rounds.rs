@@ -24,9 +24,11 @@ use cs_crypto::{Ciphertext, FastEncryptor, FixedPointCodec, PackedCodec, PublicK
 use cs_gossip::homomorphic_pushsum::{HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::PushSumNode;
 use cs_gossip::{Network, TrafficStats};
+use cs_obs::phase::{PhaseProfile, StepPhase};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Crypto state shared by all iterations of a run.
 pub enum CryptoContext {
@@ -232,6 +234,11 @@ pub struct ComputationOutcome {
     pub traffic: TrafficStats,
     /// Live participants when the step ended.
     pub alive_after: Vec<bool>,
+    /// Population-summed per-phase time (encrypt / gossip / decrypt-share /
+    /// combine / unpack). A measurement side channel: estimates, traffic
+    /// and op counts never depend on it, so same-seed runs stay
+    /// deterministic with profiling on.
+    pub phases: PhaseProfile,
 }
 
 /// Runs the computation step.
@@ -310,6 +317,8 @@ fn run_real_packed(
     let data_slots = layout.noise_offset();
     let data_cts = packed.ciphertexts_for(data_slots);
     let mut encryptions = 0u64;
+    let mut phases = PhaseProfile::default();
+    let encrypt_started = Instant::now();
     let mut nodes = Vec::with_capacity(contributions.len());
     for c in contributions {
         let node = match c {
@@ -328,6 +337,10 @@ fn run_real_packed(
         };
         nodes.push(node.with_encryptor(enc.clone()));
     }
+    phases.add(
+        StepPhase::Encrypt,
+        encrypt_started.elapsed().as_nanos() as u64,
+    );
 
     let mut net = Network::new(nodes, config.overlay.clone(), config.failure, step_seed);
     for (i, c) in contributions.iter().enumerate() {
@@ -335,7 +348,12 @@ fn run_real_packed(
             net.set_alive(i, false);
         }
     }
+    let gossip_started = Instant::now();
     net.run_cycles(config.gossip_cycles);
+    phases.add(
+        StepPhase::Gossip,
+        gossip_started.elapsed().as_nanos() as u64,
+    );
 
     let alive_after: Vec<bool> = (0..net.len()).map(|i| net.is_alive(i)).collect();
     let traffic = net.traffic().clone();
@@ -366,18 +384,38 @@ fn run_real_packed(
 
         let mut raws = Vec::with_capacity(data_cts);
         for j in 0..data_cts {
+            let fold_started = Instant::now();
             let combined = pk.add(&cipher[j], &cipher[data_cts + j]);
+            let share_started = Instant::now();
+            phases.add(
+                StepPhase::Combine,
+                share_started.duration_since(fold_started).as_nanos() as u64,
+            );
             ops.additions += 1;
             let partials: Vec<_> = committee
                 .iter()
                 .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
                 .collect();
+            let combine_started = Instant::now();
+            phases.add(
+                StepPhase::DecryptShare,
+                combine_started.duration_since(share_started).as_nanos() as u64,
+            );
             decrypt_ops.partial_decryptions += t as u64;
             raws.push(tkp.combine(&partials)?);
+            phases.add(
+                StepPhase::Combine,
+                combine_started.elapsed().as_nanos() as u64,
+            );
             decrypt_ops.combinations += 1;
         }
+        let unpack_started = Instant::now();
         let values =
             packed.unpack_aggregate(&raws, data_slots, node.denominator_exp(), node.weight(), 2)?;
+        phases.add(
+            StepPhase::Unpack,
+            unpack_started.elapsed().as_nanos() as u64,
+        );
         decrypt_ops.messages += 2 * t as u64;
         decrypt_ops.bytes += 2 * (t * data_cts * pk.ciphertext_bytes()) as u64;
         estimates.push(Some(assemble_aggregates(layout, |slot| values[slot])));
@@ -389,6 +427,7 @@ fn run_real_packed(
         decrypt_ops,
         traffic,
         alive_after,
+        phases,
     })
 }
 
@@ -404,6 +443,8 @@ fn run_real(
     rng: &mut StdRng,
 ) -> Result<ComputationOutcome, ChiaroscuroError> {
     let mut encryptions = 0u64;
+    let mut phases = PhaseProfile::default();
+    let encrypt_started = Instant::now();
     let nodes: Vec<HePushSumNode> = contributions
         .iter()
         .map(|c| match c {
@@ -418,6 +459,10 @@ fn run_real(
             }
         })
         .collect();
+    phases.add(
+        StepPhase::Encrypt,
+        encrypt_started.elapsed().as_nanos() as u64,
+    );
 
     let mut net = Network::new(nodes, config.overlay.clone(), config.failure, step_seed);
     // Crashed participants stay down at step start.
@@ -426,7 +471,12 @@ fn run_real(
             net.set_alive(i, false);
         }
     }
+    let gossip_started = Instant::now();
     net.run_cycles(config.gossip_cycles);
+    phases.add(
+        StepPhase::Gossip,
+        gossip_started.elapsed().as_nanos() as u64,
+    );
 
     let alive_after: Vec<bool> = (0..net.len()).map(|i| net.is_alive(i)).collect();
     let traffic = net.traffic().clone();
@@ -463,13 +513,24 @@ fn run_real(
         let mut slot_err = None;
         let est = assemble_aggregates(layout, |slot| {
             // 2c: local addition of the encrypted noise to the encrypted mean.
+            let fold_started = Instant::now();
             let combined = pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]);
+            let share_started = Instant::now();
+            phases.add(
+                StepPhase::Combine,
+                share_started.duration_since(fold_started).as_nanos() as u64,
+            );
             ops.additions += 1;
             // 2d: collaborative decryption.
             let partials: Vec<_> = committee
                 .iter()
                 .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
                 .collect();
+            let combine_started = Instant::now();
+            phases.add(
+                StepPhase::DecryptShare,
+                combine_started.duration_since(share_started).as_nanos() as u64,
+            );
             decrypt_ops.partial_decryptions += t as u64;
             let raw = match tkp.combine(&partials) {
                 Ok(raw) => raw,
@@ -478,6 +539,10 @@ fn run_real(
                     return 0.0;
                 }
             };
+            phases.add(
+                StepPhase::Combine,
+                combine_started.elapsed().as_nanos() as u64,
+            );
             decrypt_ops.combinations += 1;
             codec.decode(&raw, pk.n_s(), denom) / weight
         });
@@ -495,6 +560,7 @@ fn run_real(
         decrypt_ops,
         traffic,
         alive_after,
+        phases,
     })
 }
 
@@ -518,7 +584,13 @@ fn run_simulated(
             net.set_alive(i, false);
         }
     }
+    let mut phases = PhaseProfile::default();
+    let gossip_started = Instant::now();
     net.run_cycles(config.gossip_cycles);
+    phases.add(
+        StepPhase::Gossip,
+        gossip_started.elapsed().as_nanos() as u64,
+    );
 
     let alive_after: Vec<bool> = (0..net.len()).map(|i| net.is_alive(i)).collect();
     // Bytes on the wire are ciphertext-sized even though we simulate — the
@@ -532,6 +604,7 @@ fn run_simulated(
     let data_slots = layout.noise_offset();
     let mut estimates = Vec::with_capacity(nodes.len());
     let mut decryptors = 0usize;
+    let combine_started = Instant::now();
     for (i, node) in nodes.iter().enumerate() {
         if !alive_after[i] {
             estimates.push(None);
@@ -547,6 +620,10 @@ fn run_simulated(
             None => estimates.push(None),
         }
     }
+    phases.add(
+        StepPhase::Combine,
+        combine_started.elapsed().as_nanos() as u64,
+    );
 
     let participants = contributions.iter().filter(|c| c.is_some()).count();
     let ops = synthesize_ops(
@@ -569,6 +646,7 @@ fn run_simulated(
         decrypt_ops,
         traffic,
         alive_after,
+        phases,
     }
 }
 

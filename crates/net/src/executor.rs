@@ -60,12 +60,13 @@ use chiaroscuro::config::ChiaroscuroConfig;
 use chiaroscuro::noise::SlotLayout;
 use chiaroscuro::rounds::CryptoContext;
 use chiaroscuro::ChiaroscuroError;
+use cs_obs::{Counter, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -301,6 +302,43 @@ fn class_index(class: FrameClass) -> usize {
     }
 }
 
+/// Resolved handles for the executor's metric names (`exec.*`). Everything
+/// here except `exec.epoch.wait_ns` is **deterministic**: the values are
+/// sums of per-shard quantities whose event sequences do not depend on the
+/// worker count or scheduling, and counter/histogram increments commute —
+/// locked in by the `metrics_are_deterministic_across_worker_counts` test.
+struct ExecMetrics {
+    /// Same-shard deliveries, which skip the codec and the link model
+    /// (`exec.deliveries.in_shard`).
+    in_shard: Arc<Counter>,
+    /// Cross-shard deliveries through codec + link model + epoch barrier
+    /// (`exec.deliveries.cross_shard`).
+    cross_shard: Arc<Counter>,
+    /// Due-event backlog one shard drained in one epoch window
+    /// (`exec.queue.depth`). Measured per (shard, window) — not per pop —
+    /// because *when* a cross-shard event migrates from mailbox to heap
+    /// depends on worker interleaving, but the set of events due in a
+    /// window never does.
+    queue_depth: Arc<Histogram>,
+    /// Epoch windows driven to completion (`exec.epochs`).
+    epochs: Arc<Counter>,
+    /// Wall-clock the driver spent waiting on the epoch barrier — the one
+    /// **non-deterministic** metric in the family (`exec.epoch.wait_ns`).
+    epoch_wait: Arc<Histogram>,
+}
+
+impl ExecMetrics {
+    fn new(registry: &Registry) -> Self {
+        ExecMetrics {
+            in_shard: registry.counter("exec.deliveries.in_shard"),
+            cross_shard: registry.counter("exec.deliveries.cross_shard"),
+            queue_depth: registry.histogram("exec.queue.depth"),
+            epochs: registry.counter("exec.epochs"),
+            epoch_wait: registry.histogram("exec.epoch.wait_ns"),
+        }
+    }
+}
+
 /// Everything the workers share while a step runs.
 struct Exec<'a> {
     home: &'a [(u32, u32)],
@@ -308,6 +346,7 @@ struct Exec<'a> {
     mailboxes: &'a [Mailbox],
     injector: AtomicUsize,
     coord: Coord,
+    metrics: ExecMetrics,
     step_seed: u64,
     loss: f64,
     latency: u64,
@@ -386,6 +425,7 @@ impl Exec<'_> {
                 // Direct queue push: same shard, same epoch, no codec. The
                 // byte accounting still reflects the frame the message
                 // *would* occupy on a wire.
+                self.metrics.in_shard.inc();
                 shard.counters[ci][0] += 1;
                 shard.counters[ci][1] += msg.encoded_len() as u64;
                 shard.heap.push(Event {
@@ -403,6 +443,7 @@ impl Exec<'_> {
             // Cross-shard: through the codec and the link model. The draw is
             // keyed by (step seed, sender, sender sequence), so the loss and
             // jitter pattern is identical in every same-seed run.
+            self.metrics.cross_shard.inc();
             let frame = encode_frame(&msg);
             let len = frame.len();
             let draw = mix(self.step_seed
@@ -571,10 +612,13 @@ impl Exec<'_> {
             }
             mail.earliest = u64::MAX;
         }
+        let mut drained = 0u64;
         while shard.heap.peek().is_some_and(|e| e.at < window_end) {
             let event = shard.heap.pop().unwrap();
+            drained += 1;
             self.handle_event(&mut shard, shard_idx, event, window_end);
         }
+        self.metrics.queue_depth.record(drained);
     }
 
     /// Earliest pending event across all shards and mailboxes, or `None`
@@ -753,11 +797,13 @@ pub fn run_step_sharded(
     }
 
     let push_interval = sharded.push_interval.as_nanos() as u64;
+    let registry = Registry::new();
     let exec = Exec {
         home: &home,
         shards: &shards,
         mailboxes: &mailboxes,
         injector: AtomicUsize::new(0),
+        metrics: ExecMetrics::new(&registry),
         coord: Coord {
             state: Mutex::new(CoordState {
                 epoch: 0,
@@ -804,10 +850,16 @@ pub fn run_step_sharded(
                 state.remaining = workers;
             }
             exec.coord.start.notify_all();
+            let wait_started = Instant::now();
             let mut state = exec.coord.state.lock().expect("coord poisoned");
             while state.remaining > 0 {
                 state = exec.coord.done.wait(state).expect("coord poisoned");
             }
+            drop(state);
+            exec.metrics.epochs.inc();
+            exec.metrics
+                .epoch_wait
+                .record(wait_started.elapsed().as_nanos() as u64);
         }
         exec.coord.state.lock().expect("coord poisoned").shutdown = true;
         exec.coord.start.notify_all();
@@ -847,6 +899,7 @@ pub fn run_step_sharded(
         outcome: assemble_outcome(&reports, alive_after, &snapshot),
         reports,
         snapshot,
+        metrics: registry.snapshot(),
         elapsed: started.elapsed(),
     })
 }
@@ -995,6 +1048,48 @@ mod tests {
                 assert_eq!(x.sums, y.sums);
             }
         }
+    }
+
+    /// The deterministic slice of the `exec.*` metric family must be
+    /// byte-identical across worker counts, exactly like the protocol
+    /// results — instrumenting the executor must not (and cannot) perturb
+    /// the timeline, and the metrics themselves must not depend on
+    /// scheduling. Only `exec.epoch.wait_ns` (driver wall-clock) may vary.
+    #[test]
+    fn metrics_are_deterministic_across_worker_counts() {
+        let config = ChiaroscuroConfig {
+            k: 2,
+            gossip_cycles: 25,
+            ..ChiaroscuroConfig::demo_simulated()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let crypto = CryptoContext::from_config(&config, &mut rng).unwrap();
+        let contributions = tiny_contributions(48, 4);
+        let run = |workers: usize| {
+            let cfg = ShardedConfig {
+                workers,
+                shards: 8,
+                ..ShardedConfig::default()
+            };
+            run_step_sharded(&config, &layout(), &contributions, &crypto, 11, &cfg, &[]).unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        for name in [
+            "exec.deliveries.in_shard",
+            "exec.deliveries.cross_shard",
+            "exec.epochs",
+        ] {
+            assert_eq!(a.metrics.counter(name), b.metrics.counter(name), "{name}");
+            assert!(a.metrics.counter(name) > 0, "{name} must be populated");
+        }
+        assert_eq!(
+            a.metrics.histogram("exec.queue.depth"),
+            b.metrics.histogram("exec.queue.depth"),
+            "queue-depth histogram is part of the deterministic timeline"
+        );
+        // The wall-clock metric exists but is allowed to differ.
+        assert!(a.metrics.histogram("exec.epoch.wait_ns").is_some());
     }
 
     #[test]

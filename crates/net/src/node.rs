@@ -39,10 +39,12 @@ use cs_crypto::{
 };
 use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::{PlainPush, PushSumNode};
+use cs_obs::phase::{PhaseProfile, StepPhase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Packed-mode crypto state: the lane codec every participant agreed on
 /// for this step, plus the fixed-base encryptor serving contribution
@@ -141,6 +143,11 @@ pub struct NodeReport {
     pub peer_failures: u64,
     /// Frames that failed to decode (corrupt or mis-versioned).
     pub bad_frames: u64,
+    /// Wall-clock spent inside each step phase's crypto/arithmetic on this
+    /// node. A pure side channel — nothing protocol-visible reads it, so
+    /// it exists on every substrate (including the deterministic sharded
+    /// executor) without perturbing behavior.
+    pub profile: PhaseProfile,
 }
 
 impl NodeReport {
@@ -156,6 +163,7 @@ impl NodeReport {
             gossip_cut_short: false,
             peer_failures: 0,
             bad_frames: 0,
+            profile: PhaseProfile::default(),
         }
     }
 }
@@ -188,6 +196,7 @@ pub struct ProtocolNode {
     ops: HomomorphicOpCounts,
     decrypt_ops: DecryptionOps,
     bad_frames: u64,
+    profile: PhaseProfile,
 }
 
 impl ProtocolNode {
@@ -208,6 +217,8 @@ impl ProtocolNode {
         assert!(params.id < params.population, "id outside population");
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut ops = HomomorphicOpCounts::default();
+        let mut profile = PhaseProfile::default();
+        let encrypt_started = Instant::now();
         let agg = match &crypto {
             NodeCrypto::Real {
                 pk,
@@ -261,6 +272,10 @@ impl ProtocolNode {
                 Aggregator::Plain(PushSumNode::new(values, weight))
             }
         };
+        profile.add(
+            StepPhase::Encrypt,
+            encrypt_started.elapsed().as_nanos() as u64,
+        );
         let n = params.population;
         ProtocolNode {
             params,
@@ -283,6 +298,7 @@ impl ProtocolNode {
             ops,
             decrypt_ops: DecryptionOps::default(),
             bad_frames: 0,
+            profile,
         }
     }
 
@@ -322,6 +338,7 @@ impl ProtocolNode {
             match self.sample_peer() {
                 Some(peer) => {
                     let packed = self.is_packed();
+                    let split_started = Instant::now();
                     let msg = match &mut self.agg {
                         Aggregator::Encrypted(he) => {
                             let HePush {
@@ -355,6 +372,8 @@ impl ProtocolNode {
                             }
                         }
                     };
+                    self.profile
+                        .add(StepPhase::Gossip, split_started.elapsed().as_nanos() as u64);
                     out.push((peer, msg));
                     self.pushes_sent += 1;
                 }
@@ -423,11 +442,16 @@ impl ProtocolNode {
                 let packed = self.is_packed();
                 if let Aggregator::Encrypted(he) = &mut self.agg {
                     if !packed && slots.len() == he.dim() {
+                        let absorb_started = Instant::now();
                         he.absorb(&HePush {
                             slots,
                             denom_exp,
                             weight,
                         });
+                        self.profile.add(
+                            StepPhase::Gossip,
+                            absorb_started.elapsed().as_nanos() as u64,
+                        );
                     } else {
                         self.bad_frames += 1;
                     }
@@ -447,11 +471,16 @@ impl ProtocolNode {
                 if let Aggregator::Encrypted(he) = &mut self.agg {
                     if packed && buckets as usize == self.layout.total() && slots.len() == he.dim()
                     {
+                        let absorb_started = Instant::now();
                         he.absorb(&HePush {
                             slots,
                             denom_exp,
                             weight,
                         });
+                        self.profile.add(
+                            StepPhase::Gossip,
+                            absorb_started.elapsed().as_nanos() as u64,
+                        );
                     } else {
                         self.bad_frames += 1;
                     }
@@ -467,10 +496,15 @@ impl ProtocolNode {
                 }
                 if let Aggregator::Plain(ps) = &mut self.agg {
                     if slots.len() == ps.dim() {
+                        let absorb_started = Instant::now();
                         ps.absorb(&PlainPush {
                             values: slots,
                             weight,
                         });
+                        self.profile.add(
+                            StepPhase::Gossip,
+                            absorb_started.elapsed().as_nanos() as u64,
+                        );
                     } else {
                         self.bad_frames += 1;
                     }
@@ -491,8 +525,13 @@ impl ProtocolNode {
                         out.push((from, reply.clone()));
                         return;
                     }
+                    let serve_started = Instant::now();
                     let partials: Vec<PartialDecryption> =
                         slots.iter().map(|c| share.partial_decrypt(c)).collect();
+                    self.profile.add(
+                        StepPhase::DecryptShare,
+                        serve_started.elapsed().as_nanos() as u64,
+                    );
                     self.decrypt_ops.partial_decryptions += partials.len() as u64;
                     let reply = Message::DecryptShare {
                         iteration,
@@ -574,6 +613,7 @@ impl ProtocolNode {
             gossip_cut_short: self.gossip_cut_short,
             peer_failures: self.peer_failures,
             bad_frames: self.bad_frames,
+            profile: self.profile,
         }
     }
 
@@ -617,6 +657,7 @@ impl ProtocolNode {
             },
         }
         let layout = self.layout;
+        let mut combine_ns = 0u64;
         let next = match &self.agg {
             Aggregator::Encrypted(he) => {
                 let weight = he.weight();
@@ -632,6 +673,7 @@ impl ProtocolNode {
                     // estimate. Packed mode folds whole ciphertext pairs
                     // (every lane at once) instead of slot pairs.
                     let cipher = he.ciphertexts();
+                    let fold_started = Instant::now();
                     let combined: Vec<Ciphertext> = match packed {
                         Some(p) => {
                             let data_cts = p.codec.ciphertexts_for(layout.noise_offset());
@@ -643,6 +685,7 @@ impl ProtocolNode {
                             .map(|slot| pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]))
                             .collect(),
                     };
+                    combine_ns = fold_started.elapsed().as_nanos() as u64;
                     Next::Decrypt {
                         weight,
                         denom: he.denominator_exp(),
@@ -661,6 +704,7 @@ impl ProtocolNode {
                 denom,
                 combined,
             } => {
+                self.profile.add(StepPhase::Combine, combine_ns);
                 self.ops.additions += combined.len() as u64;
                 self.snapshot_weight = weight;
                 self.snapshot_denom = denom;
@@ -674,6 +718,7 @@ impl ProtocolNode {
                     .collect();
                 // Committee members contribute their own partials without a
                 // network hop.
+                let own_started = Instant::now();
                 let own_partials = match &self.crypto {
                     NodeCrypto::Real {
                         share: Some(share), ..
@@ -685,6 +730,12 @@ impl ProtocolNode {
                     ),
                     _ => None,
                 };
+                if own_partials.is_some() {
+                    self.profile.add(
+                        StepPhase::DecryptShare,
+                        own_started.elapsed().as_nanos() as u64,
+                    );
+                }
                 let threshold = match &self.crypto {
                     NodeCrypto::Real { params, .. } => params.threshold,
                     NodeCrypto::Plain => unreachable!("decrypt phase implies real crypto"),
@@ -775,6 +826,8 @@ impl ProtocolNode {
         let weight = self.snapshot_weight;
         let denom = self.snapshot_denom;
         let mut combinations = 0u64;
+        let combine_ns;
+        let mut unpack_ns = 0u64;
         let est = match packed {
             Some(p) => {
                 // Combine each packed ciphertext, then unpack every lane at
@@ -783,6 +836,7 @@ impl ProtocolNode {
                 let data_slots = self.layout.noise_offset();
                 let data_cts = p.codec.ciphertexts_for(data_slots);
                 let mut raws = Vec::with_capacity(data_cts);
+                let combine_started = Instant::now();
                 for j in 0..data_cts {
                     let subset: Vec<PartialDecryption> =
                         contributors.iter().map(|c| c[j].clone()).collect();
@@ -797,19 +851,24 @@ impl ProtocolNode {
                         }
                     }
                 }
+                combine_ns = combine_started.elapsed().as_nanos() as u64;
                 if failed {
                     None
                 } else {
-                    match p
+                    let unpack_started = Instant::now();
+                    let est = match p
                         .codec
                         .unpack_aggregate(&raws, data_slots, denom, weight, 2)
                     {
                         Ok(values) => Some(assemble_aggregates(&self.layout, |slot| values[slot])),
                         Err(_) => None,
-                    }
+                    };
+                    unpack_ns = unpack_started.elapsed().as_nanos() as u64;
+                    est
                 }
             }
             None => {
+                let combine_started = Instant::now();
                 let est = assemble_aggregates(&self.layout, |slot| {
                     let subset: Vec<PartialDecryption> =
                         contributors.iter().map(|p| p[slot].clone()).collect();
@@ -824,6 +883,7 @@ impl ProtocolNode {
                         }
                     }
                 });
+                combine_ns = combine_started.elapsed().as_nanos() as u64;
                 if failed {
                     None
                 } else {
@@ -831,6 +891,8 @@ impl ProtocolNode {
                 }
             }
         };
+        self.profile.add(StepPhase::Combine, combine_ns);
+        self.profile.add(StepPhase::Unpack, unpack_ns);
         self.decrypt_ops.combinations += combinations;
         self.finish(est, out);
     }

@@ -110,9 +110,11 @@ pub fn assemble_outcome(
 
     let mut ops = HomomorphicOpCounts::default();
     let mut decrypt_ops = DecryptionOps::default();
+    let mut phases = cs_obs::PhaseProfile::default();
     for r in reports {
         ops.merge(&r.ops);
         decrypt_ops.merge(&r.decrypt_ops);
+        phases = phases.plus(&r.profile);
     }
     decrypt_ops.messages += snapshot.decrypt.messages;
     decrypt_ops.bytes += snapshot.decrypt.bytes;
@@ -129,6 +131,7 @@ pub fn assemble_outcome(
         decrypt_ops,
         traffic,
         alive_after,
+        phases,
     }
 }
 
@@ -206,6 +209,10 @@ pub struct StepRun {
     pub reports: Vec<NodeReport>,
     /// The transport's per-class bytes-on-wire accounting.
     pub snapshot: crate::transport::TrafficSnapshot,
+    /// The step's metrics-registry snapshot: the transport's `net.*` (and
+    /// `tcp.*` / `exec.*`, substrate-depending) families. See
+    /// `docs/observability.md` for the catalog.
+    pub metrics: cs_obs::MetricsSnapshot,
     /// Wall-clock the step took.
     pub elapsed: Duration,
 }
@@ -232,8 +239,9 @@ pub fn run_step_over_transport(
             "the runtime needs at least two nodes".into(),
         ));
     }
+    let registry = cs_obs::Registry::new();
     let transport: Arc<dyn Transport> =
-        Arc::new(ChannelTransport::new(n, net.link.clone(), step_seed));
+        Arc::new(ChannelTransport::new(n, net.link.clone(), step_seed).with_metrics(&registry));
     run_step_on(
         config,
         layout,
@@ -243,6 +251,7 @@ pub fn run_step_over_transport(
         net,
         step_churn,
         transport,
+        registry,
     )
 }
 
@@ -265,8 +274,9 @@ pub fn run_step_over_tcp(
             "the runtime needs at least two nodes".into(),
         ));
     }
+    let registry = cs_obs::Registry::new();
     let transport: Arc<dyn Transport> = Arc::new(
-        crate::tcp::TcpTransport::loopback(n, net.link.clone(), step_seed)
+        crate::tcp::TcpTransport::loopback_with_metrics(n, net.link.clone(), step_seed, &registry)
             .map_err(|e| ChiaroscuroError::Transport(format!("tcp loopback bind: {e}")))?,
     );
     run_step_on(
@@ -278,6 +288,7 @@ pub fn run_step_over_tcp(
         net,
         step_churn,
         transport,
+        registry,
     )
 }
 
@@ -294,6 +305,7 @@ fn run_step_on(
     net: &NetConfig,
     step_churn: &[crate::churn::ChurnEvent],
     transport: Arc<dyn Transport>,
+    registry: cs_obs::Registry,
 ) -> Result<StepRun, ChiaroscuroError> {
     let n = contributions.len();
     net.link.validate();
@@ -410,6 +422,7 @@ fn run_step_on(
         outcome: assemble_outcome(&reports, alive_after, &snapshot),
         reports,
         snapshot,
+        metrics: registry.snapshot(),
         elapsed: started.elapsed(),
     })
 }

@@ -57,9 +57,10 @@
 
 use crate::transport::{
     mix, unit_f64, ClassCounts, Envelope, Inbox, LinkConfig, NetError, NodeId, TrafficSnapshot,
-    Transport,
+    Transport, TransportMetrics,
 };
 use crate::wire::{FrameClass, MAX_FRAME_BYTES, WIRE_VERSION};
+use cs_obs::{Counter, Registry};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -232,7 +233,60 @@ impl TcpEndpoint {
         cfg: LinkConfig,
         seed: u64,
     ) -> TcpTransport {
-        TcpTransport::start(self.listener, local, directory, cfg, seed)
+        TcpTransport::start(self.listener, local, directory, cfg, seed, None)
+    }
+
+    /// Like [`TcpEndpoint::into_transport`], additionally mirroring the
+    /// transport's accounting into `registry` (the `net.*` and `tcp.*`
+    /// metric families). The registry outlives the transport, so a daemon
+    /// can keep cumulative counters across per-step transports.
+    pub fn into_transport_with_metrics(
+        self,
+        local: &[NodeId],
+        directory: PeerDirectory,
+        cfg: LinkConfig,
+        seed: u64,
+        registry: &Registry,
+    ) -> TcpTransport {
+        TcpTransport::start(
+            self.listener,
+            local,
+            directory,
+            cfg,
+            seed,
+            Some(TcpMetrics::new(registry)),
+        )
+    }
+}
+
+/// Resolved handles for the TCP-specific metric names (`tcp.*`), on top of
+/// the shared `net.*` family. All socket-path events: connection churn,
+/// backoff sleeps, and the two writer-side loss causes.
+struct TcpMetrics {
+    transport: TransportMetrics,
+    /// Successful outbound connections (`tcp.connects`).
+    connects: Arc<Counter>,
+    /// Failed connect attempts (`tcp.connect.retries`).
+    connect_retries: Arc<Counter>,
+    /// Mid-stream write failures forcing a reconnect (`tcp.write.retries`).
+    write_retries: Arc<Counter>,
+    /// Exponential-backoff sleeps taken (`tcp.backoff.sleeps`).
+    backoff_sleeps: Arc<Counter>,
+    /// Frames dropped at enqueue because the writer queue was full
+    /// (`tcp.writer.overflow`).
+    writer_overflow: Arc<Counter>,
+}
+
+impl TcpMetrics {
+    fn new(registry: &Registry) -> Self {
+        TcpMetrics {
+            transport: TransportMetrics::new(registry),
+            connects: registry.counter("tcp.connects"),
+            connect_retries: registry.counter("tcp.connect.retries"),
+            write_retries: registry.counter("tcp.write.retries"),
+            backoff_sleeps: registry.counter("tcp.backoff.sleeps"),
+            writer_overflow: registry.counter("tcp.writer.overflow"),
+        }
     }
 }
 
@@ -291,6 +345,7 @@ struct TcpInner {
     writers: Vec<Mutex<Option<Arc<Writer>>>>,
     shutdown: AtomicBool,
     listen_addr: SocketAddr,
+    metrics: Option<TcpMetrics>,
 }
 
 impl TcpInner {
@@ -313,6 +368,11 @@ impl TcpInner {
         self.counters[ci][2].fetch_add(1, Ordering::Relaxed);
         self.counters[ci][0].fetch_sub(1, Ordering::Relaxed);
         self.counters[ci][1].fetch_sub(frame_len as u64, Ordering::Relaxed);
+        // The registry counters never decrement: `sent` already counted the
+        // attempt, so the loss just lands in `dropped`.
+        if let Some(m) = &self.metrics {
+            m.transport.on_dropped(ci);
+        }
     }
 
     /// Routes one record parsed off a connection into the local inbox it
@@ -334,7 +394,10 @@ impl TcpInner {
         if let Some(bw) = self.cfg.bandwidth_bytes_per_sec {
             delay += Duration::from_secs_f64(rec.frame.len() as f64 / bw as f64);
         }
-        inbox.schedule(Instant::now() + delay, seq, rec.from, rec.frame);
+        let depth = inbox.schedule(Instant::now() + delay, seq, rec.from, rec.frame);
+        if let Some(m) = &self.metrics {
+            m.transport.on_scheduled(depth);
+        }
     }
 }
 
@@ -357,12 +420,32 @@ impl TcpTransport {
         Ok(endpoint.into_transport(&local, PeerDirectory::new(vec![addr; n]), cfg, seed))
     }
 
+    /// [`TcpTransport::loopback`] with accounting mirrored into `registry`.
+    pub fn loopback_with_metrics(
+        n: usize,
+        cfg: LinkConfig,
+        seed: u64,
+        registry: &Registry,
+    ) -> io::Result<TcpTransport> {
+        let endpoint = TcpEndpoint::bind("127.0.0.1:0")?;
+        let addr = endpoint.local_addr()?;
+        let local: Vec<NodeId> = (0..n).collect();
+        Ok(endpoint.into_transport_with_metrics(
+            &local,
+            PeerDirectory::new(vec![addr; n]),
+            cfg,
+            seed,
+            registry,
+        ))
+    }
+
     fn start(
         listener: TcpListener,
         local: &[NodeId],
         directory: PeerDirectory,
         cfg: LinkConfig,
         seed: u64,
+        metrics: Option<TcpMetrics>,
     ) -> TcpTransport {
         let n = directory.len();
         assert!(n >= 2, "need at least two nodes");
@@ -384,6 +467,7 @@ impl TcpTransport {
             writers: (0..n).map(|_| Mutex::new(None)).collect(),
             shutdown: AtomicBool::new(false),
             listen_addr,
+            metrics,
         });
         let accept_inner = inner.clone();
         let accept = thread::Builder::new()
@@ -451,8 +535,14 @@ impl Transport for TcpTransport {
         let ci = TcpInner::class_index(class);
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         let draw = mix(self.inner.seed ^ seq.wrapping_mul(0xA076_1D64_78BD_642F));
+        if let Some(m) = &self.inner.metrics {
+            m.transport.on_sent(ci, len);
+        }
         if self.inner.cfg.loss > 0.0 && unit_f64(draw) < self.inner.cfg.loss {
             self.inner.counters[ci][2].fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.inner.metrics {
+                m.transport.on_dropped(ci);
+            }
             return Ok(len);
         }
         self.inner.counters[ci][0].fetch_add(1, Ordering::Relaxed);
@@ -460,6 +550,9 @@ impl Transport for TcpTransport {
         let record = encode_record(from, to, &frame);
         if !self.writer(to).enqueue(class, record) {
             // Congestion collapse toward this peer: the frame is lost.
+            if let Some(m) = &self.inner.metrics {
+                m.writer_overflow.inc();
+            }
             self.inner.reclassify_lost(class, len);
         }
         Ok(len)
@@ -622,12 +715,21 @@ fn writer_loop(inner: Arc<TcpInner>, to: NodeId, writer: Arc<Writer>) {
                     Ok(s) => {
                         stream = Some(s);
                         backoff = BACKOFF_START;
+                        if let Some(m) = &inner.metrics {
+                            m.connects.inc();
+                        }
                     }
                     Err(_) => {
                         attempts += 1;
+                        if let Some(m) = &inner.metrics {
+                            m.connect_retries.inc();
+                        }
                         if attempts >= WRITE_ATTEMPTS {
                             inner.reclassify_lost(class, record.len() - RECORD_HEADER_BYTES);
                             continue 'records;
+                        }
+                        if let Some(m) = &inner.metrics {
+                            m.backoff_sleeps.inc();
                         }
                         thread::sleep(backoff);
                         backoff = (backoff * 2).min(BACKOFF_CAP);
@@ -642,6 +744,9 @@ fn writer_loop(inner: Arc<TcpInner>, to: NodeId, writer: Arc<Writer>) {
                     // record against the fresh stream.
                     stream = None;
                     attempts += 1;
+                    if let Some(m) = &inner.metrics {
+                        m.write_retries.inc();
+                    }
                     if attempts >= WRITE_ATTEMPTS {
                         inner.reclassify_lost(class, record.len() - RECORD_HEADER_BYTES);
                         continue 'records;

@@ -8,11 +8,12 @@
 //! benches, and the churn experiments run on.
 
 use crate::wire::FrameClass;
+use cs_obs::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Node identifier — index into the population, matching the simulators.
@@ -170,6 +171,52 @@ impl TrafficSnapshot {
     }
 }
 
+/// Resolved [`cs_obs`] handles for the metric names every transport
+/// exports (see `docs/observability.md` for the catalog). Send-path
+/// counters follow *attempt* semantics — `net.<class>.sent.*` counts every
+/// frame handed to the transport, `net.<class>.dropped` every frame lost
+/// anywhere (loss shim, writer overflow, dead peer), so
+/// `delivered = sent − dropped` reconciles with [`TrafficSnapshot`]
+/// without ever decrementing a counter.
+pub(crate) struct TransportMetrics {
+    /// `[gossip, decrypt, control]` × (sent messages, sent bytes, dropped).
+    classes: [(Arc<Counter>, Arc<Counter>, Arc<Counter>); 3],
+    /// Inbox heap depth observed at each schedule (`net.inbox.depth`).
+    inbox_depth: Arc<Histogram>,
+}
+
+impl TransportMetrics {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        let class = |name: &str| {
+            (
+                registry.counter(&format!("net.{name}.sent.messages")),
+                registry.counter(&format!("net.{name}.sent.bytes")),
+                registry.counter(&format!("net.{name}.dropped")),
+            )
+        };
+        TransportMetrics {
+            classes: [class("gossip"), class("decrypt"), class("control")],
+            inbox_depth: registry.histogram("net.inbox.depth"),
+        }
+    }
+
+    /// A frame was handed to the transport (before any loss draw).
+    pub(crate) fn on_sent(&self, ci: usize, bytes: usize) {
+        self.classes[ci].0.inc();
+        self.classes[ci].1.add(bytes as u64);
+    }
+
+    /// A frame was lost — loss shim, queue overflow, or dead peer.
+    pub(crate) fn on_dropped(&self, ci: usize) {
+        self.classes[ci].2.inc();
+    }
+
+    /// A frame was scheduled into an inbox whose depth is now `depth`.
+    pub(crate) fn on_scheduled(&self, depth: usize) {
+        self.inbox_depth.record(depth as u64);
+    }
+}
+
 /// A delivered frame with its sender.
 #[derive(Clone, Debug)]
 pub struct Envelope {
@@ -263,7 +310,14 @@ impl Inbox {
     }
 
     /// Schedules a frame for delivery at `deliver_at`; `seq` breaks ties.
-    pub(crate) fn schedule(&self, deliver_at: Instant, seq: u64, from: NodeId, frame: Vec<u8>) {
+    /// Returns the inbox depth after the push (queue-depth metrics).
+    pub(crate) fn schedule(
+        &self,
+        deliver_at: Instant,
+        seq: u64,
+        from: NodeId,
+        frame: Vec<u8>,
+    ) -> usize {
         let mut heap = self.heap.lock().expect("inbox poisoned");
         heap.push(Scheduled {
             deliver_at,
@@ -271,8 +325,10 @@ impl Inbox {
             from,
             frame,
         });
+        let depth = heap.len();
         drop(heap);
         self.bell.notify_one();
+        depth
     }
 
     /// Pops the earliest frame whose delivery time has passed.
@@ -332,6 +388,7 @@ pub struct ChannelTransport {
     counters: [[AtomicU64; 3]; 3],
     sent_messages: Vec<AtomicU64>,
     sent_bytes: Vec<AtomicU64>,
+    metrics: Option<TransportMetrics>,
 }
 
 /// SplitMix64 — decorrelates the per-frame loss/jitter draws from the seed.
@@ -361,7 +418,15 @@ impl ChannelTransport {
             counters: Default::default(),
             sent_messages: (0..n).map(|_| AtomicU64::new(0)).collect(),
             sent_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            metrics: None,
         }
+    }
+
+    /// Mirrors the transport's accounting into `registry` (the `net.*`
+    /// metric family) on top of the built-in [`TrafficSnapshot`] counters.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(TransportMetrics::new(registry));
+        self
     }
 
     /// Per-node bandwidth accounting: `(frames, bytes)` node `id` has put
@@ -417,8 +482,14 @@ impl Transport for ChannelTransport {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let draw = mix(self.seed ^ seq.wrapping_mul(0xA076_1D64_78BD_642F));
         let ci = Self::class_index(class);
+        if let Some(m) = &self.metrics {
+            m.on_sent(ci, len);
+        }
         if self.cfg.loss > 0.0 && unit_f64(draw) < self.cfg.loss {
             self.counters[ci][2].fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.on_dropped(ci);
+            }
             return Ok(len);
         }
         self.counters[ci][0].fetch_add(1, Ordering::Relaxed);
@@ -431,7 +502,10 @@ impl Transport for ChannelTransport {
         if let Some(bw) = self.cfg.bandwidth_bytes_per_sec {
             delay += Duration::from_secs_f64(len as f64 / bw as f64);
         }
-        self.inboxes[to].schedule(Instant::now() + delay, seq, from, frame);
+        let depth = self.inboxes[to].schedule(Instant::now() + delay, seq, from, frame);
+        if let Some(m) = &self.metrics {
+            m.on_scheduled(depth);
+        }
         Ok(len)
     }
 
@@ -570,6 +644,41 @@ mod tests {
         assert_eq!(snap.messages(), 4);
         assert!(snap.bytes() > 0);
         assert_eq!(snap.bytes(), 4 * frame(1).len() as u64);
+    }
+
+    #[test]
+    fn metrics_mirror_the_traffic_snapshot() {
+        let registry = Registry::new();
+        let cfg = LinkConfig {
+            loss: 0.4,
+            ..LinkConfig::ideal()
+        };
+        let t = ChannelTransport::new(2, cfg, 42).with_metrics(&registry);
+        for _ in 0..100 {
+            t.send(0, 1, frame(1), FrameClass::Gossip).unwrap();
+        }
+        t.send(0, 1, frame(2), FrameClass::Control).unwrap();
+        let snap = t.snapshot();
+        let m = registry.snapshot();
+        // Attempt semantics: sent = delivered + dropped, per class.
+        assert_eq!(m.counter("net.gossip.sent.messages"), 100);
+        assert_eq!(
+            m.counter("net.gossip.dropped"),
+            snap.gossip.dropped,
+            "registry and snapshot agree on losses"
+        );
+        assert_eq!(
+            m.counter("net.gossip.sent.messages") - m.counter("net.gossip.dropped"),
+            snap.gossip.messages,
+        );
+        assert_eq!(
+            m.counter("net.gossip.sent.bytes"),
+            100 * frame(1).len() as u64
+        );
+        assert_eq!(m.counter("net.control.sent.messages"), 1);
+        // Every delivered frame passed through an inbox.
+        let depth = m.histogram("net.inbox.depth").expect("histogram exists");
+        assert_eq!(depth.count, snap.messages());
     }
 
     #[test]

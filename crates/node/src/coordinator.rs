@@ -27,6 +27,7 @@ use cs_net::node::NodeReport;
 use cs_net::runtime::assemble_outcome;
 use cs_net::transport::TrafficSnapshot;
 use cs_net::wire::WIRE_VERSION;
+use cs_obs::MetricsSnapshot;
 use rand::rngs::StdRng;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -238,6 +239,8 @@ pub struct ClusterBackend {
     supervisor: Option<Arc<Supervisor>>,
     last_reports: Option<Vec<NodeReport>>,
     last_snapshot: Option<TrafficSnapshot>,
+    last_metrics: Option<MetricsSnapshot>,
+    metrics_total: MetricsSnapshot,
 }
 
 impl ClusterBackend {
@@ -252,6 +255,8 @@ impl ClusterBackend {
             supervisor: None,
             last_reports: None,
             last_snapshot: None,
+            last_metrics: None,
+            metrics_total: MetricsSnapshot::default(),
         }
     }
 
@@ -281,6 +286,50 @@ impl ClusterBackend {
     /// Cluster-summed per-class traffic of the most recent step.
     pub fn last_snapshot(&self) -> Option<&TrafficSnapshot> {
         self.last_snapshot.as_ref()
+    }
+
+    /// Cluster-summed metrics delta of the most recent step.
+    pub fn last_metrics(&self) -> Option<&MetricsSnapshot> {
+        self.last_metrics.as_ref()
+    }
+
+    /// Cluster-summed metrics accumulated over every step run so far —
+    /// the coordinator-side mirror of what a live scrape should report.
+    pub fn metrics_total(&self) -> &MetricsSnapshot {
+        &self.metrics_total
+    }
+
+    /// Live scrape: sends [`ControlMsg::Metrics`] to every daemon and
+    /// collects the cumulative per-daemon snapshots. Only valid *between*
+    /// steps — a scrape racing a step would interleave with the step's
+    /// control traffic. Slots that died or missed the deadline stay `None`.
+    pub fn scrape_metrics(&mut self, timeout: Duration) -> Vec<Option<MetricsSnapshot>> {
+        let n = self.cluster.len();
+        for i in 0..n {
+            self.cluster.send(i, &ControlMsg::Metrics);
+        }
+        let mut out: Vec<Option<MetricsSnapshot>> = vec![None; n];
+        let deadline = Instant::now() + timeout;
+        loop {
+            let outstanding = (0..n).any(|i| self.cluster.alive[i] && out[i].is_none());
+            if !outstanding {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.cluster.events.recv_timeout(deadline - now) {
+                Ok((i, Event::Msg(ControlMsg::MetricsReport { metrics, .. }))) => {
+                    out[i] = Some(metrics);
+                }
+                Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
     }
 
     /// Per-daemon connection liveness.
@@ -386,6 +435,7 @@ impl ComputationBackend for ClusterBackend {
         let mut done = vec![false; n];
         let mut reports: Vec<Option<NodeReport>> = (0..n).map(|_| None).collect();
         let mut snapshots: Vec<TrafficSnapshot> = vec![TrafficSnapshot::default(); n];
+        let mut metric_deltas: Vec<MetricsSnapshot> = vec![MetricsSnapshot::default(); n];
 
         // Phase 0 — the start barrier: every living daemon constructs its
         // node (contribution encryption included) and acknowledges Ready
@@ -478,9 +528,11 @@ impl ComputationBackend for ClusterBackend {
                         step: s,
                         report,
                         snapshot,
+                        metrics,
                     }),
                 )) if s == step => {
                     snapshots[i] = snapshot;
+                    metric_deltas[i] = metrics;
                     reports[i] = Some(report);
                 }
                 Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
@@ -513,9 +565,11 @@ impl ComputationBackend for ClusterBackend {
                         step: s,
                         report,
                         snapshot,
+                        metrics,
                     }),
                 )) if s == step => {
                     snapshots[i] = snapshot;
+                    metric_deltas[i] = metrics;
                     reports[i] = Some(report);
                 }
                 Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
@@ -542,10 +596,15 @@ impl ComputationBackend for ClusterBackend {
         let total = snapshots
             .iter()
             .fold(TrafficSnapshot::default(), |acc, s| acc.plus(s));
+        let metrics_step = metric_deltas
+            .iter()
+            .fold(MetricsSnapshot::default(), |acc, m| acc.plus(m));
         let outcome = assemble_outcome(&reports, alive_after, &total);
         self.steps_run += 1;
         self.last_reports = Some(reports);
         self.last_snapshot = Some(total);
+        self.metrics_total = self.metrics_total.plus(&metrics_step);
+        self.last_metrics = Some(metrics_step);
         Ok(outcome)
     }
 }

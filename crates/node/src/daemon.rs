@@ -202,11 +202,16 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
                 .map_err(|e| bad_data(format!("bad address {a:?}: {e}")))
         })
         .collect::<io::Result<_>>()?;
-    let transport = Arc::new(endpoint.into_transport(
+    // Daemon-lifetime registry: transport counters accumulate across every
+    // step this process runs, so a live `Metrics` scrape sees cumulative
+    // totals while per-step `Report`s carry `since()` deltas.
+    let registry = cs_obs::Registry::new();
+    let transport = Arc::new(endpoint.into_transport_with_metrics(
         &[opts.id],
         PeerDirectory::new(directory),
         link.to_link_config(),
         transport_seed ^ (opts.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        &registry,
     ));
     let mut ctx = RunContext {
         config,
@@ -243,6 +248,7 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         .expect("spawn control reader");
 
     let mut last_snapshot = TrafficSnapshot::default();
+    let mut last_metrics = cs_obs::MetricsSnapshot::default();
     loop {
         match rx.recv() {
             Ok(ControlMsg::Step {
@@ -259,15 +265,40 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
                     &rx,
                     &mut control,
                 )?;
+                // Fold the step's phase profile into the registry *before*
+                // snapshotting, so `phase.<name>.ns` counters ride the same
+                // delta discipline as the transport counters.
+                for phase in cs_obs::StepPhase::ALL {
+                    let ns = report.profile.get(phase);
+                    if ns > 0 {
+                        registry
+                            .counter(&format!("phase.{}.ns", phase.name()))
+                            .add(ns);
+                    }
+                }
                 let now = ctx.transport.snapshot();
                 let delta = now.since(&last_snapshot);
                 last_snapshot = now;
+                let metrics_now = registry.snapshot();
+                let metrics_delta = metrics_now.since(&last_metrics);
+                last_metrics = metrics_now;
                 write_msg(
                     &mut control,
                     &ControlMsg::Report {
                         step,
                         report,
                         snapshot: delta,
+                        metrics: metrics_delta,
+                    },
+                )?;
+            }
+            // Live scrape: cumulative since daemon start, not delta'd.
+            Ok(ControlMsg::Metrics) => {
+                write_msg(
+                    &mut control,
+                    &ControlMsg::MetricsReport {
+                        node: opts.id,
+                        metrics: registry.snapshot(),
                     },
                 )?;
             }

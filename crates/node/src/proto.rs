@@ -18,6 +18,10 @@
 //! coordinator → daemon   Shutdown
 //! ```
 //!
+//! Between steps a coordinator may also send `Metrics` (a live scrape
+//! request); the daemon answers with `MetricsReport`, a cumulative
+//! [`cs_obs::MetricsSnapshot`] of its transport and step-phase counters.
+//!
 //! Control messages are serde-JSON documents behind a `u32` length prefix —
 //! they are low-rate (a handful per step), so readability beats compactness;
 //! the latency-critical path is the wire codec, not this. Both sides check
@@ -36,7 +40,9 @@ use std::io::{self, Read, Write};
 use std::time::Duration;
 
 /// Control-plane protocol version; both sides must match exactly.
-pub const PROTO_VERSION: u8 = 1;
+/// v2 added the `Metrics` / `MetricsReport` scrape pair and the
+/// metrics snapshot carried by `Report`.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Upper bound on one control message (guards the length-prefix read).
 pub const MAX_CONTROL_BYTES: usize = 64 << 20;
@@ -195,6 +201,25 @@ pub enum ControlMsg {
         /// This step's data-plane traffic (already delta'd against the
         /// previous step — summing across daemons gives cluster totals).
         snapshot: TrafficSnapshot,
+        /// This step's metrics delta (same delta discipline as `snapshot`;
+        /// summing across daemons with [`cs_obs::MetricsSnapshot::plus`]
+        /// gives cluster totals).
+        metrics: cs_obs::MetricsSnapshot,
+    },
+    /// Coordinator → daemon: scrape the daemon's cumulative metrics.
+    /// Answered with [`ControlMsg::MetricsReport`]; valid between steps
+    /// (inside a step the daemon is in its step loop and will answer after
+    /// reporting).
+    Metrics,
+    /// Daemon → coordinator: the cumulative [`cs_obs::MetricsSnapshot`]
+    /// since daemon start — **not** delta'd, unlike the per-step `Report`.
+    MetricsReport {
+        /// The reporting node.
+        node: usize,
+        /// Everything the daemon's registry has accumulated: `net.*` and
+        /// `tcp.*` transport counters plus the per-step phase profiles
+        /// folded into `phase.<name>.ns` counters.
+        metrics: cs_obs::MetricsSnapshot,
     },
     /// Coordinator → daemon: exit cleanly.
     Shutdown,
@@ -263,6 +288,12 @@ mod tests {
                 step: 1,
                 report: NodeReport::dead(7),
                 snapshot: TrafficSnapshot::default(),
+                metrics: Default::default(),
+            },
+            ControlMsg::Metrics,
+            ControlMsg::MetricsReport {
+                node: 7,
+                metrics: Default::default(),
             },
             ControlMsg::Shutdown,
         ];

@@ -94,6 +94,95 @@ fn plain_cluster_runs_an_engine_end_to_end() {
 }
 
 #[test]
+fn metrics_scrape_reconciles_with_coordinator_deltas() {
+    let n = 6;
+    let data = generate(
+        &BlobsConfig {
+            count: n,
+            clusters: 2,
+            len: 4,
+            noise: 0.2,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(31),
+    );
+    let mut config = ChiaroscuroConfig::demo_simulated();
+    config.k = 2;
+    config.max_iterations = 2;
+    config.gossip_cycles = 15;
+    config.epsilon = 1000.0;
+    let engine = Engine::new(config).unwrap();
+
+    let coordinator = Coordinator::bind().unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let daemons = spawn_daemon_threads(n, addr);
+    let cluster = coordinator
+        .accept_cluster(n, Duration::from_secs(20))
+        .unwrap();
+    let mut backend = ClusterBackend::new(
+        cluster,
+        ClusterConfig {
+            timing: fast_timing(),
+            ..ClusterConfig::default()
+        },
+    );
+
+    engine.run_with_backend(&data.series, &mut backend).unwrap();
+    assert_eq!(backend.steps_run(), 2);
+
+    // Report-carried deltas reconcile with the traffic snapshot: the
+    // default cluster link is ideal, so nothing is dropped and the
+    // send-attempt counters equal the delivered counts.
+    let last = backend.last_metrics().unwrap().clone();
+    let snap = *backend.last_snapshot().unwrap();
+    for (class, counts) in [
+        ("gossip", &snap.gossip),
+        ("decrypt", &snap.decrypt),
+        ("control", &snap.control),
+    ] {
+        assert_eq!(
+            last.counter(&format!("net.{class}.dropped")),
+            0,
+            "ideal links drop nothing ({class})"
+        );
+        assert_eq!(
+            last.counter(&format!("net.{class}.sent.messages")),
+            counts.messages,
+            "sent == delivered on ideal links ({class})"
+        );
+        assert_eq!(
+            last.counter(&format!("net.{class}.sent.bytes")),
+            counts.bytes,
+            "byte accounting matches ({class})"
+        );
+    }
+    assert!(last.counter("net.gossip.sent.messages") > 0);
+
+    // Phase profiling rode the same delta discipline.
+    let total = backend.metrics_total().clone();
+    assert!(total.counter("phase.gossip.ns") > 0, "gossip phase timed");
+
+    // Live scrape between steps: each daemon reports its cumulative
+    // snapshot, and the cluster sum is exactly the coordinator's
+    // accumulated per-step deltas — the delta/cumulative books agree.
+    let scraped = backend.scrape_metrics(Duration::from_secs(10));
+    assert!(
+        scraped.iter().all(|s| s.is_some()),
+        "every daemon answered the scrape"
+    );
+    let scrape_sum = scraped
+        .iter()
+        .flatten()
+        .fold(cs_obs::MetricsSnapshot::default(), |acc, m| acc.plus(m));
+    assert_eq!(scrape_sum, total, "scrape reconciles with summed deltas");
+
+    backend.shutdown();
+    for d in daemons {
+        d.join().expect("daemon thread exits cleanly");
+    }
+}
+
+#[test]
 fn real_crypto_cluster_distributes_shares_and_decrypts() {
     let n = 5;
     let data = generate(

@@ -1,0 +1,506 @@
+//! The lock-cheap metrics registry: counters, gauges, and fixed
+//! log₂-bucket histograms.
+//!
+//! The design rule is that the hot path never takes a lock: a metric is
+//! registered once (one mutex acquisition, get-or-create by name) and the
+//! caller keeps the returned [`Arc`] handle — after that, every update is
+//! one relaxed atomic operation. Scraping ([`Registry::snapshot`]) takes
+//! the registry lock once and reads every atomic, producing a
+//! [`MetricsSnapshot`] that serializes, sums across a cluster
+//! ([`MetricsSnapshot::plus`]), and deltas against a previous scrape
+//! ([`MetricsSnapshot::since`]) with exactly the arithmetic
+//! `cs_net::transport::TrafficSnapshot` uses for traffic accounting.
+//!
+//! Relaxed ordering is deliberate and sufficient: metrics are monotone
+//! event counts, not synchronization edges — the transports' own
+//! `[[AtomicU64; 3]; 3]` accounting arrays set the precedent.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero, one per bit width of a
+/// non-zero `u64` value.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed level (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` values with fixed log₂-scale buckets: bucket 0
+/// holds zeros, bucket `i ≥ 1` holds values of bit width `i`, i.e. the
+/// range `[2^(i-1), 2^i - 1]`. Recording is branch-free on the bucket
+/// choice (`leading_zeros`) plus three relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, otherwise the value's bit
+/// width (1..=64).
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` admits (`0` for bucket 0, `2^i - 1`
+/// otherwise, saturating at `u64::MAX` for bucket 64).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Metric name (dot-separated, see `docs/observability.md`).
+    pub name: String,
+    /// Value at scrape time.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Metric name.
+    pub name: String,
+    /// Level at scrape time.
+    pub value: i64,
+}
+
+/// One non-empty histogram bucket in a [`HistogramValue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Bucket index (see [`bucket_index`] / [`bucket_upper_bound`]).
+    pub bucket: u8,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One histogram in a [`MetricsSnapshot`] — sparse (only non-empty
+/// buckets), sorted by bucket index.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramValue {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// A point-in-time scrape of a [`Registry`]: every metric, sorted by name,
+/// in a shape the vendored serde stand-in can carry (sorted vectors, not
+/// maps). Snapshots compose like `TrafficSnapshot`: [`plus`] sums across
+/// sources, [`since`] deltas against an earlier scrape of the same source.
+///
+/// [`plus`]: MetricsSnapshot::plus
+/// [`since`]: MetricsSnapshot::since
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, ascending by name.
+    pub counters: Vec<CounterValue>,
+    /// All gauges, ascending by name.
+    pub gauges: Vec<GaugeValue>,
+    /// All histograms, ascending by name.
+    pub histograms: Vec<HistogramValue>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, `0` if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The named gauge's level, `0` if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map_or(0, |g| g.value)
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramValue> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Element-wise sum (union of names) — cluster totals from per-node
+    /// snapshots, mirroring `TrafficSnapshot::plus`.
+    pub fn plus(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        merge(self, other, u64::wrapping_add, i64::wrapping_add)
+    }
+
+    /// Element-wise saturating difference against an *earlier* snapshot of
+    /// the same registry — per-step deltas, mirroring
+    /// `TrafficSnapshot::since`. Gauges are levels, not monotone counts,
+    /// so their delta is a signed subtraction.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        merge(self, earlier, u64::saturating_sub, i64::wrapping_sub)
+    }
+}
+
+/// Merges two snapshots name-by-name with the given combining operators
+/// (the right-hand snapshot's lone entries combine against zero).
+fn merge(
+    a: &MetricsSnapshot,
+    b: &MetricsSnapshot,
+    op_u: fn(u64, u64) -> u64,
+    op_i: fn(i64, i64) -> i64,
+) -> MetricsSnapshot {
+    let mut counters: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for c in &a.counters {
+        counters.entry(&c.name).or_default().0 = c.value;
+    }
+    for c in &b.counters {
+        counters.entry(&c.name).or_default().1 = c.value;
+    }
+    let mut gauges: BTreeMap<&str, (i64, i64)> = BTreeMap::new();
+    for g in &a.gauges {
+        gauges.entry(&g.name).or_default().0 = g.value;
+    }
+    for g in &b.gauges {
+        gauges.entry(&g.name).or_default().1 = g.value;
+    }
+    let mut histograms: BTreeMap<&str, (Option<&HistogramValue>, Option<&HistogramValue>)> =
+        BTreeMap::new();
+    for h in &a.histograms {
+        histograms.entry(&h.name).or_default().0 = Some(h);
+    }
+    for h in &b.histograms {
+        histograms.entry(&h.name).or_default().1 = Some(h);
+    }
+    MetricsSnapshot {
+        counters: counters
+            .into_iter()
+            .map(|(name, (x, y))| CounterValue {
+                name: name.to_string(),
+                value: op_u(x, y),
+            })
+            .collect(),
+        gauges: gauges
+            .into_iter()
+            .map(|(name, (x, y))| GaugeValue {
+                name: name.to_string(),
+                value: op_i(x, y),
+            })
+            .collect(),
+        histograms: histograms
+            .into_iter()
+            .map(|(name, (x, y))| merge_histogram(name, x, y, op_u))
+            .collect(),
+    }
+}
+
+fn merge_histogram(
+    name: &str,
+    a: Option<&HistogramValue>,
+    b: Option<&HistogramValue>,
+    op: fn(u64, u64) -> u64,
+) -> HistogramValue {
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut other = [0u64; HISTOGRAM_BUCKETS];
+    for bc in a.map_or(&[][..], |h| &h.buckets) {
+        buckets[bc.bucket as usize] = bc.count;
+    }
+    for bc in b.map_or(&[][..], |h| &h.buckets) {
+        other[bc.bucket as usize] = bc.count;
+    }
+    HistogramValue {
+        name: name.to_string(),
+        count: op(a.map_or(0, |h| h.count), b.map_or(0, |h| h.count)),
+        sum: op(a.map_or(0, |h| h.sum), b.map_or(0, |h| h.sum)),
+        buckets: (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let count = op(buckets[i], other[i]);
+                (count != 0).then_some(BucketCount {
+                    bucket: i as u8,
+                    count,
+                })
+            })
+            .collect(),
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The metric registry: named handles, get-or-create, one lock that the
+/// hot path never sees (handles are resolved once, updates are atomics).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The named counter, created on first use. Call once and keep the
+    /// handle; resolving by name takes the registry lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The named histogram, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Scrapes every metric into a serializable, order-stable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| CounterValue {
+                    name: name.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| GaugeValue {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    let buckets: Vec<BucketCount> = (0..HISTOGRAM_BUCKETS)
+                        .filter_map(|i| {
+                            let count = h.buckets[i].load(Ordering::Relaxed);
+                            (count != 0).then_some(BucketCount {
+                                bucket: i as u8,
+                                count,
+                            })
+                        })
+                        .collect();
+                    HistogramValue {
+                        name: name.clone(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let registry = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = registry.counter("test.hits");
+                let h = registry.histogram("test.sizes");
+                thread::spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("test.hits"), threads * per_thread);
+        let h = snap.histogram("test.sizes").unwrap();
+        assert_eq!(h.count, threads * per_thread);
+        assert_eq!(h.sum, threads * per_thread * (per_thread - 1) / 2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact_powers_of_two() {
+        // Value → bucket: 0→0, 1→1, [2,3]→2, [4,7]→3, … [2^(i-1), 2^i-1]→i.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i} stays in");
+            assert_eq!(bucket_index(hi + 1), i + 1, "successor leaves bucket {i}");
+        }
+
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let counts: Vec<u64> = h.buckets[..5]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // 0 → bucket 0, 1 → bucket 1, {2, 3} → bucket 2, 4 → bucket 3.
+        assert_eq!(counts, vec![1, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn snapshot_since_inverts_plus() {
+        let registry = Registry::new();
+        registry.counter("a").add(5);
+        registry.gauge("g").set(-3);
+        registry.histogram("h").record(100);
+        let before = registry.snapshot();
+
+        registry.counter("a").add(7);
+        registry.counter("b").add(2);
+        registry.gauge("g").set(4);
+        registry.histogram("h").record(9);
+        let after = registry.snapshot();
+
+        let delta = after.since(&before);
+        assert_eq!(delta.counter("a"), 7);
+        assert_eq!(delta.counter("b"), 2);
+        assert_eq!(delta.gauge("g"), 7); // −3 → 4
+        let h = delta.histogram("h").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 9);
+        assert_eq!(
+            h.buckets,
+            vec![BucketCount {
+                bucket: 4,
+                count: 1
+            }]
+        );
+
+        // Delta plus baseline reassembles the later scrape, exactly the
+        // TrafficSnapshot identity the coordinator relies on.
+        assert_eq!(before.plus(&delta), after);
+    }
+
+    #[test]
+    fn snapshots_roundtrip_through_serde_json() {
+        let registry = Registry::new();
+        registry.counter("x.count").add(3);
+        registry.gauge("x.depth").set(-2);
+        registry.histogram("x.hist").record(42);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,253 @@
+//! The structured span/event tracing facade.
+//!
+//! A [`Tracer`] records bounded, timestamped [`TraceEvent`]s through a
+//! pluggable [`Clock`]. The clock choice is the whole point: the threaded
+//! and TCP substrates trace in wall time ([`WallClock`]), while the
+//! sharded executor traces in **virtual time** ([`VirtualClock`], advanced
+//! explicitly at epoch boundaries) — so a same-seed sharded run emits a
+//! byte-identical trace no matter how many worker threads drive it, and
+//! the determinism e2e can assert on traces as strongly as it asserts on
+//! execution logs.
+//!
+//! The buffer is bounded ([`Tracer::with_capacity`]); overflow drops new
+//! events and counts them, because observability must never grow memory
+//! without bound inside a 10k-virtual-node step.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall time, anchored at construction.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is now.
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic virtual time: an atomic nanosecond counter advanced
+/// explicitly by whoever owns the timeline (the sharded executor advances
+/// it at epoch boundaries). Reads never consult the OS, so two same-seed
+/// runs see identical timestamps regardless of scheduling.
+#[derive(Debug, Default)]
+pub struct VirtualClock(AtomicU64);
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Jumps the clock to `ns` (virtual time only moves forward; the
+    /// caller owns that invariant).
+    pub fn set_ns(&self, ns: u64) {
+        self.0.store(ns, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `ns`.
+    pub fn advance_ns(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One `key = value` attachment on a [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub key: String,
+    /// Field value.
+    pub value: u64,
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Timestamp from the tracer's [`Clock`], nanoseconds.
+    pub ts_ns: u64,
+    /// Event name (span events carry the span name and a `dur_ns` field).
+    pub name: String,
+    /// Structured attachments.
+    pub fields: Vec<Field>,
+}
+
+/// A bounded recorder of [`TraceEvent`]s.
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// A tracer with the default 4096-event buffer.
+    pub fn new(clock: Arc<dyn Clock>) -> Tracer {
+        Tracer::with_capacity(clock, 4096)
+    }
+
+    /// A tracer holding at most `capacity` events; further events are
+    /// dropped and counted ([`Tracer::dropped`]).
+    pub fn with_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Tracer {
+        Tracer {
+            clock,
+            events: Mutex::new(Vec::new()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The tracer's clock (the executor hands this out so event producers
+    /// and the timeline owner share one timebase).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &str, fields: &[(&str, u64)]) {
+        let ts_ns = self.clock.now_ns();
+        let mut events = self.events.lock().expect("tracer poisoned");
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(TraceEvent {
+            ts_ns,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(key, value)| Field {
+                    key: key.to_string(),
+                    value: *value,
+                })
+                .collect(),
+        });
+    }
+
+    /// Opens a span; the returned guard records a single event carrying
+    /// the span's duration (`dur_ns`, in the tracer's clock) when dropped.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            tracer: self,
+            name,
+            start_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Takes every recorded event, oldest first, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("tracer poisoned"))
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An open span; see [`Tracer::span`].
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur = self.tracer.clock.now_ns().saturating_sub(self.start_ns);
+        self.tracer.event(self.name, &[("dur_ns", dur)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scripted_trace() -> Vec<TraceEvent> {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::new(clock.clone() as Arc<dyn Clock>);
+        tracer.event("step.start", &[("population", 64)]);
+        clock.advance_ns(250_000);
+        {
+            let _span = tracer.span("epoch");
+            clock.advance_ns(250_000);
+        }
+        tracer.event("step.end", &[]);
+        tracer.drain()
+    }
+
+    #[test]
+    fn virtual_time_traces_are_byte_identical_across_runs() {
+        let a = scripted_trace();
+        let b = scripted_trace();
+        assert_eq!(a, b);
+        let json_a = serde_json::to_string(&a).unwrap();
+        let json_b = serde_json::to_string(&b).unwrap();
+        assert_eq!(json_a, json_b, "serialized traces are byte-identical");
+        assert_eq!(a[1].name, "epoch");
+        assert_eq!(a[1].ts_ns, 500_000, "span event lands at its close");
+        assert_eq!(
+            a[1].fields,
+            vec![Field {
+                key: "dur_ns".into(),
+                value: 250_000
+            }]
+        );
+    }
+
+    #[test]
+    fn bounded_buffer_drops_and_counts_overflow() {
+        let tracer = Tracer::with_capacity(Arc::new(VirtualClock::new()), 2);
+        tracer.event("a", &[]);
+        tracer.event("b", &[]);
+        tracer.event("c", &[]);
+        assert_eq!(tracer.drain().len(), 2);
+        assert_eq!(tracer.dropped(), 1);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -26,4 +26,23 @@ pub use cs_gossip;
 pub use cs_kmeans;
 pub use cs_net;
 pub use cs_node;
+pub use cs_obs;
 pub use cs_timeseries;
+
+/// `docs/architecture.md`, rendered into rustdoc. Including the guides
+/// here compiles and runs their fenced Rust examples as doctests, so the
+/// prose can never drift from the APIs it describes.
+#[doc = include_str!("../docs/architecture.md")]
+pub mod doc_architecture {}
+
+/// `docs/observability.md`, rendered into rustdoc (examples doctested).
+#[doc = include_str!("../docs/observability.md")]
+pub mod doc_observability {}
+
+/// `docs/benchmarks.md`, rendered into rustdoc (examples doctested).
+#[doc = include_str!("../docs/benchmarks.md")]
+pub mod doc_benchmarks {}
+
+/// `docs/deployment.md`, rendered into rustdoc (examples doctested).
+#[doc = include_str!("../docs/deployment.md")]
+pub mod doc_deployment {}

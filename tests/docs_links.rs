@@ -1,0 +1,181 @@
+//! Dead-link and anchor checker for the repository documentation.
+//!
+//! Walks every markdown link in `README.md` and `docs/*.md`, resolves
+//! relative targets against the repo tree, and — when a link carries a
+//! `#fragment` — checks that the target file actually contains a heading
+//! with that GitHub-style anchor slug. Runs as a plain integration test
+//! so a renamed doc, a moved heading, or a typo'd path fails CI instead
+//! of shipping a 404.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documents whose links are checked. Link *targets* may be any file
+/// in the repo; only these have their prose scanned.
+fn scanned_docs(root: &Path) -> Vec<PathBuf> {
+    let mut docs = vec![root.join("README.md")];
+    let mut dir: Vec<_> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    dir.sort();
+    docs.extend(dir);
+    docs
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, alphanumerics (plus `-`
+/// and `_`) kept, spaces become hyphens, everything else dropped.
+fn slugify(heading: &str) -> String {
+    let mut slug = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() || c == '-' || c == '_' {
+            slug.extend(c.to_lowercase());
+        } else if c == ' ' {
+            slug.push('-');
+        }
+    }
+    slug
+}
+
+/// Heading anchors of one markdown file, fenced code excluded.
+fn anchors_of(path: &Path) -> BTreeSet<String> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut anchors = BTreeSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let hashes = trimmed.chars().take_while(|&c| c == '#').count();
+        if (1..=6).contains(&hashes) && trimmed.chars().nth(hashes) == Some(' ') {
+            // Inline code/emphasis markers don't survive into the slug.
+            let heading: String = trimmed[hashes + 1..]
+                .chars()
+                .filter(|&c| c != '`' && c != '*')
+                .collect();
+            anchors.insert(slugify(&heading));
+        }
+    }
+    anchors
+}
+
+/// Markdown link targets of one file: every `](target)`, fenced code
+/// excluded, inline code spans excluded.
+fn links_of(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Strip inline code spans so `[x](y)` inside backticks is prose,
+        // not a link.
+        let mut stripped = String::with_capacity(line.len());
+        let mut in_code = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                stripped.push(c);
+            }
+        }
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(close) = stripped[i + 2..].find(')') {
+                    links.push(stripped[i + 2..i + 2 + close].to_string());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+#[test]
+fn every_relative_link_and_anchor_resolves() {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    for doc in scanned_docs(&root) {
+        let text =
+            std::fs::read_to_string(&doc).unwrap_or_else(|e| panic!("read {}: {e}", doc.display()));
+        let doc_dir = doc.parent().expect("doc has a parent").to_path_buf();
+        let rel = doc
+            .strip_prefix(&root)
+            .unwrap_or(&doc)
+            .display()
+            .to_string();
+        for target in links_of(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue; // external — not checkable offline
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let file = if path_part.is_empty() {
+                doc.clone()
+            } else {
+                doc_dir.join(path_part)
+            };
+            if !file.exists() {
+                failures.push(format!("{rel}: broken link target {target:?}"));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if file.extension().is_some_and(|e| e == "md") {
+                    let anchors = anchors_of(&file);
+                    if !anchors.contains(anchor) {
+                        failures.push(format!(
+                            "{rel}: anchor {target:?} missing — {} has {:?}",
+                            file.strip_prefix(&root).unwrap_or(&file).display(),
+                            anchors
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "documentation links broken:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn docs_are_linked_from_the_readme() {
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    for doc in scanned_docs(&root) {
+        let name = doc.file_name().expect("file name").to_string_lossy();
+        if name == "README.md" {
+            continue;
+        }
+        assert!(
+            readme.contains(&format!("docs/{name}")),
+            "README.md does not link docs/{name}"
+        );
+    }
+}
