@@ -9,9 +9,11 @@ use cs_bench::datasets::synthetic_contributions;
 use cs_bigint::BigUint;
 use cs_crypto::Ciphertext;
 use cs_net::runtime::{run_step_over_transport, NetConfig};
-use cs_net::wire::{decode_frame, encode_frame, Message};
+use cs_net::wire::{decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, Message};
+use cs_obs::{CausalTracer, TraceContext, Tracer, VirtualClock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn encrypted_push(slots: usize, slot_bytes: usize) -> Message {
@@ -80,5 +82,47 @@ fn bench_threaded_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire_codec, bench_threaded_step);
+/// The causal-tracing tax: a traced frame carries 24 extra bytes and one
+/// extra branch on both codec paths, and every send/recv records one ring
+/// event. These benches price each piece so "tracing is cheap enough to
+/// leave on" stays a measured claim rather than folklore.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/wire_codec_traced");
+    let msg = encrypted_push(24, 256);
+    let ctx = TraceContext {
+        trace_id: 42,
+        span_id: ((7u64 + 1) << 32) | 3,
+        parent_id: 9,
+    };
+    let frame = encode_frame_traced(&msg, ctx);
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode", |bench| {
+        bench.iter(|| encode_frame_traced(criterion::black_box(&msg), criterion::black_box(ctx)))
+    });
+    group.bench_function("decode", |bench| {
+        bench.iter(|| decode_frame_traced(criterion::black_box(&frame)).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("obs/causal_event");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("on_send_ring", |bench| {
+        let clock = Arc::new(VirtualClock::new());
+        let ring = Arc::new(Tracer::ring(clock, 8192));
+        let mut causal = CausalTracer::new(ring, 42, 7, TraceContext::NONE);
+        let mut peer = 0u64;
+        bench.iter(|| {
+            peer = (peer + 1) % 1024;
+            criterion::black_box(causal.on_send(peer, 1))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire_codec,
+    bench_threaded_step,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -52,15 +52,15 @@
 //! control-plane broadcast at very large populations.
 
 use crate::churn::{ChurnEvent, ChurnKind};
-use crate::node::{NodeParams, NodeReport, ProtocolNode};
+use crate::node::{NodeParams, NodeReport, Outbound, ProtocolNode};
 use crate::runtime::{assemble_outcome, StepCrypto, StepRun};
 use crate::transport::{mix, unit_f64, ClassCounts, LinkConfig, NodeId, TrafficSnapshot};
-use crate::wire::{decode_frame, encode_frame, FrameClass, Message};
+use crate::wire::{decode_frame_traced, encode_frame_traced, FrameClass, Message, TraceContext};
 use chiaroscuro::config::ChiaroscuroConfig;
 use chiaroscuro::noise::SlotLayout;
 use chiaroscuro::rounds::CryptoContext;
 use chiaroscuro::ChiaroscuroError;
-use cs_obs::{Counter, Histogram, Registry};
+use cs_obs::{CausalTracer, Counter, Histogram, NodeTrace, Registry, Tracer, VirtualClock};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -109,6 +109,14 @@ pub struct ShardedConfig {
     pub termination_votes: bool,
     /// Scripted churn, scheduled at virtual offsets.
     pub churn: crate::churn::ChurnSchedule,
+    /// Causal tracing: every node records its sends, receives, and phase
+    /// markers on a **virtual-time** clock, and [`StepRun::traces`] carries
+    /// the captures home. Because every timestamp and span id derives from
+    /// the deterministic timeline, a same-seed run produces a
+    /// byte-identical trace regardless of the worker count (asserted by
+    /// `tests/sharded_e2e.rs`). Off by default: traced frames carry 24
+    /// extra bytes, which shifts bandwidth-delay arithmetic.
+    pub trace: bool,
 }
 
 impl Default for ShardedConfig {
@@ -123,6 +131,7 @@ impl Default for ShardedConfig {
             step_timeout: Duration::from_secs(60),
             termination_votes: true,
             churn: crate::churn::ChurnSchedule::none(),
+            trace: false,
         }
     }
 }
@@ -159,11 +168,12 @@ const CLASS_CHURN: u8 = 0;
 const CLASS_TIMER: u8 = 1;
 const CLASS_DELIVER: u8 = 2;
 
-/// A message in flight. Same-shard messages skip the codec entirely;
-/// cross-shard messages travel as encoded frames and are decoded (and
-/// strict-checked) on arrival, exactly like the threaded transport.
+/// A message in flight. Same-shard messages skip the codec entirely (the
+/// trace context rides along decoded); cross-shard messages travel as
+/// encoded frames — context stamped into the wire bytes — and are decoded
+/// (and strict-checked) on arrival, exactly like the threaded transport.
 enum Payload {
-    Local(Message),
+    Local(Message, TraceContext),
     Frame(Vec<u8>),
 }
 
@@ -236,6 +246,10 @@ struct Slot {
     /// Decrypt retry/deadline timers already scheduled for the current
     /// await (prevents duplicates on every share arrival).
     timers_armed: bool,
+    /// This node's trace clock and buffer when tracing is on. The clock is
+    /// jumped to the event timestamp before every activation, so trace
+    /// timestamps are pure virtual time — identical across worker counts.
+    trace: Option<(Arc<VirtualClock>, Arc<Tracer>)>,
 }
 
 /// A shard: the nodes it owns, their event queue, and local (unsynchronized)
@@ -246,7 +260,7 @@ struct Shard {
     // [gossip, decrypt, control] × [messages, bytes, dropped]
     counters: [[u64; 3]; 3],
     /// Reusable output buffer for node activations.
-    scratch: Vec<(NodeId, Message)>,
+    scratch: Vec<Outbound>,
 }
 
 /// Cross-shard delivery queue. Items become visible to the owning shard at
@@ -409,10 +423,10 @@ impl Exec<'_> {
         from: NodeId,
         now: u64,
         window_end: u64,
-        out: &mut Vec<(NodeId, Message)>,
+        out: &mut Vec<Outbound>,
     ) {
         let from_local = self.home[from].1 as usize;
-        for (to, msg) in out.drain(..) {
+        for (to, msg, ctx) in out.drain(..) {
             let class = msg.class();
             let ci = class_index(class);
             let seq = {
@@ -424,10 +438,16 @@ impl Exec<'_> {
             if target_shard == shard_idx {
                 // Direct queue push: same shard, same epoch, no codec. The
                 // byte accounting still reflects the frame the message
-                // *would* occupy on a wire.
+                // *would* occupy on a wire — trace block included, so
+                // in-shard and cross-shard edges account identically.
                 self.metrics.in_shard.inc();
+                let trace_bytes = if ctx.is_set() {
+                    TraceContext::WIRE_BYTES
+                } else {
+                    0
+                };
                 shard.counters[ci][0] += 1;
-                shard.counters[ci][1] += msg.encoded_len() as u64;
+                shard.counters[ci][1] += (msg.encoded_len() + trace_bytes) as u64;
                 shard.heap.push(Event {
                     at: now,
                     class: CLASS_DELIVER,
@@ -435,7 +455,7 @@ impl Exec<'_> {
                     seq,
                     kind: EventKind::Deliver {
                         to,
-                        payload: Payload::Local(msg),
+                        payload: Payload::Local(msg, ctx),
                     },
                 });
                 continue;
@@ -444,7 +464,7 @@ impl Exec<'_> {
             // keyed by (step seed, sender, sender sequence), so the loss and
             // jitter pattern is identical in every same-seed run.
             self.metrics.cross_shard.inc();
-            let frame = encode_frame(&msg);
+            let frame = encode_frame_traced(&msg, ctx);
             let len = frame.len();
             let draw = mix(self.step_seed
                 ^ (from as u64).wrapping_mul(0xA076_1D64_78BD_642F)
@@ -478,6 +498,15 @@ impl Exec<'_> {
         }
     }
 
+    /// Jumps a slot's trace clock to the activation instant (no-op
+    /// untraced). Every trace timestamp a node records is therefore the
+    /// virtual time of the event that activated it.
+    fn sync_trace_clock(shard: &Shard, local: usize, now: u64) {
+        if let Some((clock, _)) = &shard.slots[local].trace {
+            clock.set_ns(now);
+        }
+    }
+
     fn handle_event(&self, shard: &mut Shard, shard_idx: usize, event: Event, window_end: u64) {
         let now = event.at;
         let mut out = std::mem::take(&mut shard.scratch);
@@ -497,6 +526,7 @@ impl Exec<'_> {
                     ChurnKind::Rejoin => {
                         if !shard.slots[local].alive {
                             shard.slots[local].alive = true;
+                            Self::sync_trace_clock(shard, local, now);
                             shard.slots[local].node.on_rejoin(&mut out);
                             self.route(shard, shard_idx, node, now, window_end, &mut out);
                             let awaiting = shard.slots[local].node.awaiting_shares();
@@ -518,6 +548,7 @@ impl Exec<'_> {
                     }
                     ChurnKind::Leave => {
                         if shard.slots[local].alive {
+                            Self::sync_trace_clock(shard, local, now);
                             shard.slots[local].node.on_leave(&mut out);
                             self.route(shard, shard_idx, node, now, window_end, &mut out);
                             shard.slots[local].alive = false;
@@ -532,6 +563,7 @@ impl Exec<'_> {
                 // A crashed node's pacing stops (its generation was bumped);
                 // rejoin starts a fresh chain.
                 if shard.slots[local].alive && gen == shard.slots[local].timer_gen {
+                    Self::sync_trace_clock(shard, local, now);
                     shard.slots[local].node.tick(&mut out);
                     self.route(shard, shard_idx, node, now, window_end, &mut out);
                     self.arm_decrypt_timers(shard, local, now);
@@ -554,6 +586,7 @@ impl Exec<'_> {
                     && gen == shard.slots[local].timer_gen
                     && shard.slots[local].node.awaiting_shares()
                 {
+                    Self::sync_trace_clock(shard, local, now);
                     shard.slots[local].node.retry_decrypt(&mut out);
                     self.route(shard, shard_idx, node, now, window_end, &mut out);
                     Self::schedule_timer(shard, local, now + self.retry_interval, TimerKind::Retry);
@@ -566,6 +599,7 @@ impl Exec<'_> {
                     && gen == shard.slots[local].timer_gen
                     && shard.slots[local].node.awaiting_shares()
                 {
+                    Self::sync_trace_clock(shard, local, now);
                     shard.slots[local].node.abandon_decrypt(&mut out);
                     self.route(shard, shard_idx, node, now, window_end, &mut out);
                 }
@@ -577,17 +611,18 @@ impl Exec<'_> {
                 if shard.slots[local].alive {
                     let from = event.actor as usize;
                     let msg = match payload {
-                        Payload::Local(msg) => Some(msg),
-                        Payload::Frame(frame) => match decode_frame(&frame) {
-                            Ok(msg) => Some(msg),
+                        Payload::Local(msg, ctx) => Some((msg, ctx)),
+                        Payload::Frame(frame) => match decode_frame_traced(&frame) {
+                            Ok(decoded) => Some(decoded),
                             Err(_) => {
                                 shard.slots[local].node.note_bad_frame();
                                 None
                             }
                         },
                     };
-                    if let Some(msg) = msg {
-                        shard.slots[local].node.handle(from, msg, &mut out);
+                    if let Some((msg, ctx)) = msg {
+                        Self::sync_trace_clock(shard, local, now);
+                        shard.slots[local].node.handle(from, msg, ctx, &mut out);
                         self.route(shard, shard_idx, to, now, window_end, &mut out);
                         self.arm_decrypt_timers(shard, local, now);
                     }
@@ -754,7 +789,23 @@ pub fn run_step_sharded(
                     };
                     let node_crypto = step.node_crypto(crypto, config, id);
                     let contribution = contributions[id].as_deref();
-                    let node = ProtocolNode::new(params, *layout, node_crypto, contribution);
+                    let mut node = ProtocolNode::new(params, *layout, node_crypto, contribution);
+                    let trace = sharded.trace.then(|| {
+                        let clock = Arc::new(VirtualClock::new());
+                        let tracer = Arc::new(Tracer::new(clock.clone() as Arc<dyn cs_obs::Clock>));
+                        (clock, tracer)
+                    });
+                    if let Some((_, tracer)) = &trace {
+                        // trace id = step seed: every node's trace of this
+                        // step carries the same id, which is what the
+                        // critical-path analyzer groups rounds by.
+                        node = node.with_tracer(CausalTracer::new(
+                            tracer.clone(),
+                            step_seed,
+                            id as u64,
+                            TraceContext::NONE,
+                        ));
+                    }
                     let alive = contribution.is_some();
                     let mut slot = Slot {
                         node,
@@ -763,6 +814,7 @@ pub fn run_step_sharded(
                         timer_seq: 0,
                         timer_gen: 0,
                         timers_armed: false,
+                        trace,
                     };
                     if alive {
                         slot.timer_seq += 1;
@@ -867,7 +919,7 @@ pub fn run_step_sharded(
 
     // Deterministic collection: nodes back into id order, counters merged
     // in shard order.
-    let mut collected: Vec<(NodeId, bool, NodeReport)> = Vec::with_capacity(n);
+    let mut collected: Vec<(NodeId, bool, NodeReport, Option<NodeTrace>)> = Vec::with_capacity(n);
     let mut counters = [[0u64; 3]; 3];
     for shard in shards {
         let shard = shard.into_inner().expect("shard poisoned");
@@ -877,12 +929,21 @@ pub fn run_step_sharded(
             }
         }
         for slot in shard.slots {
-            collected.push((slot.node.id(), slot.alive, slot.node.into_report()));
+            let id = slot.node.id();
+            let trace = slot
+                .trace
+                .map(|(_, tracer)| NodeTrace::capture(id as u64, &tracer));
+            collected.push((id, slot.alive, slot.node.into_report(), trace));
         }
     }
-    collected.sort_by_key(|(id, _, _)| *id);
-    let alive_after: Vec<bool> = collected.iter().map(|(_, alive, _)| *alive).collect();
-    let reports: Vec<NodeReport> = collected.into_iter().map(|(_, _, r)| r).collect();
+    collected.sort_by_key(|(id, _, _, _)| *id);
+    let alive_after: Vec<bool> = collected.iter().map(|&(_, alive, _, _)| alive).collect();
+    let mut reports = Vec::with_capacity(n);
+    let mut traces = Vec::new();
+    for (_, _, report, trace) in collected {
+        reports.push(report);
+        traces.extend(trace);
+    }
 
     let read = |ci: usize| ClassCounts {
         messages: counters[ci][0],
@@ -900,6 +961,7 @@ pub fn run_step_sharded(
         reports,
         snapshot,
         metrics: registry.snapshot(),
+        traces,
         elapsed: started.elapsed(),
     })
 }

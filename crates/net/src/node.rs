@@ -1,9 +1,11 @@
 //! The per-node protocol state machine for one computation step.
 //!
 //! [`ProtocolNode`] is *sans-IO*: it consumes decoded [`Message`]s and
-//! pacing ticks, and emits `(destination, Message)` pairs — the threaded
-//! runtime wires it to a [`crate::transport::Transport`], and tests can
-//! drive it entirely in-process. The gossip arithmetic itself lives in
+//! pacing ticks, and emits [`Outbound`] triples — destination, message,
+//! and the [`TraceContext`] that causally links the send to whatever
+//! triggered it — the threaded runtime wires it to a
+//! [`crate::transport::Transport`], and tests can drive it entirely
+//! in-process. The gossip arithmetic itself lives in
 //! `cs_gossip` (`HePushSumNode::split_push`/`absorb` and the plaintext
 //! twins), so the simulators and this runtime execute the *same* protocol
 //! code; the slot bookkeeping and encryption helpers come from
@@ -40,11 +42,16 @@ use cs_crypto::{
 use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::{PlainPush, PushSumNode};
 use cs_obs::phase::{PhaseProfile, StepPhase};
+use cs_obs::{CausalTracer, TraceContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One outbound message with the trace context that causally links it to
+/// whatever triggered it ([`TraceContext::NONE`] on untraced nodes).
+pub type Outbound = (NodeId, Message, TraceContext);
 
 /// Packed-mode crypto state: the lane codec every participant agreed on
 /// for this step, plus the fixed-base encryptor serving contribution
@@ -197,6 +204,7 @@ pub struct ProtocolNode {
     decrypt_ops: DecryptionOps,
     bad_frames: u64,
     profile: PhaseProfile,
+    tracer: Option<CausalTracer>,
 }
 
 impl ProtocolNode {
@@ -299,7 +307,18 @@ impl ProtocolNode {
             decrypt_ops: DecryptionOps::default(),
             bad_frames: 0,
             profile,
+            tracer: None,
         }
+    }
+
+    /// Attaches a causal tracer: every send gets a fresh span (stamped
+    /// into the wire frame by the driver), every receive re-parents
+    /// subsequent activity onto the inbound span, and the phase
+    /// transitions leave `gossip.end` / `step.done` markers. Tracing is a
+    /// pure side channel — no protocol-visible state reads it.
+    pub fn with_tracer(mut self, tracer: CausalTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// This node's id.
@@ -330,9 +349,13 @@ impl ProtocolNode {
 
     /// One pacing tick: push during the gossip phase, transition to
     /// decryption when the quota is exhausted.
-    pub fn tick(&mut self, out: &mut Vec<(NodeId, Message)>) {
+    pub fn tick(&mut self, out: &mut Vec<Outbound>) {
         if !matches!(self.phase, Phase::Gossip) {
             return;
+        }
+        // A tick is timer-driven, not caused by any inbound message.
+        if let Some(t) = &mut self.tracer {
+            t.local_root();
         }
         if self.pushes_sent < self.params.pushes {
             match self.sample_peer() {
@@ -374,7 +397,7 @@ impl ProtocolNode {
                     };
                     self.profile
                         .add(StepPhase::Gossip, split_started.elapsed().as_nanos() as u64);
-                    out.push((peer, msg));
+                    self.emit(peer, msg, out);
                     self.pushes_sent += 1;
                 }
                 None => {
@@ -394,7 +417,7 @@ impl ProtocolNode {
 
     /// Gives up on the decryption round (the runtime's bounded-wait escape
     /// hatch for a committee that silently died): finishes with no estimate.
-    pub fn abandon_decrypt(&mut self, out: &mut Vec<(NodeId, Message)>) {
+    pub fn abandon_decrypt(&mut self, out: &mut Vec<Outbound>) {
         if matches!(self.phase, Phase::AwaitShares) {
             self.finish(None, out);
         }
@@ -405,16 +428,20 @@ impl ProtocolNode {
     /// (their earlier request or reply may have been lost). Idempotent —
     /// duplicate replies are ignored by [`Self::handle`]. The runtime calls
     /// this at a coarse interval while the node awaits shares.
-    pub fn retry_decrypt(&mut self, out: &mut Vec<(NodeId, Message)>) {
+    pub fn retry_decrypt(&mut self, out: &mut Vec<Outbound>) {
         if !matches!(self.phase, Phase::AwaitShares) {
             return;
         }
-        let Some((recipients, request)) = &self.pending_request else {
+        // Retries are timer-driven, like ticks.
+        if let Some(t) = &mut self.tracer {
+            t.local_root();
+        }
+        let Some((recipients, request)) = self.pending_request.clone() else {
             return;
         };
-        for &m in recipients {
+        for m in recipients {
             if !self.shares_by_sender.contains_key(&m) && self.alive_view[m] {
-                out.push((m, request.clone()));
+                self.emit(m, request.clone(), out);
             }
         }
     }
@@ -424,8 +451,20 @@ impl ProtocolNode {
         matches!(self.phase, Phase::AwaitShares)
     }
 
-    /// Handles one decoded incoming message.
-    pub fn handle(&mut self, from: NodeId, msg: Message, out: &mut Vec<(NodeId, Message)>) {
+    /// Handles one decoded incoming message. `ctx` is the trace context
+    /// carried by the frame ([`TraceContext::NONE`] when absent): until
+    /// the next receive or tick, everything this node emits is causally
+    /// parented on it.
+    pub fn handle(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: TraceContext,
+        out: &mut Vec<Outbound>,
+    ) {
+        if let Some(t) = &mut self.tracer {
+            t.on_recv(from as u64, ctx, msg.wire_tag() as u64);
+        }
         match msg {
             Message::EncryptedPush {
                 iteration,
@@ -522,7 +561,8 @@ impl ProtocolNode {
                     // request is a loss-recovery retry: re-send the cached
                     // reply instead of recomputing the (expensive) partials.
                     if let Some(reply) = self.served_replies.get(&from) {
-                        out.push((from, reply.clone()));
+                        let reply = reply.clone();
+                        self.emit(from, reply, out);
                         return;
                     }
                     let serve_started = Instant::now();
@@ -538,7 +578,7 @@ impl ProtocolNode {
                         partials,
                     };
                     self.served_replies.insert(from, reply.clone());
-                    out.push((from, reply));
+                    self.emit(from, reply, out);
                 }
             }
             Message::DecryptShare {
@@ -578,7 +618,7 @@ impl ProtocolNode {
     }
 
     /// Re-entry after a crash: announce membership so peers resume sending.
-    pub fn on_rejoin(&mut self, out: &mut Vec<(NodeId, Message)>) {
+    pub fn on_rejoin(&mut self, out: &mut Vec<Outbound>) {
         let msg = Message::Join {
             node: self.params.id as u64,
             iteration: self.params.iteration,
@@ -587,7 +627,7 @@ impl ProtocolNode {
     }
 
     /// Graceful departure: announce it so peers stop expecting this node.
-    pub fn on_leave(&mut self, out: &mut Vec<(NodeId, Message)>) {
+    pub fn on_leave(&mut self, out: &mut Vec<Outbound>) {
         let msg = Message::Leave {
             node: self.params.id as u64,
         };
@@ -639,15 +679,29 @@ impl ProtocolNode {
         Some(candidates[self.rng.gen_range(0..candidates.len())])
     }
 
-    fn broadcast(&self, msg: Message, out: &mut Vec<(NodeId, Message)>) {
+    /// Queues one outbound message, allocating a send span when tracing.
+    fn emit(&mut self, to: NodeId, msg: Message, out: &mut Vec<Outbound>) {
+        let ctx = match &mut self.tracer {
+            Some(t) => t.on_send(to as u64, msg.wire_tag() as u64),
+            None => TraceContext::NONE,
+        };
+        out.push((to, msg, ctx));
+    }
+
+    fn broadcast(&mut self, msg: Message, out: &mut Vec<Outbound>) {
         for peer in 0..self.params.population {
             if peer != self.params.id && self.alive_view[peer] {
-                out.push((peer, msg.clone()));
+                self.emit(peer, msg.clone(), out);
             }
         }
     }
 
-    fn start_decrypt(&mut self, out: &mut Vec<(NodeId, Message)>) {
+    fn start_decrypt(&mut self, out: &mut Vec<Outbound>) {
+        // The gossip phase is over whichever branch runs next — the marker
+        // is what `cstrace` segments the gossip/decrypt split on.
+        if let Some(t) = &mut self.tracer {
+            t.mark("gossip.end", &[("pushes", self.pushes_sent as u64)]);
+        }
         enum Next {
             Finish(Option<PerturbedAggregates>),
             Decrypt {
@@ -751,7 +805,7 @@ impl ProtocolNode {
                     slots: combined,
                 };
                 for &m in &recipients {
-                    out.push((m, request.clone()));
+                    self.emit(m, request.clone(), out);
                 }
                 // Kept for loss recovery: `retry_decrypt` re-sends to
                 // committee members that have not answered.
@@ -790,7 +844,7 @@ impl ProtocolNode {
         &mut self,
         from: NodeId,
         partials: Vec<PartialDecryption>,
-        out: &mut Vec<(NodeId, Message)>,
+        out: &mut Vec<Outbound>,
     ) {
         if !matches!(self.phase, Phase::AwaitShares) {
             return;
@@ -897,12 +951,15 @@ impl ProtocolNode {
         self.finish(est, out);
     }
 
-    fn finish(&mut self, estimate: Option<PerturbedAggregates>, out: &mut Vec<(NodeId, Message)>) {
+    fn finish(&mut self, estimate: Option<PerturbedAggregates>, out: &mut Vec<Outbound>) {
         let completed = estimate.is_some();
         self.estimate = estimate;
         self.phase = Phase::Done;
         self.pending_request = None;
         self.votes[self.params.id] = true;
+        if let Some(t) = &mut self.tracer {
+            t.mark("step.done", &[("completed", u64::from(completed))]);
+        }
         if self.params.votes {
             let vote = Message::TerminationVote {
                 iteration: self.params.iteration,

@@ -10,9 +10,9 @@
 
 use crate::churn::{ChurnKind, ChurnSchedule, Controls, Liveness};
 use crate::executor::ShardedConfig;
-use crate::node::{NodeCrypto, NodeParams, NodeReport, ProtocolNode};
+use crate::node::{NodeCrypto, NodeParams, NodeReport, Outbound, ProtocolNode};
 use crate::transport::{ChannelTransport, LinkConfig, NodeId, TrafficSnapshot, Transport};
-use crate::wire::{decode_frame, encode_frame, Message};
+use crate::wire::{decode_frame_traced, encode_frame_traced, TraceContext};
 use chiaroscuro::backend::ComputationBackend;
 use chiaroscuro::config::ChiaroscuroConfig;
 use chiaroscuro::cost::DecryptionOps;
@@ -22,6 +22,7 @@ use chiaroscuro::ChiaroscuroError;
 use cs_crypto::threshold::delta_for;
 use cs_gossip::homomorphic_pushsum::HomomorphicOpCounts;
 use cs_gossip::TrafficStats;
+use cs_obs::{CausalTracer, NodeTrace, Tracer, WallClock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -185,6 +186,11 @@ pub struct NetConfig {
     pub step_timeout: Duration,
     /// Scripted churn, applied per step by the driver.
     pub churn: ChurnSchedule,
+    /// Causal tracing: every node records its sends, receives, and phase
+    /// markers on a shared wall clock, and [`StepRun::traces`] carries the
+    /// captures home. Unlike the sharded executor's virtual-time traces,
+    /// these timestamps are real wall-clock and vary run to run.
+    pub trace: bool,
 }
 
 impl Default for NetConfig {
@@ -196,6 +202,7 @@ impl Default for NetConfig {
             decrypt_deadline: Duration::from_secs(5),
             step_timeout: Duration::from_secs(60),
             churn: ChurnSchedule::none(),
+            trace: false,
         }
     }
 }
@@ -213,6 +220,10 @@ pub struct StepRun {
     /// `tcp.*` / `exec.*`, substrate-depending) families. See
     /// `docs/observability.md` for the catalog.
     pub metrics: cs_obs::MetricsSnapshot,
+    /// Per-node causal traces, in node-id order — empty unless the
+    /// substrate ran with tracing on ([`NetConfig::trace`] /
+    /// [`ShardedConfig::trace`]).
+    pub traces: Vec<NodeTrace>,
     /// Wall-clock the step took.
     pub elapsed: Duration,
 }
@@ -321,6 +332,16 @@ fn run_step_on(
     // "crash 16 ms in" means the same thing on every machine.
     let start_gate = Arc::new(std::sync::Barrier::new(n + 1));
 
+    // One wall clock shared by every node's tracer, so the per-node traces
+    // merge onto a single step timeline.
+    let trace_clock: Arc<dyn cs_obs::Clock> = Arc::new(WallClock::new());
+    let tracers: Vec<Option<Arc<Tracer>>> = (0..n)
+        .map(|_| {
+            net.trace
+                .then(|| Arc::new(Tracer::new(trace_clock.clone())))
+        })
+        .collect();
+
     let mut handles = Vec::with_capacity(n);
     for (i, contribution) in contributions.iter().enumerate() {
         if contribution.is_none() {
@@ -349,6 +370,7 @@ fn run_step_on(
         let shutdown = shutdown.clone();
         let completed = completed.clone();
         let start_gate = start_gate.clone();
+        let tracer = tracers[i].clone();
         let timing = NodeTiming {
             push_interval: net.push_interval,
             quiesce: net.quiesce,
@@ -362,9 +384,19 @@ fn run_step_on(
                     // Construct inside the thread: the contribution
                     // encryption (the expensive part in real-crypto mode)
                     // runs on all node threads concurrently.
-                    let node =
+                    let mut node =
                         ProtocolNode::new(params, layout, node_crypto, contribution.as_deref());
                     start_gate.wait();
+                    if let Some(tracer) = tracer {
+                        // Attached after the barrier, so every node's
+                        // `step.start` lands at the shared gossip start.
+                        node = node.with_tracer(CausalTracer::new(
+                            tracer,
+                            step_seed,
+                            i as u64,
+                            TraceContext::NONE,
+                        ));
+                    }
                     node_loop(node, transport, controls, shutdown, completed, timing)
                 })
                 .expect("spawn node thread"),
@@ -417,12 +449,18 @@ fn run_step_on(
 
     let alive_after: Vec<bool> = (0..n).map(|i| !controls.is_crashed(i)).collect();
     let snapshot = transport.snapshot();
+    let traces: Vec<NodeTrace> = tracers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.as_ref().map(|t| NodeTrace::capture(i as u64, t)))
+        .collect();
 
     Ok(StepRun {
         outcome: assemble_outcome(&reports, alive_after, &snapshot),
         reports,
         snapshot,
         metrics: registry.snapshot(),
+        traces,
         elapsed: started.elapsed(),
     })
 }
@@ -453,7 +491,7 @@ fn node_loop(
 ) -> NodeReport {
     let id = node.id();
     let started = Instant::now();
-    let mut out: Vec<(NodeId, Message)> = Vec::new();
+    let mut out: Vec<Outbound> = Vec::new();
     let mut next_tick = Instant::now();
     let retry_interval = decrypt_retry_interval(push_interval);
     let mut next_retry = Instant::now() + retry_interval;
@@ -538,10 +576,10 @@ fn node_loop(
 pub fn dispatch_frame(
     node: &mut ProtocolNode,
     env: crate::transport::Envelope,
-    out: &mut Vec<(NodeId, Message)>,
+    out: &mut Vec<Outbound>,
 ) {
-    match decode_frame(&env.frame) {
-        Ok(msg) => node.handle(env.from, msg, out),
+    match decode_frame_traced(&env.frame) {
+        Ok((msg, ctx)) => node.handle(env.from, msg, ctx, out),
         Err(_) => node.note_bad_frame(),
     }
 }
@@ -556,10 +594,10 @@ pub fn decrypt_retry_interval(push_interval: Duration) -> Duration {
     (push_interval * 50).max(Duration::from_millis(150))
 }
 
-fn flush(id: NodeId, out: &mut Vec<(NodeId, Message)>, transport: &dyn Transport) {
-    for (to, msg) in out.drain(..) {
+fn flush(id: NodeId, out: &mut Vec<Outbound>, transport: &dyn Transport) {
+    for (to, msg, ctx) in out.drain(..) {
         let class = msg.class();
-        let frame = encode_frame(&msg);
+        let frame = encode_frame_traced(&msg, ctx);
         // Sends to dead peers are indistinguishable from loss at this layer.
         let _ = transport.send(id, to, frame, class);
     }

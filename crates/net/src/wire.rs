@@ -4,13 +4,14 @@
 //! one [`Message`], serialized into a *frame*:
 //!
 //! ```text
-//! ┌────────────┬─────────┬─────┬───────────────────┐
-//! │ length u32 │ version │ tag │ body (per-variant)│
-//! │ (LE, body) │   u8    │ u8  │                   │
-//! └────────────┴─────────┴─────┴───────────────────┘
+//! ┌────────────┬─────────┬─────┬──────────┬───────────────┬───────────────────┐
+//! │ length u32 │ version │ tag │ trace    │ trace context │ body (per-variant)│
+//! │ (LE, body) │   u8    │ u8  │ flag u8  │ 24 B, if flag │                   │
+//! │            │         │     │ (v3+)    │ is 1 (v3+)    │                   │
+//! └────────────┴─────────┴─────┴──────────┴───────────────┴───────────────────┘
 //! ```
 //!
-//! The length prefix covers version + tag + body, so frames are
+//! The length prefix covers everything after it, so frames are
 //! self-delimiting on a byte stream. Integers are little-endian; `f64`
 //! travels as its IEEE-754 bit pattern; big integers as length-prefixed
 //! little-endian byte strings (the same convention as `cs_bigint`'s serde
@@ -19,24 +20,37 @@
 //! the wire is the security-relevant object, so nothing is silently
 //! tolerated.
 //!
+//! Wire v3 adds the optional [`TraceContext`] block between the tag and
+//! the body: a one-byte flag (0 = absent, 1 = present, anything else is
+//! corrupt) followed, when present, by the 24-byte context — so causality
+//! crosses process boundaries with the message that carries it. v1/v2
+//! frames have no trace block and still decode ([`decode_frame_traced`]
+//! reports [`TraceContext::NONE`] for them).
+//!
 //! The [`Message`] type also derives serde, so every variant has a JSON
 //! form for logs and debugging; the binary frame codec is the transport
 //! format.
 
 use cs_bigint::BigUint;
 use cs_crypto::{Ciphertext, PartialDecryption};
+pub use cs_obs::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Current wire format version. Bump on any incompatible layout change.
 ///
-/// v2 added the [`Message::PackedPush`] payload (tag 7). Every v1 frame is
-/// also a valid v2 frame, so decoding still accepts
-/// [`LEGACY_WIRE_VERSION`] for the tags that existed then. The guarantee
-/// is **decode-side**: upgraded nodes keep reading captured or in-flight
-/// v1 frames, while [`encode_frame`] stamps the current version on
-/// everything it emits (a strict v1-only decoder rejects those).
-pub const WIRE_VERSION: u8 = 2;
+/// v2 added the [`Message::PackedPush`] payload (tag 7); v3 added the
+/// optional trace-context block after the tag. Every v1 frame is also a
+/// valid v2 frame, and both decode on a v3 decoder (they simply carry no
+/// trace block), so decoding accepts [`LEGACY_WIRE_VERSION`] through
+/// [`WIRE_VERSION`] with the per-version layout rules. The guarantee is
+/// **decode-side**: upgraded nodes keep reading captured or in-flight
+/// older frames, while [`encode_frame`] stamps the current version on
+/// everything it emits (a strict older-version decoder rejects those).
+pub const WIRE_VERSION: u8 = 3;
+
+/// The pre-tracing wire version: packed payloads, no trace block.
+pub const TRACELESS_WIRE_VERSION: u8 = 2;
 
 /// Oldest wire version [`decode_frame`] still accepts.
 pub const LEGACY_WIRE_VERSION: u8 = 1;
@@ -168,6 +182,12 @@ impl Message {
         }
     }
 
+    /// The wire tag of this message — the stable `kind` discriminant trace
+    /// events record (`cstrace` maps it back to the variant name).
+    pub fn wire_tag(&self) -> u8 {
+        self.tag()
+    }
+
     /// Exact length in bytes of [`encode_frame`]'s output for this message,
     /// computed without serializing.
     ///
@@ -183,8 +203,11 @@ impl Message {
                 .map(|c| 4 + c.as_biguint().byte_len())
                 .sum::<usize>()
         };
-        // length prefix + version + tag, then the per-variant body.
+        // length prefix + version + tag + cleared trace flag, then the
+        // per-variant body. A set trace context adds
+        // [`TraceContext::WIRE_BYTES`] more ([`encode_frame_traced`]).
         4 + 1
+            + 1
             + 1
             + match self {
                 Message::EncryptedPush { slots, .. } => 8 + 4 + 8 + ciphertexts(slots),
@@ -276,11 +299,25 @@ fn put_ciphertexts(buf: &mut Vec<u8>, slots: &[Ciphertext]) {
     }
 }
 
-/// Encodes a message into one length-prefixed frame.
+/// Encodes a message into one length-prefixed frame with no trace
+/// context (the trace flag is cleared).
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_frame_traced(msg, TraceContext::NONE)
+}
+
+/// Encodes a message into one length-prefixed frame carrying `ctx` when
+/// it is set ([`TraceContext::is_set`]); an unset context encodes
+/// identically to [`encode_frame`].
+pub fn encode_frame_traced(msg: &Message, ctx: TraceContext) -> Vec<u8> {
     let mut body = Vec::with_capacity(64);
     body.push(WIRE_VERSION);
     body.push(msg.tag());
+    if ctx.is_set() {
+        body.push(1);
+        body.extend_from_slice(&ctx.to_bytes());
+    } else {
+        body.push(0);
+    }
     match msg {
         Message::EncryptedPush {
             iteration,
@@ -416,10 +453,17 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes one length-prefixed frame. The buffer must hold exactly one
-/// frame; any deviation — short buffer, over-long prefix, version or tag
-/// mismatch, trailing bytes — is an error.
+/// Decodes one length-prefixed frame, discarding any trace context. The
+/// buffer must hold exactly one frame; any deviation — short buffer,
+/// over-long prefix, version or tag mismatch, trailing bytes — is an
+/// error.
 pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
+    decode_frame_traced(frame).map(|(msg, _)| msg)
+}
+
+/// Decodes one length-prefixed frame together with its trace context
+/// ([`TraceContext::NONE`] for v1/v2 frames and untraced v3 frames).
+pub fn decode_frame_traced(frame: &[u8]) -> Result<(Message, TraceContext), WireError> {
     let mut r = Reader { buf: frame, pos: 0 };
     let declared = r.u32()? as usize;
     if declared > MAX_FRAME_BYTES {
@@ -440,6 +484,26 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
     if tag >= 7 && version < 2 {
         return Err(WireError::BadTag(tag));
     }
+    // The trace block exists only from v3 on.
+    let ctx = if version >= 3 {
+        match r.u8()? {
+            0 => TraceContext::NONE,
+            1 => {
+                let bytes: [u8; TraceContext::WIRE_BYTES] =
+                    r.take(TraceContext::WIRE_BYTES)?.try_into().expect("24");
+                let ctx = TraceContext::from_bytes(&bytes);
+                if !ctx.is_set() {
+                    // Span ids are never 0 — a flagged-but-empty context
+                    // is corruption, not an encoding choice.
+                    return Err(WireError::BadValue("flagged trace context is empty"));
+                }
+                ctx
+            }
+            _ => return Err(WireError::BadValue("trace flag must be 0 or 1")),
+        }
+    } else {
+        TraceContext::NONE
+    };
     let msg = match tag {
         0 => Message::EncryptedPush {
             iteration: r.u64()?,
@@ -510,7 +574,7 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
     if r.remaining() != 0 {
         return Err(WireError::TrailingBytes(r.remaining()));
     }
-    Ok(msg)
+    Ok((msg, ctx))
 }
 
 #[cfg(test)]
@@ -561,12 +625,84 @@ mod tests {
         ]
     }
 
+    /// Rewrites a current-encoder frame into the v1/v2 layout: those
+    /// versions have no trace-flag byte, so the downgrade strips it (it
+    /// must be 0 — untraced), shortens the length prefix, and patches the
+    /// version byte.
+    fn downgrade_frame(mut frame: Vec<u8>, version: u8) -> Vec<u8> {
+        assert!(version < 3);
+        assert_eq!(frame[6], 0, "cannot downgrade a traced frame");
+        frame.remove(6);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) - 1;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        frame[4] = version;
+        frame
+    }
+
     #[test]
     fn every_variant_roundtrips() {
         for msg in sample_messages() {
             let frame = encode_frame(&msg);
             assert_eq!(decode_frame(&frame).unwrap(), msg, "{msg:?}");
         }
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_message_and_context() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            span_id: (8 << 32) | 3,
+            parent_id: (8 << 32) | 1,
+        };
+        for msg in sample_messages() {
+            let frame = encode_frame_traced(&msg, ctx);
+            // The trace block costs exactly 24 bytes over the untraced frame.
+            assert_eq!(frame.len(), msg.encoded_len() + TraceContext::WIRE_BYTES);
+            let (back, back_ctx) = decode_frame_traced(&frame).unwrap();
+            assert_eq!(back, msg, "{msg:?}");
+            assert_eq!(back_ctx, ctx, "{msg:?}");
+            // The plain decoder accepts the same frame and drops the context.
+            assert_eq!(decode_frame(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn untraced_frames_decode_with_no_context() {
+        let frame = encode_frame(&Message::Leave { node: 1 });
+        let (_, ctx) = decode_frame_traced(&frame).unwrap();
+        assert_eq!(ctx, TraceContext::NONE);
+    }
+
+    #[test]
+    fn corrupt_trace_context_bytes_are_rejected() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            parent_id: 0,
+        };
+        // Flag byte outside {0, 1}.
+        let mut frame = encode_frame_traced(&Message::Leave { node: 1 }, ctx);
+        frame[6] = 2;
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadValue("trace flag must be 0 or 1"))
+        );
+        // A flagged context whose span id is zero is corruption: encoders
+        // emit flag 0 instead of an empty context.
+        let mut frame = encode_frame_traced(&Message::Leave { node: 1 }, ctx);
+        // span_id sits after len(4) + version(1) + tag(1) + flag(1) + trace_id(8).
+        frame[15..23].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadValue("flagged trace context is empty"))
+        );
+        // A declared length that ends inside the 24-byte context block: the
+        // context read runs out of bytes.
+        let mut frame = encode_frame_traced(&Message::Leave { node: 1 }, ctx);
+        frame.truncate(frame.len() - 20);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(decode_frame(&frame), Err(WireError::Truncated));
     }
 
     #[test]
@@ -646,8 +782,7 @@ mod tests {
     #[test]
     fn legacy_version_still_decodes_legacy_tags() {
         for msg in sample_messages() {
-            let mut frame = encode_frame(&msg);
-            frame[4] = LEGACY_WIRE_VERSION;
+            let frame = downgrade_frame(encode_frame(&msg), LEGACY_WIRE_VERSION);
             let packed = matches!(msg, Message::PackedPush { .. });
             if packed {
                 // The packed payload did not exist in v1 — a v1 frame
@@ -656,6 +791,16 @@ mod tests {
             } else {
                 assert_eq!(decode_frame(&frame).unwrap(), msg);
             }
+        }
+    }
+
+    #[test]
+    fn traceless_v2_frames_still_decode() {
+        for msg in sample_messages() {
+            let frame = downgrade_frame(encode_frame(&msg), TRACELESS_WIRE_VERSION);
+            let (back, ctx) = decode_frame_traced(&frame).unwrap();
+            assert_eq!(back, msg, "{msg:?}");
+            assert_eq!(ctx, TraceContext::NONE);
         }
     }
 
@@ -671,8 +816,9 @@ mod tests {
 
     #[test]
     fn hostile_element_count_rejected() {
-        // A DecryptRequest claiming 2^30 slots in a tiny body.
-        let mut body = vec![WIRE_VERSION, 2];
+        // A DecryptRequest claiming 2^30 slots in a tiny body (flag 0:
+        // no trace context).
+        let mut body = vec![WIRE_VERSION, 2, 0];
         body.extend_from_slice(&0u64.to_le_bytes());
         body.extend_from_slice(&(1u32 << 30).to_le_bytes());
         let mut frame = Vec::new();
@@ -692,8 +838,8 @@ mod tests {
         };
         let mut frame = encode_frame(&msg);
         // The index field sits right after len(4) + version(1) + tag(1) +
-        // iteration(8) + count(4).
-        frame[18] = 0;
+        // flag(1) + iteration(8) + count(4).
+        frame[19] = 0;
         assert_eq!(
             decode_frame(&frame),
             Err(WireError::BadValue("share index must be >= 1"))

@@ -1,17 +1,19 @@
-//! Wire-format compatibility: v1 frames, captured as fixture bytes from the
-//! version-1 encoder *before* the packed-payload version bump, must still
-//! decode — byte for byte — on the current decoder, and corrupt packed
-//! frames must be rejected.
+//! Wire-format compatibility: v1 frames (pre-packed-payload) and v2 frames
+//! (pre-trace-context), captured as fixture bytes from the encoders of
+//! their day, must still decode — byte for byte — on the current decoder;
+//! v3 frames carrying a trace context must round-trip it; and corrupt
+//! packed or trace-context bytes must be rejected.
 //!
-//! The hex strings below are real frames emitted by the v1 codec (PR 2);
-//! they are deliberately hardcoded rather than re-encoded, so any
-//! accidental change to the legacy layout breaks this test even if encoder
-//! and decoder drift together.
+//! The hex strings below are real frames emitted by the v1 codec (PR 2)
+//! and the v2 codec (PR 3); they are deliberately hardcoded rather than
+//! re-encoded, so any accidental change to the legacy layouts breaks this
+//! test even if encoder and decoder drift together.
 
 use cs_bigint::BigUint;
 use cs_crypto::{Ciphertext, PartialDecryption};
 use cs_net::wire::{
-    decode_frame, encode_frame, Message, WireError, LEGACY_WIRE_VERSION, WIRE_VERSION,
+    decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, Message, TraceContext,
+    WireError, LEGACY_WIRE_VERSION, TRACELESS_WIRE_VERSION, WIRE_VERSION,
 };
 
 fn unhex(s: &str) -> Vec<u8> {
@@ -24,6 +26,19 @@ fn unhex(s: &str) -> Vec<u8> {
 
 fn c(v: u64) -> Ciphertext {
     Ciphertext::from_biguint(BigUint::from(v))
+}
+
+/// Rewrites a current-encoder (v3) frame into the v1/v2 layout: those
+/// versions have no trace-flag byte, so the downgrade strips it (it must
+/// be 0 — untraced), shortens the length prefix, and patches the version.
+fn downgrade_frame(mut frame: Vec<u8>, version: u8) -> Vec<u8> {
+    assert!(version < 3);
+    assert_eq!(frame[6], 0, "cannot downgrade a traced frame");
+    frame.remove(6);
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) - 1;
+    frame[..4].copy_from_slice(&len.to_le_bytes());
+    frame[4] = version;
+    frame
 }
 
 /// Every v1 frame fixture with the message it encoded at capture time.
@@ -92,8 +107,19 @@ fn v1_fixtures() -> Vec<(&'static str, Message)> {
     ]
 }
 
+/// The one frame shape v2 added over v1: the packed push (tag 7), captured
+/// from the v2 encoder before the trace-context bump.
+fn v2_packed_fixture() -> (&'static str, Message) {
+    (
+        // PackedPush { iteration: 6, denom_exp: 11, weight: 0.25,
+        //              buckets: 24, slots: [0x0123456789ABCDEF, 42] }
+        "2f000000020706000000000000000b000000000000000000d03f180000000200000008000000efcdab8967452301010000002a",
+        sample_packed(),
+    )
+}
+
 #[test]
-fn every_v1_fixture_still_decodes_after_the_version_bump() {
+fn every_v1_fixture_still_decodes_after_the_version_bumps() {
     for (hex, expect) in v1_fixtures() {
         let frame = unhex(hex);
         assert_eq!(frame[4], LEGACY_WIRE_VERSION, "fixture is a v1 frame");
@@ -104,25 +130,100 @@ fn every_v1_fixture_still_decodes_after_the_version_bump() {
 }
 
 #[test]
-fn current_encoder_emits_the_bumped_version() {
-    for (_, msg) in v1_fixtures() {
-        let frame = encode_frame(&msg);
-        assert_eq!(frame[4], WIRE_VERSION);
-        assert_eq!(decode_frame(&frame).unwrap(), msg, "v2 self-roundtrip");
+fn every_v2_fixture_still_decodes_with_no_trace_context() {
+    // For legacy tags a v2 frame is a v1 frame with the version byte
+    // bumped — the body layout never changed between the two.
+    let mut fixtures: Vec<(Vec<u8>, Message)> = v1_fixtures()
+        .into_iter()
+        .map(|(hex, msg)| {
+            let mut frame = unhex(hex);
+            frame[4] = TRACELESS_WIRE_VERSION;
+            (frame, msg)
+        })
+        .collect();
+    let (hex, msg) = v2_packed_fixture();
+    fixtures.push((unhex(hex), msg));
+    for (frame, expect) in fixtures {
+        assert_eq!(frame[4], TRACELESS_WIRE_VERSION, "fixture is a v2 frame");
+        let (decoded, ctx) = decode_frame_traced(&frame)
+            .unwrap_or_else(|e| panic!("v2 fixture no longer decodes: {e}"));
+        assert_eq!(decoded, expect);
+        assert_eq!(ctx, TraceContext::NONE, "v2 frames carry no context");
     }
 }
 
 #[test]
-fn v1_and_v2_frames_differ_only_in_the_version_byte_for_legacy_tags() {
-    // The body layout of legacy tags is unchanged — the compatibility
-    // guarantee is structural, not coincidental.
+fn current_encoder_emits_the_bumped_version() {
+    for (_, msg) in v1_fixtures() {
+        let frame = encode_frame(&msg);
+        assert_eq!(frame[4], WIRE_VERSION);
+        assert_eq!(decode_frame(&frame).unwrap(), msg, "v3 self-roundtrip");
+    }
+}
+
+#[test]
+fn downgraded_v3_frames_match_the_v1_fixtures_byte_for_byte() {
+    // The body layout of legacy tags is unchanged across all three
+    // versions — the compatibility guarantee is structural, not
+    // coincidental. Stripping the trace block from an untraced v3 frame
+    // must reproduce the captured v1 bytes exactly.
     for (hex, msg) in v1_fixtures() {
         let v1 = unhex(hex);
-        let mut v2 = encode_frame(&msg);
-        assert_eq!(v2[4], WIRE_VERSION);
-        v2[4] = LEGACY_WIRE_VERSION;
-        assert_eq!(v1, v2, "layout drifted for {msg:?}");
+        let down = downgrade_frame(encode_frame(&msg), LEGACY_WIRE_VERSION);
+        assert_eq!(v1, down, "layout drifted for {msg:?}");
     }
+}
+
+#[test]
+fn traced_v3_frames_roundtrip_their_context() {
+    let ctx = TraceContext {
+        trace_id: 0x5EED_0000_0000_0001,
+        span_id: (5 << 32) | 9,
+        parent_id: (5 << 32) | 1,
+    };
+    let mut msgs: Vec<Message> = v1_fixtures().into_iter().map(|(_, m)| m).collect();
+    msgs.push(sample_packed());
+    for msg in msgs {
+        let frame = encode_frame_traced(&msg, ctx);
+        assert_eq!(frame[4], WIRE_VERSION);
+        assert_eq!(frame[6], 1, "trace flag set");
+        let (back, back_ctx) = decode_frame_traced(&frame).unwrap();
+        assert_eq!(back, msg, "{msg:?}");
+        assert_eq!(back_ctx, ctx, "{msg:?}");
+    }
+}
+
+#[test]
+fn corrupt_trace_context_bytes_are_rejected() {
+    let ctx = TraceContext {
+        trace_id: 7,
+        span_id: 8,
+        parent_id: 0,
+    };
+    let good = encode_frame_traced(&sample_packed(), ctx);
+
+    // Flag byte outside {0, 1}.
+    let mut bad_flag = good.clone();
+    bad_flag[6] = 0xFE;
+    assert_eq!(
+        decode_frame(&bad_flag),
+        Err(WireError::BadValue("trace flag must be 0 or 1"))
+    );
+
+    // A flagged context with span id 0: encoders emit flag 0 instead.
+    let mut zero_span = good.clone();
+    zero_span[15..23].copy_from_slice(&0u64.to_le_bytes());
+    assert_eq!(
+        decode_frame(&zero_span),
+        Err(WireError::BadValue("flagged trace context is empty"))
+    );
+
+    // A declared length ending inside the 24-byte context block.
+    let mut short = good.clone();
+    short.truncate(20);
+    let len = (short.len() - 4) as u32;
+    short[..4].copy_from_slice(&len.to_le_bytes());
+    assert_eq!(decode_frame(&short), Err(WireError::Truncated));
 }
 
 fn sample_packed() -> Message {
@@ -136,7 +237,7 @@ fn sample_packed() -> Message {
 }
 
 #[test]
-fn packed_frames_roundtrip_on_v2_only() {
+fn packed_frames_roundtrip_on_v2_and_later_only() {
     let frame = encode_frame(&sample_packed());
     assert_eq!(decode_frame(&frame).unwrap(), sample_packed());
     // A v1 frame claiming the packed tag is corrupt, not forward-compatible.
@@ -161,8 +262,8 @@ fn corrupt_packed_frames_are_rejected() {
     padded.push(0);
     assert_eq!(decode_frame(&padded), Err(WireError::TrailingBytes(1)));
 
-    // A hostile ciphertext count.
-    let mut body = vec![cs_net::wire::WIRE_VERSION, 7];
+    // A hostile ciphertext count (flag 0: no trace context).
+    let mut body = vec![WIRE_VERSION, 7, 0];
     body.extend_from_slice(&6u64.to_le_bytes()); // iteration
     body.extend_from_slice(&11u32.to_le_bytes()); // denom_exp
     body.extend_from_slice(&0.25f64.to_bits().to_le_bytes()); // weight

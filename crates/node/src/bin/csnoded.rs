@@ -15,13 +15,17 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: csnoded --id <N> --coordinator <HOST:PORT> [--bind <ADDR>] [--advertise <HOST[:PORT]>]\n\
+         \u{20}               [--obs-addr <ADDR>]\n\
          \n\
          --id           this participant's node id (index in the manifest)\n\
          --coordinator  the coordinator's control address\n\
          --bind         data-plane bind address (default 127.0.0.1:0)\n\
          --advertise    address peers connect to, when it differs from the\n\
                         bind address (required for wildcard binds like\n\
-                        0.0.0.0; a bare HOST inherits the bound port)"
+                        0.0.0.0; a bare HOST inherits the bound port)\n\
+         --obs-addr     serve /metrics (Prometheus text) and /trace (flight\n\
+                        recorder JSON) over HTTP on this address; the bound\n\
+                        address is printed to stderr (useful with :0)"
     );
     std::process::exit(2);
 }
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     let mut coordinator: Option<String> = None;
     let mut bind = "127.0.0.1:0".to_string();
     let mut advertise: Option<String> = None;
+    let mut obs_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,6 +47,7 @@ fn main() -> ExitCode {
                 }
             }
             "--advertise" => advertise = args.next(),
+            "--obs-addr" => obs_addr = args.next(),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("csnoded: unknown argument {other:?}");
@@ -57,6 +63,7 @@ fn main() -> ExitCode {
         coordinator,
         bind,
         advertise,
+        obs_addr,
     };
     match daemon::run(&opts) {
         Ok(()) => ExitCode::SUCCESS,

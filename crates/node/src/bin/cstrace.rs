@@ -1,0 +1,140 @@
+//! `cstrace` — critical-path analysis over merged flight-recorder traces.
+//!
+//! ```sh
+//! cstrace cluster-trace.json            # ASCII timeline, 8 slowest nodes
+//! cstrace --top 3 cluster-trace.json    # fewer bars per round
+//! cstrace --json cluster-trace.json     # machine-readable round report
+//! curl -s daemon:9109/trace | cstrace - # straight off a live daemon
+//! ```
+//!
+//! The input is the JSON a coordinator's `cluster_trace` merge (or a
+//! daemon's `/trace` endpoint / stderr crash dump) produces: a
+//! `ClusterTrace`, a bare list of `NodeTrace`s, or a single `NodeTrace` —
+//! all three shapes are accepted. For every round (matched across nodes by
+//! trace id, i.e. step seed) the analyzer names the straggler node, its
+//! dominant phase (gossip, decrypt, or died), and every other node's
+//! slack. See `docs/observability.md`.
+
+use cs_obs::critical::{analyze, render_ascii};
+use cs_obs::{ClusterTrace, NodeTrace};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cstrace [--json] [--top <N>] <TRACE.json | ->\n\
+         \n\
+         --json   emit the per-round analysis as JSON instead of ASCII\n\
+         --top    bars per round in the ASCII timeline (default 8)\n\
+         -        read the trace from stdin"
+    );
+    std::process::exit(2);
+}
+
+/// Accepts any of the shapes the tooling emits: a merged `ClusterTrace`,
+/// a bare array of per-node traces, or one node's capture.
+fn parse_trace(text: &str) -> Result<ClusterTrace, String> {
+    if let Ok(cluster) = serde_json::from_str::<ClusterTrace>(text) {
+        return Ok(cluster);
+    }
+    if let Ok(traces) = serde_json::from_str::<Vec<NodeTrace>>(text) {
+        return Ok(ClusterTrace { traces });
+    }
+    match serde_json::from_str::<NodeTrace>(text) {
+        Ok(single) => Ok(ClusterTrace {
+            traces: vec![single],
+        }),
+        Err(e) => Err(format!(
+            "not a ClusterTrace, [NodeTrace], or NodeTrace: {e}"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut top = 8usize;
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("cstrace: unknown argument {other:?}");
+                usage();
+            }
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    usage(); // exactly one input
+                }
+            }
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let text = if input == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cstrace: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cstrace: reading {input:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let cluster = match parse_trace(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cstrace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rounds = analyze(&cluster);
+    if rounds.is_empty() {
+        eprintln!(
+            "cstrace: no rounds found ({} node traces, no step.start events)",
+            cluster.traces.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = if json {
+        match serde_json::to_string_pretty(&rounds) {
+            Ok(mut s) => {
+                s.push('\n');
+                s
+            }
+            Err(e) => {
+                eprintln!("cstrace: serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        render_ascii(&rounds, top)
+    };
+    emit(&report)
+}
+
+/// Writes the report, treating a broken pipe (`cstrace … | head`) as a
+/// clean exit instead of a panic.
+fn emit(text: &str) -> ExitCode {
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cstrace: writing output: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -27,7 +27,9 @@ use cs_net::node::NodeReport;
 use cs_net::runtime::assemble_outcome;
 use cs_net::transport::TrafficSnapshot;
 use cs_net::wire::WIRE_VERSION;
-use cs_obs::MetricsSnapshot;
+use cs_obs::{
+    CausalTracer, Clock, ClusterTrace, MetricsSnapshot, NodeTrace, TraceContext, Tracer, WallClock,
+};
 use rand::rngs::StdRng;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +68,11 @@ impl Default for ClusterConfig {
 fn transport_err(msg: impl Into<String>) -> ChiaroscuroError {
     ChiaroscuroError::Transport(msg.into())
 }
+
+/// The `kind` recorded for control-plane `Step` sends in the coordinator's
+/// trace; data-plane kinds are wire tags (0–7), so control traffic gets a
+/// value far outside that range.
+const CONTROL_STEP_KIND: u64 = 100;
 
 /// A bound control-plane listener, waiting for daemons.
 pub struct Coordinator {
@@ -241,6 +248,10 @@ pub struct ClusterBackend {
     last_snapshot: Option<TrafficSnapshot>,
     last_metrics: Option<MetricsSnapshot>,
     metrics_total: MetricsSnapshot,
+    /// The coordinator's own flight recorder: every `Step` send is traced
+    /// here, so each daemon's `step.start` span has a causal parent in the
+    /// merged cluster timeline.
+    tracer: Arc<Tracer>,
 }
 
 impl ClusterBackend {
@@ -257,6 +268,10 @@ impl ClusterBackend {
             last_snapshot: None,
             last_metrics: None,
             metrics_total: MetricsSnapshot::default(),
+            tracer: Arc::new(Tracer::ring(
+                Arc::new(WallClock::new()) as Arc<dyn Clock>,
+                4096,
+            )),
         }
     }
 
@@ -330,6 +345,55 @@ impl ClusterBackend {
             }
         }
         out
+    }
+
+    /// Live flight-recorder scrape: sends [`ControlMsg::Trace`] to every
+    /// daemon and collects the per-daemon captures. Same discipline as
+    /// [`ClusterBackend::scrape_metrics`] — only valid *between* steps;
+    /// slots that died or missed the deadline stay `None`.
+    pub fn scrape_traces(&mut self, timeout: Duration) -> Vec<Option<NodeTrace>> {
+        let n = self.cluster.len();
+        for i in 0..n {
+            self.cluster.send(i, &ControlMsg::Trace);
+        }
+        let mut out: Vec<Option<NodeTrace>> = vec![None; n];
+        let deadline = Instant::now() + timeout;
+        loop {
+            let outstanding = (0..n).any(|i| self.cluster.alive[i] && out[i].is_none());
+            if !outstanding {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.cluster.events.recv_timeout(deadline - now) {
+                Ok((i, Event::Msg(ControlMsg::TraceReport { trace, .. }))) => {
+                    out[i] = Some(trace);
+                }
+                Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Scrapes every daemon's flight recorder and merges the captures —
+    /// plus the coordinator's own ring, as node id `n` — into one cluster
+    /// timeline in node-id order: the shape `cstrace` loads. Daemons that
+    /// died (a SIGKILLed peer cannot answer a scrape; its last moments
+    /// survive only in its stderr dump and in its neighbors' rings) are
+    /// simply absent. Per-node timestamps come from unsynchronized wall
+    /// clocks, so cross-node analysis must use intra-node deltas — which
+    /// is exactly what the critical-path analyzer does.
+    pub fn cluster_trace(&mut self, timeout: Duration) -> ClusterTrace {
+        let per_node = self.scrape_traces(timeout);
+        let mut traces: Vec<NodeTrace> = per_node.into_iter().flatten().collect();
+        traces.push(NodeTrace::capture(self.cluster.len() as u64, &self.tracer));
+        traces.sort_by_key(|t| t.node);
+        ClusterTrace { traces }
     }
 
     /// Per-daemon connection liveness.
@@ -417,13 +481,21 @@ impl ComputationBackend for ClusterBackend {
         }
         let step = self.steps_run;
 
+        // One causal root per step: the coordinator's `step.start` (actor
+        // `n`, trace id = step seed), with every daemon's `Step` send as a
+        // child span — each daemon parents its own `step.start` onto the
+        // ctx stamped here, rooting the whole cluster timeline.
+        let mut causal =
+            CausalTracer::new(self.tracer.clone(), step_seed, n as u64, TraceContext::NONE);
         for (i, contribution) in contributions.iter().enumerate() {
+            let ctx = causal.on_send(i as u64, CONTROL_STEP_KIND);
             self.cluster.send(
                 i,
                 &ControlMsg::Step {
                     step,
                     step_seed,
                     contribution: contribution.clone(),
+                    ctx,
                 },
             );
         }

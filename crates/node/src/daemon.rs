@@ -16,6 +16,15 @@
 //! only sequences bootstrap and steps. If the control connection dies the
 //! daemon exits — in this deployment the coordinator *is* the experiment,
 //! so an orphaned participant has nothing left to do.
+//!
+//! For forensics every daemon keeps a *flight recorder*: a bounded
+//! DropOld ring of causal trace events fed by each step's
+//! [`cs_obs::CausalTracer`]. The ring is scraped live (`Trace` on the
+//! control plane, `/trace` on the optional `--obs-addr` HTTP endpoint)
+//! and dumped to stderr as one JSON line on panic, on orphaning, on a
+//! mid-step control error, and after any step that observed a peer
+//! failure — so a node that dies (or watches a neighbor die) leaves its
+//! last moments behind even when no scraper ever arrives.
 
 use crate::proto::{read_msg, write_msg, ControlMsg, TimingSpec, PROTO_VERSION};
 use chiaroscuro::config::CryptoMode;
@@ -24,15 +33,18 @@ use chiaroscuro::rounds::plan_packed_codec;
 use chiaroscuro::ChiaroscuroConfig;
 use cs_crypto::threshold::delta_for;
 use cs_crypto::{FastEncryptor, FixedPointCodec, KeyShare, PublicKey};
-use cs_net::node::{NodeCrypto, NodeParams, PackedCrypto, ProtocolNode};
+use cs_net::node::{NodeCrypto, NodeParams, Outbound, PackedCrypto, ProtocolNode};
 use cs_net::runtime::{decrypt_retry_interval, dispatch_frame};
 use cs_net::tcp::{PeerDirectory, TcpEndpoint, TcpTransport};
 use cs_net::transport::{NodeId, TrafficSnapshot, Transport};
-use cs_net::wire::{encode_frame, Message, WIRE_VERSION};
+use cs_net::wire::{encode_frame_traced, WIRE_VERSION};
+use cs_obs::http::{ObsProviders, ObsServer};
+use cs_obs::{CausalTracer, Clock, NodeTrace, Registry, TraceContext, Tracer, WallClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, TryRecvError};
 use std::sync::Arc;
 use std::thread;
@@ -52,6 +64,9 @@ pub struct DaemonOpts {
     /// otherwise enter the manifest verbatim and route every peer to its
     /// own localhost). A bare `HOST` inherits the bound port.
     pub advertise: Option<String>,
+    /// Address for the HTTP exposition endpoint (`/metrics` Prometheus
+    /// text, `/trace` flight-recorder JSON); `None` disables it.
+    pub obs_addr: Option<String>,
 }
 
 impl DaemonOpts {
@@ -62,12 +77,29 @@ impl DaemonOpts {
             coordinator: coordinator.into(),
             bind: "127.0.0.1:0".into(),
             advertise: None,
+            obs_addr: None,
         }
     }
 }
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Flight-recorder capacity, in events. A 16-node step produces a few
+/// hundred events per node, so 8k of DropOld history holds the last
+/// several steps — enough context around any crash.
+const FLIGHT_RECORDER_EVENTS: usize = 8192;
+
+/// Dumps the flight recorder to stderr as one JSON line — crash forensics
+/// of last resort when no coordinator is left to scrape it. The marker
+/// prefix keeps the line greppable in a supervisor's interleaved log.
+fn dump_flight(node: u64, flight: &Tracer, why: &str) {
+    let trace = NodeTrace::capture(node, flight);
+    match serde_json::to_string(&trace) {
+        Ok(json) => eprintln!("csnoded[{node}] flight-recorder ({why}): {json}"),
+        Err(e) => eprintln!("csnoded[{node}] flight-recorder ({why}): serialize failed: {e}"),
+    }
 }
 
 /// The daemon's per-run context, assembled from the `Bootstrap` message.
@@ -205,7 +237,27 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
     // Daemon-lifetime registry: transport counters accumulate across every
     // step this process runs, so a live `Metrics` scrape sees cumulative
     // totals while per-step `Report`s carry `since()` deltas.
-    let registry = cs_obs::Registry::new();
+    let registry = Arc::new(Registry::new());
+    // Daemon-lifetime flight recorder: a bounded DropOld ring of causal
+    // trace events (a crash wants the *last* moments, not the first).
+    // Every step's tracer appends here; the ring is dumped on panic or
+    // control-channel death and scraped via `Trace` / `/trace`.
+    let flight = Arc::new(Tracer::ring(
+        Arc::new(WallClock::new()) as Arc<dyn Clock>,
+        FLIGHT_RECORDER_EVENTS,
+    ));
+    flight.count_drops_in(&registry);
+    // Crash forensics: a panicking daemon dumps its ring to stderr after
+    // the default hook has printed the panic itself.
+    {
+        let flight = flight.clone();
+        let node = opts.id as u64;
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            default_hook(info);
+            dump_flight(node, &flight, "panic");
+        }));
+    }
     let transport = Arc::new(endpoint.into_transport_with_metrics(
         &[opts.id],
         PeerDirectory::new(directory),
@@ -225,11 +277,35 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
     };
     ctx.packed = ctx.prepare_packed(opts.id)?;
 
+    // The optional HTTP exposition endpoint. Held for the daemon's
+    // lifetime; dropping it joins the accept loop. The bound address goes
+    // to stderr because an ephemeral `:0` port is unknowable otherwise.
+    let _obs = match &opts.obs_addr {
+        Some(addr) => {
+            let reg = registry.clone();
+            let fl = flight.clone();
+            let node = opts.id as u64;
+            let server = ObsServer::serve(
+                addr,
+                ObsProviders {
+                    metrics: Box::new(move || reg.snapshot()),
+                    trace: Box::new(move || NodeTrace::capture(node, &fl)),
+                },
+            )?;
+            eprintln!("csnoded[{}] obs endpoint on {}", opts.id, server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+
     // Control reader thread: turns the blocking stream into a channel the
     // step loop can poll without stalling the protocol. EOF becomes a
-    // Shutdown sentinel — an orphaned daemon exits.
+    // Shutdown sentinel — an orphaned daemon exits — with `control_died`
+    // distinguishing it from a clean coordinator-sent Shutdown.
+    let control_died = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<ControlMsg>();
     let mut reader = control.try_clone()?;
+    let died_flag = control_died.clone();
     thread::Builder::new()
         .name("csnoded-control".into())
         .spawn(move || loop {
@@ -240,6 +316,7 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
                     }
                 }
                 Err(_) => {
+                    died_flag.store(true, Ordering::Release);
                     let _ = tx.send(ControlMsg::Shutdown);
                     return;
                 }
@@ -247,6 +324,34 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         })
         .expect("spawn control reader");
 
+    let result = serve_steps(
+        opts,
+        &ctx,
+        &registry,
+        &flight,
+        &control_died,
+        &rx,
+        &mut control,
+    );
+    if result.is_err() {
+        // A mid-step control death propagates as an error; leave the last
+        // moments behind before the process exits.
+        dump_flight(opts.id as u64, &flight, "exiting on error");
+    }
+    result
+}
+
+/// The daemon's command loop: serve `Step` / `Metrics` / `Trace` until
+/// `Shutdown` (or the control channel dies).
+fn serve_steps(
+    opts: &DaemonOpts,
+    ctx: &RunContext,
+    registry: &Registry,
+    flight: &Arc<Tracer>,
+    control_died: &AtomicBool,
+    rx: &mpsc::Receiver<ControlMsg>,
+    control: &mut TcpStream,
+) -> io::Result<()> {
     let mut last_snapshot = TrafficSnapshot::default();
     let mut last_metrics = cs_obs::MetricsSnapshot::default();
     loop {
@@ -255,16 +360,25 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
                 step,
                 step_seed,
                 contribution,
+                ctx: step_ctx,
             }) => {
                 let report = run_step(
-                    &ctx,
+                    ctx,
                     opts.id,
                     step,
                     step_seed,
+                    step_ctx,
                     contribution,
-                    &rx,
-                    &mut control,
+                    flight,
+                    rx,
+                    control,
                 )?;
+                // A peer that SIGKILLed mid-gossip shows up as a vote
+                // failure; dump the forensic window around its death while
+                // the ring still holds it.
+                if report.peer_failures > 0 {
+                    dump_flight(opts.id as u64, flight, "peer death detected");
+                }
                 // Fold the step's phase profile into the registry *before*
                 // snapshotting, so `phase.<name>.ns` counters ride the same
                 // delta discipline as the transport counters.
@@ -283,7 +397,7 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
                 let metrics_delta = metrics_now.since(&last_metrics);
                 last_metrics = metrics_now;
                 write_msg(
-                    &mut control,
+                    control,
                     &ControlMsg::Report {
                         step,
                         report,
@@ -295,14 +409,32 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
             // Live scrape: cumulative since daemon start, not delta'd.
             Ok(ControlMsg::Metrics) => {
                 write_msg(
-                    &mut control,
+                    control,
                     &ControlMsg::MetricsReport {
                         node: opts.id,
                         metrics: registry.snapshot(),
                     },
                 )?;
             }
-            Ok(ControlMsg::Shutdown) | Err(_) => return Ok(()),
+            // Flight-recorder scrape: capture without draining, so a later
+            // crash dump still has the history.
+            Ok(ControlMsg::Trace) => {
+                write_msg(
+                    control,
+                    &ControlMsg::TraceReport {
+                        node: opts.id,
+                        trace: NodeTrace::capture(opts.id as u64, flight),
+                    },
+                )?;
+            }
+            Ok(ControlMsg::Shutdown) | Err(_) => {
+                if control_died.load(Ordering::Acquire) {
+                    // Orphaned (coordinator gone without a Shutdown): exit
+                    // cleanly but leave the forensic record behind.
+                    dump_flight(opts.id as u64, flight, "control connection lost");
+                }
+                return Ok(());
+            }
             // A StepEnd can trail a step this daemon already left (the
             // dark-mode timeout path); late duplicates are harmless, so
             // ignore anything that is neither work nor a shutdown.
@@ -341,12 +473,15 @@ fn poll_control(rx: &mpsc::Receiver<ControlMsg>) -> Control {
 /// receive wait and the done/all-votes/quiesce completion rule — is
 /// load-bearing for the cross-substrate differential e2e tests, and a
 /// change applied to only one loop desynchronizes the substrates silently.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the Step fields
 fn run_step(
     ctx: &RunContext,
     id: NodeId,
     step: usize,
     step_seed: u64,
+    step_ctx: TraceContext,
     contribution: Option<Vec<f64>>,
+    flight: &Arc<Tracer>,
     rx: &mpsc::Receiver<ControlMsg>,
     control: &mut TcpStream,
 ) -> io::Result<cs_net::node::NodeReport> {
@@ -418,8 +553,19 @@ fn run_step(
         }
     }
 
+    // The tracer attaches after the Go barrier (like the threaded
+    // runtime's post-gate attach) so the `step.start` span marks the start
+    // of *gossip*, not of the encryption stampede before the barrier. Its
+    // causal parent is the coordinator's `Step` send.
+    node = node.with_tracer(CausalTracer::new(
+        flight.clone(),
+        step_seed,
+        id as u64,
+        step_ctx,
+    ));
+
     let started = Instant::now();
-    let mut out: Vec<(NodeId, Message)> = Vec::new();
+    let mut out: Vec<Outbound> = Vec::new();
     let mut next_tick = Instant::now();
     let retry_interval = decrypt_retry_interval(push_interval);
     let mut next_retry = Instant::now() + retry_interval;
@@ -456,9 +602,9 @@ fn run_step(
                 next_retry = now + retry_interval;
             }
         }
-        for (to, msg) in out.drain(..) {
+        for (to, msg, msg_ctx) in out.drain(..) {
             let class = msg.class();
-            let frame = encode_frame(&msg);
+            let frame = encode_frame_traced(&msg, msg_ctx);
             // Sends to dead peers degrade into loss inside the transport.
             let _ = transport.send(id, to, frame, class);
         }

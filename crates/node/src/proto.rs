@@ -21,6 +21,9 @@
 //! Between steps a coordinator may also send `Metrics` (a live scrape
 //! request); the daemon answers with `MetricsReport`, a cumulative
 //! [`cs_obs::MetricsSnapshot`] of its transport and step-phase counters.
+//! Likewise `Trace` / `TraceReport` scrape the daemon's flight recorder —
+//! a bounded ring of causal trace events ([`cs_obs::NodeTrace`]) the
+//! coordinator merges into one cluster timeline.
 //!
 //! Control messages are serde-JSON documents behind a `u32` length prefix —
 //! they are low-rate (a handful per step), so readability beats compactness;
@@ -41,8 +44,10 @@ use std::time::Duration;
 
 /// Control-plane protocol version; both sides must match exactly.
 /// v2 added the `Metrics` / `MetricsReport` scrape pair and the
-/// metrics snapshot carried by `Report`.
-pub const PROTO_VERSION: u8 = 2;
+/// metrics snapshot carried by `Report`; v3 added the `Trace` /
+/// `TraceReport` flight-recorder scrape pair and the trace context
+/// carried by `Step`.
+pub const PROTO_VERSION: u8 = 3;
 
 /// Upper bound on one control message (guards the length-prefix read).
 pub const MAX_CONTROL_BYTES: usize = 64 << 20;
@@ -161,6 +166,11 @@ pub enum ControlMsg {
         /// This node's cleartext contribution vector, or `None` if it is
         /// down at step start (it then stays dark for the whole step).
         contribution: Option<Vec<f64>>,
+        /// The coordinator's causal trace context for this step: every
+        /// daemon's `step.start` span parents onto the coordinator's
+        /// `Step` send, linking the whole cluster timeline to one root.
+        /// `NONE` when the coordinator runs untraced.
+        ctx: cs_obs::TraceContext,
     },
     /// Daemon → coordinator: step context received and the protocol node
     /// constructed (contribution encrypted) — ready to gossip. The
@@ -221,6 +231,19 @@ pub enum ControlMsg {
         /// folded into `phase.<name>.ns` counters.
         metrics: cs_obs::MetricsSnapshot,
     },
+    /// Coordinator → daemon: scrape the daemon's flight recorder.
+    /// Answered with [`ControlMsg::TraceReport`]; like `Metrics`, valid
+    /// between steps.
+    Trace,
+    /// Daemon → coordinator: everything currently in the daemon's bounded
+    /// flight-recorder ring — cumulative across steps until the ring
+    /// evicts, **not** cleared by the scrape.
+    TraceReport {
+        /// The reporting node.
+        node: usize,
+        /// The flight-recorder capture.
+        trace: cs_obs::NodeTrace,
+    },
     /// Coordinator → daemon: exit cleanly.
     Shutdown,
 }
@@ -274,11 +297,17 @@ mod tests {
                 step: 1,
                 step_seed: 42,
                 contribution: Some(vec![1.0, -2.5, 0.0]),
+                ctx: cs_obs::TraceContext {
+                    trace_id: 42,
+                    span_id: 0x11,
+                    parent_id: 0,
+                },
             },
             ControlMsg::Step {
                 step: 2,
                 step_seed: 43,
                 contribution: None,
+                ctx: cs_obs::TraceContext::NONE,
             },
             ControlMsg::Ready { step: 1, node: 7 },
             ControlMsg::Go { step: 1 },
@@ -294,6 +323,15 @@ mod tests {
             ControlMsg::MetricsReport {
                 node: 7,
                 metrics: Default::default(),
+            },
+            ControlMsg::Trace,
+            ControlMsg::TraceReport {
+                node: 7,
+                trace: cs_obs::NodeTrace {
+                    node: 7,
+                    dropped: 1,
+                    events: vec![],
+                },
             },
             ControlMsg::Shutdown,
         ];

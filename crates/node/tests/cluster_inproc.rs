@@ -248,3 +248,113 @@ fn real_crypto_cluster_distributes_shares_and_decrypts() {
         d.join().expect("daemon thread exits cleanly");
     }
 }
+
+/// Drives the `--obs-addr` surface end-to-end: node 0 runs as a real
+/// `csnoded` process with the HTTP endpoint enabled, the rest as threads.
+/// After an engine run, both paths are probed over a plain `TcpStream`
+/// (no HTTP client dependency): `/metrics` must speak Prometheus text,
+/// `/trace` must return the node's flight-recorder ring as JSON.
+#[test]
+fn obs_endpoint_serves_metrics_and_trace_from_a_live_daemon() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+    use std::process::{Command, Stdio};
+
+    let Some(binary) = cs_node::find_csnoded() else {
+        eprintln!("skipping: csnoded binary not built alongside this test");
+        return;
+    };
+
+    let n = 4;
+    let data = generate(
+        &BlobsConfig {
+            count: n,
+            clusters: 2,
+            len: 4,
+            noise: 0.2,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(47),
+    );
+    let mut config = ChiaroscuroConfig::demo_simulated();
+    config.k = 2;
+    config.max_iterations = 1;
+    config.gossip_cycles = 15;
+    config.epsilon = 1000.0;
+    let engine = Engine::new(config).unwrap();
+
+    let coordinator = Coordinator::bind().unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let mut child = Command::new(&binary)
+        .args(["--id", "0", "--coordinator", &addr])
+        .args(["--obs-addr", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn csnoded");
+    let daemons: Vec<_> = (1..n)
+        .map(|id| {
+            let coordinator = addr.clone();
+            thread::spawn(move || {
+                cs_node::daemon::run(&DaemonOpts::new(id, coordinator))
+                    .unwrap_or_else(|e| panic!("daemon {id} failed: {e}"));
+            })
+        })
+        .collect();
+    let cluster = coordinator
+        .accept_cluster(n, Duration::from_secs(20))
+        .unwrap();
+    let mut backend = ClusterBackend::new(
+        cluster,
+        ClusterConfig {
+            timing: fast_timing(),
+            ..ClusterConfig::default()
+        },
+    );
+    engine.run_with_backend(&data.series, &mut backend).unwrap();
+
+    // The daemon announced its ephemeral endpoint on stderr right after
+    // bootstrap, so the line is already buffered in the pipe by now.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let obs_addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr.read_line(&mut line).unwrap(),
+            0,
+            "daemon stderr EOF before the obs endpoint announcement"
+        );
+        if let Some(rest) = line.trim_end().split("obs endpoint on ").nth(1) {
+            break rest.to_string();
+        }
+    };
+
+    let probe = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&obs_addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let metrics = probe("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE net_gossip_sent_messages counter"),
+        "Prometheus text with sanitized names:\n{metrics}"
+    );
+    let trace = probe("/trace");
+    assert!(trace.starts_with("HTTP/1.1 200"), "{trace}");
+    let body = trace.split("\r\n\r\n").nth(1).unwrap();
+    let node_trace: cs_obs::NodeTrace = serde_json::from_str(body).unwrap();
+    assert_eq!(node_trace.node, 0);
+    assert!(
+        node_trace.events.iter().any(|e| e.name == "step.start"),
+        "flight recorder holds the step's causal events"
+    );
+
+    backend.shutdown();
+    for d in daemons {
+        d.join().expect("daemon thread exits cleanly");
+    }
+    assert!(child.wait().unwrap().success(), "csnoded exits cleanly");
+}

@@ -1,0 +1,339 @@
+//! Critical-path analysis over a merged [`ClusterTrace`] — the engine
+//! behind the `cstrace` binary.
+//!
+//! The protocol nodes emit a small, fixed vocabulary of marker events
+//! (`step.start`, `gossip.end`, `step.done`) plus causal `send`/`recv`
+//! pairs. Each node's event stream is segmented into *rounds* at its
+//! `step.start` markers (whose `trace` field carries the step seed), and
+//! within a round every duration is measured **relative to the node's own
+//! `step.start`** — daemons in a cluster each trace on their own
+//! wall-clock origin, and the coordinator's `Go` barrier aligns step
+//! starts, so per-node-relative spans are the only cross-process-safe
+//! measure. The round's *critical path* is then the straggler: the node
+//! whose step took longest, broken down into its gossip span
+//! (`step.start → gossip.end`) and its decrypt span
+//! (`gossip.end → step.done`); every other node's *slack* is how much
+//! longer it could have taken without moving the round's finish line.
+
+use crate::trace::{ClusterTrace, NodeTrace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// One node's timings within one round, all relative to the node's own
+/// `step.start`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeRound {
+    /// Node id.
+    pub node: u64,
+    /// `step.start → step.done` (or the last observed event, for a node
+    /// that died mid-round).
+    pub total_ns: u64,
+    /// `step.start → gossip.end` (0 if gossip never completed).
+    pub gossip_ns: u64,
+    /// `gossip.end → step.done` (0 without a completed decrypt phase).
+    pub decrypt_ns: u64,
+    /// Messages this node sent during the round.
+    pub sends: u64,
+    /// Messages this node received during the round.
+    pub recvs: u64,
+    /// Whether the node reported `step.done`.
+    pub completed: bool,
+    /// How much longer this node could have run without extending the
+    /// round (straggler total minus own total).
+    pub slack_ns: u64,
+}
+
+/// One reconstructed round: the straggler (critical path) and every
+/// node's slack against it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundAnalysis {
+    /// Round index, in order of appearance.
+    pub round: u64,
+    /// The trace id (step seed) stamped on the round's `step.start`s.
+    pub trace_id: u64,
+    /// The node on the critical path.
+    pub straggler: u64,
+    /// The straggler's total, nanoseconds.
+    pub straggler_ns: u64,
+    /// The straggler's dominant phase: `"gossip"`, `"decrypt"`, or
+    /// `"died"` when the straggler never completed the step.
+    pub dominant_phase: String,
+    /// Per-node breakdown, ascending by node id.
+    pub nodes: Vec<NodeRound>,
+}
+
+fn field(e: &TraceEvent, key: &str) -> Option<u64> {
+    e.fields.iter().find(|f| f.key == key).map(|f| f.value)
+}
+
+/// One node's events for one round, pre-segmentation.
+struct Segment<'a> {
+    node: u64,
+    trace_id: u64,
+    start_ns: u64,
+    events: &'a [TraceEvent],
+}
+
+fn segments(trace: &NodeTrace) -> Vec<Segment<'_>> {
+    let mut out = Vec::new();
+    let starts: Vec<usize> = trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.name == "step.start")
+        .map(|(i, _)| i)
+        .collect();
+    for (k, &i) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(trace.events.len());
+        let start = &trace.events[i];
+        out.push(Segment {
+            node: trace.node,
+            trace_id: field(start, "trace").unwrap_or(0),
+            start_ns: start.ts_ns,
+            events: &trace.events[i..end],
+        });
+    }
+    out
+}
+
+fn analyze_segment(seg: &Segment<'_>) -> NodeRound {
+    let mut gossip_end = None;
+    let mut done = None;
+    let mut last = seg.start_ns;
+    let mut sends = 0;
+    let mut recvs = 0;
+    for e in seg.events {
+        last = last.max(e.ts_ns);
+        match e.name.as_str() {
+            "gossip.end" => gossip_end = gossip_end.or(Some(e.ts_ns)),
+            "step.done" => done = done.or(Some(e.ts_ns)),
+            "send" => sends += 1,
+            "recv" => recvs += 1,
+            _ => {}
+        }
+    }
+    let total_end = done.unwrap_or(last);
+    let gossip_ns = gossip_end.map_or(0, |t| t.saturating_sub(seg.start_ns));
+    NodeRound {
+        node: seg.node,
+        total_ns: total_end.saturating_sub(seg.start_ns),
+        gossip_ns,
+        decrypt_ns: match (gossip_end, done) {
+            (Some(g), Some(d)) => d.saturating_sub(g),
+            _ => 0,
+        },
+        sends,
+        recvs,
+        completed: done.is_some(),
+        slack_ns: 0, // filled in once the round's straggler is known
+    }
+}
+
+/// Reconstructs every round of a merged cluster trace. Rounds are matched
+/// across nodes by trace id and ordered by first appearance.
+pub fn analyze(trace: &ClusterTrace) -> Vec<RoundAnalysis> {
+    // Ordered round keys: trace ids in order of first appearance.
+    let mut order: Vec<u64> = Vec::new();
+    let mut per_round: Vec<Vec<NodeRound>> = Vec::new();
+    for node_trace in &trace.traces {
+        for seg in segments(node_trace) {
+            let idx = match order.iter().position(|&t| t == seg.trace_id) {
+                Some(i) => i,
+                None => {
+                    order.push(seg.trace_id);
+                    per_round.push(Vec::new());
+                    order.len() - 1
+                }
+            };
+            per_round[idx].push(analyze_segment(&seg));
+        }
+    }
+    order
+        .into_iter()
+        .zip(per_round)
+        .enumerate()
+        .map(|(round, (trace_id, mut nodes))| {
+            nodes.sort_by_key(|n| n.node);
+            let straggler = nodes
+                .iter()
+                .max_by_key(|n| (n.total_ns, n.node))
+                .cloned()
+                .expect("a round has at least one participant");
+            for n in &mut nodes {
+                n.slack_ns = straggler.total_ns - n.total_ns;
+            }
+            let dominant_phase = if !straggler.completed {
+                "died"
+            } else if straggler.decrypt_ns > straggler.gossip_ns {
+                "decrypt"
+            } else {
+                "gossip"
+            };
+            RoundAnalysis {
+                round: round as u64,
+                trace_id,
+                straggler: straggler.node,
+                straggler_ns: straggler.total_ns,
+                dominant_phase: dominant_phase.to_string(),
+                nodes,
+            }
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders an ASCII timeline: one block per round, the straggler named in
+/// the header, and the `top` slowest nodes barred against the straggler's
+/// total (gossip `#`, decrypt `=`, post-crash truncation `x`).
+pub fn render_ascii(rounds: &[RoundAnalysis], top: usize) -> String {
+    const WIDTH: usize = 40;
+    let mut out = String::new();
+    for r in rounds {
+        out.push_str(&format!(
+            "round {}  trace {:#018x}  straggler node {} ({}, dominant phase: {})\n",
+            r.round,
+            r.trace_id,
+            r.straggler,
+            fmt_ns(r.straggler_ns),
+            r.dominant_phase
+        ));
+        let mut slowest: Vec<&NodeRound> = r.nodes.iter().collect();
+        slowest.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.node.cmp(&b.node)));
+        let shown = slowest.len().min(top);
+        for n in &slowest[..shown] {
+            let scale = |ns: u64| {
+                if r.straggler_ns == 0 {
+                    0
+                } else {
+                    ((ns as u128 * WIDTH as u128) / r.straggler_ns as u128) as usize
+                }
+            };
+            let gossip = scale(n.gossip_ns);
+            let decrypt = scale(n.decrypt_ns);
+            let rest = scale(n.total_ns).saturating_sub(gossip + decrypt);
+            let fill = if n.completed { ' ' } else { 'x' };
+            let mut bar = String::new();
+            bar.push_str(&"#".repeat(gossip));
+            bar.push_str(&"=".repeat(decrypt));
+            bar.push_str(&fill.to_string().repeat(rest));
+            out.push_str(&format!(
+                "  node {:>5} |{bar:<WIDTH$}| total {:>9}  gossip {:>9}  decrypt {:>9}  slack {:>9}{}\n",
+                n.node,
+                fmt_ns(n.total_ns),
+                fmt_ns(n.gossip_ns),
+                fmt_ns(n.decrypt_ns),
+                fmt_ns(n.slack_ns),
+                if n.completed { "" } else { "  [died]" },
+            ));
+        }
+        if r.nodes.len() > shown {
+            out.push_str(&format!(
+                "  … {} more nodes (max slack {})\n",
+                r.nodes.len() - shown,
+                fmt_ns(r.nodes.iter().map(|n| n.slack_ns).max().unwrap_or(0)),
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CausalTracer, Clock, TraceContext, Tracer, VirtualClock};
+    use std::sync::Arc;
+
+    fn scripted_cluster() -> ClusterTrace {
+        // Node 0: fast (gossip 10µs, decrypt 5µs). Node 1: the straggler
+        // (gossip 20µs, decrypt 30µs). Node 2: dies mid-gossip.
+        let mut traces = Vec::new();
+        for (node, gossip_us, decrypt_us, dies) in [
+            (0u64, 10u64, 5u64, false),
+            (1, 20, 30, false),
+            (2, 4, 0, true),
+        ] {
+            let clock = Arc::new(VirtualClock::new());
+            let tracer = Arc::new(Tracer::new(clock.clone() as Arc<dyn Clock>));
+            let mut ct = CausalTracer::new(tracer.clone(), 0xABCD, node, TraceContext::NONE);
+            ct.on_send(99, 0);
+            if dies {
+                clock.advance_ns(gossip_us * 1_000);
+                ct.on_send(99, 0); // last sign of life
+            } else {
+                clock.advance_ns(gossip_us * 1_000);
+                ct.mark("gossip.end", &[]);
+                clock.advance_ns(decrypt_us * 1_000);
+                ct.mark("step.done", &[("completed", 1)]);
+            }
+            traces.push(NodeTrace::capture(node, &tracer));
+        }
+        ClusterTrace { traces }
+    }
+
+    #[test]
+    fn straggler_dominant_phase_and_slack_are_reconstructed() {
+        let rounds = analyze(&scripted_cluster());
+        assert_eq!(rounds.len(), 1);
+        let r = &rounds[0];
+        assert_eq!(r.trace_id, 0xABCD);
+        assert_eq!(r.straggler, 1);
+        assert_eq!(r.straggler_ns, 50_000);
+        assert_eq!(r.dominant_phase, "decrypt");
+        assert_eq!(r.nodes.len(), 3);
+        let n0 = &r.nodes[0];
+        assert_eq!(
+            (n0.total_ns, n0.gossip_ns, n0.decrypt_ns),
+            (15_000, 10_000, 5_000)
+        );
+        assert_eq!(n0.slack_ns, 35_000);
+        assert!(n0.completed);
+        let dead = &r.nodes[2];
+        assert!(!dead.completed);
+        assert_eq!(
+            dead.total_ns, 4_000,
+            "a dead node's span ends at its last event"
+        );
+    }
+
+    #[test]
+    fn multiple_rounds_are_matched_by_trace_id_in_order() {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Arc::new(Tracer::new(clock.clone() as Arc<dyn Clock>));
+        for trace_id in [7u64, 8] {
+            let mut ct = CausalTracer::new(tracer.clone(), trace_id, 0, TraceContext::NONE);
+            clock.advance_ns(1_000);
+            ct.mark("step.done", &[("completed", 1)]);
+        }
+        let cluster = ClusterTrace {
+            traces: vec![NodeTrace::capture(0, &tracer)],
+        };
+        let rounds = analyze(&cluster);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].trace_id, 7);
+        assert_eq!(rounds[1].trace_id, 8);
+        assert_eq!(rounds[1].round, 1);
+    }
+
+    #[test]
+    fn ascii_rendering_names_the_straggler() {
+        let rounds = analyze(&scripted_cluster());
+        let text = render_ascii(&rounds, 2);
+        assert!(text.contains("straggler node 1"), "{text}");
+        assert!(text.contains("dominant phase: decrypt"), "{text}");
+        assert!(
+            text.contains("[died]") || text.contains("… 1 more nodes"),
+            "{text}"
+        );
+    }
+}

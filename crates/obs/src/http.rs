@@ -1,0 +1,191 @@
+//! Zero-dependency HTTP exposition over `std::net`: `/metrics` in the
+//! Prometheus text format, `/trace` as the flight recorder's JSON.
+//!
+//! One background thread, a non-blocking accept loop, one request per
+//! connection — deliberately the smallest thing that a Prometheus scraper
+//! or a `curl`-less `TcpStream` probe can talk to. The server owns no
+//! metric state: it snapshots through caller-supplied provider closures
+//! at request time, so a scrape always sees live values.
+
+use crate::metrics::MetricsSnapshot;
+use crate::prom::encode_text;
+use crate::trace::NodeTrace;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// The state providers an [`ObsServer`] snapshots per request.
+pub struct ObsProviders {
+    /// Produces the cumulative metrics snapshot served at `/metrics`.
+    pub metrics: Box<dyn Fn() -> MetricsSnapshot + Send + Sync>,
+    /// Produces the flight-recorder capture served at `/trace`.
+    pub trace: Box<dyn Fn() -> NodeTrace + Send + Sync>,
+}
+
+/// A running exposition endpoint; shuts down when dropped.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves until dropped.
+    pub fn serve(addr: &str, providers: ObsProviders) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = thread::Builder::new()
+            .name("obs-http".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: scrapes are rare and tiny, a
+                            // slow client only delays the next scrape.
+                            let _ = handle_connection(stream, &providers);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn obs-http");
+        Ok(ObsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, providers: &ObsProviders) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read up to the end of the request head; the request line is all we
+    // route on.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                encode_text(&(providers.metrics)()),
+            ),
+            "/trace" => (
+                "200 OK",
+                "application/json",
+                serde_json::to_string(&(providers.trace)()).unwrap_or_else(|_| "{}".into()),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics or /trace)\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::{Tracer, VirtualClock};
+
+    fn probe(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_trace_and_404_over_plain_tcp() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("probe.hits").add(3);
+        let tracer = Arc::new(Tracer::ring(Arc::new(VirtualClock::new()), 16));
+        tracer.event("boot", &[]);
+        let reg = registry.clone();
+        let tr = tracer.clone();
+        let server = ObsServer::serve(
+            "127.0.0.1:0",
+            ObsProviders {
+                metrics: Box::new(move || reg.snapshot()),
+                trace: Box::new(move || NodeTrace::capture(5, &tr)),
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let metrics = probe(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("probe_hits 3"), "{metrics}");
+
+        registry.counter("probe.hits").inc();
+        let metrics = probe(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            metrics.contains("probe_hits 4"),
+            "scrapes are live: {metrics}"
+        );
+
+        let trace = probe(addr, "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(trace.contains("application/json"), "{trace}");
+        assert!(trace.contains("\"boot\""), "{trace}");
+
+        let missing = probe(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        drop(server); // clean shutdown joins the accept loop
+    }
+}

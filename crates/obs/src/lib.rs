@@ -29,6 +29,16 @@
 //!   summed across the population, so `bench_summary --profile` can emit
 //!   per-phase rows instead of one wall number.
 //!
+//! On top of the primitives sit the distributed-tracing pieces:
+//! [`trace::TraceContext`] (the 24-byte causal context stamped into wire
+//! frames), [`trace::CausalTracer`] (deterministic span allocation and
+//! send→recv linkage), [`trace::NodeTrace`] / [`trace::ClusterTrace`]
+//! (the serializable capture shapes), [`critical`] (per-round
+//! critical-path reconstruction — which node, which phase, how much slack
+//! everyone else had), [`prom`] (Prometheus text exposition of a
+//! [`metrics::MetricsSnapshot`]), and [`http`] (a zero-dependency
+//! `std::net` endpoint serving `/metrics` and `/trace`).
+//!
 //! ```
 //! use cs_obs::metrics::Registry;
 //! use cs_obs::phase::{PhaseProfile, StepPhase};
@@ -49,10 +59,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical;
+pub mod http;
 pub mod metrics;
 pub mod phase;
+pub mod prom;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use phase::{PhaseProfile, StepPhase};
-pub use trace::{Clock, Tracer, VirtualClock, WallClock};
+pub use trace::{
+    CausalTracer, Clock, ClusterTrace, NodeTrace, OverflowPolicy, TraceContext, Tracer,
+    VirtualClock, WallClock,
+};

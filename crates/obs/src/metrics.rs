@@ -210,12 +210,110 @@ impl MetricsSnapshot {
         merge(self, other, u64::wrapping_add, i64::wrapping_add)
     }
 
-    /// Element-wise saturating difference against an *earlier* snapshot of
-    /// the same registry — per-step deltas, mirroring
-    /// `TrafficSnapshot::since`. Gauges are levels, not monotone counts,
-    /// so their delta is a signed subtraction.
+    /// The delta of this snapshot against an *earlier* scrape of the same
+    /// source — per-step deltas, mirroring `TrafficSnapshot::since`.
+    ///
+    /// The semantics are defined for the two situations a live cluster
+    /// actually produces:
+    ///
+    /// * **Disjoint key sets.** The delta's domain is exactly *this*
+    ///   (later) snapshot's metric names. A name that appears only here is
+    ///   a newly registered metric and deltas against zero; a name present
+    ///   only in `earlier` (the source restarted with a registry that has
+    ///   not re-created it) is dropped — no phantom zero entries.
+    /// * **Counter reset after a restart.** Counters and histogram counts
+    ///   are monotone within one process lifetime, so a later value
+    ///   *below* the earlier one means the source restarted and re-counted
+    ///   from zero; the delta is then the later value itself (everything
+    ///   since the restart), never a saturated 0 that would silently lose
+    ///   the post-restart increments. A histogram that reset is taken
+    ///   wholesale for the same reason.
+    ///
+    /// Gauges are levels, not monotone counts, so their delta is a signed
+    /// subtraction (against 0 when newly registered).
+    ///
+    /// For a monotone, restart-free source whose key set only grows —
+    /// every per-step daemon scrape — `earlier.plus(&delta)` reassembles
+    /// this snapshot exactly.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        merge(self, earlier, u64::saturating_sub, i64::wrapping_sub)
+        let then_counters: BTreeMap<&str, u64> = earlier
+            .counters
+            .iter()
+            .map(|c| (c.name.as_str(), c.value))
+            .collect();
+        let then_gauges: BTreeMap<&str, i64> = earlier
+            .gauges
+            .iter()
+            .map(|g| (g.name.as_str(), g.value))
+            .collect();
+        let then_histograms: BTreeMap<&str, &HistogramValue> = earlier
+            .histograms
+            .iter()
+            .map(|h| (h.name.as_str(), h))
+            .collect();
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| {
+                    let then = then_counters.get(c.name.as_str()).copied().unwrap_or(0);
+                    CounterValue {
+                        name: c.name.clone(),
+                        value: if c.value >= then {
+                            c.value - then
+                        } else {
+                            c.value // reset: count everything since restart
+                        },
+                    }
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| {
+                    let then = then_gauges.get(g.name.as_str()).copied().unwrap_or(0);
+                    GaugeValue {
+                        name: g.name.clone(),
+                        value: g.value.wrapping_sub(then),
+                    }
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| match then_histograms.get(h.name.as_str()) {
+                    Some(then) if h.count >= then.count => diff_histogram(h, then),
+                    _ => h.clone(), // newly registered, or reset: take wholesale
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-bucket difference of a histogram against an earlier scrape of the
+/// same (non-reset) histogram.
+fn diff_histogram(later: &HistogramValue, earlier: &HistogramValue) -> HistogramValue {
+    let mut now = [0u64; HISTOGRAM_BUCKETS];
+    let mut then = [0u64; HISTOGRAM_BUCKETS];
+    for bc in &later.buckets {
+        now[bc.bucket as usize] = bc.count;
+    }
+    for bc in &earlier.buckets {
+        then[bc.bucket as usize] = bc.count;
+    }
+    HistogramValue {
+        name: later.name.clone(),
+        count: later.count - earlier.count,
+        sum: later.sum.saturating_sub(earlier.sum),
+        buckets: (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let count = now[i].saturating_sub(then[i]);
+                (count != 0).then_some(BucketCount {
+                    bucket: i as u8,
+                    count,
+                })
+            })
+            .collect(),
     }
 }
 
@@ -490,6 +588,84 @@ mod tests {
         // Delta plus baseline reassembles the later scrape, exactly the
         // TrafficSnapshot identity the coordinator relies on.
         assert_eq!(before.plus(&delta), after);
+    }
+
+    #[test]
+    fn since_drops_keys_that_disappeared_and_keeps_new_ones() {
+        let mut earlier = MetricsSnapshot::default();
+        earlier.counters.push(CounterValue {
+            name: "old.only".into(),
+            value: 9,
+        });
+        earlier.gauges.push(GaugeValue {
+            name: "old.gauge".into(),
+            value: 5,
+        });
+
+        let registry = Registry::new();
+        registry.counter("new.only").add(3);
+        registry.gauge("new.gauge").set(-2);
+        registry.histogram("new.hist").record(7);
+        let later = registry.snapshot();
+
+        let delta = later.since(&earlier);
+        assert!(
+            delta.counters.iter().all(|c| c.name != "old.only"),
+            "a metric absent from the later scrape must not fabricate a \
+             phantom zero entry: {delta:?}"
+        );
+        assert!(delta.gauges.iter().all(|g| g.name != "old.gauge"));
+        assert_eq!(delta.counter("new.only"), 3, "new keys delta against 0");
+        assert_eq!(delta.gauge("new.gauge"), -2);
+        assert_eq!(delta.histogram("new.hist").unwrap().count, 1);
+    }
+
+    #[test]
+    fn since_survives_a_counter_reset_after_restart() {
+        // First lifetime: the daemon counted to 100.
+        let registry = Registry::new();
+        registry.counter("net.pushes").add(100);
+        registry.histogram("net.sizes").record(50);
+        registry.histogram("net.sizes").record(60);
+        let before_restart = registry.snapshot();
+
+        // The daemon restarts (fresh registry) and counts 4 more.
+        let reborn = Registry::new();
+        reborn.counter("net.pushes").add(4);
+        reborn.histogram("net.sizes").record(10);
+        let after_restart = reborn.snapshot();
+
+        let delta = after_restart.since(&before_restart);
+        assert_eq!(
+            delta.counter("net.pushes"),
+            4,
+            "a reset counter reports everything since the restart, \
+             not a saturated 0"
+        );
+        let h = delta.histogram("net.sizes").unwrap();
+        assert_eq!(h.count, 1, "a reset histogram is taken wholesale");
+        assert_eq!(h.sum, 10);
+        assert_eq!(
+            h.buckets,
+            vec![BucketCount {
+                bucket: 4,
+                count: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn since_still_inverts_plus_for_monotone_growing_sources() {
+        // The contract the coordinator's per-step delta discipline relies
+        // on: key sets only grow, counters only rise ⇒ exact inversion.
+        let registry = Registry::new();
+        registry.counter("a").add(1);
+        let before = registry.snapshot();
+        registry.counter("a").add(10);
+        registry.counter("b").inc();
+        registry.histogram("h").record(3);
+        let after = registry.snapshot();
+        assert_eq!(before.plus(&after.since(&before)), after);
     }
 
     #[test]

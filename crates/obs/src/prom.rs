@@ -1,0 +1,99 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`].
+//!
+//! The registry's dot-separated metric names are sanitized to the
+//! Prometheus grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`), and the sparse
+//! log₂-bucket histograms are re-encoded as the *cumulative* `le` buckets
+//! the format requires: bucket `i`'s upper bound is
+//! [`bucket_upper_bound`]`(i)` and every bucket's count includes all
+//! smaller buckets, closed by the mandatory `+Inf` bucket equal to the
+//! observation count. The output is deterministic — snapshots are sorted
+//! by name, buckets ascend by index — so goldens can assert on it
+//! byte-for-byte.
+
+use crate::metrics::{bucket_upper_bound, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Maps a registry metric name onto the Prometheus grammar: every byte
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gets a `_`
+/// prefix (`net.gossip.bytes` → `net_gossip_bytes`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `snap` in the Prometheus text format, one `# TYPE` header per
+/// metric, counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+pub fn encode_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let name = sanitize_metric_name(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snap.gauges {
+        let name = sanitize_metric_name(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+    for h in &snap.histograms {
+        let name = sanitize_metric_name(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for bc in &h.buckets {
+            cumulative += bc.count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(bc.bucket as usize)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn sanitization_covers_dots_dashes_and_leading_digits() {
+        assert_eq!(sanitize_metric_name("net.gossip.bytes"), "net_gossip_bytes");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok:name_1"), "ok:name_1");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let registry = Registry::new();
+        let h = registry.histogram("t.h");
+        h.record(0); // bucket 0, le="0"
+        h.record(1); // bucket 1, le="1"
+        h.record(2); // bucket 2, le="3"
+        h.record(3); // bucket 2
+        let text = encode_text(&registry.snapshot());
+        assert!(text.contains("t_h_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("t_h_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("t_h_bucket{le=\"3\"} 4\n"), "{text}");
+        assert!(text.contains("t_h_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("t_h_sum 6\n"), "{text}");
+        assert!(text.contains("t_h_count 4\n"), "{text}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Golden-file tests for the Prometheus text exposition: the byte-exact
+//! output is pinned in `tests/fixtures/prom_exposition.txt`, so any
+//! accidental change to name sanitization, the cumulative `le` bucket
+//! encoding, or the counter/gauge/histogram type headers breaks this test
+//! even if the encoder and its unit tests drift together.
+
+use cs_obs::metrics::Registry;
+use cs_obs::prom::{encode_text, sanitize_metric_name};
+
+fn golden_registry() -> Registry {
+    let registry = Registry::new();
+    registry.counter("net.gossip.messages").add(42);
+    // Registered but never incremented: still exposed, at zero.
+    registry.counter("obs.trace.dropped").add(0);
+    // Sanitization edge: leading digit gets an underscore prefix.
+    registry.counter("9starts.with.digit").inc();
+    registry.gauge("exec.queue.depth").set(-3);
+    let h = registry.histogram("phase.gossip.ns");
+    h.record(0); // bucket 0 → le="0"
+    h.record(1); // bucket 1 → le="1"
+    h.record(2); // bucket 2 → le="3"
+    h.record(3); // bucket 2
+    h.record(512); // bucket 10 → le="1023"
+    registry
+}
+
+#[test]
+fn exposition_matches_the_golden_file_byte_for_byte() {
+    let text = encode_text(&golden_registry().snapshot());
+    let golden = include_str!("fixtures/prom_exposition.txt");
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from the golden file; if the \
+         change is intentional, update tests/fixtures/prom_exposition.txt"
+    );
+}
+
+#[test]
+fn golden_covers_the_three_metric_types() {
+    let golden = include_str!("fixtures/prom_exposition.txt");
+    assert!(golden.contains("# TYPE net_gossip_messages counter"));
+    assert!(golden.contains("# TYPE exec_queue_depth gauge"));
+    assert!(golden.contains("# TYPE phase_gossip_ns histogram"));
+}
+
+#[test]
+fn histogram_buckets_in_the_golden_are_cumulative() {
+    // The log₂ buckets hold {0}:1, {1}:1, {2,3}:2, {512..1023}:1; the
+    // exposition must accumulate them: 1, 2, 4, 5, and close with +Inf.
+    let golden = include_str!("fixtures/prom_exposition.txt");
+    let counts: Vec<u64> = golden
+        .lines()
+        .filter(|l| l.starts_with("phase_gossip_ns_bucket"))
+        .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(counts, vec![1, 2, 4, 5, 5]);
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "monotone buckets");
+}
+
+#[test]
+fn sanitized_names_satisfy_the_prometheus_grammar() {
+    for name in [
+        "net.gossip.messages",
+        "9starts.with.digit",
+        "weird name-with/chars",
+        "",
+    ] {
+        let s = sanitize_metric_name(name);
+        assert!(!s.is_empty());
+        let mut chars = s.chars();
+        let first = chars.next().unwrap();
+        assert!(
+            first.is_ascii_alphabetic() || first == '_' || first == ':',
+            "bad first char in {s:?}"
+        );
+        assert!(
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad char in {s:?}"
+        );
+    }
+}

@@ -175,6 +175,85 @@ fn sharded_vs_threaded_differential_at_population_64() {
     }
 }
 
+/// Causal tracing on the sharded executor runs in *virtual* time, so a
+/// traced run is as deterministic as an untraced one: the full per-node
+/// trace — every span id, causal parent, timestamp, and event order — must
+/// be byte-identical across worker counts. And the merged trace must
+/// answer the operator question end-to-end: which node was the round's
+/// straggler, in which phase, and how much slack everyone else had.
+#[test]
+fn sharded_traces_are_byte_identical_across_worker_counts() {
+    let n: usize = if cfg!(debug_assertions) { 128 } else { 1024 };
+    let (series, _) = dataset(n, 59);
+    let mut cfg = ChiaroscuroConfig::demo_simulated();
+    cfg.k = 2;
+    cfg.max_iterations = 1;
+    cfg.gossip_cycles = 20;
+    cfg.epsilon = 1e5;
+    cfg.value_bound = 8.0;
+    cfg.smoothing = cs_timeseries::smooth::Smoothing::None;
+    let engine = Engine::new(cfg).unwrap();
+
+    // Loss and jitter on, so the determinism claim covers traced frames
+    // riding the same bandwidth-delay arithmetic as payload bytes.
+    let sharded = ShardedConfig {
+        shards: 16,
+        trace: true,
+        link: cs_net::LinkConfig {
+            latency: Duration::from_micros(300),
+            jitter: Duration::from_micros(150),
+            loss: 0.02,
+            bandwidth_bytes_per_sec: Some(20_000_000),
+        },
+        ..ShardedConfig::default()
+    };
+    let run = |workers: usize| {
+        let mut backend = NetBackend::sharded(ShardedConfig {
+            workers,
+            ..sharded.clone()
+        });
+        engine.run_with_backend(&series, &mut backend).unwrap();
+        let step = backend.last_step().expect("one step ran");
+        (step.traces.clone(), step.outcome.alive_after.clone())
+    };
+
+    let (traces_auto, _) = run(0); // auto worker count
+    let (traces_single, _) = run(1); // one worker: fully serial
+    assert_eq!(traces_auto.len(), n, "one trace per virtual node");
+    let json_auto = serde_json::to_string(&traces_auto).unwrap();
+    let json_single = serde_json::to_string(&traces_single).unwrap();
+    assert_eq!(
+        json_auto, json_single,
+        "worker count leaked into the virtual-time traces"
+    );
+
+    // The merged timeline names the straggler and its dominant phase for
+    // the round, with per-node slack accounted against it.
+    let cluster = cs_obs::ClusterTrace {
+        traces: traces_auto,
+    };
+    let rounds = cs_obs::critical::analyze(&cluster);
+    assert_eq!(rounds.len(), 1, "one step traced, one round reconstructed");
+    let round = &rounds[0];
+    assert_eq!(round.nodes.len(), n, "every virtual node participates");
+    assert!((round.straggler as usize) < n);
+    assert!(
+        matches!(round.dominant_phase.as_str(), "gossip" | "decrypt"),
+        "unexpected dominant phase {:?}",
+        round.dominant_phase
+    );
+    let straggler = round
+        .nodes
+        .iter()
+        .find(|nr| nr.node == round.straggler)
+        .unwrap();
+    assert_eq!(straggler.slack_ns, 0, "the straggler defines the round");
+    assert!(round.nodes.iter().all(|nr| nr.sends > 0 || nr.recvs > 0));
+    // The ASCII rendering carries the verdict an operator reads.
+    let text = cs_obs::critical::render_ascii(&rounds, 5);
+    assert!(text.contains(&format!("straggler node {}", round.straggler)));
+}
+
 /// Churn injected mid-gossip at scale, plaintext (simulated-crypto)
 /// pipeline: a silent crash, a later rejoin, and a graceful leave, on a
 /// ≥1k population in release builds. The centroids still match the

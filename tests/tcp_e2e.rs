@@ -173,6 +173,44 @@ fn sixteen_process_real_crypto_cluster_survives_a_kill_and_matches_sharded() {
     let ari = cs_kmeans::adjusted_rand_index(&out.assignment, &labels);
     assert!(ari > 0.6, "cluster-run clustering degraded: ARI {ari}");
 
+    // Flight-recorder forensics: scrape every survivor's ring, merge them
+    // with the coordinator's own trace (node id `n`), and reconstruct the
+    // round. The SIGKILLed process cannot answer a scrape — its last
+    // moments live in its stderr dump and its neighbors' rings.
+    let cluster_trace = backend.cluster_trace(Duration::from_secs(10));
+    let traced: Vec<u64> = cluster_trace.traces.iter().map(|t| t.node).collect();
+    assert!(!traced.contains(&7), "a dead process answered a scrape?");
+    assert!(
+        cluster_trace.traces.len() >= n - 3,
+        "survivors + coordinator report traces: {traced:?}"
+    );
+    assert!(
+        cluster_trace
+            .traces
+            .iter()
+            .any(|t| t.events.iter().any(|e| e.name == "recv")),
+        "deliveries were traced across real sockets"
+    );
+    let rounds = cs_obs::critical::analyze(&cluster_trace);
+    assert!(
+        !rounds.is_empty(),
+        "the merged trace reconstructs the round"
+    );
+    let round = &rounds[0];
+    assert!(
+        (round.straggler as usize) <= n,
+        "the round names its straggler"
+    );
+    assert!(
+        matches!(round.dominant_phase.as_str(), "gossip" | "decrypt" | "died"),
+        "unexpected dominant phase {:?}",
+        round.dominant_phase
+    );
+    // Leave the merged timeline where CI's `cstrace` smoke test loads it.
+    let dump = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("tcp_cluster_trace.json");
+    std::fs::write(&dump, serde_json::to_string(&cluster_trace).unwrap())
+        .expect("write trace dump");
+
     backend.shutdown();
     let clean = supervisor.wait_all(Duration::from_secs(20));
     assert!(
