@@ -120,11 +120,14 @@ fn main() {
     if !quick {
         entries.push(bench_real_step(8));
     }
-    // TCP loopback: the same thread-per-node step, but every frame crosses
-    // a real kernel socket — measured at the threaded overlap populations
-    // so the socket tax is directly readable, plus a packed real-crypto row
-    // (the wire configuration a deployed cluster would actually run).
-    for &n in populations {
+    // TCP loopback: the same step, but every frame crosses a real kernel
+    // socket through the reactor pool — measured at the threaded overlap
+    // populations so the socket tax is directly readable, plus a
+    // past-the-overlap row (128) in full mode where O(pool) threading is
+    // what keeps the row affordable, plus a packed real-crypto row (the
+    // wire configuration a deployed cluster would actually run).
+    let tcp_populations: &[usize] = if quick { &[16, 64] } else { &[16, 32, 64, 128] };
+    for &n in tcp_populations {
         entries.push(bench_plain_step_tcp(n, quick));
     }
     entries.push(bench_packed_step_tcp(8));
@@ -238,13 +241,14 @@ fn run_check(summary: &BenchSummary) {
         _ => failures.push("population-64 overlap measurements missing".to_string()),
     }
     // TCP loopback pays kernel-socket tax over the in-memory channel, but
-    // it must stay within a sane multiple of the threaded runtime at the
-    // overlap population — a blowout means the writer/reader path is
-    // stalling (lock contention, lost wakeups), not just syscall overhead.
+    // with the reactor pool (inline fast-path sends, no per-peer threads)
+    // it must stay within 3x of the threaded runtime at the overlap
+    // population — a blowout means the reactor is stalling (lost wakeups,
+    // missed writability, lock contention), not just syscall overhead.
     match (wall("net_step_plain", 64), wall("net_step_plain_tcp", 64)) {
-        (Some(threaded), Some(tcp)) if tcp <= threaded.max(1.0) * 15.0 => {}
+        (Some(threaded), Some(tcp)) if tcp <= threaded.max(1.0) * 3.0 => {}
         (Some(threaded), Some(tcp)) => failures.push(format!(
-            "population 64: tcp loopback {tcp:.2} ms exceeds 15x threaded {threaded:.2} ms"
+            "population 64: tcp loopback {tcp:.2} ms exceeds 3x threaded {threaded:.2} ms"
         )),
         _ => failures.push("population-64 tcp overlap measurements missing".to_string()),
     }
@@ -254,7 +258,7 @@ fn run_check(summary: &BenchSummary) {
         }
     }
     if failures.is_empty() {
-        println!("[check] sharded executor within budget");
+        println!("[check] all gates passed: sharded budget, tcp loopback tax, message movement");
     } else {
         for f in &failures {
             eprintln!("[check] REGRESSION: {f}");
@@ -302,6 +306,10 @@ fn bench_wire_codec(quick: bool) -> BenchEntry {
         phases: None,
     }
 }
+
+/// Full step runs per thread-per-node measurement; the reported wall is
+/// the median, so a single outlier run cannot trip the ratio gates.
+const STEP_REPS: usize = 3;
 
 fn net_config() -> NetConfig {
     NetConfig {
@@ -376,26 +384,36 @@ impl StepWorkload {
     }
 
     /// Runs the workload at population `n` on `substrate` and measures it.
+    /// The wall-clock substrates are nondeterministic and the gated rows
+    /// are compared as a *ratio*, so each measurement is the median of
+    /// [`STEP_REPS`] full runs — one outlier run (scheduler hiccup, page
+    /// cache miss) must not trip a CI gate.
     fn measure(&self, n: usize, substrate: Substrate) -> BenchEntry {
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
         let crypto = CryptoContext::from_config(&self.config, &mut rng).expect("context");
         let contributions = synthetic_contributions(n, &self.layout, self.values_seed);
-        let t = Instant::now();
         let runner = match substrate {
             Substrate::Threaded => run_step_over_transport,
             Substrate::TcpLoopback => run_step_over_tcp,
         };
-        let run = runner(
-            &self.config,
-            &self.layout,
-            &contributions,
-            &crypto,
-            self.step_seed,
-            &net_config(),
-            &[],
-        )
-        .expect("step");
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let mut runs: Vec<(f64, _)> = (0..STEP_REPS)
+            .map(|_| {
+                let t = Instant::now();
+                let run = runner(
+                    &self.config,
+                    &self.layout,
+                    &contributions,
+                    &crypto,
+                    self.step_seed,
+                    &net_config(),
+                    &[],
+                )
+                .expect("step");
+                (t.elapsed().as_secs_f64() * 1e3, run)
+            })
+            .collect();
+        runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+        let (wall_ms, run) = runs.swap_remove(runs.len() / 2);
         let messages = run.snapshot.messages();
         let bytes = run.snapshot.bytes();
         BenchEntry {

@@ -36,12 +36,15 @@
 //!   (`NetBackend::sharded`); the threaded runtime stays as the
 //!   differential oracle.
 //! * [`tcp`] — the **TCP socket transport**: the same wire frames over
-//!   `std::net` streams, with a peer directory, connect/accept plus
-//!   reconnect-with-backoff, stream reassembly at arbitrary read
-//!   boundaries, and the channel transport's loss/latency shims — serving
-//!   both as the in-process loopback substrate (`NetBackend::tcp`) and as
-//!   the inter-process substrate under the `cs_node` crate's `csnoded`
-//!   daemons, where the protocol finally runs across real OS processes.
+//!   `std::net` streams, with a peer directory, stream reassembly at
+//!   arbitrary read boundaries, and the channel transport's loss/latency
+//!   shims, all driven by a **readiness reactor** — a small fixed thread
+//!   pool multiplexing every peer socket through nonblocking I/O, with
+//!   per-peer bounded outbound queues, partial-write resumption, and
+//!   timer-driven reconnect/backoff — serving both as the in-process
+//!   loopback substrate (`NetBackend::tcp`) and as the inter-process
+//!   substrate under the `cs_node` crate's `csnoded` daemons, where the
+//!   protocol finally runs across real OS processes.
 //!
 //! ## Example: one engine run over the threaded runtime
 //!
@@ -67,12 +70,16 @@
 //! assert_eq!(backend.steps_run(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `poll` readiness shim is the one module allowed
+// to opt back in (two FFI declarations; see its module docs). Everything
+// else in the crate still refuses unsafe code at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod executor;
 pub mod node;
+mod poll;
 pub mod runtime;
 pub mod tcp;
 pub mod transport;
@@ -81,6 +88,6 @@ pub mod wire;
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use executor::{run_step_sharded, ShardedConfig};
 pub use runtime::{run_step_over_tcp, run_step_over_transport, NetBackend, NetConfig, StepRun};
-pub use tcp::{FrameReassembler, PeerDirectory, TcpEndpoint, TcpRecord, TcpTransport};
+pub use tcp::{FrameReassembler, PeerDirectory, TcpEndpoint, TcpRecord, TcpTransport, TcpTuning};
 pub use transport::{ChannelTransport, Envelope, LinkConfig, NetError, Transport};
 pub use wire::{decode_frame, encode_frame, FrameClass, Message, WireError, WIRE_VERSION};

@@ -25,21 +25,58 @@
 //! out of the stream no matter how the kernel fragments reads (locked in
 //! by a proptest that splits streams at arbitrary byte boundaries). The
 //! `(from, to)` header exists because one connection multiplexes every
-//! node pair between two endpoints; decode strictness (version checks,
-//! length caps) is inherited from the frame codec, and a stream that
-//! violates the record format is dropped, never resynchronized.
+//! node pair between two endpoints; a header demanding a record over
+//! [`MAX_RECORD_LEN`] is rejected *before* any buffer is sized from it,
+//! and a stream that violates the record format is dropped, never
+//! resynchronized.
 //!
-//! ## Topology
+//! ## The reactor
 //!
-//! A [`TcpTransport`] hosts one or more *local* nodes (all of them in
-//! loopback mode, exactly one in a `csnoded` daemon) behind a single
-//! listener, and knows every node's listener address through its
-//! [`PeerDirectory`]. Outbound traffic runs through one writer thread per
-//! destination node — connect-on-first-use, reconnect with exponential
-//! backoff, frames dropped (and counted) once the peer stays unreachable,
-//! so a killed process degrades into frame loss rather than a wedged
-//! sender, which is precisely how the protocol layer already models
-//! failure.
+//! All socket I/O is driven by a small fixed pool of **reactor threads**
+//! ([`TcpTuning::reactor_threads`], default 2) multiplexing every peer
+//! socket through nonblocking I/O and a `poll(2)` shim (`crate::poll` —
+//! zero dependencies). Resident threads are O(pool), not O(peers):
+//!
+//! * **Outbound.** Destination `p` is owned by reactor `p % pool`. Each
+//!   destination has one bounded outbound queue of encoded records plus a
+//!   connection state machine (`Idle → Connecting → Connected`, with
+//!   `Backoff` between failures) whose transitions only the owning
+//!   reactor performs — connects are nonblocking, backoff is a *timer*
+//!   feeding the poll horizon, never a sleeping thread. Partial writes
+//!   suspend with a byte cursor into the front record and resume on the
+//!   next writability event; a connection that dies mid-record resets the
+//!   cursor and replays the record on the fresh connection (safe because
+//!   the receiver discards an incomplete record along with the dead
+//!   connection). After [`WRITE_ATTEMPTS`] consecutive failures the whole
+//!   queue is drained and counted as dropped — a dead peer degrades into
+//!   frame loss, never into a wedged sender.
+//! * **Fast path.** When the connection is up and nothing is queued
+//!   ahead, `send` writes the record straight into the socket from the
+//!   caller's thread (still under the per-peer lock, still nonblocking)
+//!   and only parks the remainder for the reactor when the kernel buffer
+//!   pushes back — the steady-state hot path costs no thread handoff.
+//! * **Inbound.** Reactor 0 owns the (nonblocking) listener; accepted
+//!   connections are dealt round-robin across the pool and each reactor
+//!   reads its share on readiness, feeding the shared [`FrameReassembler`]
+//!   and the per-node inboxes.
+//! * **Loopback read-back.** When the destination's directory address is
+//!   this transport's own listener (the loopback substrate), the outbound
+//!   connection and one accepted inbound connection are two ends of the
+//!   same kernel pipe. Once the sender matches its connection's local
+//!   address in the accept registry it *drains the paired inbound socket
+//!   inline* right after each fast-path write — the hot loopback path
+//!   delivers on the sender's thread, with no reactor handoff in the
+//!   latency chain. The paired socket stays registered with its owning
+//!   reactor regardless: a loopback `write` is not synchronously readable
+//!   on the accept side (in-flight segments surface after ACK/cwnd
+//!   round-trips), so level-triggered poll readiness is the backstop that
+//!   picks up whatever an inline drain misses. A per-connection duty word
+//!   keeps concurrent drainers exclusive (see
+//!   [`TcpInner::drain_inbound`]).
+//! * **Backpressure.** The outbound queue is bounded
+//!   ([`TcpTuning::writer_queue_cap`]); beyond it the link counts as
+//!   congested-to-death and the frame is dropped at enqueue, surfaced by
+//!   the `tcp.writer.overflow` counter and reclassified in the snapshot.
 //!
 //! ## Accounting and shims
 //!
@@ -49,37 +86,52 @@
 //! record framing — so the bytes-on-wire numbers stay comparable across
 //! substrates (asserted by a parity test). The loss shim draws at the
 //! sender from the transport seed; latency/jitter/bandwidth shims delay
-//! delivery at the receiving inbox. A frame the writer path loses for
+//! delivery at the receiving inbox. A frame the socket path loses for
 //! real (queue overflow, dead peer past the retry budget) is
 //! *reclassified* from delivered to dropped, so every frame lands in
 //! exactly one accounting bucket — the same invariant the channel
 //! transport keeps.
 
+use crate::poll::{self, PollFd, Waker, POLL_IN, POLL_OUT};
 use crate::transport::{
     mix, unit_f64, ClassCounts, Envelope, Inbox, LinkConfig, NetError, NodeId, TrafficSnapshot,
     Transport, TransportMetrics,
 };
-use crate::wire::{FrameClass, MAX_FRAME_BYTES, WIRE_VERSION};
+use crate::wire::{FrameClass, WireError, MAX_FRAME_BYTES, WIRE_VERSION};
 use cs_obs::{Counter, Registry};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Connection preamble magic.
 const TCP_MAGIC: [u8; 4] = *b"CSTP";
 
+/// Preamble length: magic + wire version + one reserved byte.
+const PREAMBLE_BYTES: usize = 6;
+
 /// Record header: sender id + destination id, 4 bytes each, little-endian.
 const RECORD_HEADER_BYTES: usize = 8;
 
-/// Outbound queue capacity per destination (records). Beyond it the link is
-/// treated as congested-to-death and frames are dropped (counted).
+/// Largest record a stream may carry: header + frame length prefix +
+/// [`MAX_FRAME_BYTES`]. A record header demanding more is rejected with
+/// [`WireError::RecordTooLarge`] before any buffer is sized from it.
+pub const MAX_RECORD_LEN: usize = RECORD_HEADER_BYTES + 4 + MAX_FRAME_BYTES;
+
+/// Default outbound queue capacity per destination (records). Beyond it the
+/// link is treated as congested-to-death and frames are dropped (counted).
 const WRITER_QUEUE_CAP: usize = 8192;
 
-/// Connect/write retry budget per record before it is declared lost.
+/// Default reactor pool size: one thread to own the listener plus one more
+/// so inbound service and outbound flushing overlap. O(pool) threads serve
+/// any population size.
+const DEFAULT_REACTOR_THREADS: usize = 2;
+
+/// Consecutive connect/write failures before everything queued toward the
+/// peer is declared lost.
 const WRITE_ATTEMPTS: u32 = 6;
 
 /// First reconnect backoff; doubles per failure up to [`BACKOFF_CAP`].
@@ -87,6 +139,37 @@ const BACKOFF_START: Duration = Duration::from_millis(5);
 
 /// Reconnect backoff cap.
 const BACKOFF_CAP: Duration = Duration::from_millis(200);
+
+/// Idle poll horizon: a reactor with no nearer timer parks in `poll` this
+/// long; wakers and readiness events cut it short.
+const POLL_HORIZON: Duration = Duration::from_millis(200);
+
+/// Read buffer per reactor thread.
+const READ_BUF_BYTES: usize = 16384;
+
+/// Reads one inbound connection may consume per readiness event before
+/// yielding (level-triggered poll re-reports the rest), so one firehose
+/// peer cannot starve its reactor-mates.
+const READ_BUDGET: usize = 32;
+
+/// Stack buffer for a sender's inline read-back drain. Small on purpose:
+/// the typical backlog is the sender's own record (~100 B), and a bigger
+/// backlog just loops — the buffer size only sets the syscall granularity.
+const READ_BACK_BUF_BYTES: usize = 2048;
+
+/// Poison-tolerant lock: a panicking holder must not cascade into aborts
+/// on every later toucher (the `Drop` path in particular), so the guard is
+/// recovered rather than unwrapped.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn preamble() -> [u8; PREAMBLE_BYTES] {
+    let mut p = [0u8; PREAMBLE_BYTES];
+    p[0..4].copy_from_slice(&TCP_MAGIC);
+    p[4] = WIRE_VERSION;
+    p
+}
 
 /// One routed record cut out of a TCP stream: the sending node, the
 /// destination node, and the raw wire frame between them.
@@ -115,8 +198,10 @@ pub fn encode_record(from: NodeId, to: NodeId, frame: &[u8]) -> Vec<u8> {
 /// socket produced them; complete records come out of
 /// [`FrameReassembler::next_record`]. A record is only released once every
 /// byte of its frame is present, and a stream whose next record is
-/// structurally impossible (length prefix over [`MAX_FRAME_BYTES`]) is a
-/// hard error — the connection is beyond resynchronization.
+/// structurally impossible (total length over [`MAX_RECORD_LEN`]) is a
+/// hard error — the connection is beyond resynchronization. The length
+/// check happens on the untrusted 4-byte header alone, before any buffer
+/// is grown toward the declared size.
 #[derive(Default)]
 pub struct FrameReassembler {
     buf: Vec<u8>,
@@ -148,7 +233,7 @@ impl FrameReassembler {
     /// Cuts the next complete record off the stream, `Ok(None)` if more
     /// bytes are needed, `Err` if the stream is corrupt (the caller must
     /// drop the connection).
-    pub fn next_record(&mut self) -> Result<Option<TcpRecord>, crate::wire::WireError> {
+    pub fn next_record(&mut self) -> Result<Option<TcpRecord>, WireError> {
         let avail = &self.buf[self.start..];
         if avail.len() < RECORD_HEADER_BYTES + 4 {
             return Ok(None);
@@ -156,10 +241,10 @@ impl FrameReassembler {
         let from = u32::from_le_bytes(avail[0..4].try_into().unwrap()) as NodeId;
         let to = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as NodeId;
         let body_len = u32::from_le_bytes(avail[8..12].try_into().unwrap()) as usize;
-        if body_len > MAX_FRAME_BYTES {
-            return Err(crate::wire::WireError::FrameTooLarge(body_len));
-        }
         let record_len = RECORD_HEADER_BYTES + 4 + body_len;
+        if record_len > MAX_RECORD_LEN {
+            return Err(WireError::RecordTooLarge(record_len));
+        }
         if avail.len() < record_len {
             return Ok(None);
         }
@@ -201,6 +286,29 @@ impl PeerDirectory {
     }
 }
 
+/// Tuning knobs for the TCP reactor. The defaults serve every test and
+/// benchmark in the workspace; tests shrink the queue to force
+/// backpressure deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTuning {
+    /// Reactor threads multiplexing every peer socket (clamped to ≥ 1).
+    /// Thread 0 additionally owns the listener.
+    pub reactor_threads: usize,
+    /// Outbound queue capacity per destination, in records. Beyond it the
+    /// link counts as congested-to-death: the frame is dropped at enqueue
+    /// (`tcp.writer.overflow`) and reclassified as lost.
+    pub writer_queue_cap: usize,
+}
+
+impl Default for TcpTuning {
+    fn default() -> Self {
+        TcpTuning {
+            reactor_threads: DEFAULT_REACTOR_THREADS,
+            writer_queue_cap: WRITER_QUEUE_CAP,
+        }
+    }
+}
+
 /// A bound-but-not-yet-wired TCP endpoint.
 ///
 /// Splitting bind from wiring matters for the daemon bootstrap: a
@@ -233,7 +341,27 @@ impl TcpEndpoint {
         cfg: LinkConfig,
         seed: u64,
     ) -> TcpTransport {
-        TcpTransport::start(self.listener, local, directory, cfg, seed, None)
+        TcpTransport::start(
+            self.listener,
+            local,
+            directory,
+            cfg,
+            seed,
+            TcpTuning::default(),
+            None,
+        )
+    }
+
+    /// [`TcpEndpoint::into_transport`] with explicit reactor tuning.
+    pub fn into_transport_tuned(
+        self,
+        local: &[NodeId],
+        directory: PeerDirectory,
+        cfg: LinkConfig,
+        seed: u64,
+        tuning: TcpTuning,
+    ) -> TcpTransport {
+        TcpTransport::start(self.listener, local, directory, cfg, seed, tuning, None)
     }
 
     /// Like [`TcpEndpoint::into_transport`], additionally mirroring the
@@ -254,6 +382,28 @@ impl TcpEndpoint {
             directory,
             cfg,
             seed,
+            TcpTuning::default(),
+            Some(TcpMetrics::new(registry)),
+        )
+    }
+
+    /// [`TcpEndpoint::into_transport_with_metrics`] with explicit tuning.
+    pub fn into_transport_with_metrics_tuned(
+        self,
+        local: &[NodeId],
+        directory: PeerDirectory,
+        cfg: LinkConfig,
+        seed: u64,
+        tuning: TcpTuning,
+        registry: &Registry,
+    ) -> TcpTransport {
+        TcpTransport::start(
+            self.listener,
+            local,
+            directory,
+            cfg,
+            seed,
+            tuning,
             Some(TcpMetrics::new(registry)),
         )
     }
@@ -261,7 +411,7 @@ impl TcpEndpoint {
 
 /// Resolved handles for the TCP-specific metric names (`tcp.*`), on top of
 /// the shared `net.*` family. All socket-path events: connection churn,
-/// backoff sleeps, and the two writer-side loss causes.
+/// backoff timers, partial writes, and the two sender-side loss causes.
 struct TcpMetrics {
     transport: TransportMetrics,
     /// Successful outbound connections (`tcp.connects`).
@@ -270,9 +420,14 @@ struct TcpMetrics {
     connect_retries: Arc<Counter>,
     /// Mid-stream write failures forcing a reconnect (`tcp.write.retries`).
     write_retries: Arc<Counter>,
-    /// Exponential-backoff sleeps taken (`tcp.backoff.sleeps`).
+    /// Backoff timers armed after a failure (`tcp.backoff.sleeps` — the
+    /// historical name; no thread sleeps on it, the reactor's poll horizon
+    /// absorbs the wait).
     backoff_sleeps: Arc<Counter>,
-    /// Frames dropped at enqueue because the writer queue was full
+    /// Record writes suspended mid-record by kernel-buffer pushback and
+    /// resumed later (`tcp.write.partials`).
+    write_partials: Arc<Counter>,
+    /// Frames dropped at enqueue because the outbound queue was full
     /// (`tcp.writer.overflow`).
     writer_overflow: Arc<Counter>,
 }
@@ -285,48 +440,99 @@ impl TcpMetrics {
             connect_retries: registry.counter("tcp.connect.retries"),
             write_retries: registry.counter("tcp.write.retries"),
             backoff_sleeps: registry.counter("tcp.backoff.sleeps"),
+            write_partials: registry.counter("tcp.write.partials"),
             writer_overflow: registry.counter("tcp.writer.overflow"),
         }
     }
 }
 
-struct WriterState {
+/// Outbound connection lifecycle toward one destination. Only the owning
+/// reactor thread transitions states or closes sockets; `send`'s fast path
+/// may *write* to a `Connected` stream (under the peer lock) but never
+/// tears it down, so a descriptor registered for polling stays valid until
+/// its owner retires it.
+enum ConnState {
+    /// No connection and no timer pending; connect on next demand.
+    Idle,
+    /// Nonblocking connect in flight; resolved by writability +
+    /// `take_error`, or abandoned at the connect deadline.
+    Connecting { stream: TcpStream, started: Instant },
+    /// Live connection (preamble possibly still partially unsent).
+    Connected { stream: TcpStream },
+    /// Cooling down after a failure; the reactor's poll horizon wakes at
+    /// `until` — no thread sleeps.
+    Backoff { until: Instant },
+}
+
+/// Everything the transport knows about traffic toward one destination.
+struct PeerOut {
+    state: ConnState,
+    /// Encoded records awaiting the socket, bounded by
+    /// [`TcpTuning::writer_queue_cap`].
     queue: VecDeque<(FrameClass, Vec<u8>)>,
-    shutdown: bool,
+    /// Bytes of `queue.front()` already written — partial-write resumption
+    /// point. Reset to 0 when a connection dies, replaying the front
+    /// record in full on the fresh connection (the receiver discarded the
+    /// incomplete copy with the dead connection).
+    cursor: usize,
+    /// Preamble bytes still unsent on the current connection.
+    preamble_left: usize,
+    /// Consecutive connect/write failures; at [`WRITE_ATTEMPTS`] the queue
+    /// is drained into the dropped bucket and the counter resets.
+    failures: u32,
+    /// Next backoff duration (doubles to [`BACKOFF_CAP`], resets on
+    /// connect success).
+    backoff: Duration,
+    /// Dead streams awaiting descriptor burial. A teardown parks the
+    /// stream here (fd still open, so its number cannot be recycled) and
+    /// the owning reactor closes it only after `Selector::forget` — the
+    /// selector's descriptor-reuse contract (see `crate::poll`).
+    carcass: Vec<TcpStream>,
+    /// Loopback read-back pairing for this destination (see the module
+    /// docs): which accepted inbound connection is the other end of our
+    /// outbound pipe, so fast-path senders can drain it inline.
+    read_back: ReadBack,
 }
 
-struct Writer {
-    state: Mutex<WriterState>,
-    bell: Condvar,
+/// Where the bytes written toward a destination come back up, if anywhere.
+enum ReadBack {
+    /// Not a loopback destination, or no live connection: reactors read.
+    Off,
+    /// Loopback destination: the paired accepted connection will appear in
+    /// the registry under our connection's local address once the listener
+    /// reactor accepts it; resolved lazily at the next fast-path send.
+    Probe(SocketAddr),
+    /// Resolved: senders drain this connection inline after writing.
+    On(Arc<Inbound>),
 }
 
-impl Writer {
+impl PeerOut {
     fn new() -> Self {
-        Writer {
-            state: Mutex::new(WriterState {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
-            bell: Condvar::new(),
+        PeerOut {
+            state: ConnState::Idle,
+            queue: VecDeque::new(),
+            cursor: 0,
+            preamble_left: 0,
+            failures: 0,
+            backoff: BACKOFF_START,
+            carcass: Vec::new(),
+            read_back: ReadBack::Off,
         }
     }
+}
 
-    /// Queues a record; `false` means the queue overflowed (record lost).
-    fn enqueue(&self, class: FrameClass, record: Vec<u8>) -> bool {
-        let mut st = self.state.lock().expect("writer poisoned");
-        if st.queue.len() >= WRITER_QUEUE_CAP {
-            return false;
-        }
-        st.queue.push_back((class, record));
-        drop(st);
-        self.bell.notify_one();
-        true
-    }
+/// Which retry counter a connection failure lands in.
+enum FailKind {
+    Connect,
+    Write,
+}
 
-    fn stop(&self) {
-        self.state.lock().expect("writer poisoned").shutdown = true;
-        self.bell.notify_all();
-    }
+/// Per-reactor shared handle: how other threads reach a reactor.
+struct ReactorShared {
+    /// Pulls the reactor out of `poll` (send enqueues, shutdown, handoffs).
+    waker: Waker,
+    /// Accepted inbound connections awaiting adoption by this reactor.
+    handoff: Mutex<Vec<Arc<Inbound>>>,
 }
 
 struct TcpInner {
@@ -341,9 +547,30 @@ struct TcpInner {
     rseq: AtomicU64,
     // [gossip, decrypt, control] × [messages, bytes, dropped]
     counters: [[AtomicU64; 3]; 3],
-    /// Lazily-started writer per destination node.
-    writers: Vec<Mutex<Option<Arc<Writer>>>>,
+    /// Outbound state per destination; destination `p` is owned by reactor
+    /// `p % pool`.
+    peers: Vec<Mutex<PeerOut>>,
+    /// Per-destination attention flag: set (with a wake) when a sender
+    /// hands work to the owning reactor. A reactor only locks peers that
+    /// are flagged here or that it already tracks as non-steady, so the
+    /// per-loop cost is O(active peers), not O(population) — at population
+    /// 64 the steady state is every peer Connected with an empty queue,
+    /// and the reactor loop touches none of them.
+    attention: Vec<AtomicBool>,
+    /// One handle per reactor thread.
+    reactors: Vec<Arc<ReactorShared>>,
+    /// Accepted inbound connections keyed by their accept-time peer
+    /// address — the registry a loopback sender resolves its read-back
+    /// pairing against ([`ReadBack::Probe`]). The owning reactor removes
+    /// an entry when it retires the connection.
+    in_by_peer: Mutex<HashMap<SocketAddr, Arc<Inbound>>>,
+    tuning: TcpTuning,
     shutdown: AtomicBool,
+    /// Gate + bell for `recv_timeout` against a node this transport does
+    /// not host: the wait parks here (interruptible, deadline-bounded)
+    /// instead of an unconditional `thread::sleep`.
+    idle_gate: Mutex<bool>,
+    idle_bell: Condvar,
     listen_addr: SocketAddr,
     metrics: Option<TcpMetrics>,
 }
@@ -358,7 +585,7 @@ impl TcpInner {
     }
 
     /// Reclassifies a frame that `send` counted as delivered but the
-    /// writer path then lost (queue overflow, retry budget exhausted
+    /// socket path then lost (queue overflow, retry budget exhausted
     /// against a dead peer): each frame must land in exactly **one**
     /// accounting bucket, like the channel transport. `dropped` is bumped
     /// before the delivered counts are reversed, so a concurrent snapshot
@@ -399,13 +626,357 @@ impl TcpInner {
             m.transport.on_scheduled(depth);
         }
     }
+
+    /// Flags `to` for the owning reactor's next pass and rings its waker.
+    /// The store happens before the wake, so a reactor roused by the byte
+    /// is guaranteed to observe the flag.
+    fn wake_owner(&self, to: NodeId) {
+        self.attention[to].store(true, Ordering::Release);
+        self.reactors[to % self.reactors.len()].waker.wake();
+    }
+
+    /// Resolves the destination's read-back pairing: a cheap clone once
+    /// `On`, a registry probe while the loopback accept is still in flight
+    /// (retried on every fast-path send until it lands), `None` for
+    /// non-loopback destinations.
+    fn resolve_read_back(&self, st: &mut PeerOut) -> Option<Arc<Inbound>> {
+        match &st.read_back {
+            ReadBack::Off => None,
+            ReadBack::On(inb) => Some(inb.clone()),
+            ReadBack::Probe(local) => {
+                let found = plock(&self.in_by_peer).get(local).cloned();
+                if let Some(inb) = &found {
+                    st.read_back = ReadBack::On(inb.clone());
+                }
+                found
+            }
+        }
+    }
+
+    /// Opportunistically drains one inbound connection: take the duty word
+    /// (CAS 0→1), read toward `WouldBlock`, release. If someone else holds
+    /// the duty, just leave — exclusivity is all the word has to provide,
+    /// because every inbound connection stays registered with its owning
+    /// reactor and level-triggered readiness re-reports whatever any drain
+    /// leaves behind. (That backstop is not optional: a loopback `write`
+    /// is *not* synchronously readable on the accept side — in-flight
+    /// segments surface after ACK/cwnd round-trips — so even a drain that
+    /// read to `WouldBlock` can miss bytes that arrive a beat later.)
+    fn drain_inbound(&self, inb: &Inbound, buf: &mut [u8], budget: usize) {
+        if inb
+            .duty
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // someone is reading; the poll backstop covers the rest
+        }
+        let mut io = plock(&inb.io);
+        if !service_inbound(self, &mut io, buf, budget) {
+            inb.dead.store(true, Ordering::Release);
+        }
+        drop(io);
+        inb.duty.store(0, Ordering::Release);
+    }
+
+    /// Sends-or-queues one encoded record toward `to`. Returns `false` on
+    /// queue overflow (the caller reclassifies the frame as dropped).
+    ///
+    /// Fast path: when the connection is up and the preamble is out, the
+    /// *sender's thread* drives the write pump right here, under the peer
+    /// lock — draining anything queued ahead plus its own record — and
+    /// then drains the loopback read-back pairing. The reactor is only
+    /// rung for what senders may not do themselves: connects, teardown,
+    /// and resuming after real kernel pushback. This keeps the hot path
+    /// reactor-free even when a transient backlog has formed (a queue that
+    /// only the reactor could drain would otherwise pin every following
+    /// send to the reactor's scheduling latency).
+    fn submit(&self, to: NodeId, class: FrameClass, record: Vec<u8>) -> bool {
+        let mut st = plock(&self.peers[to]);
+        if st.queue.len() >= self.tuning.writer_queue_cap {
+            return false;
+        }
+        let was_empty = st.queue.is_empty();
+        st.queue.push_back((class, record));
+        if matches!(st.state, ConnState::Connected { .. }) && st.preamble_left == 0 {
+            let PeerOut {
+                state,
+                queue,
+                cursor,
+                preamble_left,
+                ..
+            } = &mut *st;
+            let ConnState::Connected { stream } = state else {
+                unreachable!()
+            };
+            let alive = self.drive_writes(stream, queue, cursor, preamble_left);
+            if !alive || !st.queue.is_empty() {
+                // Death or kernel pushback: only the owning reactor may
+                // tear down or hold POLLOUT interest. Either way the queue
+                // is nonempty (a dead write never completes the front
+                // record), so the reactor's registration pass will find
+                // poll interest to arm.
+                drop(st);
+                self.wake_owner(to);
+                return true;
+            }
+            // Everything written: drain the paired loopback inbound from
+            // this thread and skip the reactor entirely.
+            let rb = self.resolve_read_back(&mut st);
+            drop(st);
+            if let Some(inb) = rb {
+                let mut buf = [0u8; READ_BACK_BUF_BYTES];
+                self.drain_inbound(&inb, &mut buf, usize::MAX);
+            }
+            return true;
+        }
+        drop(st);
+        if was_empty {
+            // Empty→nonempty transition on a not-yet-writable peer: ring
+            // the owner to connect / finish the preamble. A nonempty queue
+            // already has POLLOUT interest or a backoff timer pending.
+            self.wake_owner(to);
+        }
+        true
+    }
+
+    /// Registers one connect/write failure: bumps the right retry counter,
+    /// arms the backoff timer, and — once the consecutive-failure budget is
+    /// spent — drains the whole queue into the dropped bucket.
+    fn conn_failure(&self, st: &mut PeerOut, now: Instant, kind: FailKind) {
+        if let Some(m) = &self.metrics {
+            match kind {
+                FailKind::Connect => m.connect_retries.inc(),
+                FailKind::Write => m.write_retries.inc(),
+            }
+        }
+        st.cursor = 0;
+        st.preamble_left = 0;
+        // The outbound pipe died, so its paired inbound half (if any) is
+        // dead too: flag it so the owning reactor retires it, and stop
+        // senders from draining a corpse.
+        if let ReadBack::On(inb) = std::mem::replace(&mut st.read_back, ReadBack::Off) {
+            inb.dead.store(true, Ordering::Release);
+        }
+        st.failures += 1;
+        if st.failures >= WRITE_ATTEMPTS {
+            st.failures = 0;
+            // The peer has outlived the retry budget: everything queued
+            // toward it is lost (and counted), exactly like the channel
+            // transport's loss model — never a wedged sender.
+            while let Some((class, rec)) = st.queue.pop_front() {
+                self.reclassify_lost(class, rec.len() - RECORD_HEADER_BYTES);
+            }
+        }
+        st.state = ConnState::Backoff {
+            until: now + st.backoff,
+        };
+        if let Some(m) = &self.metrics {
+            m.backoff_sleeps.inc();
+        }
+        st.backoff = (st.backoff * 2).min(BACKOFF_CAP);
+    }
+
+    /// Starts a nonblocking connect toward `p`; returns the timer deadline
+    /// the reactor must wake at.
+    fn begin_connect(&self, p: NodeId, st: &mut PeerOut, now: Instant) -> Option<Instant> {
+        match poll::connect_nonblocking(&self.directory.addr(p)) {
+            Ok(stream) => {
+                st.state = ConnState::Connecting {
+                    stream,
+                    started: now,
+                };
+                Some(now + poll::CONNECT_TIMEOUT)
+            }
+            Err(_) => {
+                self.conn_failure(st, now, FailKind::Connect);
+                match st.state {
+                    ConnState::Backoff { until } => Some(until),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Advances `p`'s state machine on the timer axis (demand-driven
+    /// connects, backoff expiry, connect deadlines) and reports the
+    /// nearest deadline the owner must poll-wake for.
+    fn tick(&self, p: NodeId, st: &mut PeerOut, now: Instant) -> Option<Instant> {
+        loop {
+            match st.state {
+                ConnState::Idle => {
+                    return if st.queue.is_empty() {
+                        None
+                    } else {
+                        self.begin_connect(p, st, now)
+                    };
+                }
+                ConnState::Backoff { until } => {
+                    if now < until {
+                        return Some(until);
+                    }
+                    if st.queue.is_empty() {
+                        st.state = ConnState::Idle;
+                        return None;
+                    }
+                    return self.begin_connect(p, st, now);
+                }
+                ConnState::Connecting { started, .. } => {
+                    let deadline = started + poll::CONNECT_TIMEOUT;
+                    if now < deadline {
+                        return Some(deadline);
+                    }
+                    // Connect deadline blown: retire the stalled stream
+                    // (via the carcass, keeping its fd number unrecyclable
+                    // until the selector forgets it) and loop to report
+                    // the backoff deadline.
+                    if let ConnState::Connecting { stream, .. } =
+                        std::mem::replace(&mut st.state, ConnState::Idle)
+                    {
+                        st.carcass.push(stream);
+                    }
+                    self.conn_failure(st, now, FailKind::Connect);
+                }
+                ConnState::Connected { .. } => return None,
+            }
+        }
+    }
+
+    /// Writability event on `p`'s socket: resolve an in-flight connect
+    /// and/or flush the preamble and queued records.
+    fn on_writable(&self, p: NodeId, st: &mut PeerOut, now: Instant) {
+        if matches!(st.state, ConnState::Connecting { .. }) {
+            let ConnState::Connecting { stream, .. } =
+                std::mem::replace(&mut st.state, ConnState::Idle)
+            else {
+                unreachable!()
+            };
+            // Writable while connecting means the connect resolved;
+            // SO_ERROR says which way.
+            match stream.take_error() {
+                Ok(None) => {
+                    // A connection to our own listener loops straight back
+                    // into this process: arm the read-back probe with the
+                    // local address the accept side will see as its peer.
+                    st.read_back = match stream.local_addr() {
+                        Ok(local) if self.directory.addr(p) == self.listen_addr => {
+                            ReadBack::Probe(local)
+                        }
+                        _ => ReadBack::Off,
+                    };
+                    st.state = ConnState::Connected { stream };
+                    st.preamble_left = PREAMBLE_BYTES;
+                    st.failures = 0;
+                    st.backoff = BACKOFF_START;
+                    if let Some(m) = &self.metrics {
+                        m.connects.inc();
+                    }
+                }
+                Ok(Some(_)) | Err(_) => {
+                    st.carcass.push(stream);
+                    self.conn_failure(st, now, FailKind::Connect);
+                    return;
+                }
+            }
+        }
+        self.flush(st, now);
+    }
+
+    /// Pushes preamble and queued records into a connected stream until the
+    /// kernel pushes back, the queue drains, or the connection dies.
+    fn flush(&self, st: &mut PeerOut, now: Instant) {
+        let PeerOut {
+            state,
+            queue,
+            cursor,
+            preamble_left,
+            ..
+        } = st;
+        let ConnState::Connected { stream } = state else {
+            return;
+        };
+        let alive = self.drive_writes(stream, queue, cursor, preamble_left);
+        if !alive {
+            if let ConnState::Connected { stream } =
+                std::mem::replace(&mut st.state, ConnState::Idle)
+            {
+                st.carcass.push(stream);
+            }
+            self.conn_failure(st, now, FailKind::Write);
+        }
+    }
+
+    /// The write pump behind [`TcpInner::flush`]; `false` means the
+    /// connection died and the owner must retire it.
+    fn drive_writes(
+        &self,
+        stream: &mut TcpStream,
+        queue: &mut VecDeque<(FrameClass, Vec<u8>)>,
+        cursor: &mut usize,
+        preamble_left: &mut usize,
+    ) -> bool {
+        while *preamble_left > 0 {
+            let pre = preamble();
+            match stream.write(&pre[PREAMBLE_BYTES - *preamble_left..]) {
+                Ok(0) => return true,
+                Ok(k) => *preamble_left -= k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(_) => return false,
+            }
+        }
+        loop {
+            enum Outcome {
+                Completed,
+                Suspended,
+                Died,
+            }
+            let outcome = {
+                let Some((_, rec)) = queue.front() else {
+                    return true; // drained: POLLOUT interest lapses
+                };
+                loop {
+                    match stream.write(&rec[*cursor..]) {
+                        Ok(0) => break Outcome::Suspended,
+                        Ok(k) => {
+                            *cursor += k;
+                            if *cursor == rec.len() {
+                                break Outcome::Completed;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            break Outcome::Suspended
+                        }
+                        Err(_) => break Outcome::Died,
+                    }
+                }
+            };
+            match outcome {
+                Outcome::Completed => {
+                    queue.pop_front();
+                    *cursor = 0;
+                }
+                Outcome::Suspended => {
+                    // Mid-record suspension: resumption point kept in
+                    // `cursor`, surfaced as a partial-write event.
+                    if *cursor > 0 {
+                        if let Some(m) = &self.metrics {
+                            m.write_partials.inc();
+                        }
+                    }
+                    return true;
+                }
+                Outcome::Died => return false,
+            }
+        }
+    }
 }
 
 /// The TCP socket transport (see the module docs for the stream format,
-/// topology, and accounting semantics).
+/// the reactor, and accounting semantics).
 pub struct TcpTransport {
     inner: Arc<TcpInner>,
-    accept: Mutex<Option<thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl TcpTransport {
@@ -414,10 +985,26 @@ impl TcpTransport {
     /// `n` nodes behind it, so every exchange crosses a real kernel socket
     /// while the node threads stay in one process.
     pub fn loopback(n: usize, cfg: LinkConfig, seed: u64) -> io::Result<TcpTransport> {
+        Self::loopback_tuned(n, cfg, seed, TcpTuning::default())
+    }
+
+    /// [`TcpTransport::loopback`] with explicit reactor tuning.
+    pub fn loopback_tuned(
+        n: usize,
+        cfg: LinkConfig,
+        seed: u64,
+        tuning: TcpTuning,
+    ) -> io::Result<TcpTransport> {
         let endpoint = TcpEndpoint::bind("127.0.0.1:0")?;
         let addr = endpoint.local_addr()?;
         let local: Vec<NodeId> = (0..n).collect();
-        Ok(endpoint.into_transport(&local, PeerDirectory::new(vec![addr; n]), cfg, seed))
+        Ok(endpoint.into_transport_tuned(
+            &local,
+            PeerDirectory::new(vec![addr; n]),
+            cfg,
+            seed,
+            tuning,
+        ))
     }
 
     /// [`TcpTransport::loopback`] with accounting mirrored into `registry`.
@@ -427,24 +1014,38 @@ impl TcpTransport {
         seed: u64,
         registry: &Registry,
     ) -> io::Result<TcpTransport> {
+        Self::loopback_with_metrics_tuned(n, cfg, seed, TcpTuning::default(), registry)
+    }
+
+    /// [`TcpTransport::loopback_with_metrics`] with explicit tuning.
+    pub fn loopback_with_metrics_tuned(
+        n: usize,
+        cfg: LinkConfig,
+        seed: u64,
+        tuning: TcpTuning,
+        registry: &Registry,
+    ) -> io::Result<TcpTransport> {
         let endpoint = TcpEndpoint::bind("127.0.0.1:0")?;
         let addr = endpoint.local_addr()?;
         let local: Vec<NodeId> = (0..n).collect();
-        Ok(endpoint.into_transport_with_metrics(
+        Ok(endpoint.into_transport_with_metrics_tuned(
             &local,
             PeerDirectory::new(vec![addr; n]),
             cfg,
             seed,
+            tuning,
             registry,
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start(
         listener: TcpListener,
         local: &[NodeId],
         directory: PeerDirectory,
         cfg: LinkConfig,
         seed: u64,
+        tuning: TcpTuning,
         metrics: Option<TcpMetrics>,
     ) -> TcpTransport {
         let n = directory.len();
@@ -455,7 +1056,20 @@ impl TcpTransport {
             assert!(id < n, "local node outside the directory");
             inboxes[id] = Some(Inbox::new());
         }
+        let inboxes_full = inboxes.iter().all(|i| i.is_some());
         let listen_addr = listener.local_addr().expect("listener has an address");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let pool = tuning.reactor_threads.max(1);
+        let reactors: Vec<Arc<ReactorShared>> = (0..pool)
+            .map(|_| {
+                Arc::new(ReactorShared {
+                    waker: Waker::new().expect("reactor waker"),
+                    handoff: Mutex::new(Vec::new()),
+                })
+            })
+            .collect();
         let inner = Arc::new(TcpInner {
             directory,
             inboxes,
@@ -464,42 +1078,61 @@ impl TcpTransport {
             seq: AtomicU64::new(0),
             rseq: AtomicU64::new(0),
             counters: Default::default(),
-            writers: (0..n).map(|_| Mutex::new(None)).collect(),
+            peers: (0..n).map(|_| Mutex::new(PeerOut::new())).collect(),
+            attention: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            reactors,
+            in_by_peer: Mutex::new(HashMap::new()),
+            tuning,
             shutdown: AtomicBool::new(false),
+            idle_gate: Mutex::new(false),
+            idle_bell: Condvar::new(),
             listen_addr,
             metrics,
         });
-        let accept_inner = inner.clone();
-        let accept = thread::Builder::new()
-            .name("cs-tcp-accept".into())
-            .spawn(move || accept_loop(accept_inner, listener))
-            .expect("spawn accept thread");
+        // Full-loopback prewarm: when this transport hosts the entire
+        // population, every destination is its own listener and the whole
+        // mesh is known-connectable right now — so start the nonblocking
+        // connects before the reactors (and the caller's node threads)
+        // exist, while the machine is quiet. Without this, bring-up
+        // (connect → accept → preamble) serializes behind reactor
+        // scheduling just as the population starts hammering `send`, and
+        // on a loaded core the whole first burst of traffic falls into
+        // reactor-paced batches. The reactors adopt these connections via
+        // the attention flags on their first pass, exactly as if a sender
+        // had kicked them.
+        if inboxes_full {
+            let now = Instant::now();
+            for (p, peer) in inner.peers.iter().enumerate() {
+                let mut st = plock(peer);
+                if let Ok(stream) = poll::connect_nonblocking(&inner.directory.addr(p)) {
+                    st.state = ConnState::Connecting {
+                        stream,
+                        started: now,
+                    };
+                    inner.attention[p].store(true, Ordering::Release);
+                }
+            }
+        }
+        let mut listener = Some(listener);
+        let threads = (0..pool)
+            .map(|r| {
+                let inner = inner.clone();
+                let l = if r == 0 { listener.take() } else { None };
+                thread::Builder::new()
+                    .name(format!("cs-tcp-reactor-{r}"))
+                    .spawn(move || reactor_loop(inner, r, l))
+                    .expect("spawn reactor thread")
+            })
+            .collect();
         TcpTransport {
             inner,
-            accept: Mutex::new(Some(accept)),
+            threads: Mutex::new(threads),
         }
     }
 
     /// The address this transport's listener is bound to.
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.listen_addr
-    }
-
-    /// The writer serving `to`, starting it on first use.
-    fn writer(&self, to: NodeId) -> Arc<Writer> {
-        let mut slot = self.inner.writers[to].lock().expect("writer slot poisoned");
-        if let Some(w) = slot.as_ref() {
-            return w.clone();
-        }
-        let writer = Arc::new(Writer::new());
-        let inner = self.inner.clone();
-        let handle = writer.clone();
-        thread::Builder::new()
-            .name(format!("cs-tcp-writer-{to}"))
-            .spawn(move || writer_loop(inner, to, handle))
-            .expect("spawn writer thread");
-        *slot = Some(writer.clone());
-        writer
     }
 }
 
@@ -548,7 +1181,7 @@ impl Transport for TcpTransport {
         self.inner.counters[ci][0].fetch_add(1, Ordering::Relaxed);
         self.inner.counters[ci][1].fetch_add(len as u64, Ordering::Relaxed);
         let record = encode_record(from, to, &frame);
-        if !self.writer(to).enqueue(class, record) {
+        if !self.inner.submit(to, class, record) {
             // Congestion collapse toward this peer: the frame is lost.
             if let Some(m) = &self.inner.metrics {
                 m.writer_overflow.inc();
@@ -566,8 +1199,27 @@ impl Transport for TcpTransport {
         match self.inner.inboxes[at].as_ref() {
             Some(inbox) => inbox.pop_timeout(timeout),
             None => {
-                thread::sleep(timeout);
-                None
+                // No inbox will ever fill for a node this transport does
+                // not host, but the wait must still be deadline-bounded
+                // and interruptible by shutdown — park on the idle bell
+                // instead of an unconditional full-timeout sleep.
+                let deadline = Instant::now() + timeout;
+                let mut down = plock(&self.inner.idle_gate);
+                loop {
+                    if *down {
+                        return None;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    down = self
+                        .inner
+                        .idle_bell
+                        .wait_timeout(down, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
             }
         }
     }
@@ -589,86 +1241,16 @@ impl Transport for TcpTransport {
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        for slot in &self.inner.writers {
-            if let Some(w) = slot.lock().expect("writer slot poisoned").as_ref() {
-                w.stop();
-            }
+        for r in &self.inner.reactors {
+            r.waker.wake();
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.inner.listen_addr);
-        if let Some(h) = self.accept.lock().expect("accept poisoned").take() {
+        let handles = std::mem::take(&mut *plock(&self.threads));
+        for h in handles {
             let _ = h.join();
         }
-        // Reader threads notice the shutdown flag via their read timeout
-        // (or EOF once the peers' writers close) and exit on their own.
-    }
-}
-
-fn accept_loop(inner: Arc<TcpInner>, listener: TcpListener) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                let reader_inner = inner.clone();
-                let _ = thread::Builder::new()
-                    .name("cs-tcp-reader".into())
-                    .spawn(move || reader_loop(reader_inner, stream));
-            }
-            Err(_) => {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                // Persistent accept errors (e.g. fd exhaustion) must not
-                // peg a core — back off and let the population release
-                // descriptors.
-                thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-fn reader_loop(inner: Arc<TcpInner>, mut stream: TcpStream) {
-    // A dead peer must not pin this thread: poll the shutdown flag between
-    // blocking reads.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut preamble = [0u8; 6];
-    let mut got = 0usize;
-    while got < preamble.len() {
-        if inner.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match stream.read(&mut preamble[got..]) {
-            Ok(0) => return,
-            Ok(k) => got += k,
-            Err(e) if retryable(&e) => continue,
-            Err(_) => return,
-        }
-    }
-    if preamble[0..4] != TCP_MAGIC || preamble[4] != WIRE_VERSION {
-        return; // wrong protocol or version: refuse the connection
-    }
-    let mut assembler = FrameReassembler::new();
-    let mut buf = [0u8; 16384];
-    loop {
-        if inner.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let nread = match stream.read(&mut buf) {
-            Ok(0) => return,
-            Ok(k) => k,
-            Err(e) if retryable(&e) => continue,
-            Err(_) => return,
-        };
-        assembler.push(&buf[..nread]);
-        loop {
-            match assembler.next_record() {
-                Ok(Some(rec)) => inner.deliver(rec),
-                Ok(None) => break,
-                Err(_) => return, // corrupt stream: drop the connection
-            }
-        }
+        // Release any recv_timeout waiter parked on a node we don't host.
+        *plock(&self.inner.idle_gate) = true;
+        self.inner.idle_bell.notify_all();
     }
 }
 
@@ -679,77 +1261,187 @@ fn retryable(e: &io::Error) -> bool {
     )
 }
 
-/// One destination's writer: owns the outbound connection, connects on
-/// first use, reconnects with exponential backoff, and declares records
-/// lost once the retry budget is spent — a dead peer degrades into frame
-/// loss, never into a wedged sender.
-fn writer_loop(inner: Arc<TcpInner>, to: NodeId, writer: Arc<Writer>) {
-    let addr = inner.directory.addr(to);
-    let mut stream: Option<TcpStream> = None;
-    let mut backoff = BACKOFF_START;
-    'records: loop {
-        // Wait for the next record (or shutdown).
-        let (class, record) = {
-            let mut st = writer.state.lock().expect("writer poisoned");
-            loop {
-                if st.shutdown || inner.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(rec) = st.queue.pop_front() {
-                    break rec;
-                }
-                st = writer
-                    .bell
-                    .wait_timeout(st, Duration::from_millis(200))
-                    .expect("writer poisoned")
-                    .0;
+/// One accepted inbound connection: preamble progress + record reassembly.
+struct InConn {
+    stream: TcpStream,
+    assembler: FrameReassembler,
+    pre: [u8; PREAMBLE_BYTES],
+    pre_got: usize,
+}
+
+/// One accepted inbound connection, shared between the owning reactor and
+/// — once loopback-paired — the sender threads that drain it inline.
+struct Inbound {
+    /// Raw descriptor, cached at accept (stable for the socket's life).
+    fd: i32,
+    /// Accept-time peer address. For a loopback connection this is the
+    /// *connector's* local address — the key a sender pairs itself by.
+    peer: SocketAddr,
+    /// The stream hit EOF / error / corruption; the owning reactor retires
+    /// it (deregisters, unmaps, closes) on its next pass.
+    dead: AtomicBool,
+    /// Drain-duty word — 0 idle, 1 draining. See
+    /// [`TcpInner::drain_inbound`].
+    duty: AtomicU8,
+    /// The readable half's cursor state. Only the duty owner locks this,
+    /// so the mutex is uncontended; it exists to hand the owner `&mut`.
+    io: Mutex<InConn>,
+}
+
+impl Inbound {
+    fn adopt(stream: TcpStream, peer: SocketAddr) -> Arc<Inbound> {
+        Arc::new(Inbound {
+            fd: poll::fd_of(&stream),
+            peer,
+            dead: AtomicBool::new(false),
+            duty: AtomicU8::new(0),
+            io: Mutex::new(InConn {
+                stream,
+                assembler: FrameReassembler::new(),
+                pre: [0u8; PREAMBLE_BYTES],
+                pre_got: 0,
+            }),
+        })
+    }
+}
+
+/// What a reactor registered each poll slot for.
+enum Tag {
+    Waker,
+    Listener,
+    In(usize),
+    Out(NodeId),
+}
+
+/// One reactor thread: adopts handed-off inbound connections, advances the
+/// timers of the outbound peers it owns, then parks in `poll` across the
+/// waker, the listener (thread 0), every inbound socket, and every
+/// outbound socket with pending work — and services whatever comes back
+/// ready. All per-peer state transitions happen here, under the peer lock.
+fn reactor_loop(inner: Arc<TcpInner>, r: usize, listener: Option<TcpListener>) {
+    let pool = inner.reactors.len();
+    let shared = inner.reactors[r].clone();
+    let owned: Vec<NodeId> = (0..inner.directory.len())
+        .filter(|p| p % pool == r)
+        .collect();
+    let mut inbound: Vec<Arc<Inbound>> = Vec::new();
+    let mut rr = r; // round-robin dealing point for accepted connections
+    let mut buf = vec![0u8; READ_BUF_BYTES];
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tags: Vec<Tag> = Vec::new();
+    // Owned peers this reactor must keep touching: anything with a pending
+    // timer or poll interest. A steady peer (Connected, nothing queued) is
+    // *not* tracked — the sender fast path services it without the reactor
+    // and re-flags attention when it needs one — so this loop's per-pass
+    // cost is O(active), not O(owned). Everything starts active for the
+    // first pass.
+    let mut active = vec![true; owned.len()];
+    let mut selector = poll::Selector::new();
+    while !inner.shutdown.load(Ordering::Acquire) {
+        inbound.append(&mut plock(&shared.handoff));
+        // Retire dead connections before building poll interest: forget
+        // the descriptor first (selector reuse contract), unmap it from
+        // the pairing registry, and only then let the last Arc close it.
+        inbound.retain(|c| {
+            if c.dead.load(Ordering::Acquire) {
+                selector.forget(c.fd);
+                plock(&inner.in_by_peer).remove(&c.peer);
+                false
+            } else {
+                true
             }
-        };
-        let mut attempts = 0u32;
-        loop {
-            if inner.shutdown.load(Ordering::Acquire) {
-                return;
+        });
+        let now = Instant::now();
+        let mut horizon = now + POLL_HORIZON;
+        fds.clear();
+        tags.clear();
+        if let Some(wfd) = shared.waker.fd() {
+            fds.push(PollFd::new(wfd, POLL_IN));
+            tags.push(Tag::Waker);
+        }
+        if let Some(l) = &listener {
+            fds.push(PollFd::new(poll::fd_of(l), POLL_IN));
+            tags.push(Tag::Listener);
+        }
+        for (i, c) in inbound.iter().enumerate() {
+            // Paired connections stay registered too: a loopback write is
+            // *not* synchronously readable on the accept side (in-flight
+            // segments surface after ACK/cwnd round-trips), so the sender's
+            // inline drain can honestly hit dry and miss bytes that arrive
+            // a moment later. Level-triggered readiness makes the reactor
+            // the backstop for exactly those — and when the sender's drain
+            // got everything first, the wakeup finds nothing and costs one
+            // vacuous pass per burst, not per record.
+            fds.push(PollFd::new(c.fd, POLL_IN));
+            tags.push(Tag::In(i));
+        }
+        for (j, &p) in owned.iter().enumerate() {
+            if !inner.attention[p].swap(false, Ordering::AcqRel) && !active[j] {
+                continue; // steady: nothing queued, no timer, no interest
             }
-            if stream.is_none() {
-                match connect(addr) {
-                    Ok(s) => {
-                        stream = Some(s);
-                        backoff = BACKOFF_START;
-                        if let Some(m) = &inner.metrics {
-                            m.connects.inc();
+            let mut st = plock(&inner.peers[p]);
+            let deadline = inner.tick(p, &mut st, now);
+            for s in st.carcass.drain(..) {
+                selector.forget(poll::fd_of(&s));
+            }
+            if let Some(d) = deadline {
+                horizon = horizon.min(d);
+            }
+            let fd = match &st.state {
+                ConnState::Connecting { stream, .. } => Some(poll::fd_of(stream)),
+                ConnState::Connected { stream } if st.preamble_left > 0 || !st.queue.is_empty() => {
+                    Some(poll::fd_of(stream))
+                }
+                _ => None,
+            };
+            active[j] = deadline.is_some() || fd.is_some();
+            if let Some(fd) = fd {
+                fds.push(PollFd::new(fd, POLL_OUT));
+                tags.push(Tag::Out(p));
+            }
+        }
+        let timeout = horizon.saturating_duration_since(Instant::now());
+        selector.wait(&mut fds, timeout);
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        for (fd, tag) in fds.iter().zip(tags.iter()) {
+            match tag {
+                Tag::Waker => {
+                    if fd.readable() {
+                        shared.waker.drain();
+                    }
+                }
+                Tag::Listener => {
+                    if fd.readable() {
+                        if let Some(l) = &listener {
+                            accept_ready(&inner, l, pool, r, &mut rr, &mut inbound);
                         }
                     }
-                    Err(_) => {
-                        attempts += 1;
-                        if let Some(m) = &inner.metrics {
-                            m.connect_retries.inc();
-                        }
-                        if attempts >= WRITE_ATTEMPTS {
-                            inner.reclassify_lost(class, record.len() - RECORD_HEADER_BYTES);
-                            continue 'records;
-                        }
-                        if let Some(m) = &inner.metrics {
-                            m.backoff_sleeps.inc();
-                        }
-                        thread::sleep(backoff);
-                        backoff = (backoff * 2).min(BACKOFF_CAP);
-                        continue;
+                }
+                Tag::In(i) => {
+                    if fd.readable() {
+                        // Death lands in the `dead` flag; the retire pass
+                        // at the top of the next iteration buries it.
+                        inner.drain_inbound(&inbound[*i], &mut buf, READ_BUDGET);
                     }
                 }
-            }
-            match stream.as_mut().unwrap().write_all(&record) {
-                Ok(()) => continue 'records,
-                Err(_) => {
-                    // Connection died mid-stream: reconnect and retry this
-                    // record against the fresh stream.
-                    stream = None;
-                    attempts += 1;
-                    if let Some(m) = &inner.metrics {
-                        m.write_retries.inc();
-                    }
-                    if attempts >= WRITE_ATTEMPTS {
-                        inner.reclassify_lost(class, record.len() - RECORD_HEADER_BYTES);
-                        continue 'records;
+                Tag::Out(p) => {
+                    if fd.writable() {
+                        let mut st = plock(&inner.peers[*p]);
+                        inner.on_writable(*p, &mut st, Instant::now());
+                        for s in st.carcass.drain(..) {
+                            selector.forget(poll::fd_of(&s));
+                        }
+                        // Queue-path writes land bytes on the paired
+                        // inbound connection just like fast-path ones;
+                        // drain it now rather than waiting a poll cycle
+                        // for the level-triggered readiness to report it.
+                        let rb = inner.resolve_read_back(&mut st);
+                        drop(st);
+                        if let Some(inb) = rb {
+                            inner.drain_inbound(&inb, &mut buf, usize::MAX);
+                        }
                     }
                 }
             }
@@ -757,14 +1449,95 @@ fn writer_loop(inner: Arc<TcpInner>, to: NodeId, writer: Arc<Writer>) {
     }
 }
 
-fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
-    let mut s = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
-    s.set_nodelay(true)?;
-    let mut preamble = [0u8; 6];
-    preamble[0..4].copy_from_slice(&TCP_MAGIC);
-    preamble[4] = WIRE_VERSION;
-    s.write_all(&preamble)?;
-    Ok(s)
+/// Drains the (nonblocking) listener, dealing accepted connections
+/// round-robin across the reactor pool.
+fn accept_ready(
+    inner: &Arc<TcpInner>,
+    listener: &TcpListener,
+    pool: usize,
+    me: usize,
+    rr: &mut usize,
+    inbound: &mut Vec<Arc<Inbound>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((s, peer)) => {
+                let _ = s.set_nodelay(true);
+                if s.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let conn = Inbound::adopt(s, peer);
+                plock(&inner.in_by_peer).insert(peer, conn.clone());
+                let target = *rr % pool;
+                *rr += 1;
+                if target == me {
+                    inbound.push(conn);
+                } else {
+                    plock(&inner.reactors[target].handoff).push(conn);
+                    inner.reactors[target].waker.wake();
+                }
+            }
+            Err(e) if retryable(&e) => return,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) must not
+                // peg a core on a hot listener — yield briefly and let the
+                // population release descriptors.
+                thread::sleep(Duration::from_millis(5));
+                return;
+            }
+        }
+    }
+}
+
+/// Reads one inbound connection until the kernel runs dry (or the read
+/// budget is spent), validating the preamble and delivering every complete
+/// record. Returns `false` when the connection must be retired (EOF, error,
+/// bad preamble, corrupt stream).
+fn service_inbound(inner: &TcpInner, conn: &mut InConn, buf: &mut [u8], budget: usize) -> bool {
+    for _ in 0..budget {
+        if conn.pre_got < PREAMBLE_BYTES {
+            match conn.stream.read(&mut conn.pre[conn.pre_got..]) {
+                Ok(0) => return false,
+                Ok(k) => {
+                    conn.pre_got += k;
+                    if conn.pre_got == PREAMBLE_BYTES
+                        && (conn.pre[0..4] != TCP_MAGIC || conn.pre[4] != WIRE_VERSION)
+                    {
+                        return false; // wrong protocol or version: refuse
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(_) => return false,
+            }
+            continue;
+        }
+        match conn.stream.read(buf) {
+            Ok(0) => return false,
+            Ok(k) => {
+                conn.assembler.push(&buf[..k]);
+                loop {
+                    match conn.assembler.next_record() {
+                        Ok(Some(rec)) => inner.deliver(rec),
+                        Ok(None) => break,
+                        Err(_) => return false, // corrupt stream: drop it
+                    }
+                }
+                // A read that came up short of the buffer almost certainly
+                // drained the kernel; skip the confirming `WouldBlock`
+                // read — level-triggered readiness re-reports any racing
+                // arrival, so the only cost of guessing wrong is one more
+                // wakeup, while guessing right halves the read syscalls.
+                if k < buf.len() {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(_) => return false,
+        }
+    }
+    true // budget spent; poll will re-report the remainder
 }
 
 #[cfg(test)]
@@ -822,7 +1595,29 @@ mod tests {
         rec[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
         let mut r = FrameReassembler::new();
         r.push(&rec);
-        assert!(r.next_record().is_err());
+        assert!(matches!(r.next_record(), Err(WireError::RecordTooLarge(_))));
+    }
+
+    #[test]
+    fn record_cap_is_checked_before_any_buffering_decision() {
+        // Exactly at the cap: structurally fine (just incomplete); one over:
+        // typed rejection from the 12 header bytes alone.
+        let at_cap = (MAX_FRAME_BYTES as u32).to_le_bytes();
+        let mut r = FrameReassembler::new();
+        let mut header = vec![0u8; RECORD_HEADER_BYTES];
+        header.extend_from_slice(&at_cap);
+        r.push(&header);
+        assert!(r.next_record().unwrap().is_none());
+
+        let over = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        let mut r = FrameReassembler::new();
+        let mut header = vec![0u8; RECORD_HEADER_BYTES];
+        header.extend_from_slice(&over);
+        r.push(&header);
+        match r.next_record() {
+            Err(WireError::RecordTooLarge(n)) => assert_eq!(n, MAX_RECORD_LEN + 1),
+            other => panic!("expected RecordTooLarge, got {other:?}"),
+        }
     }
 
     #[test]
@@ -905,7 +1700,7 @@ mod tests {
     fn sends_to_a_dead_peer_degrade_into_loss() {
         // Two transports forming a 2-node population; node 1's endpoint is
         // dropped (its listener closes), then node 0 keeps sending. The
-        // writer must burn its retry budget and count drops — and the
+        // reactor must burn its retry budget and count drops — and the
         // sender must never block.
         let a = TcpEndpoint::bind("127.0.0.1:0").unwrap();
         let b = TcpEndpoint::bind("127.0.0.1:0").unwrap();
@@ -919,7 +1714,7 @@ mod tests {
 
         // The first writes after the peer dies may still land in the kernel
         // buffer before the RST comes back — loss detection is eventual, so
-        // keep sending until the writer notices. What must hold throughout:
+        // keep sending until the reactor notices. What must hold throughout:
         // `send` never blocks, and drops are eventually counted.
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut i = 0u64;

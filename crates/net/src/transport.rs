@@ -295,7 +295,7 @@ impl Ord for Scheduled {
 /// A delay-ordered inbox: frames become visible at their `deliver_at`
 /// timestamp, a condvar wakes blocked receivers. Shared by the in-memory
 /// channel transport and the TCP transport (which schedules into it from
-/// its socket reader threads).
+/// its reactor threads as records come off the sockets).
 pub(crate) struct Inbox {
     heap: Mutex<BinaryHeap<Scheduled>>,
     bell: Condvar,

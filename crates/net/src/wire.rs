@@ -235,6 +235,10 @@ pub enum WireError {
     Truncated,
     /// The length prefix exceeds [`MAX_FRAME_BYTES`].
     FrameTooLarge(usize),
+    /// A TCP record header demands a record over
+    /// [`MAX_RECORD_LEN`](crate::tcp::MAX_RECORD_LEN) — rejected before any
+    /// buffer is sized from the untrusted length.
+    RecordTooLarge(usize),
     /// The length prefix disagrees with the bytes actually present.
     BadLength {
         /// Length the prefix declared.
@@ -257,6 +261,9 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "frame truncated"),
             WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
+            WireError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds the record cap")
+            }
             WireError::BadLength { declared, actual } => {
                 write!(f, "length prefix says {declared} bytes, found {actual}")
             }

@@ -4,8 +4,8 @@
 
 use cs_bigint::BigUint;
 use cs_crypto::{Ciphertext, PartialDecryption};
-use cs_net::tcp::{encode_record, FrameReassembler, TcpTransport};
-use cs_net::wire::{decode_frame, encode_frame, Message};
+use cs_net::tcp::{encode_record, FrameReassembler, TcpTransport, MAX_RECORD_LEN};
+use cs_net::wire::{decode_frame, encode_frame, Message, WireError};
 use cs_net::{ChannelTransport, LinkConfig, Transport};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -96,6 +96,51 @@ proptest! {
             prop_assert_eq!(msg, &messages[i]);
         }
         prop_assert_eq!(reassembler.pending(), 0, "no leftover bytes");
+    }
+
+    /// A hostile 12-byte record header — fully attacker-controlled before
+    /// any payload byte arrives — can never make the reassembler demand
+    /// memory past [`MAX_RECORD_LEN`]: an oversized declaration is rejected
+    /// with the typed error from the header alone, and anything within the
+    /// cap either waits for its bytes or yields exactly the declared frame.
+    #[test]
+    fn random_record_headers_never_oversize_the_reassembler(
+        from in any::<u32>(),
+        to in any::<u32>(),
+        body_len in any::<u32>(),
+        junk in vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&from.to_le_bytes());
+        bytes.extend_from_slice(&to.to_le_bytes());
+        bytes.extend_from_slice(&body_len.to_le_bytes());
+        bytes.extend_from_slice(&junk);
+        let total = bytes.len();
+        let mut reassembler = FrameReassembler::new();
+        reassembler.push(&bytes);
+        let declared = 12usize + body_len as usize;
+        match reassembler.next_record() {
+            Err(e) => {
+                prop_assert!(declared > MAX_RECORD_LEN, "in-cap headers never error");
+                prop_assert!(
+                    matches!(e, WireError::RecordTooLarge(n) if n == declared),
+                    "oversize must be the typed rejection"
+                );
+            }
+            Ok(None) => {
+                prop_assert!(declared <= MAX_RECORD_LEN);
+                prop_assert!(total < declared, "a complete in-cap record must be released");
+            }
+            Ok(Some(rec)) => {
+                prop_assert!(declared <= MAX_RECORD_LEN);
+                prop_assert_eq!(rec.from, from as usize);
+                prop_assert_eq!(rec.to, to as usize);
+                prop_assert_eq!(rec.frame.len(), 4 + body_len as usize);
+            }
+        }
+        // Buffered bytes stay bounded by what was actually pushed — the
+        // declared length never drives an allocation.
+        prop_assert!(reassembler.pending() <= total);
     }
 }
 
