@@ -9,16 +9,18 @@
 //! `base^(d · 2^(w·i))` for every window position `i` and digit `d`, and an
 //! exponentiation collapses to one Montgomery multiplication per non-zero
 //! window. For a `B`-bit exponent that is ≤ `B/w` multiplications instead
-//! of `B` squarings + `B/w` multiplications — a ~4–5× reduction at `w = 4`.
+//! of `B` squarings + `B/w` multiplications — a ~4–5× reduction at `w = 4`,
+//! ~9× at `w = 8` (at `2^w` times the table size and build cost, so wide
+//! windows only pay off for tables that serve very many exponentiations).
 
 use crate::{BigUint, MontgomeryCtx};
 
-/// Window width in bits. 4 keeps the table at `15 · ⌈bits/4⌉` entries —
-/// the sweet spot for the few-hundred-to-few-thousand-bit exponents the
-/// cryptosystem uses (wider windows grow the table by `2^w` while saving
-/// only `1/w` of the multiplications).
-const WINDOW_BITS: usize = 4;
-const DIGITS: usize = (1 << WINDOW_BITS) - 1; // non-zero digits per window
+/// Default window width in bits. 4 keeps the table at `15 · ⌈bits/4⌉`
+/// entries — the sweet spot when a table serves tens-to-hundreds of
+/// exponentiations. Callers that reuse one table across thousands of
+/// exponentiations (the gossip re-randomization path) should pick a wider
+/// window via [`FixedBaseExp::with_window`].
+const DEFAULT_WINDOW_BITS: usize = 4;
 
 /// Precomputed fixed-base exponentiation table for one `(base, modulus)`
 /// pair, valid for exponents up to a declared bit length (larger exponents
@@ -39,33 +41,57 @@ pub struct FixedBaseExp {
     ctx: MontgomeryCtx,
     /// The base reduced mod n (kept for the oversized-exponent fallback).
     base: BigUint,
-    /// `table[i][d-1] = base^(d · 2^(WINDOW_BITS·i))` in Montgomery form.
-    table: Vec<[Vec<u64>; DIGITS]>,
+    /// `table[i][d-1] = base^(d · 2^(window_bits·i))` in Montgomery form.
+    table: Vec<Vec<Vec<u64>>>,
+    window_bits: usize,
     max_exp_bits: usize,
 }
 
 impl FixedBaseExp {
-    /// Builds the window tables for exponents of up to `max_exp_bits` bits.
+    /// Builds the window tables for exponents of up to `max_exp_bits` bits
+    /// at the default 4-bit window.
     ///
     /// Table cost: `⌈max_exp_bits/4⌉ · 15` modulus-sized entries, built with
     /// one Montgomery multiplication each — amortized after a handful of
     /// exponentiations.
     pub fn new(ctx: &MontgomeryCtx, base: &BigUint, max_exp_bits: usize) -> Self {
+        Self::with_window(ctx, base, max_exp_bits, DEFAULT_WINDOW_BITS)
+    }
+
+    /// Builds the window tables with an explicit window width (1..=12
+    /// bits). Wider windows trade `(2^w − 1) · ⌈bits/w⌉` table entries —
+    /// built once, one Montgomery multiplication each — for `⌈bits/w⌉`
+    /// multiplications per exponentiation.
+    ///
+    /// Panics if `window_bits` is outside `1..=12` (a 13-bit window table
+    /// would already be megabytes per position — a misuse, not a tuning).
+    pub fn with_window(
+        ctx: &MontgomeryCtx,
+        base: &BigUint,
+        max_exp_bits: usize,
+        window_bits: usize,
+    ) -> Self {
+        assert!(
+            (1..=12).contains(&window_bits),
+            "window_bits must be in 1..=12"
+        );
+        let digits = (1usize << window_bits) - 1; // non-zero digits per window
         let modulus = ctx.modulus();
         let base = base % &modulus;
-        let windows = max_exp_bits.max(1).div_ceil(WINDOW_BITS);
+        let windows = max_exp_bits.max(1).div_ceil(window_bits);
         let mut table = Vec::with_capacity(windows);
         if !base.is_zero() {
-            // cur = base^(2^(WINDOW_BITS·i)) at the top of iteration i.
+            // cur = base^(2^(window_bits·i)) at the top of iteration i.
             let mut cur = ctx.to_mont(&base);
             for _ in 0..windows {
-                let mut row: [Vec<u64>; DIGITS] = std::array::from_fn(|_| Vec::new());
-                row[0] = cur.clone();
-                for d in 1..DIGITS {
-                    row[d] = ctx.mont_mul(&row[d - 1], &cur);
+                let mut row = Vec::with_capacity(digits);
+                row.push(cur.clone());
+                for d in 1..digits {
+                    let prev: &Vec<u64> = &row[d - 1];
+                    row.push(ctx.mont_mul(prev, &cur));
                 }
-                // base^(16·2^(4i)) = base^(15·2^(4i)) · base^(2^(4i)).
-                cur = ctx.mont_mul(&row[DIGITS - 1], &cur);
+                // base^(2^w·2^(wi)) = base^((2^w−1)·2^(wi)) · base^(2^(wi)).
+                cur = ctx.mont_mul(&row[digits - 1], &cur);
                 table.push(row);
             }
         }
@@ -73,7 +99,8 @@ impl FixedBaseExp {
             ctx: ctx.clone(),
             base,
             table,
-            max_exp_bits: windows * WINDOW_BITS,
+            window_bits,
+            max_exp_bits: windows * window_bits,
         }
     }
 
@@ -82,13 +109,18 @@ impl FixedBaseExp {
         self.max_exp_bits
     }
 
+    /// The window width the tables were built with.
+    pub fn window_bits(&self) -> usize {
+        self.window_bits
+    }
+
     /// The modulus the table was built for.
     pub fn modulus(&self) -> BigUint {
         self.ctx.modulus()
     }
 
     /// `base^exp mod n` using the precomputed tables: one Montgomery
-    /// multiplication per non-zero 4-bit window, zero squarings.
+    /// multiplication per non-zero window, zero squarings.
     ///
     /// Exponents longer than [`Self::max_exp_bits`] fall back to the generic
     /// [`MontgomeryCtx::pow_mod`] (correct, just not accelerated).
@@ -103,16 +135,12 @@ impl FixedBaseExp {
         if bits > self.max_exp_bits {
             return self.ctx.pow_mod(&self.base, exp);
         }
+        let w = self.window_bits;
         let mut acc: Option<Vec<u64>> = None;
-        for (i, row) in self
-            .table
-            .iter()
-            .enumerate()
-            .take(bits.div_ceil(WINDOW_BITS))
-        {
+        for (i, row) in self.table.iter().enumerate().take(bits.div_ceil(w)) {
             let mut digit = 0usize;
-            for b in (0..WINDOW_BITS).rev() {
-                let bit_idx = i * WINDOW_BITS + b;
+            for b in (0..w).rev() {
+                let bit_idx = i * w + b;
                 digit <<= 1;
                 if bit_idx < bits && exp.bit(bit_idx) {
                     digit |= 1;
@@ -148,6 +176,20 @@ mod tests {
         for e in [0u64, 1, 2, 15, 16, 17, 255, u64::MAX] {
             let e = BigUint::from(e);
             assert_eq!(fixed.pow_mod(&e), ctx.pow_mod(&base, &e));
+        }
+    }
+
+    #[test]
+    fn all_window_widths_agree() {
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_fff1, 0xabcd, 0x1]);
+        let ctx = MontgomeryCtx::new(&m);
+        let base = BigUint::from_limbs(vec![0xdead_beef, 0xcafe]);
+        let e = BigUint::from_limbs(vec![0x0123_4567_89ab_cdef, 0xfedc_ba98]);
+        let expect = ctx.pow_mod(&base, &e);
+        for w in [1usize, 2, 3, 4, 5, 7, 8] {
+            let fixed = FixedBaseExp::with_window(&ctx, &base, 192, w);
+            assert_eq!(fixed.pow_mod(&e), expect, "window={w}");
+            assert_eq!(fixed.window_bits(), w);
         }
     }
 

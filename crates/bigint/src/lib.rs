@@ -46,6 +46,7 @@ mod int;
 pub mod modular;
 pub mod montgomery;
 mod mul;
+pub mod multi_exp;
 pub mod prime;
 pub mod rng;
 #[cfg(feature = "serde")]

@@ -19,8 +19,8 @@ use crate::config::{ChiaroscuroConfig, CryptoMode};
 use crate::cost::{synthesize_decrypt_ops, synthesize_ops, DecryptionOps};
 use crate::error::ChiaroscuroError;
 use crate::noise::SlotLayout;
-use cs_crypto::threshold::ThresholdKeyPair;
-use cs_crypto::{Ciphertext, FastEncryptor, FixedPointCodec, PackedCodec, PublicKey};
+use cs_crypto::threshold::{CombinePlanCache, ThresholdKeyPair};
+use cs_crypto::{Ciphertext, FastEncryptor, FixedPointCodec, PackedCodec, PoolBank, PublicKey};
 use cs_gossip::homomorphic_pushsum::{HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::PushSumNode;
 use cs_gossip::{Network, TrafficStats};
@@ -44,6 +44,15 @@ pub enum CryptoContext {
         /// enabled ([`ChiaroscuroConfig::packing`]); the per-step lane plan
         /// is derived via [`plan_packed_codec`].
         fast: Option<Arc<FastEncryptor>>,
+        /// Per-committee-subset combine plans (Lagrange exponents and the
+        /// `(4Δ²)^{-1}` constant), shared across every step of the run.
+        plans: Arc<CombinePlanCache>,
+        /// Pre-warmed randomizer pools keyed by `(step seed, node)` — a
+        /// pure cache (pool contents are a function of the seeds alone), so
+        /// drivers can fill it during idle time between steps and the
+        /// message-passing substrates pop randomizers instead of paying
+        /// fixed-base exponentiations mid-gossip.
+        pool_bank: Arc<PoolBank>,
     },
     /// Plaintext pipeline with synthesized cost accounting.
     Simulated {
@@ -77,6 +86,8 @@ impl CryptoContext {
                     pk,
                     codec: FixedPointCodec::new(config.codec_scale_bits),
                     fast,
+                    plans: Arc::new(CombinePlanCache::new()),
+                    pool_bank: Arc::new(PoolBank::new()),
                 })
             }
             CryptoMode::Simulated { cost_profile } => Ok(CryptoContext::Simulated {
@@ -261,6 +272,8 @@ pub fn run_computation_step(
             pk,
             codec,
             fast: Some(enc),
+            plans,
+            ..
         } => run_real_packed(
             config,
             layout,
@@ -269,6 +282,7 @@ pub fn run_computation_step(
             pk.clone(),
             codec,
             enc.clone(),
+            plans,
             step_seed,
             rng,
         ),
@@ -277,6 +291,8 @@ pub fn run_computation_step(
             pk,
             codec,
             fast: None,
+            plans,
+            ..
         } => run_real(
             config,
             layout,
@@ -284,6 +300,7 @@ pub fn run_computation_step(
             tkp,
             pk.clone(),
             codec,
+            plans,
             step_seed,
             rng,
         ),
@@ -310,6 +327,7 @@ fn run_real_packed(
     pk: Arc<PublicKey>,
     codec: &FixedPointCodec,
     enc: Arc<FastEncryptor>,
+    plans: &CombinePlanCache,
     step_seed: u64,
     rng: &mut StdRng,
 ) -> Result<ComputationOutcome, ChiaroscuroError> {
@@ -382,7 +400,7 @@ fn run_real_packed(
         committee.shuffle(rng);
         let committee = &committee[..t];
 
-        let mut raws = Vec::with_capacity(data_cts);
+        let mut groups = Vec::with_capacity(data_cts);
         for j in 0..data_cts {
             let fold_started = Instant::now();
             let combined = pk.add(&cipher[j], &cipher[data_cts + j]);
@@ -396,19 +414,22 @@ fn run_real_packed(
                 .iter()
                 .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
                 .collect();
-            let combine_started = Instant::now();
             phases.add(
                 StepPhase::DecryptShare,
-                combine_started.duration_since(share_started).as_nanos() as u64,
+                share_started.elapsed().as_nanos() as u64,
             );
             decrypt_ops.partial_decryptions += t as u64;
-            raws.push(tkp.combine(&partials)?);
-            phases.add(
-                StepPhase::Combine,
-                combine_started.elapsed().as_nanos() as u64,
-            );
-            decrypt_ops.combinations += 1;
+            groups.push(partials);
         }
+        // One cached plan for the committee, one batched inversion for the
+        // node's whole ciphertext vector.
+        let combine_started = Instant::now();
+        let raws = plans.combine_batch(pk.as_ref(), config.threshold, tkp.delta(), &groups)?;
+        phases.add(
+            StepPhase::Combine,
+            combine_started.elapsed().as_nanos() as u64,
+        );
+        decrypt_ops.combinations += data_cts as u64;
         let unpack_started = Instant::now();
         let values =
             packed.unpack_aggregate(&raws, data_slots, node.denominator_exp(), node.weight(), 2)?;
@@ -439,6 +460,7 @@ fn run_real(
     tkp: &ThresholdKeyPair,
     pk: Arc<PublicKey>,
     codec: &FixedPointCodec,
+    plans: &CombinePlanCache,
     step_seed: u64,
     rng: &mut StdRng,
 ) -> Result<ComputationOutcome, ChiaroscuroError> {
@@ -510,8 +532,8 @@ fn run_real(
         committee.shuffle(rng);
         let committee = &committee[..t];
 
-        let mut slot_err = None;
-        let est = assemble_aggregates(layout, |slot| {
+        let mut groups = Vec::with_capacity(data_slots);
+        for slot in 0..data_slots {
             // 2c: local addition of the encrypted noise to the encrypted mean.
             let fold_started = Instant::now();
             let combined = pk.add(&cipher[slot], &cipher[layout.noise_slot(slot)]);
@@ -521,34 +543,29 @@ fn run_real(
                 share_started.duration_since(fold_started).as_nanos() as u64,
             );
             ops.additions += 1;
-            // 2d: collaborative decryption.
+            // 2d: collaborative decryption — shares here, combine batched
+            // below under this committee's cached plan.
             let partials: Vec<_> = committee
                 .iter()
                 .map(|&m| tkp.shares()[m].partial_decrypt(&combined))
                 .collect();
-            let combine_started = Instant::now();
             phases.add(
                 StepPhase::DecryptShare,
-                combine_started.duration_since(share_started).as_nanos() as u64,
+                share_started.elapsed().as_nanos() as u64,
             );
             decrypt_ops.partial_decryptions += t as u64;
-            let raw = match tkp.combine(&partials) {
-                Ok(raw) => raw,
-                Err(e) => {
-                    slot_err.get_or_insert(e);
-                    return 0.0;
-                }
-            };
-            phases.add(
-                StepPhase::Combine,
-                combine_started.elapsed().as_nanos() as u64,
-            );
-            decrypt_ops.combinations += 1;
-            codec.decode(&raw, pk.n_s(), denom) / weight
-        });
-        if let Some(e) = slot_err {
-            return Err(e.into());
+            groups.push(partials);
         }
+        let combine_started = Instant::now();
+        let raws = plans.combine_batch(pk.as_ref(), config.threshold, tkp.delta(), &groups)?;
+        phases.add(
+            StepPhase::Combine,
+            combine_started.elapsed().as_nanos() as u64,
+        );
+        decrypt_ops.combinations += data_slots as u64;
+        let est = assemble_aggregates(layout, |slot| {
+            codec.decode(&raws[slot], pk.n_s(), denom) / weight
+        });
         decrypt_ops.messages += 2 * t as u64;
         decrypt_ops.bytes += 2 * (t * data_slots * pk.ciphertext_bytes()) as u64;
         estimates.push(Some(est));

@@ -103,7 +103,22 @@ impl PrivateKey {
     /// `c^d = (1+n)^(m·d) · r^(n^s·d) = (1+n)^m mod n^(s+1)` because
     /// `d ≡ 1 (mod n^s)` kills the exponent on the `(1+n)` component and
     /// `d ≡ 0 (mod λ)` kills the random component entirely.
+    ///
+    /// The exponentiation runs through the CRT fast path (two half-width
+    /// chains mod `p^(s+1)` and `q^(s+1)` with group-order-reduced
+    /// exponents, Garner recombination) whenever the key carries its CRT
+    /// context — always, for locally generated keys. [`Self::decrypt_slow`]
+    /// keeps the pre-CRT full-width path as the differential oracle.
     pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        let pk = self.public();
+        let b = self.pow_d(&c.0);
+        pk.dlog_one_plus_n(&b)
+    }
+
+    /// Decrypts through the generic full-width `pow_mod`, ignoring any CRT
+    /// context — the differential oracle for the CRT fast path (and the
+    /// path a key without factorization knowledge would take).
+    pub fn decrypt_slow(&self, c: &Ciphertext) -> BigUint {
         let pk = self.public();
         let b = pk.mont().pow_mod(&c.0, &self.d);
         pk.dlog_one_plus_n(&b)
@@ -201,6 +216,24 @@ mod tests {
             let m = random_below(&mut rng, pk.n_s());
             let b = pk.one_plus_n_pow(&m);
             assert_eq!(pk.dlog_one_plus_n(&b), m);
+        }
+    }
+
+    #[test]
+    fn crt_decrypt_matches_slow_path() {
+        for s in [1u32, 2, 3] {
+            let kp = test_keypair(80 + s as u64, s);
+            assert!(kp.private().has_crt(), "generated keys carry CRT");
+            let no_crt = kp.private().without_crt();
+            assert!(!no_crt.has_crt());
+            let mut rng = StdRng::seed_from_u64(90 + s as u64);
+            for _ in 0..8 {
+                let m = random_below(&mut rng, kp.public().n_s());
+                let c = kp.public().encrypt(&m, &mut rng);
+                assert_eq!(kp.private().decrypt(&c), m, "CRT path, s={s}");
+                assert_eq!(kp.private().decrypt_slow(&c), m, "slow path, s={s}");
+                assert_eq!(no_crt.decrypt(&c), m, "stripped key, s={s}");
+            }
         }
     }
 

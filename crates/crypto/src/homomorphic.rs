@@ -31,12 +31,13 @@ impl PublicKey {
 
     /// Multiplies the plaintext by `2^j` — the homomorphic push-sum's
     /// denominator alignment (`j` is small: at most the number of gossip
-    /// cycles).
+    /// cycles). `c^(2^j)` is `j` straight squarings, so this skips the
+    /// generic path's window-table build entirely.
     pub fn scalar_mul_pow2(&self, c: &Ciphertext, j: u32) -> Ciphertext {
         if j == 0 {
             return c.clone();
         }
-        self.scalar_mul(c, &(BigUint::one() << j as usize))
+        Ciphertext(self.mont().pow_mod_pow2(&c.0, j))
     }
 
     /// Homomorphic negation: `Dec(neg(c)) = n^s - Dec(c) mod n^s`.

@@ -7,6 +7,7 @@ use cs_bigint::prime::{gen_prime, gen_safe_prime};
 use cs_bigint::{BigUint, MontgomeryCtx};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Parameters controlling key generation.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -159,12 +160,116 @@ impl<'de> Deserialize<'de> for PublicKey {
     }
 }
 
+/// CRT exponentiation context for a factored Damgård-Jurik modulus.
+///
+/// Holding one is **equivalent to knowing the factorization of `n`** —
+/// whoever has it can decrypt unilaterally. The contexts built here never
+/// leave the process: key shares serialize without their CRT hint (a
+/// deserialized share transparently uses the generic full-width path), so
+/// shipping a share over the wire cannot leak `p`/`q`. In-process callers
+/// (the dealer, [`crate::ThresholdKeyPair`], and the simulation substrates
+/// that hold the dealer object anyway) get the fast path for free.
+///
+/// **Scope note.** This matches the repository's honest-but-curious,
+/// trusted-dealer model (see `fastenc` for the analogous trade on the
+/// encryption side): the dealer knows everything by construction, and the
+/// per-process CRT hint grants no capability its holder did not already
+/// have. A deployment with a distributed key generation ceremony must not
+/// construct these.
+///
+/// The speedup: exponentiation mod `n^(s+1)` splits into one chain mod
+/// `p^(s+1)` and one mod `q^(s+1)` — half-width moduli quarter the cost of
+/// each Montgomery multiplication — and the exponents reduce mod the unit
+/// group orders `p^s(p−1)` / `q^s(q−1)`, roughly halving their length.
+/// Garner's formula stitches the halves back together.
+#[derive(Clone, Debug)]
+pub struct CrtContext {
+    /// `p^(s+1)` Montgomery context.
+    mont_p: MontgomeryCtx,
+    /// `q^(s+1)` Montgomery context.
+    mont_q: MontgomeryCtx,
+    /// `|Z*_{p^(s+1)}| = p^s(p−1)`: exponents reduce mod this on the p side.
+    order_p: BigUint,
+    /// `|Z*_{q^(s+1)}| = q^s(q−1)`.
+    order_q: BigUint,
+    /// `p^(s+1)`.
+    p_s1: BigUint,
+    /// `q^(s+1)`.
+    q_s1: BigUint,
+    /// `(q^(s+1))^{-1} mod p^(s+1)` — Garner's recombination coefficient.
+    q_s1_inv: BigUint,
+}
+
+impl CrtContext {
+    /// Builds the per-prime-power contexts for modulus `p·q` at degree `s`.
+    pub(crate) fn new(p: &BigUint, q: &BigUint, s: u32) -> Self {
+        let pow_s1 = |x: &BigUint| {
+            let mut acc = x.clone();
+            for _ in 0..s {
+                acc = &acc * x;
+            }
+            acc
+        };
+        let p_s1 = pow_s1(p);
+        let q_s1 = pow_s1(q);
+        let order_p = &(&p_s1 / p) * &p.sub_u64(1);
+        let order_q = &(&q_s1 / q) * &q.sub_u64(1);
+        let mont_p = MontgomeryCtx::new(&p_s1);
+        let mont_q = MontgomeryCtx::new(&q_s1);
+        let q_s1_inv = (&q_s1 % &p_s1)
+            .mod_inverse(&p_s1)
+            .expect("distinct primes: q^(s+1) is a unit mod p^(s+1)");
+        CrtContext {
+            mont_p,
+            mont_q,
+            order_p,
+            order_q,
+            p_s1,
+            q_s1,
+            q_s1_inv,
+        }
+    }
+
+    /// Reduces an exponent to its per-prime-power residues, for callers
+    /// that exponentiate with the same exponent many times (key shares).
+    pub(crate) fn reduce_exp(&self, exp: &BigUint) -> (BigUint, BigUint) {
+        (exp % &self.order_p, exp % &self.order_q)
+    }
+
+    /// `base^exp mod n^(s+1)` for a **unit** base (every well-formed
+    /// ciphertext is one), with the exponent already reduced per side by
+    /// [`Self::reduce_exp`].
+    pub(crate) fn pow_mod_reduced(
+        &self,
+        base: &BigUint,
+        exp_p: &BigUint,
+        exp_q: &BigUint,
+    ) -> BigUint {
+        let xp = self.mont_p.pow_mod(base, exp_p);
+        let xq = self.mont_q.pow_mod(base, exp_q);
+        // Garner: x = x_q + q^(s+1) · ((x_p − x_q)·(q^(s+1))^{-1} mod p^(s+1)).
+        let xq_mod_p = &xq % &self.p_s1;
+        let diff = if xp >= xq_mod_p {
+            &xp - &xq_mod_p
+        } else {
+            &(&self.p_s1 - &xq_mod_p) + &xp
+        };
+        let h = self.mont_p.mul_mod(&diff, &self.q_s1_inv);
+        &xq + &(&self.q_s1 * &h)
+    }
+}
+
 /// Private key: the decryption exponent `d` with `d ≡ 1 (mod n^s)` and
 /// `d ≡ 0 (mod λ(n))`.
 #[derive(Clone, Debug)]
 pub struct PrivateKey {
     pub(crate) d: BigUint,
     pub(crate) lambda: BigUint,
+    /// CRT fast path: per-prime-power contexts plus `d` reduced per side.
+    /// Always present for locally generated keys; never serialized.
+    crt: Option<Arc<CrtContext>>,
+    pub(crate) d_p: BigUint,
+    pub(crate) d_q: BigUint,
     pk: PublicKey,
 }
 
@@ -182,6 +287,33 @@ impl PrivateKey {
     /// The decryption exponent (crate-internal; used by the threshold dealer).
     pub(crate) fn d(&self) -> &BigUint {
         &self.d
+    }
+
+    /// The CRT context, shared with key shares dealt from this key.
+    pub(crate) fn crt(&self) -> Option<&Arc<CrtContext>> {
+        self.crt.as_ref()
+    }
+
+    /// `c^d mod n^(s+1)` — through the CRT fast path when available.
+    pub(crate) fn pow_d(&self, c: &BigUint) -> BigUint {
+        match &self.crt {
+            Some(crt) => crt.pow_mod_reduced(c, &self.d_p, &self.d_q),
+            None => self.pk.mont().pow_mod(c, &self.d),
+        }
+    }
+
+    /// Whether this key carries the CRT acceleration hint.
+    pub fn has_crt(&self) -> bool {
+        self.crt.is_some()
+    }
+
+    /// A copy of this key without the CRT hint — the differential oracle
+    /// (decryption then takes exactly the pre-CRT full-width path).
+    pub fn without_crt(&self) -> PrivateKey {
+        PrivateKey {
+            crt: None,
+            ..self.clone()
+        }
     }
 }
 
@@ -220,9 +352,14 @@ impl KeyPair {
             // balanced primes (see DESIGN.md §3.2), so CRT always succeeds.
             let d = crt_pair(&BigUint::one(), public.n_s(), &BigUint::zero(), &lambda)
                 .expect("n^s and lambda are coprime for balanced primes");
+            let crt = CrtContext::new(&p, &q, opts.s);
+            let (d_p, d_q) = crt.reduce_exp(&d);
             let private = PrivateKey {
                 d,
                 lambda,
+                crt: Some(Arc::new(crt)),
+                d_p,
+                d_q,
                 pk: public.clone(),
             };
             return KeyPair { public, private };

@@ -22,7 +22,9 @@
 //! threshold decryption at the end of the computation step.
 
 use crate::network::{CycleProtocol, ExchangeCtx};
-use cs_crypto::{Ciphertext, FastEncryptor, FixedPointCodec, PrivateKey, PublicKey};
+use cs_crypto::{
+    Ciphertext, FastEncryptor, FixedPointCodec, PrivateKey, PublicKey, RandomizerPool,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -81,6 +83,10 @@ pub struct HePushSumNode {
     /// Fixed-base fast path for the forward re-randomizations; `None` falls
     /// back to the generic [`PublicKey::rerandomize`].
     enc: Option<Arc<FastEncryptor>>,
+    /// Pre-warmed randomizer pool for the forward re-randomizations; takes
+    /// precedence over per-call generation when present (dry pools fall
+    /// back transparently).
+    pool: Option<RandomizerPool>,
     cipher: Vec<Ciphertext>,
     denom_exp: u32,
     weight: f64,
@@ -112,6 +118,7 @@ impl HePushSumNode {
         HePushSumNode {
             pk,
             enc: None,
+            pool: None,
             cipher,
             denom_exp: 0,
             weight,
@@ -132,6 +139,7 @@ impl HePushSumNode {
         HePushSumNode {
             pk,
             enc: None,
+            pool: None,
             cipher,
             denom_exp: 0,
             weight,
@@ -145,6 +153,22 @@ impl HePushSumNode {
     pub fn with_encryptor(mut self, enc: Arc<FastEncryptor>) -> Self {
         self.enc = Some(enc);
         self
+    }
+
+    /// Attaches a pre-warmed [`RandomizerPool`]: forward re-randomizations
+    /// pop pooled randomizers (built during idle time) instead of paying a
+    /// fixed-base exponentiation on the hot path. A dry pool falls back to
+    /// fresh generation, so correctness never depends on pool sizing.
+    pub fn with_pool(mut self, pool: RandomizerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Detaches the randomizer pool (leftovers included) so a long-lived
+    /// host — the `cs_node` daemon — can refill it between steps and hand
+    /// it to the next step's node.
+    pub fn take_pool(&mut self) -> Option<RandomizerPool> {
+        self.pool.take()
     }
 
     /// The encrypted slots (for collaborative decryption).
@@ -218,9 +242,10 @@ impl HePushSumNode {
             .map(|c| {
                 if self.rerandomize {
                     self.ops.rerandomizations += 1;
-                    match &self.enc {
-                        Some(enc) => enc.rerandomize(c, rng),
-                        None => self.pk.rerandomize(c, rng),
+                    match (&mut self.pool, &self.enc) {
+                        (Some(pool), _) => pool.rerandomize(c, rng),
+                        (None, Some(enc)) => enc.rerandomize(c, rng),
+                        (None, None) => self.pk.rerandomize(c, rng),
                     }
                 } else {
                     c.clone()
@@ -467,5 +492,36 @@ mod tests {
         // 256-bit n → 512-bit n² → 64-byte ciphertexts; 2 slots + k + weight.
         let expected = 2 * 64 + 4 + 8;
         assert_eq!(nodes[0].message_bytes(), expected);
+    }
+
+    #[test]
+    fn pooled_splits_preserve_mass_and_run_pool_dry() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let kp = KeyPair::generate(&KeyGenOptions::insecure_test_size(), &mut rng);
+        let pk = Arc::new(kp.public().clone());
+        let codec = FixedPointCodec::new(20);
+        let enc = Arc::new(FastEncryptor::new(pk.clone(), &mut rng));
+        let mut a =
+            HePushSumNode::from_values(pk.clone(), &codec, &[8.0, -4.0], 1.0, true, &mut rng)
+                .with_encryptor(enc.clone());
+        let mut pool = RandomizerPool::new(enc);
+        pool.refill(3, &mut rng);
+        a = a.with_pool(pool);
+        let mut b = HePushSumNode::from_values(pk, &codec, &[0.0, 0.0], 1.0, true, &mut rng);
+        // Two splits × two slots = four re-randomizations: three pooled,
+        // one dry-pool fallback.
+        for _ in 0..2 {
+            let push = a.split_push(&mut rng);
+            b.absorb(&push);
+        }
+        let leftover = a.take_pool().expect("pool installed");
+        assert!(leftover.is_empty(), "all three pooled randomizers consumed");
+        let mass: f64 = a
+            .decrypt_mass(kp.private(), &codec)
+            .iter()
+            .zip(b.decrypt_mass(kp.private(), &codec).iter())
+            .map(|(x, y)| x + y)
+            .sum();
+        assert!((mass - 4.0).abs() < 1e-6, "8 − 4 conserved, got {mass}");
     }
 }

@@ -727,7 +727,7 @@ pub fn run_step_sharded(
     sharded.validate()?;
     let started = Instant::now();
 
-    let step = StepCrypto::prepare(config, layout, n, crypto)?;
+    let step = StepCrypto::prepare(config, layout, n, crypto, step_seed)?;
     let shard_count = sharded.shards.min(n);
     let workers = if sharded.workers == 0 {
         thread::available_parallelism()

@@ -34,10 +34,10 @@ use chiaroscuro::rounds::{
     assemble_aggregates, encrypt_contribution, encrypt_packed_contribution, PerturbedAggregates,
 };
 use cs_bigint::BigUint;
-use cs_crypto::threshold::combine_partials;
+use cs_crypto::threshold::CombinePlanCache;
 use cs_crypto::{
     Ciphertext, FastEncryptor, FixedPointCodec, KeyShare, PackedCodec, PartialDecryption,
-    PublicKey, ThresholdParams,
+    PublicKey, RandomizerPool, ThresholdParams,
 };
 use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::{PlainPush, PushSumNode};
@@ -45,7 +45,7 @@ use cs_obs::phase::{PhaseProfile, StepPhase};
 use cs_obs::{CausalTracer, TraceContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,6 +62,9 @@ pub struct PackedCrypto {
     pub codec: PackedCodec,
     /// Fixed-base fast encryptor for the shared public key.
     pub enc: Arc<FastEncryptor>,
+    /// Pre-warmed per-node randomizer pool for forward re-randomization;
+    /// `None` generates randomizers on the hot path as before.
+    pub pool: Option<RandomizerPool>,
 }
 
 /// Crypto substrate of one node.
@@ -81,6 +84,9 @@ pub enum NodeCrypto {
         params: ThresholdParams,
         /// `Δ = parties!` for share combination.
         delta: BigUint,
+        /// Cached per-committee-subset combine plans, shared across the
+        /// population and across steps.
+        plans: Arc<CombinePlanCache>,
         /// Re-randomize ciphertexts before each forward.
         rerandomize: bool,
         /// Ciphertext packing (`Some` = packed payloads on the wire).
@@ -182,7 +188,12 @@ pub struct ProtocolNode {
     crypto: NodeCrypto,
     agg: Aggregator,
     rng: StdRng,
-    alive_view: Vec<bool>,
+    /// Population view as its sparse complement: ids currently believed
+    /// dead. The dense `Vec<bool>` this replaces cost O(population) *per
+    /// node* — quadratic memory across a sharded run, and the dominant
+    /// wall-clock term past ~8k virtual nodes — while churn only ever
+    /// touches a handful of ids per step.
+    dead_view: BTreeSet<NodeId>,
     phase: Phase,
     pushes_sent: usize,
     // Decryption state (real mode). Shares are keyed by sender id in an
@@ -199,7 +210,11 @@ pub struct ProtocolNode {
     gossip_cut_short: bool,
     peer_failures: u64,
     estimate: Option<PerturbedAggregates>,
-    votes: Vec<bool>,
+    /// Ids whose termination vote arrived — sparse for the same reason as
+    /// [`Self::dead_view`]: with votes disabled (large populations) this
+    /// never holds anything, and with them enabled it holds at most the
+    /// population of a small cluster.
+    votes: BTreeSet<NodeId>,
     ops: HomomorphicOpCounts,
     decrypt_ops: DecryptionOps,
     bad_frames: u64,
@@ -218,11 +233,19 @@ impl ProtocolNode {
     pub fn new(
         params: NodeParams,
         layout: SlotLayout,
-        crypto: NodeCrypto,
+        mut crypto: NodeCrypto,
         contribution: Option<&[f64]>,
     ) -> Self {
         assert!(params.population >= 2, "need at least two nodes");
         assert!(params.id < params.population, "id outside population");
+        // The pre-warmed randomizer pool moves into the aggregator (it is
+        // per-node state, not shared crypto configuration).
+        let pool = match &mut crypto {
+            NodeCrypto::Real {
+                packed: Some(p), ..
+            } => p.pool.take(),
+            _ => None,
+        };
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut ops = HomomorphicOpCounts::default();
         let mut profile = PhaseProfile::default();
@@ -267,6 +290,9 @@ impl ProtocolNode {
                 if let Some(p) = packed {
                     he = he.with_encryptor(p.enc.clone());
                 }
+                if let Some(pool) = pool {
+                    he = he.with_pool(pool);
+                }
                 Aggregator::Encrypted(he)
             }
             NodeCrypto::Plain => {
@@ -284,14 +310,13 @@ impl ProtocolNode {
             StepPhase::Encrypt,
             encrypt_started.elapsed().as_nanos() as u64,
         );
-        let n = params.population;
         ProtocolNode {
             params,
             layout,
             crypto,
             agg,
             rng,
-            alive_view: vec![true; n],
+            dead_view: BTreeSet::new(),
             phase: Phase::Gossip,
             pushes_sent: 0,
             snapshot_weight: 0.0,
@@ -302,7 +327,7 @@ impl ProtocolNode {
             gossip_cut_short: false,
             peer_failures: 0,
             estimate: None,
-            votes: vec![false; n],
+            votes: BTreeSet::new(),
             ops,
             decrypt_ops: DecryptionOps::default(),
             bad_frames: 0,
@@ -335,11 +360,8 @@ impl ProtocolNode {
     /// `true` when every peer this node believes alive has voted.
     pub fn all_votes_in(&self) -> bool {
         self.step_done()
-            && self
-                .alive_view
-                .iter()
-                .zip(&self.votes)
-                .all(|(&alive, &voted)| !alive || voted)
+            && (0..self.params.population)
+                .all(|i| self.dead_view.contains(&i) || self.votes.contains(&i))
     }
 
     /// Records a frame that failed to decode.
@@ -440,7 +462,7 @@ impl ProtocolNode {
             return;
         };
         for m in recipients {
-            if !self.shares_by_sender.contains_key(&m) && self.alive_view[m] {
+            if !self.shares_by_sender.contains_key(&m) && self.peer_alive(m) {
                 self.emit(m, request.clone(), out);
             }
         }
@@ -594,24 +616,21 @@ impl ProtocolNode {
                 iteration,
                 completed,
             } => {
-                if iteration == self.params.iteration && !self.votes[from] {
-                    self.votes[from] = true;
-                    if !completed {
-                        // The peer finished without a usable estimate —
-                        // surfaced in the report so drivers and experiments
-                        // can count partial-failure rounds.
-                        self.peer_failures += 1;
-                    }
+                if iteration == self.params.iteration && self.votes.insert(from) && !completed {
+                    // The peer finished without a usable estimate — surfaced
+                    // in the report so drivers and experiments can count
+                    // partial-failure rounds.
+                    self.peer_failures += 1;
                 }
             }
             Message::Join { node, .. } => {
-                if let Some(slot) = self.alive_view.get_mut(node as usize) {
-                    *slot = true;
+                if (node as usize) < self.params.population {
+                    self.dead_view.remove(&(node as usize));
                 }
             }
             Message::Leave { node } => {
-                if let Some(slot) = self.alive_view.get_mut(node as usize) {
-                    *slot = false;
+                if (node as usize) < self.params.population {
+                    self.dead_view.insert(node as usize);
                 }
             }
         }
@@ -632,6 +651,19 @@ impl ProtocolNode {
             node: self.params.id as u64,
         };
         self.broadcast(msg, out);
+    }
+
+    /// Recovers the (possibly drained) randomizer pool from the aggregator.
+    ///
+    /// Daemons call this before [`ProtocolNode::into_report`] so a persistent
+    /// pool survives the step and can be refilled during idle time; the
+    /// in-process runtimes never persist pools across steps (see
+    /// [`cs_crypto::PoolBank`] for why).
+    pub fn take_randomizer_pool(&mut self) -> Option<cs_crypto::RandomizerPool> {
+        match &mut self.agg {
+            Aggregator::Encrypted(he) => he.take_pool(),
+            Aggregator::Plain(_) => None,
+        }
     }
 
     /// Consumes the node into its final report.
@@ -659,6 +691,11 @@ impl ProtocolNode {
 
     // -- internals ----------------------------------------------------------
 
+    /// Whether this node currently believes `i` is alive.
+    fn peer_alive(&self, i: NodeId) -> bool {
+        !self.dead_view.contains(&i)
+    }
+
     fn sample_peer(&mut self) -> Option<NodeId> {
         // Rejection sampling first — O(1) per push in the common case of a
         // mostly-live population — falling back to a scan when the view is
@@ -666,12 +703,12 @@ impl ProtocolNode {
         let n = self.params.population;
         for _ in 0..16 {
             let i = self.rng.gen_range(0..n);
-            if i != self.params.id && self.alive_view[i] {
+            if i != self.params.id && self.peer_alive(i) {
                 return Some(i);
             }
         }
         let candidates: Vec<NodeId> = (0..n)
-            .filter(|&i| i != self.params.id && self.alive_view[i])
+            .filter(|&i| i != self.params.id && self.peer_alive(i))
             .collect();
         if candidates.is_empty() {
             return None;
@@ -690,7 +727,7 @@ impl ProtocolNode {
 
     fn broadcast(&mut self, msg: Message, out: &mut Vec<Outbound>) {
         for peer in 0..self.params.population {
-            if peer != self.params.id && self.alive_view[peer] {
+            if peer != self.params.id && self.peer_alive(peer) {
                 self.emit(peer, msg.clone(), out);
             }
         }
@@ -768,7 +805,7 @@ impl ProtocolNode {
                     .committee
                     .iter()
                     .copied()
-                    .filter(|&m| m != self.params.id && self.alive_view[m])
+                    .filter(|&m| m != self.params.id && self.peer_alive(m))
                     .collect();
                 // Committee members contribute their own partials without a
                 // network hop.
@@ -860,6 +897,7 @@ impl ProtocolNode {
             codec,
             params,
             delta,
+            plans,
             packed,
             ..
         } = &self.crypto
@@ -870,13 +908,14 @@ impl ProtocolNode {
             return;
         }
         // Combine the first `threshold` responders' partials (in ascending
-        // sender-id order), ciphertext by ciphertext.
+        // sender-id order). All ciphertexts share the same committee subset,
+        // so one cached `CombinePlan` serves the whole batch and the Lagrange
+        // denominators are inverted together (Montgomery's trick).
         let contributors: Vec<&Vec<PartialDecryption>> = self
             .shares_by_sender
             .values()
             .take(params.threshold)
             .collect();
-        let mut failed = false;
         let weight = self.snapshot_weight;
         let denom = self.snapshot_denom;
         let mut combinations = 0u64;
@@ -889,60 +928,49 @@ impl ProtocolNode {
                 // silently-wrapped values.
                 let data_slots = self.layout.noise_offset();
                 let data_cts = p.codec.ciphertexts_for(data_slots);
-                let mut raws = Vec::with_capacity(data_cts);
                 let combine_started = Instant::now();
-                for j in 0..data_cts {
-                    let subset: Vec<PartialDecryption> =
-                        contributors.iter().map(|c| c[j].clone()).collect();
-                    match combine_partials(pk.as_ref(), *params, delta, &subset) {
-                        Ok(raw) => {
-                            combinations += 1;
-                            raws.push(raw);
-                        }
-                        Err(_) => {
-                            failed = true;
-                            break;
-                        }
-                    }
-                }
+                let groups: Vec<Vec<PartialDecryption>> = (0..data_cts)
+                    .map(|j| contributors.iter().map(|c| c[j].clone()).collect())
+                    .collect();
+                let raws = plans.combine_batch(pk.as_ref(), *params, delta, &groups);
                 combine_ns = combine_started.elapsed().as_nanos() as u64;
-                if failed {
-                    None
-                } else {
-                    let unpack_started = Instant::now();
-                    let est = match p
-                        .codec
-                        .unpack_aggregate(&raws, data_slots, denom, weight, 2)
-                    {
-                        Ok(values) => Some(assemble_aggregates(&self.layout, |slot| values[slot])),
-                        Err(_) => None,
-                    };
-                    unpack_ns = unpack_started.elapsed().as_nanos() as u64;
-                    est
+                match raws {
+                    Ok(raws) => {
+                        combinations += data_cts as u64;
+                        let unpack_started = Instant::now();
+                        let est = match p
+                            .codec
+                            .unpack_aggregate(&raws, data_slots, denom, weight, 2)
+                        {
+                            Ok(values) => {
+                                Some(assemble_aggregates(&self.layout, |slot| values[slot]))
+                            }
+                            Err(_) => None,
+                        };
+                        unpack_ns = unpack_started.elapsed().as_nanos() as u64;
+                        est
+                    }
+                    Err(_) => None,
                 }
             }
             None => {
+                let data_slots = self.layout.noise_offset();
                 let combine_started = Instant::now();
-                let est = assemble_aggregates(&self.layout, |slot| {
-                    let subset: Vec<PartialDecryption> =
-                        contributors.iter().map(|p| p[slot].clone()).collect();
-                    match combine_partials(pk.as_ref(), *params, delta, &subset) {
-                        Ok(raw) => {
-                            combinations += 1;
-                            codec.decode(&raw, pk.n_s(), denom) / weight
-                        }
-                        Err(_) => {
-                            failed = true;
-                            0.0
-                        }
+                let groups: Vec<Vec<PartialDecryption>> = (0..data_slots)
+                    .map(|slot| contributors.iter().map(|p| p[slot].clone()).collect())
+                    .collect();
+                let raws = plans.combine_batch(pk.as_ref(), *params, delta, &groups);
+                let est = match raws {
+                    Ok(raws) => {
+                        combinations += data_slots as u64;
+                        Some(assemble_aggregates(&self.layout, |slot| {
+                            codec.decode(&raws[slot], pk.n_s(), denom) / weight
+                        }))
                     }
-                });
+                    Err(_) => None,
+                };
                 combine_ns = combine_started.elapsed().as_nanos() as u64;
-                if failed {
-                    None
-                } else {
-                    Some(est)
-                }
+                est
             }
         };
         self.profile.add(StepPhase::Combine, combine_ns);
@@ -956,7 +984,7 @@ impl ProtocolNode {
         self.estimate = estimate;
         self.phase = Phase::Done;
         self.pending_request = None;
-        self.votes[self.params.id] = true;
+        self.votes.insert(self.params.id);
         if let Some(t) = &mut self.tracer {
             t.mark("step.done", &[("completed", u64::from(completed))]);
         }

@@ -38,6 +38,10 @@ pub(crate) struct StepCrypto {
     /// hands share `j` to node `j`, mirroring the simulator's indexing).
     pub committee: Vec<NodeId>,
     packed: Option<crate::node::PackedCrypto>,
+    /// Step seed — keys the pre-warmed randomizer pools in the bank.
+    step_seed: u64,
+    /// Randomizers each node's pool holds at step start (0 = no pooling).
+    pool_target: usize,
 }
 
 impl StepCrypto {
@@ -49,6 +53,7 @@ impl StepCrypto {
         layout: &SlotLayout,
         population: usize,
         crypto: &CryptoContext,
+        step_seed: u64,
     ) -> Result<Self, ChiaroscuroError> {
         let committee: Vec<NodeId> = match crypto {
             CryptoContext::Real { tkp, .. } => (0..tkp.params().parties.min(population)).collect(),
@@ -65,13 +70,32 @@ impl StepCrypto {
                     config, pk, codec, layout, population,
                 )?,
                 enc: fast.clone(),
+                pool: None,
             }),
             _ => None,
         };
-        Ok(StepCrypto { committee, packed })
+        let pool_target = match &packed {
+            Some(p) if config.rerandomize => {
+                pool_target_for(config, p.codec.ciphertexts_for(layout.noise_offset()))
+            }
+            _ => 0,
+        };
+        Ok(StepCrypto {
+            committee,
+            packed,
+            step_seed,
+            pool_target,
+        })
     }
 
     /// The crypto substrate node `i` runs with.
+    ///
+    /// In packed + re-randomizing mode every node gets a randomizer pool:
+    /// the pre-warmed one from the bank when a driver deposited it, or an
+    /// identical one rebuilt on the spot (pool contents are a pure function
+    /// of `(step_seed, node)`, so pre-warming never changes the bits on the
+    /// wire — it only moves the fixed-base exponentiations off the step's
+    /// critical path).
     pub fn node_crypto(
         &self,
         crypto: &CryptoContext,
@@ -79,18 +103,111 @@ impl StepCrypto {
         i: usize,
     ) -> NodeCrypto {
         match crypto {
-            CryptoContext::Real { tkp, pk, codec, .. } => NodeCrypto::Real {
-                pk: pk.clone(),
-                codec: *codec,
-                share: self.committee.contains(&i).then(|| tkp.shares()[i].clone()),
-                params: tkp.params(),
-                delta: delta_for(tkp.params().parties),
-                rerandomize: config.rerandomize,
-                packed: self.packed.clone(),
-            },
+            CryptoContext::Real {
+                tkp,
+                pk,
+                codec,
+                plans,
+                pool_bank,
+                ..
+            } => {
+                let mut packed = self.packed.clone();
+                if self.pool_target > 0 {
+                    if let Some(p) = &mut packed {
+                        let pool = pool_bank.take(self.step_seed, i as u64).unwrap_or_else(|| {
+                            build_node_pool(&p.enc, self.pool_target, self.step_seed, i as u64)
+                        });
+                        p.pool = Some(pool);
+                    }
+                }
+                NodeCrypto::Real {
+                    pk: pk.clone(),
+                    codec: *codec,
+                    share: self.committee.contains(&i).then(|| tkp.shares()[i].clone()),
+                    params: tkp.params(),
+                    delta: delta_for(tkp.params().parties),
+                    plans: plans.clone(),
+                    rerandomize: config.rerandomize,
+                    packed,
+                }
+            }
             CryptoContext::Simulated { .. } => NodeCrypto::Plain,
         }
     }
+}
+
+/// Randomizers a node's pool holds at step start: the expected demand of a
+/// full gossip run (each push re-randomizes the node's whole ciphertext
+/// vector — data and noise halves, `2 · data_cts` ciphertexts), capped so
+/// huge lane counts don't make pre-warming itself the bottleneck. A node
+/// that forwards more than expected falls back to on-the-fly randomizers;
+/// one that terminates early simply wastes the tail.
+fn pool_target_for(config: &ChiaroscuroConfig, data_cts: usize) -> usize {
+    (config.gossip_cycles * 2 * data_cts).min(512)
+}
+
+/// Builds node `i`'s randomizer pool for the step. **Pure function of
+/// `(step_seed, node)`** — both the pre-warming driver and the fallback in
+/// [`StepCrypto::node_crypto`] call this, so a hit and a miss in the
+/// [`cs_crypto::PoolBank`] yield bit-identical pools.
+fn build_node_pool(
+    enc: &Arc<cs_crypto::FastEncryptor>,
+    target: usize,
+    step_seed: u64,
+    node: u64,
+) -> cs_crypto::RandomizerPool {
+    use rand::SeedableRng;
+    let seed = step_seed ^ 0x005E_ED0F_9001_u64 ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pool = cs_crypto::RandomizerPool::new(enc.clone());
+    pool.refill(target, &mut rng);
+    pool
+}
+
+/// Pre-warms the per-node randomizer pools for the step keyed by
+/// `step_seed`, depositing them in the crypto context's [`cs_crypto::PoolBank`].
+/// Returns the number of pools built (0 when the run is not packed +
+/// re-randomizing, or the bank already holds them). Drivers call this during
+/// idle time — between steps, before the step clock starts — so the gossip
+/// hot path pops precomputed randomizers instead of paying a fixed-base
+/// exponentiation per forward.
+pub fn prewarm_step_pools(
+    config: &ChiaroscuroConfig,
+    layout: &SlotLayout,
+    population: usize,
+    crypto: &CryptoContext,
+    step_seed: u64,
+) -> usize {
+    let CryptoContext::Real {
+        pk,
+        codec,
+        fast: Some(enc),
+        pool_bank,
+        ..
+    } = crypto
+    else {
+        return 0;
+    };
+    if !config.rerandomize {
+        return 0;
+    }
+    let Ok(packed) = chiaroscuro::rounds::plan_packed_codec(config, pk, codec, layout, population)
+    else {
+        return 0;
+    };
+    let target = pool_target_for(config, packed.ciphertexts_for(layout.noise_offset()));
+    if target == 0 {
+        return 0;
+    }
+    let mut built = 0;
+    for i in 0..population as u64 {
+        if pool_bank.contains(step_seed, i) {
+            continue;
+        }
+        pool_bank.insert(step_seed, i, build_node_pool(enc, target, step_seed, i));
+        built += 1;
+    }
+    built
 }
 
 /// Folds per-node reports and the transport's per-class accounting into the
@@ -322,7 +439,7 @@ fn run_step_on(
     net.link.validate();
     let started = Instant::now();
 
-    let step = StepCrypto::prepare(config, layout, n, crypto)?;
+    let step = StepCrypto::prepare(config, layout, n, crypto, step_seed)?;
     let controls = Arc::new(Controls::new(n));
     let shutdown = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(Completion::new(n));

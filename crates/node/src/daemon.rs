@@ -31,8 +31,8 @@ use chiaroscuro::config::CryptoMode;
 use chiaroscuro::noise::SlotLayout;
 use chiaroscuro::rounds::plan_packed_codec;
 use chiaroscuro::ChiaroscuroConfig;
-use cs_crypto::threshold::delta_for;
-use cs_crypto::{FastEncryptor, FixedPointCodec, KeyShare, PublicKey};
+use cs_crypto::threshold::{delta_for, CombinePlanCache};
+use cs_crypto::{FastEncryptor, FixedPointCodec, KeyShare, PublicKey, RandomizerPool};
 use cs_net::node::{NodeCrypto, NodeParams, Outbound, PackedCrypto, ProtocolNode};
 use cs_net::runtime::{decrypt_retry_interval, dispatch_frame};
 use cs_net::tcp::{PeerDirectory, TcpEndpoint, TcpTransport};
@@ -46,7 +46,7 @@ use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -114,6 +114,21 @@ struct RunContext {
     /// Packed-mode crypto (lane plan + fixed-base encryptor), built once
     /// per run by [`RunContext::prepare_packed`].
     packed: Option<PackedCrypto>,
+    /// Per-committee-subset combine plans, cached across every step this
+    /// daemon serves (the subset only changes when the responder set does).
+    plans: Arc<CombinePlanCache>,
+    /// The persistent randomizer pool: recovered from the node after each
+    /// step ([`ProtocolNode::take_randomizer_pool`]) and restocked *after*
+    /// the step's `Report` ships — i.e. while the daemon idles waiting for
+    /// the next `Step` — so the gossip hot path pops precomputed
+    /// randomizers. Unlike the in-process substrates' seed-keyed
+    /// [`cs_crypto::PoolBank`], this pool draws from a private RNG that
+    /// advances across steps: daemons learn the step seed only when the
+    /// `Step` command arrives, and no bitwise-replay harness spans
+    /// processes, so consumption-dependent contents are fine here.
+    pool: Mutex<Option<RandomizerPool>>,
+    /// Private randomness feeding [`RunContext::refill_pool`].
+    pool_rng: Mutex<StdRng>,
 }
 
 impl RunContext {
@@ -145,7 +160,61 @@ impl RunContext {
         Ok(Some(PackedCrypto {
             codec: plan,
             enc: Arc::new(FastEncryptor::new(pk.clone(), &mut enc_rng)),
+            pool: None,
         }))
+    }
+
+    /// Randomizers the persistent pool targets: the expected demand of one
+    /// full gossip run (each push re-randomizes the node's whole ciphertext
+    /// vector — data and noise halves), capped so restocking stays cheap.
+    /// Zero when the run doesn't re-randomize packed ciphertexts.
+    fn pool_target(&self) -> usize {
+        match &self.packed {
+            Some(p) if self.config.rerandomize => {
+                let data_cts = p.codec.ciphertexts_for(self.layout.noise_offset());
+                (self.config.gossip_cycles * 2 * data_cts).min(512)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Hands the persistent pool to a step's node, building it on first use.
+    fn take_pool(&self) -> Option<RandomizerPool> {
+        let target = self.pool_target();
+        if target == 0 {
+            return None;
+        }
+        if let Some(pool) = self.pool.lock().expect("pool lock").take() {
+            return Some(pool);
+        }
+        // First step of the run: nothing restocked yet, pay the build here.
+        let enc = self.packed.as_ref().expect("target > 0 implies packed");
+        let mut pool = RandomizerPool::new(enc.enc.clone());
+        let mut rng = self.pool_rng.lock().expect("pool rng lock");
+        pool.refill(target, &mut *rng);
+        Some(pool)
+    }
+
+    /// Returns the (possibly drained) pool recovered from a finished step.
+    fn stash_pool(&self, pool: RandomizerPool) {
+        *self.pool.lock().expect("pool lock") = Some(pool);
+    }
+
+    /// Tops the stashed pool back up to target. Called after the step's
+    /// `Report` has shipped — daemon idle time, off every critical path.
+    fn refill_pool(&self) {
+        let target = self.pool_target();
+        if target == 0 {
+            return;
+        }
+        let mut slot = self.pool.lock().expect("pool lock");
+        if let Some(pool) = slot.as_mut() {
+            let need = target.saturating_sub(pool.len());
+            if need > 0 {
+                let mut rng = self.pool_rng.lock().expect("pool rng lock");
+                pool.refill(need, &mut *rng);
+            }
+        }
     }
 
     /// The crypto substrate this daemon's node runs with — mirrors
@@ -158,14 +227,19 @@ impl RunContext {
         if !matches!(self.config.crypto, CryptoMode::Real { .. }) {
             return Err(bad_data("public key shipped for a simulated-crypto run"));
         }
+        let mut packed = self.packed.clone();
+        if let Some(p) = &mut packed {
+            p.pool = self.take_pool();
+        }
         Ok(NodeCrypto::Real {
             pk: pk.clone(),
             codec: FixedPointCodec::new(self.config.codec_scale_bits),
             share: self.share.clone(),
             params: self.config.threshold,
             delta: delta_for(self.config.threshold.parties),
+            plans: self.plans.clone(),
             rerandomize: self.config.rerandomize,
-            packed: self.packed.clone(),
+            packed,
         })
     }
 }
@@ -265,6 +339,7 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         transport_seed ^ (opts.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         &registry,
     ));
+    let pool_rng_seed = config.seed ^ 0x5EED_B007_u64 ^ ((opts.id as u64) << 32);
     let mut ctx = RunContext {
         config,
         layout,
@@ -274,6 +349,9 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         timing,
         transport,
         packed: None,
+        plans: Arc::new(CombinePlanCache::new()),
+        pool: Mutex::new(None),
+        pool_rng: Mutex::new(StdRng::seed_from_u64(pool_rng_seed)),
     };
     ctx.packed = ctx.prepare_packed(opts.id)?;
 
@@ -405,6 +483,11 @@ fn serve_steps(
                         metrics: metrics_delta,
                     },
                 )?;
+                // Report shipped, coordinator satisfied: restock the
+                // randomizer pool now, while waiting for the next Step —
+                // the fixed-base exponentiations land in idle time instead
+                // of the next step's gossip hot path.
+                ctx.refill_pool();
             }
             // Live scrape: cumulative since daemon start, not delta'd.
             Ok(ControlMsg::Metrics) => {
@@ -539,7 +622,12 @@ fn run_step(
             Ok(ControlMsg::Go { step: s }) if s == step => break,
             // A coordinator that timed out collecting Readys may skip
             // straight to ending the step.
-            Ok(ControlMsg::StepEnd) => return Ok(node.into_report()),
+            Ok(ControlMsg::StepEnd) => {
+                if let Some(pool) = node.take_randomizer_pool() {
+                    ctx.stash_pool(pool);
+                }
+                return Ok(node.into_report());
+            }
             Ok(ControlMsg::Shutdown) => return Err(bad_data("shutdown mid-step")),
             Ok(_) => {}
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -620,6 +708,11 @@ fn run_step(
                 announced = true;
             }
         }
+    }
+    // The (possibly drained) randomizer pool survives the step; it is
+    // restocked after the Report ships (see `serve_steps`).
+    if let Some(pool) = node.take_randomizer_pool() {
+        ctx.stash_pool(pool);
     }
     Ok(node.into_report())
 }
