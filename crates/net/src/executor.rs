@@ -52,7 +52,7 @@
 //! control-plane broadcast at very large populations.
 
 use crate::churn::{ChurnEvent, ChurnKind};
-use crate::node::{NodeParams, NodeReport, Outbound, ProtocolNode};
+use crate::node::{FaultSpec, NodeParams, NodeReport, Outbound, ProtocolNode};
 use crate::runtime::{assemble_outcome, StepCrypto, StepRun};
 use crate::transport::{mix, unit_f64, ClassCounts, LinkConfig, NodeId, TrafficSnapshot};
 use crate::wire::{decode_frame_traced, encode_frame_traced, FrameClass, Message, TraceContext};
@@ -117,6 +117,13 @@ pub struct ShardedConfig {
     /// `tests/sharded_e2e.rs`). Off by default: traced frames carry 24
     /// extra bytes, which shifts bandwidth-delay arithmetic.
     pub trace: bool,
+    /// Scripted fault injection (tests and chaos drills only); `None` is
+    /// an honest run.
+    pub fault: Option<FaultSpec>,
+    /// Thresholds for the end-of-step invariant audit. The audit is a
+    /// pure function of the deterministic timeline's evidence, so the
+    /// executor's byte-identity contract holds with monitoring enabled.
+    pub audit: cs_obs::AuditConfig,
 }
 
 impl Default for ShardedConfig {
@@ -132,6 +139,8 @@ impl Default for ShardedConfig {
             termination_votes: true,
             churn: crate::churn::ChurnSchedule::none(),
             trace: false,
+            fault: None,
+            audit: cs_obs::AuditConfig::default(),
         }
     }
 }
@@ -786,6 +795,7 @@ pub fn run_step_sharded(
                         committee: step.committee.clone(),
                         seed: step_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         votes: sharded.termination_votes,
+                        corrupt_partials: sharded.fault.is_some_and(|f| f.corrupts_partials(id)),
                     };
                     let node_crypto = step.node_crypto(crypto, config, id);
                     let contribution = contributions[id].as_deref();
@@ -956,12 +966,20 @@ pub fn run_step_sharded(
         control: read(2),
     };
 
+    // End-of-step audit, after deterministic collection: the evidence —
+    // and therefore every alert and counter minted — is a pure function
+    // of the virtual timeline, so the byte-identity contract holds.
+    let evidence =
+        crate::audit::StepEvidence::distill(step_seed, &reports, &snapshot, &registry.snapshot());
+    let alerts = crate::audit::audit_step(&sharded.audit, &evidence, &registry, None, None);
+
     Ok(StepRun {
         outcome: assemble_outcome(&reports, alive_after, &snapshot),
         reports,
         snapshot,
         metrics: registry.snapshot(),
         traces,
+        alerts,
         elapsed: started.elapsed(),
     })
 }

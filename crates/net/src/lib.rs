@@ -35,6 +35,13 @@
 //!   fully deterministic under a seed. The scaling substrate
 //!   (`NetBackend::sharded`); the threaded runtime stays as the
 //!   differential oracle.
+//! * [`audit`] — the end-of-step **invariant audit**: distills per-node
+//!   reports and transport accounting into `cs_obs::health` evidence
+//!   (push-sum mass, frame conservation, share discipline, lane headroom)
+//!   and runs the monitor set, minting `obs.alert.<kind>` counters and
+//!   [`runtime::StepRun::alerts`]. Both step runners call it; the scripted
+//!   [`node::FaultSpec`] knob on [`runtime::NetConfig`] /
+//!   [`executor::ShardedConfig`] injects the corruption the drills detect.
 //! * [`tcp`] — the **TCP socket transport**: the same wire frames over
 //!   `std::net` streams, with a peer directory, stream reassembly at
 //!   arbitrary read boundaries, and the channel transport's loss/latency
@@ -76,6 +83,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod churn;
 pub mod executor;
 pub mod node;
@@ -85,8 +93,10 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use audit::{audit_step, StepEvidence};
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use executor::{run_step_sharded, ShardedConfig};
+pub use node::FaultSpec;
 pub use runtime::{run_step_over_tcp, run_step_over_transport, NetBackend, NetConfig, StepRun};
 pub use tcp::{FrameReassembler, PeerDirectory, TcpEndpoint, TcpRecord, TcpTransport, TcpTuning};
 pub use transport::{ChannelTransport, Envelope, LinkConfig, NetError, Transport};

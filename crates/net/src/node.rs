@@ -41,6 +41,7 @@ use cs_crypto::{
 };
 use cs_gossip::homomorphic_pushsum::{HePush, HePushSumNode, HomomorphicOpCounts};
 use cs_gossip::pushsum::{PlainPush, PushSumNode};
+use cs_obs::health::DecryptAudit;
 use cs_obs::phase::{PhaseProfile, StepPhase};
 use cs_obs::{CausalTracer, TraceContext};
 use rand::rngs::StdRng;
@@ -118,6 +119,38 @@ pub struct NodeParams {
     /// observes event-queue quiescence directly and can disable the
     /// `O(n²)` control-plane broadcast at very large populations.
     pub votes: bool,
+    /// Fault injection (tests and chaos drills only): corrupt every
+    /// partial decryption this node produces — both the shares it serves
+    /// to requesters and the ones it contributes to its own combine. A
+    /// corrupted share combines into decode garbage, which is exactly the
+    /// silent-corruption scenario the mass-conservation auditor exists to
+    /// catch. Honest runs never set this.
+    pub corrupt_partials: bool,
+}
+
+/// A scripted fault a substrate injects into one node — the chaos half of
+/// the inject-and-detect drills the invariant auditor is tested with.
+/// Carried by [`crate::runtime::NetConfig::fault`] and
+/// [`crate::executor::ShardedConfig::fault`]; `None` (the default) is an
+/// honest run. Serializable so the `cs_node` control plane can ship it in
+/// a `Bootstrap`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultSpec {
+    /// `node` flips the low bit of every partial decryption it produces
+    /// (see [`NodeParams::corrupt_partials`]). The combine still succeeds
+    /// but decodes to garbage — silent corruption, detectable only by the
+    /// mass-conservation audit.
+    CorruptPartials {
+        /// The faulty node.
+        node: NodeId,
+    },
+}
+
+impl FaultSpec {
+    /// Whether this fault makes node `id` corrupt its partial decryptions.
+    pub fn corrupts_partials(&self, id: NodeId) -> bool {
+        matches!(self, FaultSpec::CorruptPartials { node } if *node == id)
+    }
 }
 
 enum Aggregator {
@@ -142,6 +175,13 @@ pub struct NodeReport {
     pub id: NodeId,
     /// The decrypted perturbed aggregates, if the node obtained them.
     pub estimate: Option<PerturbedAggregates>,
+    /// Decryption-round audit evidence for the invariant monitors: share
+    /// provenance and committee-cardinality discipline (see
+    /// [`cs_obs::health::ShareCount`]).
+    pub decrypt_audit: DecryptAudit,
+    /// The packed-lane plan's carry headroom in bits, when packing is on —
+    /// the watermark [`cs_obs::health::LaneHeadroom`] audits.
+    pub lane_headroom_bits: Option<u64>,
     /// Homomorphic work this node performed.
     pub ops: HomomorphicOpCounts,
     /// Decryption work this node performed (as requester and as committee
@@ -170,6 +210,11 @@ impl NodeReport {
         NodeReport {
             id,
             estimate: None,
+            decrypt_audit: DecryptAudit {
+                node: id as u64,
+                ..DecryptAudit::default()
+            },
+            lane_headroom_bits: None,
             ops: HomomorphicOpCounts::default(),
             decrypt_ops: DecryptionOps::default(),
             pushes_sent: 0,
@@ -218,6 +263,8 @@ pub struct ProtocolNode {
     ops: HomomorphicOpCounts,
     decrypt_ops: DecryptionOps,
     bad_frames: u64,
+    /// Share-provenance evidence accumulated for the invariant monitors.
+    audit: DecryptAudit,
     profile: PhaseProfile,
     tracer: Option<CausalTracer>,
 }
@@ -310,6 +357,7 @@ impl ProtocolNode {
             StepPhase::Encrypt,
             encrypt_started.elapsed().as_nanos() as u64,
         );
+        let node_id = params.id as u64;
         ProtocolNode {
             params,
             layout,
@@ -328,6 +376,10 @@ impl ProtocolNode {
             peer_failures: 0,
             estimate: None,
             votes: BTreeSet::new(),
+            audit: DecryptAudit {
+                node: node_id,
+                ..DecryptAudit::default()
+            },
             ops,
             decrypt_ops: DecryptionOps::default(),
             bad_frames: 0,
@@ -595,6 +647,7 @@ impl ProtocolNode {
                         serve_started.elapsed().as_nanos() as u64,
                     );
                     self.decrypt_ops.partial_decryptions += partials.len() as u64;
+                    let partials = self.maybe_corrupt(partials);
                     let reply = Message::DecryptShare {
                         iteration,
                         partials,
@@ -676,9 +729,17 @@ impl ProtocolNode {
             }
             Aggregator::Plain(_) => self.ops,
         };
+        let lane_headroom_bits = match &self.crypto {
+            NodeCrypto::Real {
+                packed: Some(p), ..
+            } => Some(p.codec.headroom_bits() as u64),
+            _ => None,
+        };
         NodeReport {
             id: self.params.id,
             estimate: self.estimate,
+            decrypt_audit: self.audit,
+            lane_headroom_bits,
             ops,
             decrypt_ops: self.decrypt_ops,
             pushes_sent: self.pushes_sent,
@@ -690,6 +751,28 @@ impl ProtocolNode {
     }
 
     // -- internals ----------------------------------------------------------
+
+    /// Applies the `corrupt_partials` fault when armed: flips the low bit
+    /// of each partial's value, leaving indices intact so the combine
+    /// proceeds and decodes to garbage instead of failing fast — the
+    /// silent-corruption shape the auditor must catch.
+    fn maybe_corrupt(&self, partials: Vec<PartialDecryption>) -> Vec<PartialDecryption> {
+        if !self.params.corrupt_partials {
+            return partials;
+        }
+        partials
+            .into_iter()
+            .map(|p| {
+                let mut bytes = p.value().to_bytes_le();
+                if bytes.is_empty() {
+                    bytes.push(1);
+                } else {
+                    bytes[0] ^= 1;
+                }
+                PartialDecryption::from_parts(p.index(), BigUint::from_bytes_le(&bytes))
+            })
+            .collect()
+    }
 
     /// Whether this node currently believes `i` is alive.
     fn peer_alive(&self, i: NodeId) -> bool {
@@ -814,10 +897,12 @@ impl ProtocolNode {
                     NodeCrypto::Real {
                         share: Some(share), ..
                     } => Some(
-                        combined
-                            .iter()
-                            .map(|c| share.partial_decrypt(c))
-                            .collect::<Vec<_>>(),
+                        self.maybe_corrupt(
+                            combined
+                                .iter()
+                                .map(|c| share.partial_decrypt(c))
+                                .collect::<Vec<_>>(),
+                        ),
                     ),
                     _ => None,
                 };
@@ -883,6 +968,13 @@ impl ProtocolNode {
         partials: Vec<PartialDecryption>,
         out: &mut Vec<Outbound>,
     ) {
+        // Audit evidence first: a share from outside the committee is an
+        // invariant violation whenever it arrives, even if the phase or
+        // dedup checks would discard it below. Detection only — behavior
+        // toward the sender is unchanged.
+        if !self.params.committee.contains(&from) {
+            self.audit.foreign_shares += 1;
+        }
         if !matches!(self.phase, Phase::AwaitShares) {
             return;
         }
@@ -892,6 +984,9 @@ impl ProtocolNode {
             return;
         }
         self.shares_by_sender.insert(from, partials);
+        if self.shares_by_sender.len() > self.params.committee.len() {
+            self.audit.oversized_rounds += 1;
+        }
         let NodeCrypto::Real {
             pk,
             codec,
@@ -916,6 +1011,10 @@ impl ProtocolNode {
             .values()
             .take(params.threshold)
             .collect();
+        self.audit.combines += 1;
+        if contributors.len() < params.threshold {
+            self.audit.undersized_combines += 1;
+        }
         let weight = self.snapshot_weight;
         let denom = self.snapshot_denom;
         let mut combinations = 0u64;

@@ -10,7 +10,7 @@
 
 use crate::churn::{ChurnKind, ChurnSchedule, Controls, Liveness};
 use crate::executor::ShardedConfig;
-use crate::node::{NodeCrypto, NodeParams, NodeReport, Outbound, ProtocolNode};
+use crate::node::{FaultSpec, NodeCrypto, NodeParams, NodeReport, Outbound, ProtocolNode};
 use crate::transport::{ChannelTransport, LinkConfig, NodeId, TrafficSnapshot, Transport};
 use crate::wire::{decode_frame_traced, encode_frame_traced, TraceContext};
 use chiaroscuro::backend::ComputationBackend;
@@ -22,7 +22,8 @@ use chiaroscuro::ChiaroscuroError;
 use cs_crypto::threshold::delta_for;
 use cs_gossip::homomorphic_pushsum::HomomorphicOpCounts;
 use cs_gossip::TrafficStats;
-use cs_obs::{CausalTracer, NodeTrace, Tracer, WallClock};
+use cs_obs::health::Alert;
+use cs_obs::{AuditConfig, CausalTracer, NodeTrace, Tracer, WallClock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -308,6 +309,13 @@ pub struct NetConfig {
     /// captures home. Unlike the sharded executor's virtual-time traces,
     /// these timestamps are real wall-clock and vary run to run.
     pub trace: bool,
+    /// Scripted fault injection (tests and chaos drills only); `None` is
+    /// an honest run.
+    pub fault: Option<FaultSpec>,
+    /// Thresholds for the end-of-step invariant audit. The audit always
+    /// runs — it is a pure side channel (evidence in, alerts out), so an
+    /// honest run's protocol bits are untouched by it.
+    pub audit: AuditConfig,
 }
 
 impl Default for NetConfig {
@@ -320,6 +328,8 @@ impl Default for NetConfig {
             step_timeout: Duration::from_secs(60),
             churn: ChurnSchedule::none(),
             trace: false,
+            fault: None,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -341,6 +351,12 @@ pub struct StepRun {
     /// substrate ran with tracing on ([`NetConfig::trace`] /
     /// [`ShardedConfig::trace`]).
     pub traces: Vec<NodeTrace>,
+    /// Invariant violations the end-of-step audit detected, in
+    /// deterministic order (monitors in [`cs_obs::health::AlertKind::ALL`]
+    /// order, evidence in node-id order). Each is also minted as an
+    /// `obs.alert.<kind>` counter in [`StepRun::metrics`]. Empty on an
+    /// honest run.
+    pub alerts: Vec<Alert>,
     /// Wall-clock the step took.
     pub elapsed: Duration,
 }
@@ -478,6 +494,7 @@ fn run_step_on(
             committee: step.committee.clone(),
             seed: step_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             votes: true,
+            corrupt_partials: net.fault.is_some_and(|f| f.corrupts_partials(i)),
         };
         let node_crypto = step.node_crypto(crypto, config, i);
         let contribution = contribution.clone();
@@ -572,12 +589,21 @@ fn run_step_on(
         .filter_map(|(i, t)| t.as_ref().map(|t| NodeTrace::capture(i as u64, t)))
         .collect();
 
+    // The end-of-step audit: distill the evidence from a pre-audit
+    // metrics reading, run the monitors (minting `obs.alert.<kind>`
+    // counters into the registry), then take the final snapshot so the
+    // step's metrics include the verdict.
+    let evidence =
+        crate::audit::StepEvidence::distill(step_seed, &reports, &snapshot, &registry.snapshot());
+    let alerts = crate::audit::audit_step(&net.audit, &evidence, &registry, None, None);
+
     Ok(StepRun {
         outcome: assemble_outcome(&reports, alive_after, &snapshot),
         reports,
         snapshot,
         metrics: registry.snapshot(),
         traces,
+        alerts,
         elapsed: started.elapsed(),
     })
 }

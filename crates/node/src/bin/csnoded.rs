@@ -23,9 +23,12 @@ fn usage() -> ! {
          --advertise    address peers connect to, when it differs from the\n\
                         bind address (required for wildcard binds like\n\
                         0.0.0.0; a bare HOST inherits the bound port)\n\
-         --obs-addr     serve /metrics (Prometheus text) and /trace (flight\n\
-                        recorder JSON) over HTTP on this address; the bound\n\
-                        address is printed to stderr (useful with :0)"
+         --obs-addr     serve /metrics (Prometheus text), /trace (flight\n\
+                        recorder JSON), /series (time-series telemetry),\n\
+                        /health (invariant verdict, 503 when degraded), and\n\
+                        /healthz (liveness) over HTTP on this address; the\n\
+                        bound address is printed to stderr (useful with :0)\n\
+                        and travels to the coordinator in the Hello"
     );
     std::process::exit(2);
 }

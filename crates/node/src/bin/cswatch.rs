@@ -1,0 +1,87 @@
+//! `cswatch` — the cluster SLO watchdog.
+//!
+//! ```sh
+//! cswatch [--once] [--check] [--interval-ms N] <OBS_ADDR>...
+//! ```
+//!
+//! Polls the observability endpoints (`/healthz`, `/health`, `/series`)
+//! of every listed daemon and renders a terminal dashboard: per-node
+//! liveness and verdict, gossip-rate sparklines, step-phase time-share
+//! bars, and a feed of the most recent invariant alerts.
+//!
+//! With `--check` the exit code becomes the verdict: nonzero iff any
+//! reachable daemon reports an invariant violation. An unreachable daemon
+//! is flagged as churn but never fails the check — in this protocol's
+//! fault model nodes legitimately die mid-run, and whether the survivors'
+//! ledgers still balance is the audit layer's call, not the watchdog's.
+//! `cswatch --once --check <addrs>` is the CI smoke shape.
+
+use cs_node::watch;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cswatch [--once] [--check] [--interval-ms <N>] <OBS_ADDR>...\n\
+         \n\
+         --once         poll once and exit (default: loop forever)\n\
+         --check        exit nonzero iff any daemon reports an invariant\n\
+         \u{20}              violation (unreachable daemons are flagged but\n\
+         \u{20}              never fail the check)\n\
+         --interval-ms  polling cadence when looping (default 1000)\n\
+         OBS_ADDR       a daemon's --obs-addr endpoint, host:port"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut once = false;
+    let mut check = false;
+    let mut interval_ms: u64 = 1000;
+    let mut addrs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--check" => check = true,
+            "--interval-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                interval_ms = v;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("cswatch: unknown argument {other:?}");
+                usage();
+            }
+            addr => addrs.push(addr.to_string()),
+        }
+    }
+    if addrs.is_empty() {
+        usage();
+    }
+    let timeout = Duration::from_secs(2);
+    loop {
+        let probes = watch::probe_all(&addrs, timeout);
+        let dashboard = watch::render(&probes);
+        if !once {
+            // Interactive loop: redraw in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{dashboard}");
+        let breached = watch::slo_breached(&probes);
+        if once {
+            return if check && breached {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        if check && breached {
+            eprintln!("cswatch: SLO breached — invariant violation reported");
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}

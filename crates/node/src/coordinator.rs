@@ -52,6 +52,12 @@ pub struct ClusterConfig {
     /// How long the coordinator waits for straggler `Report`s after
     /// `StepEnd`.
     pub report_timeout: Duration,
+    /// Scripted fault injection shipped to the daemons in the `Bootstrap`
+    /// (`None` on honest runs): the named daemon corrupts its partial
+    /// decryptions, and the invariant audit must catch it.
+    pub fault: Option<cs_net::FaultSpec>,
+    /// Tolerances for the coordinator-side cluster-level invariant audit.
+    pub audit: cs_obs::AuditConfig,
 }
 
 impl Default for ClusterConfig {
@@ -61,6 +67,8 @@ impl Default for ClusterConfig {
             timing: TimingSpec::default(),
             transport_seed: 0x7C50_C4E7,
             report_timeout: Duration::from_secs(20),
+            fault: None,
+            audit: cs_obs::AuditConfig::default(),
         }
     }
 }
@@ -91,6 +99,9 @@ struct Member {
     /// Write half of the control connection; `None` once the daemon died.
     writer: Option<TcpStream>,
     data_addr: String,
+    /// The daemon's observability HTTP address, if it serves one — handed
+    /// to scrape tooling like `cswatch` via [`Cluster::obs_addrs`].
+    obs_addr: Option<String>,
 }
 
 impl Coordinator {
@@ -129,6 +140,7 @@ impl Coordinator {
                         wire_version,
                         proto_version,
                         data_addr,
+                        obs_addr,
                     } = hello
                     else {
                         return Err(bad_data("expected Hello"));
@@ -167,6 +179,7 @@ impl Coordinator {
                     members[node] = Some(Member {
                         writer: Some(writer),
                         data_addr,
+                        obs_addr,
                     });
                     joined += 1;
                 }
@@ -217,6 +230,13 @@ impl Cluster {
         &self.alive
     }
 
+    /// Per-daemon observability HTTP addresses, in node-id order (`None`
+    /// where a daemon runs without `--obs-addr`). The address list a
+    /// `cswatch` invocation wants.
+    pub fn obs_addrs(&self) -> Vec<Option<String>> {
+        self.members.iter().map(|m| m.obs_addr.clone()).collect()
+    }
+
     fn mark_dead(&mut self, node: usize) {
         self.alive[node] = false;
         self.members[node].writer = None;
@@ -252,6 +272,12 @@ pub struct ClusterBackend {
     /// here, so each daemon's `step.start` span has a causal parent in the
     /// merged cluster timeline.
     tracer: Arc<Tracer>,
+    /// Coordinator-side metrics: `obs.alert.<kind>` counters minted by the
+    /// cluster-level invariant audit land here.
+    registry: cs_obs::Registry,
+    /// Cumulative verdict of the cluster-level audit (global mass and
+    /// frame conservation over the summed per-daemon deltas).
+    health: cs_obs::HealthState,
 }
 
 impl ClusterBackend {
@@ -272,6 +298,8 @@ impl ClusterBackend {
                 Arc::new(WallClock::new()) as Arc<dyn Clock>,
                 4096,
             )),
+            registry: cs_obs::Registry::new(),
+            health: cs_obs::HealthState::new(),
         }
     }
 
@@ -396,6 +424,70 @@ impl ClusterBackend {
         ClusterTrace { traces }
     }
 
+    /// Live health scrape: sends [`ControlMsg::Health`] to every daemon
+    /// and collects `(verdict, uptime_seconds)` pairs. Same discipline as
+    /// [`ClusterBackend::scrape_metrics`] — only valid *between* steps;
+    /// slots that died or missed the deadline stay `None`.
+    pub fn scrape_health(&mut self, timeout: Duration) -> Vec<Option<(cs_obs::HealthReport, u64)>> {
+        let n = self.cluster.len();
+        for i in 0..n {
+            self.cluster.send(i, &ControlMsg::Health);
+        }
+        let mut out: Vec<Option<(cs_obs::HealthReport, u64)>> = vec![None; n];
+        let deadline = Instant::now() + timeout;
+        loop {
+            let outstanding = (0..n).any(|i| self.cluster.alive[i] && out[i].is_none());
+            if !outstanding {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.cluster.events.recv_timeout(deadline - now) {
+                Ok((
+                    i,
+                    Event::Msg(ControlMsg::HealthReport {
+                        report,
+                        uptime_seconds,
+                        ..
+                    }),
+                )) => {
+                    out[i] = Some((report, uptime_seconds));
+                }
+                Ok((i, Event::Gone)) => self.cluster.mark_dead(i),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Scrapes every daemon's health verdict and folds them — together
+    /// with the coordinator's own cluster-level audit state — into one
+    /// cluster verdict: the worst status wins and per-kind tallies sum.
+    /// Daemons that died or missed the deadline simply contribute nothing;
+    /// their absence shows up in [`ClusterBackend::alive`], not here.
+    pub fn cluster_health(&mut self, timeout: Duration) -> cs_obs::HealthReport {
+        let per_node = self.scrape_health(timeout);
+        let mut folded = self.health.report();
+        for (report, _) in per_node.into_iter().flatten() {
+            folded = folded.plus(&report);
+        }
+        folded
+    }
+
+    /// The coordinator's own cluster-level audit verdict (no scrape).
+    pub fn health_report(&self) -> cs_obs::HealthReport {
+        self.health.report()
+    }
+
+    /// Per-daemon observability HTTP addresses, in node-id order.
+    pub fn obs_addrs(&self) -> Vec<Option<String>> {
+        self.cluster.obs_addrs()
+    }
+
     /// Per-daemon connection liveness.
     pub fn alive(&self) -> &[bool] {
         self.cluster.alive()
@@ -453,6 +545,7 @@ impl ClusterBackend {
                 link: self.cfg.link,
                 timing: self.cfg.timing,
                 transport_seed: self.cfg.transport_seed,
+                fault: self.cfg.fault,
             };
             self.cluster.send(i, &msg);
         }
@@ -657,6 +750,7 @@ impl ComputationBackend for ClusterBackend {
         // contributes a dead report; cluster traffic is the sum of the
         // per-daemon deltas — accounting is send-side, so nothing is
         // double-counted.
+        let all_reported = reports.iter().all(Option::is_some);
         let reports: Vec<NodeReport> = reports
             .into_iter()
             .enumerate()
@@ -671,6 +765,22 @@ impl ComputationBackend for ClusterBackend {
         let metrics_step = metric_deltas
             .iter()
             .fold(MetricsSnapshot::default(), |acc, m| acc.plus(m));
+        // Cluster-level invariant audit over the summed deltas: the global
+        // mass and frame-conservation ledger the per-daemon audits cannot
+        // see (each daemon only knows its own sends). Skipped whenever a
+        // daemon died or withheld its report — churn legitimately breaks
+        // frame conservation and is not an invariant violation.
+        if all_reported && alive_after.iter().all(|&a| a) {
+            let evidence =
+                cs_net::StepEvidence::distill(step as u64, &reports, &total, &metrics_step);
+            let _ = cs_net::audit_step(
+                &self.cfg.audit,
+                &evidence,
+                &self.registry,
+                Some(&self.tracer),
+                Some(&self.health),
+            );
+        }
         let outcome = assemble_outcome(&reports, alive_after, &total);
         self.steps_run += 1;
         self.last_reports = Some(reports);

@@ -25,6 +25,14 @@
 //! mid-step control error, and after any step that observed a peer
 //! failure — so a node that dies (or watches a neighbor die) leaves its
 //! last moments behind even when no scraper ever arrives.
+//!
+//! On top of that sits the *health monitor*: after every step the daemon
+//! runs the [`cs_net::audit`] invariant checks over its own report and
+//! traffic delta, feeding a cumulative [`cs_obs::HealthState`] (scraped
+//! via `Health` on the control plane, `/health` over HTTP — 503 once
+//! degraded) and a [`cs_obs::SeriesRing`] of per-step metric scrapes
+//! (`/series`), with `/healthz` answering liveness facts uncondition-
+//! ally. The `cswatch` binary polls exactly these routes.
 
 use crate::proto::{read_msg, write_msg, ControlMsg, TimingSpec, PROTO_VERSION};
 use chiaroscuro::config::CryptoMode;
@@ -39,7 +47,10 @@ use cs_net::tcp::{PeerDirectory, TcpEndpoint, TcpTransport};
 use cs_net::transport::{NodeId, TrafficSnapshot, Transport};
 use cs_net::wire::{encode_frame_traced, WIRE_VERSION};
 use cs_obs::http::{ObsProviders, ObsServer};
-use cs_obs::{CausalTracer, Clock, NodeTrace, Registry, TraceContext, Tracer, WallClock};
+use cs_obs::{
+    AuditConfig, CausalTracer, Clock, HealthState, Liveness, NodeTrace, Registry, SeriesRing,
+    TraceContext, Tracer, WallClock,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
@@ -65,7 +76,9 @@ pub struct DaemonOpts {
     /// own localhost). A bare `HOST` inherits the bound port.
     pub advertise: Option<String>,
     /// Address for the HTTP exposition endpoint (`/metrics` Prometheus
-    /// text, `/trace` flight-recorder JSON); `None` disables it.
+    /// text, `/trace` flight-recorder JSON, `/series` time-series
+    /// telemetry, `/health` invariant verdict, `/healthz` liveness);
+    /// `None` disables it.
     pub obs_addr: Option<String>,
 }
 
@@ -90,6 +103,38 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
 /// hundred events per node, so 8k of DropOld history holds the last
 /// several steps — enough context around any crash.
 const FLIGHT_RECORDER_EVENTS: usize = 8192;
+
+/// Time-series ring capacity, in per-step scrapes. One sample lands per
+/// step, so this is the horizon (in steps) of the `/series` rate and
+/// windowed-quantile views.
+const SERIES_SAMPLES: usize = 64;
+
+/// Daemon-lifetime health-monitor state, shared between the step loop
+/// (which feeds it after every step) and the obs HTTP endpoint plus the
+/// control-plane `Health` scrape (which serve it).
+struct Monitor {
+    /// Cumulative invariant-audit verdict: healthy until the first alert.
+    health: HealthState,
+    /// Ring of per-step cumulative metric scrapes behind `/series`.
+    series: Mutex<SeriesRing>,
+    /// Process start, for the uptime signal on `/healthz` and the
+    /// `obs.uptime.seconds` gauge.
+    start: Instant,
+}
+
+impl Monitor {
+    fn new() -> Monitor {
+        Monitor {
+            health: HealthState::new(),
+            series: Mutex::new(SeriesRing::new(SERIES_SAMPLES)),
+            start: Instant::now(),
+        }
+    }
+
+    fn uptime_seconds(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+}
 
 /// Dumps the flight recorder to stderr as one JSON line — crash forensics
 /// of last resort when no coordinator is left to scrape it. The marker
@@ -129,6 +174,10 @@ struct RunContext {
     pool: Mutex<Option<RandomizerPool>>,
     /// Private randomness feeding [`RunContext::refill_pool`].
     pool_rng: Mutex<StdRng>,
+    /// `true` when the Bootstrap's fault spec names *this* daemon: every
+    /// partial decryption it emits gets its value bytes corrupted, a
+    /// scripted drill the invariant audit must catch.
+    corrupt_partials: bool,
 }
 
 impl RunContext {
@@ -265,49 +314,6 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         None => bound.to_string(),
     };
 
-    let mut control = TcpStream::connect(&opts.coordinator)?;
-    control.set_nodelay(true)?;
-    write_msg(
-        &mut control,
-        &ControlMsg::Hello {
-            node: opts.id,
-            wire_version: WIRE_VERSION,
-            proto_version: PROTO_VERSION,
-            data_addr,
-        },
-    )?;
-
-    // Bootstrap: the population manifest wires the endpoint into the
-    // data-plane transport; key material and config arrive alongside.
-    let boot = read_msg(&mut control)?;
-    let ControlMsg::Bootstrap {
-        config,
-        layout,
-        population,
-        committee,
-        pk,
-        share,
-        link,
-        timing,
-        transport_seed,
-    } = boot
-    else {
-        return Err(bad_data("expected Bootstrap after Hello"));
-    };
-    if opts.id >= population.len() {
-        return Err(bad_data(format!(
-            "node id {} outside population of {}",
-            opts.id,
-            population.len()
-        )));
-    }
-    let directory: Vec<SocketAddr> = population
-        .iter()
-        .map(|a| {
-            a.parse()
-                .map_err(|e| bad_data(format!("bad address {a:?}: {e}")))
-        })
-        .collect::<io::Result<_>>()?;
     // Daemon-lifetime registry: transport counters accumulate across every
     // step this process runs, so a live `Metrics` scrape sees cumulative
     // totals while per-step `Report`s carry `since()` deltas.
@@ -332,6 +338,97 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
             dump_flight(node, &flight, "panic");
         }));
     }
+    let monitor = Arc::new(Monitor::new());
+
+    // The optional HTTP exposition endpoint, bound *before* the Hello so
+    // the coordinator learns the scrape address (an ephemeral `:0` port is
+    // unknowable otherwise). Held for the daemon's lifetime; dropping it
+    // joins the accept loop.
+    let _obs = match &opts.obs_addr {
+        Some(addr) => {
+            let node = opts.id as u64;
+            let server = {
+                let reg = registry.clone();
+                let mon = monitor.clone();
+                let fl = flight.clone();
+                let (mon_s, mon_h, mon_z) = (monitor.clone(), monitor.clone(), monitor.clone());
+                ObsServer::serve(
+                    addr,
+                    ObsProviders {
+                        metrics: Box::new(move || {
+                            // The uptime gauge is refreshed at scrape time,
+                            // so a watchdog always reads current liveness.
+                            reg.gauge("obs.uptime.seconds")
+                                .set(mon.uptime_seconds() as i64);
+                            reg.snapshot()
+                        }),
+                        trace: Box::new(move || NodeTrace::capture(node, &fl)),
+                        series: Some(Box::new(move || {
+                            mon_s.series.lock().expect("series lock").view()
+                        })),
+                        health: Some(Box::new(move || mon_h.health.report())),
+                        healthz: Some(Box::new(move || Liveness {
+                            node,
+                            uptime_seconds: mon_z.uptime_seconds(),
+                            proto_version: PROTO_VERSION as u32,
+                            wire_version: WIRE_VERSION as u32,
+                            build: env!("CARGO_PKG_VERSION").into(),
+                        })),
+                    },
+                )?
+            };
+            eprintln!("csnoded[{}] obs endpoint on {}", opts.id, server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let obs_addr = _obs.as_ref().map(|s| s.addr().to_string());
+
+    let mut control = TcpStream::connect(&opts.coordinator)?;
+    control.set_nodelay(true)?;
+    write_msg(
+        &mut control,
+        &ControlMsg::Hello {
+            node: opts.id,
+            wire_version: WIRE_VERSION,
+            proto_version: PROTO_VERSION,
+            data_addr,
+            obs_addr,
+        },
+    )?;
+
+    // Bootstrap: the population manifest wires the endpoint into the
+    // data-plane transport; key material and config arrive alongside.
+    let boot = read_msg(&mut control)?;
+    let ControlMsg::Bootstrap {
+        config,
+        layout,
+        population,
+        committee,
+        pk,
+        share,
+        link,
+        timing,
+        transport_seed,
+        fault,
+    } = boot
+    else {
+        return Err(bad_data("expected Bootstrap after Hello"));
+    };
+    if opts.id >= population.len() {
+        return Err(bad_data(format!(
+            "node id {} outside population of {}",
+            opts.id,
+            population.len()
+        )));
+    }
+    let directory: Vec<SocketAddr> = population
+        .iter()
+        .map(|a| {
+            a.parse()
+                .map_err(|e| bad_data(format!("bad address {a:?}: {e}")))
+        })
+        .collect::<io::Result<_>>()?;
     let transport = Arc::new(endpoint.into_transport_with_metrics(
         &[opts.id],
         PeerDirectory::new(directory),
@@ -352,29 +449,9 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         plans: Arc::new(CombinePlanCache::new()),
         pool: Mutex::new(None),
         pool_rng: Mutex::new(StdRng::seed_from_u64(pool_rng_seed)),
+        corrupt_partials: fault.is_some_and(|f| f.corrupts_partials(opts.id)),
     };
     ctx.packed = ctx.prepare_packed(opts.id)?;
-
-    // The optional HTTP exposition endpoint. Held for the daemon's
-    // lifetime; dropping it joins the accept loop. The bound address goes
-    // to stderr because an ephemeral `:0` port is unknowable otherwise.
-    let _obs = match &opts.obs_addr {
-        Some(addr) => {
-            let reg = registry.clone();
-            let fl = flight.clone();
-            let node = opts.id as u64;
-            let server = ObsServer::serve(
-                addr,
-                ObsProviders {
-                    metrics: Box::new(move || reg.snapshot()),
-                    trace: Box::new(move || NodeTrace::capture(node, &fl)),
-                },
-            )?;
-            eprintln!("csnoded[{}] obs endpoint on {}", opts.id, server.addr());
-            Some(server)
-        }
-        None => None,
-    };
 
     // Control reader thread: turns the blocking stream into a channel the
     // step loop can poll without stalling the protocol. EOF becomes a
@@ -407,6 +484,7 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
         &ctx,
         &registry,
         &flight,
+        &monitor,
         &control_died,
         &rx,
         &mut control,
@@ -419,13 +497,15 @@ pub fn run(opts: &DaemonOpts) -> io::Result<()> {
     result
 }
 
-/// The daemon's command loop: serve `Step` / `Metrics` / `Trace` until
-/// `Shutdown` (or the control channel dies).
+/// The daemon's command loop: serve `Step` / `Metrics` / `Trace` /
+/// `Health` until `Shutdown` (or the control channel dies).
+#[allow(clippy::too_many_arguments)] // one call site; daemon-lifetime state
 fn serve_steps(
     opts: &DaemonOpts,
     ctx: &RunContext,
     registry: &Registry,
     flight: &Arc<Tracer>,
+    monitor: &Monitor,
     control_died: &AtomicBool,
     rx: &mpsc::Receiver<ControlMsg>,
     control: &mut TcpStream,
@@ -471,8 +551,45 @@ fn serve_steps(
                 let now = ctx.transport.snapshot();
                 let delta = now.since(&last_snapshot);
                 last_snapshot = now;
+                // Invariant audit over this step's own report and traffic
+                // delta, *before* the final snapshot so any freshly minted
+                // `obs.alert.<kind>` counter rides this step's Report
+                // delta. Violations land in the flight recorder and flip
+                // the cumulative health verdict behind `/health`.
+                let pre_audit = registry.snapshot().since(&last_metrics);
+                let mut evidence = cs_net::StepEvidence::distill(
+                    step as u64,
+                    std::slice::from_ref(&report),
+                    &delta,
+                    &pre_audit,
+                );
+                // A step that watched a peer die leaves frames mid-
+                // reclassification (sent-then-lost against the dead peer),
+                // racing the two snapshots above. Churn is fail-stop, not
+                // an invariant violation — skip the frame-conservation
+                // check for this step; mass and share discipline still run.
+                if report.peer_failures > 0 {
+                    evidence.traffic.clear();
+                }
+                let _ = cs_net::audit_step(
+                    &AuditConfig::default(),
+                    &evidence,
+                    registry,
+                    Some(flight),
+                    Some(&monitor.health),
+                );
+                registry
+                    .gauge("obs.uptime.seconds")
+                    .set(monitor.uptime_seconds() as i64);
                 let metrics_now = registry.snapshot();
                 let metrics_delta = metrics_now.since(&last_metrics);
+                // One `/series` sample per step, tagged with the step
+                // index; rates and windowed quantiles derive from these.
+                monitor
+                    .series
+                    .lock()
+                    .expect("series lock")
+                    .record(step as u64, metrics_now.clone());
                 last_metrics = metrics_now;
                 write_msg(
                     control,
@@ -491,11 +608,26 @@ fn serve_steps(
             }
             // Live scrape: cumulative since daemon start, not delta'd.
             Ok(ControlMsg::Metrics) => {
+                registry
+                    .gauge("obs.uptime.seconds")
+                    .set(monitor.uptime_seconds() as i64);
                 write_msg(
                     control,
                     &ControlMsg::MetricsReport {
                         node: opts.id,
                         metrics: registry.snapshot(),
+                    },
+                )?;
+            }
+            // Health scrape: the cumulative invariant-audit verdict since
+            // daemon start (degraded stays degraded — alerts never clear).
+            Ok(ControlMsg::Health) => {
+                write_msg(
+                    control,
+                    &ControlMsg::HealthReport {
+                        node: opts.id,
+                        report: monitor.health.report(),
+                        uptime_seconds: monitor.uptime_seconds(),
                     },
                 )?;
             }
@@ -606,6 +738,7 @@ fn run_step(
         committee: ctx.committee.clone(),
         seed: step_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         votes: true,
+        corrupt_partials: ctx.corrupt_partials,
     };
     let node_crypto = ctx.node_crypto()?;
     let mut node = ProtocolNode::new(params, ctx.layout, node_crypto, contribution.as_deref());

@@ -23,6 +23,10 @@
 //! * [`supervisor`] — spawn/kill/wait on a local cluster of child
 //!   processes; `kill` is a genuine SIGKILL, making "a device dies
 //!   mid-gossip" a real fail-stop instead of a simulated flag.
+//! * [`watch`] — the `cswatch` SLO watchdog's engine: poll every daemon's
+//!   `/healthz` + `/health` + `/series` HTTP routes, judge the cluster
+//!   (an invariant violation breaches; churn merely flags), and render a
+//!   terminal dashboard with rate sparklines and phase bars.
 //!
 //! The trust model matches the paper's initialization assumption: the
 //! coordinator deals key shares and learns only the DP-perturbed
@@ -40,8 +44,9 @@ pub mod coordinator;
 pub mod daemon;
 pub mod proto;
 pub mod supervisor;
+pub mod watch;
 
 pub use coordinator::{Cluster, ClusterBackend, ClusterConfig, Coordinator};
 pub use daemon::DaemonOpts;
 pub use proto::{ControlMsg, LinkSpec, TimingSpec, PROTO_VERSION};
-pub use supervisor::{find_csnoded, Supervisor};
+pub use supervisor::{find_bin, find_csnoded, Supervisor};

@@ -23,7 +23,10 @@
 //! [`cs_obs::MetricsSnapshot`] of its transport and step-phase counters.
 //! Likewise `Trace` / `TraceReport` scrape the daemon's flight recorder —
 //! a bounded ring of causal trace events ([`cs_obs::NodeTrace`]) the
-//! coordinator merges into one cluster timeline.
+//! coordinator merges into one cluster timeline — and `Health` /
+//! `HealthReport` scrape the daemon's invariant-audit verdict
+//! ([`cs_obs::HealthReport`]), which the coordinator folds into one
+//! cluster health verdict.
 //!
 //! Control messages are serde-JSON documents behind a `u32` length prefix —
 //! they are low-rate (a handful per step), so readability beats compactness;
@@ -46,8 +49,10 @@ use std::time::Duration;
 /// v2 added the `Metrics` / `MetricsReport` scrape pair and the
 /// metrics snapshot carried by `Report`; v3 added the `Trace` /
 /// `TraceReport` flight-recorder scrape pair and the trace context
-/// carried by `Step`.
-pub const PROTO_VERSION: u8 = 3;
+/// carried by `Step`; v4 added the `Health` / `HealthReport` scrape
+/// pair, the observability address carried by `Hello`, and the fault
+/// spec carried by `Bootstrap`.
+pub const PROTO_VERSION: u8 = 4;
 
 /// Upper bound on one control message (guards the length-prefix read).
 pub const MAX_CONTROL_BYTES: usize = 64 << 20;
@@ -131,6 +136,11 @@ pub enum ControlMsg {
         proto_version: u8,
         /// The address the daemon's data-plane listener is bound to.
         data_addr: String,
+        /// The address the daemon's observability HTTP server is bound
+        /// to, if one was requested (`--obs-addr`). Lets the coordinator
+        /// hand a live cluster's scrape endpoints to tools like `cswatch`
+        /// without out-of-band discovery.
+        obs_addr: Option<String>,
     },
     /// Coordinator → daemon: the full run context. Sent once, before the
     /// first step.
@@ -155,6 +165,10 @@ pub enum ControlMsg {
         timing: TimingSpec,
         /// Seed for the data-plane transport's loss/jitter draws.
         transport_seed: u64,
+        /// Scripted fault injection for monitoring drills (`None` on
+        /// honest runs). The daemon named by the spec corrupts its own
+        /// partial decryptions; the invariant audit must catch it.
+        fault: Option<cs_net::FaultSpec>,
     },
     /// Coordinator → daemon: run one computation step.
     Step {
@@ -244,6 +258,22 @@ pub enum ControlMsg {
         /// The flight-recorder capture.
         trace: cs_obs::NodeTrace,
     },
+    /// Coordinator → daemon: scrape the daemon's health verdict.
+    /// Answered with [`ControlMsg::HealthReport`]; like `Metrics`, valid
+    /// between steps.
+    Health,
+    /// Daemon → coordinator: the daemon's cumulative invariant-audit
+    /// verdict — degraded as soon as any alert has fired since start.
+    HealthReport {
+        /// The reporting node.
+        node: usize,
+        /// The health verdict with per-kind alert counts and the most
+        /// recent alerts.
+        report: cs_obs::HealthReport,
+        /// Seconds since the daemon process started (liveness signal —
+        /// a freshly restarted daemon resets to zero).
+        uptime_seconds: u64,
+    },
     /// Coordinator → daemon: exit cleanly.
     Shutdown,
 }
@@ -292,6 +322,7 @@ mod tests {
                 wire_version: cs_net::wire::WIRE_VERSION,
                 proto_version: PROTO_VERSION,
                 data_addr: "127.0.0.1:4567".into(),
+                obs_addr: Some("127.0.0.1:9100".into()),
             },
             ControlMsg::Step {
                 step: 1,
@@ -323,6 +354,23 @@ mod tests {
             ControlMsg::MetricsReport {
                 node: 7,
                 metrics: Default::default(),
+            },
+            ControlMsg::Health,
+            ControlMsg::HealthReport {
+                node: 7,
+                report: {
+                    let state = cs_obs::HealthState::new();
+                    state.raise(cs_obs::Alert {
+                        kind: cs_obs::AlertKind::MassConservation,
+                        node: Some(7),
+                        step: 1,
+                        measured: 3.5,
+                        limit: 0.5,
+                        detail: "drill".into(),
+                    });
+                    state.report()
+                },
+                uptime_seconds: 12,
             },
             ControlMsg::Trace,
             ControlMsg::TraceReport {
@@ -373,6 +421,7 @@ mod tests {
             link: LinkSpec::ideal(),
             timing: TimingSpec::default(),
             transport_seed: 99,
+            fault: Some(cs_net::FaultSpec::CorruptPartials { node: 1 }),
         };
         let mut buf = Vec::new();
         write_msg(&mut buf, &msg).unwrap();

@@ -26,13 +26,29 @@ impl Supervisor {
     /// Children inherit stderr (daemon failures stay visible in test
     /// output) and get a null stdin/stdout.
     pub fn spawn(binary: &Path, coordinator: &str, n: usize) -> io::Result<Supervisor> {
+        Supervisor::spawn_opts(binary, coordinator, n, false)
+    }
+
+    /// Like [`Supervisor::spawn`], but every daemon also serves its
+    /// observability HTTP endpoint on an ephemeral localhost port
+    /// (`--obs-addr 127.0.0.1:0`). The bound addresses travel back through
+    /// each daemon's `Hello`, so the coordinator's `obs_addrs()` has them.
+    pub fn spawn_with_obs(binary: &Path, coordinator: &str, n: usize) -> io::Result<Supervisor> {
+        Supervisor::spawn_opts(binary, coordinator, n, true)
+    }
+
+    fn spawn_opts(binary: &Path, coordinator: &str, n: usize, obs: bool) -> io::Result<Supervisor> {
         let mut children = Vec::with_capacity(n);
         for id in 0..n {
-            let child = Command::new(binary)
-                .arg("--id")
+            let mut cmd = Command::new(binary);
+            cmd.arg("--id")
                 .arg(id.to_string())
                 .arg("--coordinator")
-                .arg(coordinator)
+                .arg(coordinator);
+            if obs {
+                cmd.arg("--obs-addr").arg("127.0.0.1:0");
+            }
+            let child = cmd
                 .stdin(Stdio::null())
                 .stdout(Stdio::null())
                 .stderr(Stdio::inherit())
@@ -120,13 +136,12 @@ impl Drop for Supervisor {
     }
 }
 
-/// Locates the `csnoded` binary next to the current executable (the cargo
+/// Locates a workspace binary next to the current executable (the cargo
 /// target-directory layout: test binaries live in `target/<profile>/deps`,
-/// examples in `target/<profile>/examples`, the daemon in
-/// `target/<profile>`). Returns `None` when it has not been built — build
-/// it with `cargo build -p cs_node --bin csnoded`.
-pub fn find_csnoded() -> Option<PathBuf> {
-    let name = format!("csnoded{}", std::env::consts::EXE_SUFFIX);
+/// examples in `target/<profile>/examples`, real binaries in
+/// `target/<profile>`). Returns `None` when it has not been built.
+pub fn find_bin(name: &str) -> Option<PathBuf> {
+    let name = format!("{name}{}", std::env::consts::EXE_SUFFIX);
     let exe = std::env::current_exe().ok()?;
     let mut dir = exe.parent()?;
     for _ in 0..4 {
@@ -137,4 +152,10 @@ pub fn find_csnoded() -> Option<PathBuf> {
         dir = dir.parent()?;
     }
     None
+}
+
+/// Locates the `csnoded` binary (see [`find_bin`]) — build it with
+/// `cargo build -p cs_node --bin csnoded`.
+pub fn find_csnoded() -> Option<PathBuf> {
+    find_bin("csnoded")
 }

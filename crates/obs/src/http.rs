@@ -1,5 +1,8 @@
 //! Zero-dependency HTTP exposition over `std::net`: `/metrics` in the
-//! Prometheus text format, `/trace` as the flight recorder's JSON.
+//! Prometheus text format, `/trace` as the flight recorder's JSON, plus
+//! the health-monitor family — `/series` (time-series telemetry),
+//! `/health` (invariant verdict; 503 when degraded), and `/healthz`
+//! (liveness: the answer itself is the signal).
 //!
 //! One background thread, a non-blocking accept loop, one request per
 //! connection — deliberately the smallest thing that a Prometheus scraper
@@ -7,8 +10,10 @@
 //! metric state: it snapshots through caller-supplied provider closures
 //! at request time, so a scrape always sees live values.
 
+use crate::health::{HealthReport, HealthStatus, Liveness};
 use crate::metrics::MetricsSnapshot;
 use crate::prom::encode_text;
+use crate::series::SeriesView;
 use crate::trace::NodeTrace;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -17,12 +22,37 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// The state providers an [`ObsServer`] snapshots per request.
+/// The state providers an [`ObsServer`] snapshots per request. The
+/// health-monitor routes are optional: a `None` provider makes its route
+/// answer 404, so a bare metrics/trace endpoint stays exactly that.
 pub struct ObsProviders {
     /// Produces the cumulative metrics snapshot served at `/metrics`.
     pub metrics: Box<dyn Fn() -> MetricsSnapshot + Send + Sync>,
     /// Produces the flight-recorder capture served at `/trace`.
     pub trace: Box<dyn Fn() -> NodeTrace + Send + Sync>,
+    /// Produces the time-series view served at `/series`.
+    pub series: Option<Box<dyn Fn() -> SeriesView + Send + Sync>>,
+    /// Produces the invariant verdict served at `/health` (HTTP 200 when
+    /// healthy, 503 when degraded — probes can route on the status line).
+    pub health: Option<Box<dyn Fn() -> HealthReport + Send + Sync>>,
+    /// Produces the liveness facts served at `/healthz` (always 200).
+    pub healthz: Option<Box<dyn Fn() -> Liveness + Send + Sync>>,
+}
+
+impl ObsProviders {
+    /// The classic two-route provider set (`/metrics` + `/trace`).
+    pub fn new(
+        metrics: Box<dyn Fn() -> MetricsSnapshot + Send + Sync>,
+        trace: Box<dyn Fn() -> NodeTrace + Send + Sync>,
+    ) -> ObsProviders {
+        ObsProviders {
+            metrics,
+            trace,
+            series: None,
+            health: None,
+            healthz: None,
+        }
+    }
 }
 
 /// A running exposition endpoint; shuts down when dropped.
@@ -110,6 +140,14 @@ fn handle_connection(mut stream: TcpStream, providers: &ObsProviders) -> io::Res
             "method not allowed\n".to_string(),
         )
     } else {
+        let not_found = || {
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics, /trace, /series, /health, or /healthz)\n".to_string(),
+            )
+        };
+        let json = |body: String| ("200 OK", "application/json", body);
         match path {
             "/metrics" => (
                 "200 OK",
@@ -121,11 +159,35 @@ fn handle_connection(mut stream: TcpStream, providers: &ObsProviders) -> io::Res
                 "application/json",
                 serde_json::to_string(&(providers.trace)()).unwrap_or_else(|_| "{}".into()),
             ),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found (try /metrics or /trace)\n".to_string(),
-            ),
+            "/series" => match &providers.series {
+                Some(series) => {
+                    json(serde_json::to_string(&series()).unwrap_or_else(|_| "{}".into()))
+                }
+                None => not_found(),
+            },
+            "/health" => match &providers.health {
+                Some(health) => {
+                    let report = health();
+                    let status = if report.status == HealthStatus::Degraded {
+                        "503 Service Unavailable"
+                    } else {
+                        "200 OK"
+                    };
+                    (
+                        status,
+                        "application/json",
+                        serde_json::to_string(&report).unwrap_or_else(|_| "{}".into()),
+                    )
+                }
+                None => not_found(),
+            },
+            "/healthz" => match &providers.healthz {
+                Some(healthz) => {
+                    json(serde_json::to_string(&healthz()).unwrap_or_else(|_| "{}".into()))
+                }
+                None => not_found(),
+            },
+            _ => not_found(),
         }
     };
     let response = format!(
@@ -160,10 +222,10 @@ mod tests {
         let tr = tracer.clone();
         let server = ObsServer::serve(
             "127.0.0.1:0",
-            ObsProviders {
-                metrics: Box::new(move || reg.snapshot()),
-                trace: Box::new(move || NodeTrace::capture(5, &tr)),
-            },
+            ObsProviders::new(
+                Box::new(move || reg.snapshot()),
+                Box::new(move || NodeTrace::capture(5, &tr)),
+            ),
         )
         .unwrap();
         let addr = server.addr();
@@ -185,7 +247,81 @@ mod tests {
 
         let missing = probe(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let series = probe(addr, "GET /series HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            series.starts_with("HTTP/1.1 404"),
+            "routes without providers answer 404: {series}"
+        );
 
         drop(server); // clean shutdown joins the accept loop
+    }
+
+    #[test]
+    fn health_family_routes_serve_json_and_degrade_to_503() {
+        use crate::health::{Alert, AlertKind, HealthState, Liveness};
+        use crate::series::SeriesRing;
+        use std::sync::Mutex;
+
+        let registry = Arc::new(Registry::new());
+        registry.counter("step.ticks").add(1);
+        let tracer = Arc::new(Tracer::ring(Arc::new(VirtualClock::new()), 16));
+        let state = Arc::new(HealthState::new());
+        let ring = Arc::new(Mutex::new(SeriesRing::new(8)));
+        ring.lock().unwrap().record(0, registry.snapshot());
+        registry.counter("step.ticks").add(2);
+        ring.lock().unwrap().record(1, registry.snapshot());
+
+        let reg = registry.clone();
+        let tr = tracer.clone();
+        let st = state.clone();
+        let ri = ring.clone();
+        let server = ObsServer::serve(
+            "127.0.0.1:0",
+            ObsProviders {
+                metrics: Box::new(move || reg.snapshot()),
+                trace: Box::new(move || NodeTrace::capture(5, &tr)),
+                series: Some(Box::new(move || ri.lock().unwrap().view())),
+                health: Some(Box::new(move || st.report())),
+                healthz: Some(Box::new(|| Liveness {
+                    node: 5,
+                    uptime_seconds: 42,
+                    proto_version: 4,
+                    wire_version: 3,
+                    build: "test".into(),
+                })),
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let series = probe(addr, "GET /series HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(series.starts_with("HTTP/1.1 200 OK"), "{series}");
+        assert!(series.contains("\"step.ticks\""), "{series}");
+        assert!(series.contains("\"rates\":[2]"), "{series}");
+
+        let healthz = probe(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(healthz.starts_with("HTTP/1.1 200 OK"), "{healthz}");
+        assert!(healthz.contains("\"uptime_seconds\":42"), "{healthz}");
+        assert!(healthz.contains("\"proto_version\":4"), "{healthz}");
+
+        let health = probe(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"Healthy\""), "{health}");
+
+        state.raise(Alert {
+            kind: AlertKind::MassConservation,
+            node: Some(3),
+            step: 1,
+            measured: 99.0,
+            limit: 0.5,
+            detail: "test".into(),
+        });
+        let health = probe(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            health.starts_with("HTTP/1.1 503"),
+            "a raised alert flips the status line: {health}"
+        );
+        assert!(health.contains("\"Degraded\""), "{health}");
+        assert!(health.contains("MassConservation"), "{health}");
     }
 }

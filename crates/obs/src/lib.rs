@@ -39,6 +39,14 @@
 //! [`metrics::MetricsSnapshot`]), and [`http`] (a zero-dependency
 //! `std::net` endpoint serving `/metrics` and `/trace`).
 //!
+//! The *continuous* layer sits on top of those: [`series`] keeps a
+//! fixed-capacity ring of scrapes with rate and windowed-quantile views
+//! (the `/series` route), and [`health`] holds the invariant-audit
+//! vocabulary — [`health::InvariantMonitor`], the built-in conservation
+//! checks, structured [`health::Alert`]s minted as `obs.alert.<kind>`
+//! counters plus flight-recorder events, and the [`health::HealthState`]
+//! behind the `/health` and `/healthz` routes.
+//!
 //! ```
 //! use cs_obs::metrics::Registry;
 //! use cs_obs::phase::{PhaseProfile, StepPhase};
@@ -60,14 +68,21 @@
 #![warn(missing_docs)]
 
 pub mod critical;
+pub mod health;
 pub mod http;
 pub mod metrics;
 pub mod phase;
 pub mod prom;
+pub mod series;
 pub mod trace;
 
+pub use health::{
+    Alert, AlertKind, AuditConfig, AuditScope, HealthReport, HealthState, HealthStatus,
+    InvariantMonitor, Liveness,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use phase::{PhaseProfile, StepPhase};
+pub use series::{SeriesRing, SeriesView};
 pub use trace::{
     CausalTracer, Clock, ClusterTrace, NodeTrace, OverflowPolicy, TraceContext, Tracer,
     VirtualClock, WallClock,

@@ -122,6 +122,41 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) of everything
+    /// recorded so far. See [`HistogramValue::quantile`] for the exact
+    /// semantics and the log₂-bucket error bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        quantile_scan(
+            count,
+            self.buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i, b.load(Ordering::Relaxed))),
+            q,
+        )
+    }
+}
+
+/// Shared quantile walk over `(bucket index, count)` pairs in ascending
+/// bucket order: the upper bound of the bucket holding the rank-`q`
+/// observation.
+fn quantile_scan(count: u64, buckets: impl Iterator<Item = (usize, u64)>, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the quantile observation, 1-based: q = 0 picks the smallest
+    // observation, q = 1 the largest, ties round up (nearest-rank method).
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_bound(i);
+        }
+    }
+    bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
 }
 
 /// One counter in a [`MetricsSnapshot`].
@@ -180,6 +215,29 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeValue>,
     /// All histograms, ascending by name.
     pub histograms: Vec<HistogramValue>,
+}
+
+impl HistogramValue {
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by the
+    /// nearest-rank method over the log₂ buckets, returning the upper
+    /// bound of the bucket the rank-`q` observation landed in.
+    ///
+    /// **Error bound.** Bucket `i ≥ 1` spans `[2^(i-1), 2^i − 1]`, so the
+    /// estimate is never *below* the true quantile value and overshoots it
+    /// by strictly less than a factor of 2 (`estimate < 2 · true`); values
+    /// 0 and 1 are exact (buckets 0 and 1 are singletons). That relative
+    /// bound is the histogram's design trade: recording is one
+    /// `leading_zeros`, and a p99 read-out that is right to within 2× is
+    /// plenty for latency/size SLOs spanning orders of magnitude.
+    ///
+    /// An empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_scan(
+            self.count,
+            self.buckets.iter().map(|b| (b.bucket as usize, b.count)),
+            q,
+        )
+    }
 }
 
 impl MetricsSnapshot {
@@ -554,6 +612,71 @@ mod tests {
             .collect();
         // 0 → bucket 0, 1 → bucket 1, {2, 3} → bucket 2, 4 → bucket 3.
         assert_eq!(counts, vec![1, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn quantiles_at_bucket_edges_report_the_bucket_upper_bound() {
+        let h = Histogram::default();
+        // One observation exactly on each edge of bucket 3 ([4, 7]).
+        h.record(4);
+        h.record(7);
+        // q=0 → smallest observation's bucket, q=1 → largest; both land in
+        // bucket 3 whose upper bound is 7.
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 7);
+
+        // Straddle a bucket boundary: 8 opens bucket 4 ([8, 15]).
+        h.record(8);
+        assert_eq!(h.quantile(0.0), 7, "rank 1 of 3 stays in bucket 3");
+        assert_eq!(h.quantile(0.5), 7, "rank 2 of 3 stays in bucket 3");
+        assert_eq!(h.quantile(1.0), 15, "rank 3 of 3 is the new bucket");
+        // p99 of 3 observations is the max by nearest rank.
+        assert_eq!(h.quantile(0.99), 15);
+    }
+
+    #[test]
+    fn quantile_estimates_never_undershoot_and_stay_within_2x() {
+        let h = Histogram::default();
+        let values = [1u64, 2, 3, 5, 9, 100, 1000, 65_535, 65_536];
+        for v in values {
+            h.record(v);
+        }
+        let snap = {
+            let registry = Registry::new();
+            for v in values {
+                registry.histogram("t").record(v);
+            }
+            registry.snapshot()
+        };
+        let hv = snap.histogram("t").unwrap();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for (i, q) in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .enumerate()
+        {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = sorted[rank - 1];
+            for est in [h.quantile(*q), hv.quantile(*q)] {
+                assert!(est >= truth, "case {i}: estimate {est} < true {truth}");
+                assert!(est < truth * 2, "case {i}: estimate {est} ≥ 2·{truth}");
+            }
+        }
+        // Live histogram and snapshot agree.
+        assert_eq!(h.quantile(0.5), hv.quantile(0.5));
+    }
+
+    #[test]
+    fn quantile_of_an_empty_histogram_is_zero() {
+        assert_eq!(Histogram::default().quantile(0.99), 0);
+        let hv = HistogramValue {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(hv.quantile(0.5), 0);
     }
 
     #[test]

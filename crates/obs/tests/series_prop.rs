@@ -1,0 +1,92 @@
+//! Property tests for the time-series ring: `MetricsSnapshot::since`'s
+//! counter-reset semantics must survive being fed through a `SeriesRing`
+//! across simulated daemon restarts — rates are non-negative (a restart
+//! interval reports the post-restart count, never a negative or a
+//! saturated zero) and every within-lifetime interval reports exactly the
+//! increments applied during it.
+
+use cs_obs::metrics::Registry;
+use cs_obs::series::SeriesRing;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One recorded sample's ground truth.
+struct Truth {
+    cum: u64,
+    inc: u64,
+    restart_boundary: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rates_are_non_negative_and_window_consistent_across_restarts(
+        // Each inner vec is one daemon lifetime: per-step counter
+        // increments applied to a fresh registry.
+        lifetimes in vec(vec(0u64..1000, 1..6), 1..4),
+        capacity in 2usize..10,
+    ) {
+        let mut ring = SeriesRing::new(capacity);
+        let mut truths: Vec<Truth> = Vec::new();
+        let mut tick = 0u64;
+        for (life, steps) in lifetimes.iter().enumerate() {
+            let registry = Registry::new(); // restart: counters re-zero
+            let c = registry.counter("net.pushes");
+            for (i, inc) in steps.iter().enumerate() {
+                c.add(*inc);
+                ring.record(tick, registry.snapshot());
+                truths.push(Truth {
+                    cum: c.get(),
+                    inc: *inc,
+                    restart_boundary: life > 0 && i == 0,
+                });
+                tick += 1;
+            }
+        }
+
+        // Align ground truth to the ring's retained window.
+        let retained = ring.len();
+        prop_assert_eq!(retained, truths.len().min(capacity));
+        let window = &truths[truths.len() - retained..];
+
+        let rates = ring.counter_rates("net.pushes");
+        prop_assert_eq!(rates.len(), retained - 1);
+        let deltas = ring.deltas();
+        let samples: Vec<_> = ring.samples().collect();
+        for i in 0..rates.len() {
+            let prev = &window[i];
+            let cur = &window[i + 1];
+            if !cur.restart_boundary {
+                prop_assert_eq!(
+                    rates[i], cur.inc,
+                    "within a lifetime, the rate is exactly the increment"
+                );
+                // The delta also inverts plus for monotone intervals.
+                prop_assert_eq!(
+                    &samples[i].snapshot.plus(&deltas[i]),
+                    &samples[i + 1].snapshot
+                );
+            } else if cur.cum < prev.cum {
+                prop_assert_eq!(
+                    rates[i], cur.cum,
+                    "a detected reset reports everything since the restart"
+                );
+            } else {
+                // The reset is arithmetically invisible (the reborn counter
+                // already passed the old value); since() can only subtract.
+                prop_assert_eq!(rates[i], cur.cum - prev.cum);
+            }
+        }
+
+        // The view agrees with the piecewise rates.
+        let view = ring.view();
+        let series = view
+            .counters
+            .iter()
+            .find(|c| c.name == "net.pushes")
+            .expect("counter present in view");
+        prop_assert_eq!(&series.rates, &rates);
+        prop_assert_eq!(series.total, window.last().unwrap().cum);
+    }
+}
